@@ -1,0 +1,113 @@
+// Command dpu-bench regenerates every figure of the paper's evaluation
+// (Section 6) and the ablations listed in DESIGN.md, printing the same
+// rows/series the paper plots.
+//
+// Usage:
+//
+//	dpu-bench -fig 5                 # Figure 5: latency timeline around a replacement
+//	dpu-bench -fig 6                 # Figure 6: latency vs load, n=3 and n=7
+//	dpu-bench -fig ablation-managers # ours vs Maestro vs Graceful
+//	dpu-bench -fig ablation-reissue  # switch cost vs undelivered backlog
+//	dpu-bench -fig ablation-matrix   # cross-protocol switch matrix
+//	dpu-bench -fig all               # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, ablation-managers, ablation-reissue, ablation-matrix, all")
+	n := flag.Int("n", 7, "group size for Figure 5")
+	rate := flag.Float64("rate", 50, "per-stack message rate for Figure 5 [msg/s]")
+	payload := flag.Int("payload", 1024, "payload size for Figure 5 [bytes]")
+	duration := flag.Duration("duration", 4*time.Second, "Figure 5 experiment duration")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	quick := flag.Bool("quick", false, "shrink durations/sweeps for a fast smoke run")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("==> %s\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("5") {
+		run("Figure 5", func() error {
+			cfg := experiments.Figure5Config{
+				N: *n, RatePerStack: *rate, PayloadSize: *payload,
+				Duration: *duration, Seed: *seed,
+			}
+			if *quick {
+				cfg.N, cfg.Duration, cfg.PayloadSize = 3, time.Second, 512
+			}
+			res, err := experiments.RunFigure5(cfg)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("6") {
+		run("Figure 6", func() error {
+			cfg := experiments.Figure6Config{Seed: *seed}
+			if *quick {
+				cfg.Ns = []int{3}
+				cfg.Loads = []float64{60, 120}
+				cfg.Duration = 800 * time.Millisecond
+			}
+			points, err := experiments.RunFigure6(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure6(os.Stdout, cfg, points)
+			return nil
+		})
+	}
+	if want("ablation-managers") {
+		run("Ablation A (managers)", func() error {
+			rs, err := experiments.RunManagersComparison(3, 60, *seed)
+			if err != nil {
+				return err
+			}
+			experiments.PrintManagersComparison(os.Stdout, 3, 60, rs)
+			return nil
+		})
+	}
+	if want("ablation-reissue") {
+		run("Ablation B (reissue scaling)", func() error {
+			backlogs := []int{0, 50, 200, 500, 1000}
+			if *quick {
+				backlogs = []int{0, 100}
+			}
+			rs, err := experiments.RunReissueScaling(backlogs, *seed)
+			if err != nil {
+				return err
+			}
+			experiments.PrintReissueScaling(os.Stdout, rs)
+			return nil
+		})
+	}
+	if want("ablation-matrix") {
+		run("Ablation C (switch matrix)", func() error {
+			rs, err := experiments.RunSwitchMatrix(40, *seed)
+			if err != nil {
+				return err
+			}
+			experiments.PrintSwitchMatrix(os.Stdout, rs)
+			return nil
+		})
+	}
+}

@@ -1,0 +1,315 @@
+package dpu_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/dpu"
+	"repro/internal/consensus"
+)
+
+const timeout = 30 * time.Second
+
+// drain collects k deliveries from a stack's channel.
+func drain(t *testing.T, c *dpu.Cluster, stack, k int) []dpu.Delivery {
+	t.Helper()
+	out := make([]dpu.Delivery, 0, k)
+	deadline := time.After(timeout)
+	for len(out) < k {
+		select {
+		case d, ok := <-c.Deliveries(stack):
+			if !ok {
+				t.Fatalf("stack %d: delivery channel closed after %d of %d", stack, len(out), k)
+			}
+			out = append(out, d)
+		case <-deadline:
+			t.Fatalf("stack %d: timed out after %d of %d deliveries", stack, len(out), k)
+		}
+	}
+	return out
+}
+
+func waitSwitch(t *testing.T, c *dpu.Cluster, stack int) dpu.SwitchEvent {
+	t.Helper()
+	select {
+	case ev := <-c.Switches(stack):
+		return ev
+	case <-time.After(timeout):
+		t.Fatalf("stack %d: no switch event", stack)
+		return dpu.SwitchEvent{}
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	c, err := dpu.New(3, dpu.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.N() != 3 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if err := c.Broadcast(0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ds := drain(t, c, i, 1)
+		if ds[0].Origin != 0 || string(ds[0].Data) != "hello" {
+			t.Errorf("stack %d got %+v", i, ds[0])
+		}
+	}
+}
+
+func TestTotalOrderAcrossLiveSwitch(t *testing.T) {
+	c, err := dpu.New(3, dpu.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const pre, post = 20, 20
+	for k := 0; k < pre; k++ {
+		c.Broadcast(k%3, []byte(fmt.Sprintf("pre-%d", k)))
+	}
+	if err := c.ChangeProtocol(1, dpu.ProtocolSequencer); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < post; k++ {
+		c.Broadcast(k%3, []byte(fmt.Sprintf("post-%d", k)))
+	}
+	var ref []string
+	for i := 0; i < 3; i++ {
+		ds := drain(t, c, i, pre+post)
+		seq := make([]string, len(ds))
+		for k, d := range ds {
+			seq[k] = fmt.Sprintf("%d:%s", d.Origin, d.Data)
+		}
+		if ref == nil {
+			ref = seq
+			continue
+		}
+		for k := range ref {
+			if seq[k] != ref[k] {
+				t.Fatalf("stack %d diverges at %d: %q vs %q", i, k, seq[k], ref[k])
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		ev := waitSwitch(t, c, i)
+		if ev.Protocol != dpu.ProtocolSequencer || ev.Epoch != 1 {
+			t.Errorf("stack %d switch event %+v", i, ev)
+		}
+		st, err := c.Status(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Protocol != dpu.ProtocolSequencer {
+			t.Errorf("stack %d status %+v", i, st)
+		}
+	}
+}
+
+func TestInitialProtocolOption(t *testing.T) {
+	c, err := dpu.New(3, dpu.WithSeed(3), dpu.WithInitialProtocol(dpu.ProtocolToken))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Status(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Protocol != dpu.ProtocolToken || st.Epoch != 0 {
+		t.Errorf("status = %+v", st)
+	}
+	c.Broadcast(2, []byte("tok"))
+	drain(t, c, 0, 1)
+}
+
+func TestMembershipViewsAcrossSwitch(t *testing.T) {
+	c, err := dpu.New(3, dpu.WithSeed(4), dpu.WithMembership())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A membership change, then a protocol switch, then another change:
+	// GM must keep working, unaware of the replacement.
+	if err := c.Leave(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case v := <-c.Views(i):
+			if v.ID != 1 || len(v.Members) != 2 {
+				t.Errorf("stack %d view %+v", i, v)
+			}
+		case <-time.After(timeout):
+			t.Fatalf("stack %d: no view", i)
+		}
+	}
+	c.ChangeProtocol(0, dpu.ProtocolSequencer)
+	if err := c.Join(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case v := <-c.Views(i):
+			if v.ID != 2 || len(v.Members) != 3 {
+				t.Errorf("stack %d view after switch %+v", i, v)
+			}
+		case <-time.After(timeout):
+			t.Fatalf("stack %d: no view after switch", i)
+		}
+	}
+}
+
+func TestCrashMinorityServiceContinues(t *testing.T) {
+	c, err := dpu.New(3, dpu.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Broadcast(0, []byte("before"))
+	drain(t, c, 0, 1)
+	drain(t, c, 1, 1)
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	c.Broadcast(0, []byte("after"))
+	for _, i := range []int{0, 1} {
+		ds := drain(t, c, i, 1)
+		if string(ds[0].Data) != "after" {
+			t.Errorf("stack %d got %q", i, ds[0].Data)
+		}
+	}
+	if err := c.Broadcast(2, nil); err == nil {
+		t.Error("Broadcast on crashed stack succeeded")
+	}
+}
+
+func TestPartitionHealsAndTrafficResumes(t *testing.T) {
+	c, err := dpu.New(3, dpu.WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Partition(0, 2)
+	c.Broadcast(1, []byte("through-partition"))
+	// 0 and 1 and 2 can still all reach each other via majority paths
+	// (rbcast relays through 1), so this must deliver everywhere.
+	for i := 0; i < 3; i++ {
+		drain(t, c, i, 1)
+	}
+	c.Heal(0, 2)
+	c.Broadcast(0, []byte("after-heal"))
+	for i := 0; i < 3; i++ {
+		drain(t, c, i, 1)
+	}
+}
+
+func TestConsensusVariantSwitch(t *testing.T) {
+	// The consensus-replacement extension: switch to a CT variant that
+	// runs on a separate consensus protocol with a fixed-leaning
+	// coordinator. create_module recursion builds the new consensus
+	// module as a required service.
+	c, err := dpu.New(3, dpu.WithSeed(7),
+		dpu.WithConsensusVariant("abcast/ct-fixed", consensus.Fixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Broadcast(0, []byte("on-rotating"))
+	for i := 0; i < 3; i++ {
+		drain(t, c, i, 1)
+	}
+	if err := c.ChangeProtocol(0, "abcast/ct-fixed"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ev := waitSwitch(t, c, i)
+		if ev.Protocol != "abcast/ct-fixed" {
+			t.Errorf("stack %d switched to %q", i, ev.Protocol)
+		}
+	}
+	c.Broadcast(1, []byte("on-fixed"))
+	for i := 0; i < 3; i++ {
+		ds := drain(t, c, i, 1)
+		if string(ds[0].Data) != "on-fixed" {
+			t.Errorf("stack %d got %q", i, ds[0].Data)
+		}
+	}
+}
+
+func TestChangeToUnknownProtocolIsIgnoredButHarmless(t *testing.T) {
+	c, err := dpu.New(3, dpu.WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.ChangeProtocol(0, "abcast/not-registered")
+	c.Broadcast(0, []byte("still-works"))
+	for i := 0; i < 3; i++ {
+		ds := drain(t, c, i, 1)
+		if string(ds[0].Data) != "still-works" {
+			t.Errorf("stack %d got %q", i, ds[0].Data)
+		}
+	}
+	st, _ := c.Status(0)
+	if st.Epoch != 0 {
+		t.Errorf("epoch advanced on unknown protocol: %+v", st)
+	}
+}
+
+func TestLargePayloadRoundtrip(t *testing.T) {
+	c, err := dpu.New(2, dpu.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := bytes.Repeat([]byte{0xAB}, 32*1024)
+	c.Broadcast(1, payload)
+	ds := drain(t, c, 0, 1)
+	if !bytes.Equal(ds[0].Data, payload) {
+		t.Error("payload corrupted")
+	}
+}
+
+func TestInvalidArguments(t *testing.T) {
+	if _, err := dpu.New(0); err == nil {
+		t.Error("New(0) succeeded")
+	}
+	c, err := dpu.New(2, dpu.WithSeed(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Broadcast(5, nil); err == nil {
+		t.Error("Broadcast(out-of-range) succeeded")
+	}
+	if err := c.ChangeProtocol(-1, dpu.ProtocolCT); err == nil {
+		t.Error("ChangeProtocol(-1) succeeded")
+	}
+	if _, err := c.Status(99); err == nil {
+		t.Error("Status(99) succeeded")
+	}
+}
+
+func TestProtocolsList(t *testing.T) {
+	ps := dpu.Protocols()
+	if len(ps) != 3 {
+		t.Fatalf("Protocols = %v", ps)
+	}
+}
+
+func TestCloseIsIdempotentAndClosesChannels(t *testing.T) {
+	c, err := dpu.New(2, dpu.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close()
+	if _, ok := <-c.Deliveries(0); ok {
+		t.Error("delivery channel not closed")
+	}
+}

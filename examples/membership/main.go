@@ -1,0 +1,58 @@
+// Group membership across a protocol replacement: the GM module of the
+// paper's Figure 4 depends on the atomic-broadcast service and keeps
+// producing consistent views while the protocol underneath it is
+// replaced — the module is not even aware the update happened. This is
+// the paper's modularity claim, demonstrated end to end.
+//
+//	go run ./examples/membership
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/dpu"
+)
+
+func main() {
+	cluster, err := dpu.New(4, dpu.WithSeed(31), dpu.WithMembership())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	show := func(what string) {
+		for i := 0; i < 4; i++ {
+			select {
+			case v := <-cluster.Views(i):
+				fmt.Printf("  stack %d: view %d = %v\n", i, v.ID, v.Members)
+			case <-time.After(20 * time.Second):
+				log.Fatalf("stack %d: no view after %s", i, what)
+			}
+		}
+	}
+
+	fmt.Println("member 3 leaves (ordered through abcast/ct):")
+	if err := cluster.Leave(0, 3); err != nil {
+		log.Fatal(err)
+	}
+	show("leave")
+
+	fmt.Println("\nreplacing the broadcast protocol under GM: ct -> sequencer")
+	if err := cluster.ChangeProtocol(2, dpu.ProtocolSequencer); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		ev := <-cluster.Switches(i)
+		fmt.Printf("  stack %d now on %s (epoch %d)\n", i, ev.Protocol, ev.Epoch)
+	}
+
+	fmt.Println("\nmember 3 rejoins (ordered through abcast/seq — GM never noticed the switch):")
+	if err := cluster.Join(1, 3); err != nil {
+		log.Fatal(err)
+	}
+	show("join")
+
+	fmt.Println("\nviews stayed consistent across the dynamic protocol update")
+}

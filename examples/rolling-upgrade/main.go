@@ -1,0 +1,131 @@
+// Rolling upgrade under load: Figure 5 of the paper in miniature. A
+// constant broadcast load runs while the protocol is replaced; the
+// example prints the average latency per 100ms bucket so the
+// spike-and-recover shape around the replacement is visible in the
+// terminal.
+//
+//	go run ./examples/rolling-upgrade
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/dpu"
+)
+
+const (
+	n        = 3
+	rate     = 150 // msgs/s per stack
+	duration = 3 * time.Second
+	switchAt = 1500 * time.Millisecond
+	bin      = 100 * time.Millisecond
+)
+
+func main() {
+	cluster, err := dpu.New(n, dpu.WithSeed(23))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	type sample struct {
+		sentAt  time.Duration // offset from start
+		latency time.Duration
+	}
+	var mu sync.Mutex
+	var samples []sample
+	start := time.Now()
+
+	// Latency observers: the payload carries the send time.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case d, ok := <-cluster.Deliveries(i):
+					if !ok {
+						return
+					}
+					var nanos int64
+					fmt.Sscanf(string(d.Data), "%d", &nanos)
+					sent := time.Unix(0, nanos)
+					mu.Lock()
+					samples = append(samples, sample{
+						sentAt:  sent.Sub(start),
+						latency: time.Since(sent),
+					})
+					mu.Unlock()
+				}
+			}
+		}(i)
+	}
+
+	// Constant load from every stack; one switch in the middle.
+	ticker := time.NewTicker(time.Second / rate)
+	defer ticker.Stop()
+	switched := false
+	k := 0
+	for time.Since(start) < duration {
+		<-ticker.C
+		payload := fmt.Sprintf("%d", time.Now().UnixNano())
+		cluster.Broadcast(k%n, []byte(payload))
+		k++
+		if !switched && time.Since(start) >= switchAt {
+			switched = true
+			fmt.Printf("t=%v: replacing abcast/ct by abcast/ct (the paper's experiment)\n",
+				time.Since(start).Round(time.Millisecond))
+			cluster.ChangeProtocol(0, dpu.ProtocolCT)
+		}
+	}
+	time.Sleep(300 * time.Millisecond) // drain
+	close(stop)
+	wg.Wait()
+
+	// Bucket by send time and draw a bar chart.
+	mu.Lock()
+	defer mu.Unlock()
+	buckets := make(map[int][]time.Duration)
+	maxIdx := 0
+	for _, s := range samples {
+		idx := int(s.sentAt / bin)
+		if idx < 0 {
+			continue
+		}
+		buckets[idx] = append(buckets[idx], s.latency)
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	fmt.Printf("\n%8s %8s %9s  latency (one # per 2ms of average)\n", "t[ms]", "msgs", "avg[ms]")
+	for idx := 0; idx <= maxIdx; idx++ {
+		ls := buckets[idx]
+		if len(ls) == 0 {
+			continue
+		}
+		var sum time.Duration
+		for _, l := range ls {
+			sum += l
+		}
+		avg := sum / time.Duration(len(ls))
+		bars := int(avg / (2 * time.Millisecond))
+		if bars > 60 {
+			bars = 60
+		}
+		marker := ""
+		if time.Duration(idx)*bin <= switchAt && switchAt < time.Duration(idx+1)*bin {
+			marker = " <- replacement"
+		}
+		fmt.Printf("%8d %8d %9.2f  %s%s\n",
+			time.Duration(idx)*bin/time.Millisecond, len(ls),
+			float64(avg)/float64(time.Millisecond), strings.Repeat("#", bars), marker)
+	}
+}

@@ -1,0 +1,196 @@
+package abcast
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/kernel"
+	"repro/internal/rbcast"
+	"repro/internal/wire"
+)
+
+// ctModule is the Chandra–Toueg atomic broadcast: messages are
+// disseminated with reliable broadcast; a sequence of consensus
+// instances agrees, one batch at a time, on the delivery order of the
+// not-yet-delivered messages. Decisions carry full payloads, so a stack
+// that missed the dissemination of a message still delivers it from the
+// decided batch.
+//
+// This is the implementation measured in the paper's experiments (the
+// ABcast module of Figure 4, on top of the CT consensus module). It is
+// uniform and tolerates any minority of crashes.
+type ctModule struct {
+	kernel.Base
+	epoch   uint64
+	channel string           // rbcast dissemination channel, epoch-scoped
+	consSvc kernel.ServiceID // which consensus service orders batches
+
+	sendSeq   uint64
+	pending   map[msgID][]byte // received but not delivered
+	delivered map[msgID]bool
+	k         uint64 // next consensus instance in this epoch's group
+	running   bool   // a proposal for instance k is outstanding
+	decBuf    map[uint64][]byte
+}
+
+// CTImpl returns the implementation descriptor for abcast/ct, using the
+// default consensus service.
+func CTImpl() Impl {
+	return CTImplOn(ProtocolCT, consensus.Service)
+}
+
+// CTImplOn returns a CT atomic-broadcast variant bound to a specific
+// consensus service. Registering such a variant and switching to it is
+// the consensus-replacement extension ([16] in the paper): the
+// create_module recursion instantiates the new consensus protocol as a
+// required service of the new ABcast module, while the old epoch keeps
+// draining on the old consensus protocol.
+func CTImplOn(name string, consSvc kernel.ServiceID) Impl {
+	return Impl{
+		Name:     name,
+		Requires: []kernel.ServiceID{rbcast.Service, consSvc},
+		New: func(st *kernel.Stack, epoch uint64) kernel.Module {
+			return &ctModule{
+				Base:      kernel.NewBase(st, name),
+				epoch:     epoch,
+				channel:   fmt.Sprintf("ab/%s/%d", name, epoch),
+				consSvc:   consSvc,
+				pending:   make(map[msgID][]byte),
+				delivered: make(map[msgID]bool),
+				decBuf:    make(map[uint64][]byte),
+			}
+		},
+	}
+}
+
+// Start attaches to the epoch-scoped rbcast channel and consensus group.
+// The consensus Listen replays decisions of this group that were made
+// before this module existed (a module created mid-update catches up).
+func (m *ctModule) Start() {
+	m.Stk.Call(rbcast.Service, rbcast.Listen{Channel: m.channel, Handler: m.onMsg})
+	m.Stk.Call(m.consSvc, consensus.Listen{Group: m.epoch, Handler: m.onDecide})
+}
+
+// Stop detaches from the substrate and garbage-collects this epoch's
+// decision cache (the module is the sole user of its consensus group).
+func (m *ctModule) Stop() {
+	m.Stk.Call(rbcast.Service, rbcast.Unlisten{Channel: m.channel})
+	m.Stk.Call(m.consSvc, consensus.Forget{Group: m.epoch})
+}
+
+// HandleRequest processes Broadcast.
+func (m *ctModule) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
+	b, ok := req.(Broadcast)
+	if !ok {
+		return
+	}
+	m.sendSeq++
+	w := wire.NewWriter(len(b.Data) + 16)
+	w.Uvarint(uint64(m.Stk.Addr())).Uvarint(m.sendSeq).Raw(b.Data)
+	m.Stk.Call(rbcast.Service, rbcast.Broadcast{Channel: m.channel, Data: w.Bytes()})
+}
+
+func (m *ctModule) onMsg(d rbcast.Deliver) {
+	r := wire.NewReader(d.Data)
+	id := msgID{origin: kernel.Addr(r.Uvarint()), seq: r.Uvarint()}
+	data := r.Rest()
+	if r.Err() != nil {
+		return
+	}
+	if m.delivered[id] {
+		return
+	}
+	if _, dup := m.pending[id]; dup {
+		return
+	}
+	m.pending[id] = data
+	m.maybePropose()
+}
+
+// maxBatch and maxBatchBytes bound how much one consensus instance
+// orders, by count and by payload volume. Unbounded batches grow with
+// the backlog, and a multi-hundred-kilobyte estimate takes so long to
+// transmit that the instance starves the very backlog it is trying to
+// drain; the overflow simply waits for the next instance.
+const (
+	maxBatch      = 256
+	maxBatchBytes = 128 << 10
+)
+
+// maybePropose starts consensus instance k on the current batch of
+// undelivered messages. One instance runs at a time.
+func (m *ctModule) maybePropose() {
+	if m.running || len(m.pending) == 0 {
+		return
+	}
+	ids := make([]msgID, 0, len(m.pending))
+	for id := range m.pending {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	if len(ids) > maxBatch {
+		ids = ids[:maxBatch]
+	}
+	w := wire.NewWriter(256)
+	count := 0
+	bytes := 0
+	for _, id := range ids {
+		bytes += len(m.pending[id])
+		count++
+		if bytes >= maxBatchBytes {
+			break
+		}
+	}
+	ids = ids[:count]
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		w.Uvarint(uint64(id.origin)).Uvarint(id.seq).BytesField(m.pending[id])
+	}
+	m.running = true
+	m.Stk.Call(m.consSvc, consensus.Propose{
+		ID:    consensus.InstanceID{Group: m.epoch, Seq: m.k},
+		Value: w.Bytes(),
+	})
+}
+
+func (m *ctModule) onDecide(d consensus.Decide) {
+	switch {
+	case d.ID.Seq < m.k:
+		return // replayed or duplicate decision, already processed
+	case d.ID.Seq > m.k:
+		m.decBuf[d.ID.Seq] = d.Value // out of order: hold
+		return
+	}
+	m.processDecision(d.Value)
+	for {
+		val, ok := m.decBuf[m.k]
+		if !ok {
+			break
+		}
+		delete(m.decBuf, m.k)
+		m.processDecision(val)
+	}
+	m.maybePropose()
+}
+
+// processDecision delivers the decided batch in its (deterministic)
+// encoded order and advances to the next instance.
+func (m *ctModule) processDecision(batch []byte) {
+	r := wire.NewReader(batch)
+	count := r.Uvarint()
+	for i := uint64(0); i < count && r.Err() == nil; i++ {
+		id := msgID{origin: kernel.Addr(r.Uvarint()), seq: r.Uvarint()}
+		data := r.BytesField()
+		if r.Err() != nil {
+			break
+		}
+		if m.delivered[id] {
+			continue
+		}
+		m.delivered[id] = true
+		delete(m.pending, id)
+		m.Stk.Indicate(ServiceImpl, Deliver{Origin: id.origin, Data: data})
+	}
+	m.k++
+	m.running = false
+}

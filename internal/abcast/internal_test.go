@@ -1,0 +1,82 @@
+package abcast
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+)
+
+// TestQuickSortIDsDeterministic verifies the batch ordering used by the
+// CT implementation is a strict total order independent of input
+// permutation — the property that makes decided batches deliver in the
+// same order on every stack.
+func TestQuickSortIDsDeterministic(t *testing.T) {
+	f := func(raw []uint16, seed uint8) bool {
+		ids := make([]msgID, len(raw))
+		for i, r := range raw {
+			ids[i] = msgID{origin: kernel.Addr(r % 7), seq: uint64(r / 7)}
+		}
+		a := append([]msgID(nil), ids...)
+		b := append([]msgID(nil), ids...)
+		// Shuffle b deterministically from seed.
+		for i := len(b) - 1; i > 0; i-- {
+			j := int(seed) * (i + 3) % (i + 1)
+			b[i], b[j] = b[j], b[i]
+		}
+		sortIDs(a)
+		sortIDs(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		// Sorted: non-decreasing under less().
+		return sort.SliceIsSorted(a, func(i, j int) bool { return a[i].less(a[j]) })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMsgIDLessIsStrictWeakOrder(t *testing.T) {
+	f := func(o1, o2 uint8, s1, s2 uint32) bool {
+		a := msgID{origin: kernel.Addr(o1), seq: uint64(s1)}
+		b := msgID{origin: kernel.Addr(o2), seq: uint64(s2)}
+		if a == b {
+			return !a.less(b) && !b.less(a)
+		}
+		return a.less(b) != b.less(a) // exactly one direction
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCTBatchCapLeavesOverflowPending(t *testing.T) {
+	// White-box: a module with more pending than maxBatch proposes only
+	// the first maxBatch ids (in sorted order).
+	st := kernel.NewStack(kernel.Config{Addr: 0, Peers: []kernel.Addr{0}})
+	defer st.Close()
+	err := st.DoSync(func() {
+		im := CTImpl()
+		m := im.New(st, 0).(*ctModule)
+		for i := 0; i < maxBatch+50; i++ {
+			m.pending[msgID{origin: 0, seq: uint64(i + 1)}] = []byte{byte(i)}
+		}
+		// Capture the proposal by intercepting the consensus service:
+		// no consensus module is bound, so the call parks; we inspect
+		// the pending-call count instead and the running flag.
+		m.maybePropose()
+		if !m.running {
+			t.Error("no proposal issued")
+		}
+		if len(m.pending) != maxBatch+50 {
+			t.Error("pending mutated by proposing")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

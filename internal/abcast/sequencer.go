@@ -1,0 +1,128 @@
+package abcast
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/rp2p"
+	"repro/internal/wire"
+)
+
+// seqModule is a fixed-sequencer atomic broadcast (the classic "UB"
+// unicast-broadcast variant): senders forward messages to the sequencer
+// — the lowest stack address of the group — which assigns a global
+// sequence number and broadcasts the ordered message to everybody;
+// stacks deliver in global sequence order.
+//
+// The ordering guarantee holds in crash-free runs: the sequencer is a
+// single point of failure and no takeover protocol is included. The
+// paper's replacement algorithm is exactly the remedy when more
+// resilience becomes necessary: switch to abcast/ct on the fly.
+type seqModule struct {
+	kernel.Base
+	epoch     uint64
+	channel   string
+	sequencer kernel.Addr
+
+	sendSeq    uint64
+	nextGlobal uint64 // sequencer only: next global number to assign
+	nextDel    uint64 // receiver: next global number to deliver
+	hold       map[uint64]Deliver
+}
+
+const (
+	seqMsgData byte = 0
+	seqMsgOrd  byte = 1
+)
+
+// SequencerImpl returns the implementation descriptor for abcast/seq.
+func SequencerImpl() Impl {
+	return Impl{
+		Name:     ProtocolSeq,
+		Requires: []kernel.ServiceID{rp2p.Service},
+		New: func(st *kernel.Stack, epoch uint64) kernel.Module {
+			seq := st.Peers()[0]
+			for _, p := range st.Peers() {
+				if p < seq {
+					seq = p
+				}
+			}
+			return &seqModule{
+				Base:      kernel.NewBase(st, ProtocolSeq),
+				epoch:     epoch,
+				channel:   fmt.Sprintf("sq/%d", epoch),
+				sequencer: seq,
+				hold:      make(map[uint64]Deliver),
+			}
+		},
+	}
+}
+
+// Start attaches to the epoch-scoped RP2P channel; messages that
+// arrived before this module existed were buffered by RP2P and flush
+// now, in order.
+func (m *seqModule) Start() {
+	m.Stk.Call(rp2p.Service, rp2p.Listen{Channel: m.channel, Handler: m.onRecv})
+}
+
+// Stop detaches from RP2P.
+func (m *seqModule) Stop() {
+	m.Stk.Call(rp2p.Service, rp2p.Unlisten{Channel: m.channel})
+}
+
+// HandleRequest processes Broadcast: send the payload to the sequencer.
+func (m *seqModule) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
+	b, ok := req.(Broadcast)
+	if !ok {
+		return
+	}
+	m.sendSeq++
+	w := wire.NewWriter(len(b.Data) + 20)
+	w.Byte(seqMsgData).Uvarint(uint64(m.Stk.Addr())).Uvarint(m.sendSeq).Raw(b.Data)
+	m.Stk.Call(rp2p.Service, rp2p.Send{To: m.sequencer, Channel: m.channel, Data: w.Bytes()})
+}
+
+func (m *seqModule) onRecv(rv rp2p.Recv) {
+	r := wire.NewReader(rv.Data)
+	switch r.Byte() {
+	case seqMsgData:
+		if m.Stk.Addr() != m.sequencer {
+			return // not addressed to me; stale routing
+		}
+		origin := kernel.Addr(r.Uvarint())
+		oseq := r.Uvarint()
+		data := r.Rest()
+		if r.Err() != nil {
+			return
+		}
+		g := m.nextGlobal
+		m.nextGlobal++
+		w := wire.NewWriter(len(data) + 28)
+		w.Byte(seqMsgOrd).Uvarint(g).Uvarint(uint64(origin)).Uvarint(oseq).Raw(data)
+		ord := w.Bytes()
+		for _, p := range m.Stk.Peers() {
+			m.Stk.Call(rp2p.Service, rp2p.Send{To: p, Channel: m.channel, Data: ord})
+		}
+	case seqMsgOrd:
+		g := r.Uvarint()
+		origin := kernel.Addr(r.Uvarint())
+		_ = r.Uvarint() // origin-local seq: carried for tracing
+		data := r.Rest()
+		if r.Err() != nil {
+			return
+		}
+		if g < m.nextDel {
+			return // duplicate
+		}
+		m.hold[g] = Deliver{Origin: origin, Data: data}
+		for {
+			d, ok := m.hold[m.nextDel]
+			if !ok {
+				break
+			}
+			delete(m.hold, m.nextDel)
+			m.nextDel++
+			m.Stk.Indicate(ServiceImpl, d)
+		}
+	}
+}

@@ -1,0 +1,557 @@
+// Package consensus implements the CT module of the paper's stack
+// (Figure 4): the Chandra–Toueg ◇S consensus algorithm with a rotating
+// coordinator, providing a multi-instance distributed consensus service.
+//
+// Each instance runs in asynchronous rounds. In round r, with c =
+// coordinator(r): (1) every process sends its estimate (with the round
+// in which it was adopted) to c; (2) c collects a majority of estimates
+// and proposes the one with the highest timestamp; (3) each process
+// waits for c's proposal or suspects c through the FD service, answering
+// ack (adopting the proposal) or nack; (4) on a majority of acks, c
+// reliably broadcasts the decision. Safety never depends on the failure
+// detector; termination needs ◇S accuracy and a majority of correct
+// processes.
+//
+// Instances are keyed by (Group, Seq). Groups namespace independent
+// users of the service: during a dynamic protocol update, the old and
+// the new atomic-broadcast modules run their instances in different
+// groups (group = the replacement epoch) over this single shared module,
+// which is exactly the composition of Figure 4 where consensus survives
+// the ABcast replacement. Decisions are cached per group and replayed to
+// late listeners, so a module created mid-run (the new protocol version)
+// observes every decision of its group.
+package consensus
+
+import (
+	"sort"
+
+	"repro/internal/fd"
+	"repro/internal/kernel"
+	"repro/internal/rbcast"
+	"repro/internal/rp2p"
+	"repro/internal/wire"
+)
+
+// Service is the default consensus service.
+const Service kernel.ServiceID = "consensus"
+
+// Protocol is the default protocol name registered for this module.
+const Protocol = "consensus/ct"
+
+const (
+	rp2pChannel = "cons"     // point-to-point consensus rounds
+	decChannel  = "cons-dec" // reliable broadcast of decisions
+)
+
+// CoordPolicy selects how the coordinator of a round is chosen.
+type CoordPolicy int
+
+// Coordinator policies.
+const (
+	// Rotating is the classic CT rotating coordinator: coord(r) =
+	// peers[r mod n].
+	Rotating CoordPolicy = iota
+	// Fixed biases the coordinator towards the lowest address: even
+	// rounds are coordinated by peers[0], odd rounds rotate over the
+	// rest to preserve liveness after a leader crash. The mapping stays
+	// a deterministic function of the round — CT's safety argument
+	// requires at most one possible proposer per round.
+	Fixed
+)
+
+// Config parameterises a consensus module instance, so several distinct
+// consensus protocols can coexist in one stack (the consensus
+// replacement extension): each gets its own service name and wire
+// channels.
+type Config struct {
+	// Service is the service this module provides. Default "consensus".
+	Service kernel.ServiceID
+	// Protocol is the registered protocol name. Default "consensus/ct".
+	Protocol string
+	// Channel is the RP2P channel for round messages. Default "cons".
+	Channel string
+	// DecChannel is the RBcast channel for decisions. Default "cons-dec".
+	DecChannel string
+	// Policy selects the coordinator strategy. Default Rotating.
+	Policy CoordPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Service == "" {
+		c.Service = Service
+	}
+	if c.Protocol == "" {
+		c.Protocol = Protocol
+	}
+	if c.Channel == "" {
+		c.Channel = rp2pChannel
+	}
+	if c.DecChannel == "" {
+		c.DecChannel = decChannel
+	}
+	return c
+}
+
+// InstanceID names one consensus instance.
+type InstanceID struct {
+	// Group namespaces instances; users of the service pick disjoint
+	// groups (the DPU layer uses the replacement epoch).
+	Group uint64
+	// Seq is the instance number within the group.
+	Seq uint64
+}
+
+// Propose starts (or joins) an instance with this process's initial
+// value. Proposing twice for the same instance is idempotent; proposing
+// for a decided instance re-indicates the decision to the group's
+// listener.
+type Propose struct {
+	ID    InstanceID
+	Value []byte
+}
+
+// Decide is handed to the group's listener when an instance decides.
+type Decide struct {
+	ID    InstanceID
+	Value []byte
+}
+
+// Listen registers the decision handler for a group and immediately
+// replays all cached decisions of that group in Seq order. The handler
+// runs on the stack's executor.
+type Listen struct {
+	Group   uint64
+	Handler func(Decide)
+}
+
+// Unlisten removes the group's handler; decisions keep accumulating in
+// the cache.
+type Unlisten struct {
+	Group uint64
+}
+
+// Forget discards all cached decisions and live instances of a group
+// (garbage collection once an epoch is fully retired).
+type Forget struct {
+	Group uint64
+}
+
+// InspectReq asks for a diagnostic snapshot, delivered through Reply on
+// the executor.
+type InspectReq struct {
+	Reply func(Inspect)
+}
+
+// Inspect is a diagnostic snapshot of the consensus module.
+type Inspect struct {
+	// Live instance states, keyed by instance.
+	Instances map[InstanceID]InstanceInfo
+	// Decisions counts cached decisions.
+	Decisions int
+	// Suspects is the current local suspect list.
+	Suspects []kernel.Addr
+}
+
+// InstanceInfo summarises one live instance.
+type InstanceInfo struct {
+	Started   bool
+	Round     uint64
+	EstsAt    int // estimates received for the current round
+	RepliesAt int // acks+nacks received for the current round
+	Proposal  bool
+}
+
+const (
+	msgEst     byte = 0
+	msgPropose byte = 1
+	msgAck     byte = 2
+	msgNack    byte = 3
+)
+
+type estimate struct {
+	ts  uint64
+	val []byte
+}
+
+// instance is the per-instance state machine.
+type instance struct {
+	id      InstanceID
+	started bool
+	decided bool
+	round   uint64
+	est     []byte
+	ts      uint64
+
+	ests      map[uint64]map[kernel.Addr]estimate // round -> sender -> estimate
+	proposals map[uint64][]byte                   // round -> coordinator proposal
+	acks      map[uint64]map[kernel.Addr]bool     // round -> sender -> ack?
+	estSent   map[uint64]bool
+	replySent map[uint64]bool // ack or nack sent for this round
+	proposed  map[uint64]bool // I proposed as coordinator of this round
+}
+
+func newInstance(id InstanceID) *instance {
+	return &instance{
+		id:        id,
+		ests:      make(map[uint64]map[kernel.Addr]estimate),
+		proposals: make(map[uint64][]byte),
+		acks:      make(map[uint64]map[kernel.Addr]bool),
+		estSent:   make(map[uint64]bool),
+		replySent: make(map[uint64]bool),
+		proposed:  make(map[uint64]bool),
+	}
+}
+
+// Module implements the consensus service.
+type Module struct {
+	kernel.Base
+	cfg       Config
+	peers     []kernel.Addr // sorted
+	suspects  map[kernel.Addr]bool
+	instances map[InstanceID]*instance
+	decisions map[InstanceID][]byte
+	groupSeqs map[uint64][]uint64 // decided seqs per group, kept sorted
+	handlers  map[uint64]func(Decide)
+}
+
+// Factory returns the module factory with the default configuration.
+func Factory() kernel.Factory { return FactoryWith(Config{}) }
+
+// FactoryWith returns a module factory for a configured consensus
+// variant (distinct service name, wire channels, coordinator policy).
+func FactoryWith(cfg Config) kernel.Factory {
+	cfg = cfg.withDefaults()
+	return kernel.Factory{
+		Protocol: cfg.Protocol,
+		Provides: []kernel.ServiceID{cfg.Service},
+		Requires: []kernel.ServiceID{rp2p.Service, rbcast.Service, fd.Service},
+		New: func(st *kernel.Stack) kernel.Module {
+			peers := append([]kernel.Addr(nil), st.Peers()...)
+			sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+			return &Module{
+				Base:      kernel.NewBase(st, cfg.Protocol),
+				cfg:       cfg,
+				peers:     peers,
+				suspects:  make(map[kernel.Addr]bool),
+				instances: make(map[InstanceID]*instance),
+				decisions: make(map[InstanceID][]byte),
+				groupSeqs: make(map[uint64][]uint64),
+				handlers:  make(map[uint64]func(Decide)),
+			}
+		},
+	}
+}
+
+// Start wires the module to RP2P, RBcast and the failure detector.
+func (m *Module) Start() {
+	m.Stk.Call(rp2p.Service, rp2p.Listen{Channel: m.cfg.Channel, Handler: m.onRecv})
+	m.Stk.Call(rbcast.Service, rbcast.Listen{Channel: m.cfg.DecChannel, Handler: m.onDecision})
+	m.Stk.Subscribe(fd.Service, m)
+}
+
+// Stop detaches from the substrate services.
+func (m *Module) Stop() {
+	m.Stk.Call(rp2p.Service, rp2p.Unlisten{Channel: m.cfg.Channel})
+	m.Stk.Call(rbcast.Service, rbcast.Unlisten{Channel: m.cfg.DecChannel})
+	m.Stk.Unsubscribe(fd.Service, m)
+}
+
+func (m *Module) majority() int { return len(m.peers)/2 + 1 }
+
+func (m *Module) coordinator(round uint64) kernel.Addr {
+	if len(m.peers) == 1 {
+		return m.peers[0]
+	}
+	if m.cfg.Policy == Fixed {
+		if round%2 == 0 {
+			return m.peers[0]
+		}
+		return m.peers[int(1+(round/2)%uint64(len(m.peers)-1))]
+	}
+	return m.peers[int(round%uint64(len(m.peers)))]
+}
+
+// HandleRequest processes Propose, Listen, Unlisten and Forget.
+func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
+	switch r := req.(type) {
+	case Propose:
+		m.propose(r)
+	case Listen:
+		m.handlers[r.Group] = r.Handler
+		for _, seq := range m.groupSeqs[r.Group] {
+			id := InstanceID{Group: r.Group, Seq: seq}
+			r.Handler(Decide{ID: id, Value: m.decisions[id]})
+		}
+	case Unlisten:
+		delete(m.handlers, r.Group)
+	case InspectReq:
+		if r.Reply != nil {
+			r.Reply(m.inspect())
+		}
+	case Forget:
+		delete(m.handlers, r.Group)
+		for _, seq := range m.groupSeqs[r.Group] {
+			delete(m.decisions, InstanceID{Group: r.Group, Seq: seq})
+		}
+		delete(m.groupSeqs, r.Group)
+		for id := range m.instances {
+			if id.Group == r.Group {
+				delete(m.instances, id)
+			}
+		}
+	}
+}
+
+func (m *Module) inspect() Inspect {
+	out := Inspect{Instances: make(map[InstanceID]InstanceInfo), Decisions: len(m.decisions)}
+	for id, inst := range m.instances {
+		_, prop := inst.proposals[inst.round]
+		out.Instances[id] = InstanceInfo{
+			Started:   inst.started,
+			Round:     inst.round,
+			EstsAt:    len(inst.ests[inst.round]),
+			RepliesAt: len(inst.acks[inst.round]),
+			Proposal:  prop,
+		}
+	}
+	for p := range m.suspects {
+		out.Suspects = append(out.Suspects, p)
+	}
+	sort.Slice(out.Suspects, func(i, j int) bool { return out.Suspects[i] < out.Suspects[j] })
+	return out
+}
+
+// HandleIndication tracks the failure detector's suspect set.
+func (m *Module) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
+	switch v := ind.(type) {
+	case fd.Suspect:
+		m.suspects[v.P] = true
+	case fd.Restore:
+		delete(m.suspects, v.P)
+	default:
+		return
+	}
+	// Suspicions unblock processes waiting for a coordinator.
+	for _, inst := range m.instances {
+		if inst.started && !inst.decided {
+			m.advance(inst)
+		}
+	}
+}
+
+func (m *Module) propose(p Propose) {
+	if val, done := m.decisions[p.ID]; done {
+		// Already decided (possibly before this module's user existed):
+		// re-indicate so the proposer observes the decision.
+		m.indicate(Decide{ID: p.ID, Value: val})
+		return
+	}
+	inst := m.inst(p.ID)
+	if inst.started {
+		return // duplicate proposal
+	}
+	inst.started = true
+	inst.est = p.Value
+	inst.ts = 0
+	m.advance(inst)
+}
+
+func (m *Module) inst(id InstanceID) *instance {
+	in, ok := m.instances[id]
+	if !ok {
+		in = newInstance(id)
+		m.instances[id] = in
+	}
+	return in
+}
+
+// advance drives the round state machine as far as buffered messages
+// and the suspect set allow. It is called after every relevant event.
+func (m *Module) advance(inst *instance) {
+	for !inst.decided {
+		r := inst.round
+		coord := m.coordinator(r)
+		// Phase 1: send the estimate for this round to the coordinator.
+		if !inst.estSent[r] {
+			inst.estSent[r] = true
+			m.sendEst(coord, inst, r)
+		}
+		// Phase 2 (coordinator): with a majority of estimates, propose
+		// the one adopted most recently.
+		m.coordPhase2(inst, r)
+		// Phase 3: answer the proposal, or nack a suspected coordinator.
+		if !inst.replySent[r] {
+			if val, ok := inst.proposals[r]; ok {
+				inst.est = val
+				inst.ts = r
+				inst.replySent[r] = true
+				m.sendReply(coord, inst, r, true)
+				inst.round++
+				continue
+			}
+			if m.suspects[coord] {
+				inst.replySent[r] = true
+				m.sendReply(coord, inst, r, false)
+				inst.round++
+				continue
+			}
+		}
+		// Phase 4 runs in onRecv when acks arrive. Nothing else to do.
+		return
+	}
+}
+
+// coordPhase2 lets this process serve as the round's coordinator once a
+// majority of estimates arrived. It runs even when the instance was not
+// locally proposed yet: relaying the best received estimate is safe and
+// keeps the group live while this stack's own proposal is still on its
+// way (e.g. a module created mid-update that has nothing to send yet).
+func (m *Module) coordPhase2(inst *instance, round uint64) {
+	if inst.decided || inst.proposed[round] || m.coordinator(round) != m.Stk.Addr() {
+		return
+	}
+	if len(inst.ests[round]) < m.majority() {
+		return
+	}
+	inst.proposed[round] = true
+	best := estimate{}
+	first := true
+	for _, e := range inst.ests[round] {
+		if first || e.ts > best.ts {
+			best = e
+			first = false
+		}
+	}
+	inst.proposals[round] = best.val
+	m.sendProposal(inst, round, best.val)
+}
+
+// maybeDecide checks the coordinator's majority-ack condition for every
+// round this process coordinated.
+func (m *Module) maybeDecide(inst *instance, round uint64) {
+	if inst.decided || !inst.proposed[round] {
+		return
+	}
+	ackCount := 0
+	for _, ok := range inst.acks[round] {
+		if ok {
+			ackCount++
+		}
+	}
+	if ackCount >= m.majority() {
+		// The value is locked at a majority: decide and disseminate.
+		w := wire.NewWriter(len(inst.proposals[round]) + 24)
+		w.Uvarint(inst.id.Group).Uvarint(inst.id.Seq).Raw(inst.proposals[round])
+		m.Stk.Call(rbcast.Service, rbcast.Broadcast{Channel: m.cfg.DecChannel, Data: w.Bytes()})
+	}
+}
+
+func (m *Module) header(t byte, id InstanceID, round uint64) *wire.Writer {
+	w := wire.NewWriter(64)
+	w.Byte(t).Uvarint(id.Group).Uvarint(id.Seq).Uvarint(round)
+	return w
+}
+
+func (m *Module) sendEst(coord kernel.Addr, inst *instance, round uint64) {
+	w := m.header(msgEst, inst.id, round)
+	w.Uvarint(inst.ts).Raw(inst.est)
+	m.Stk.Call(rp2p.Service, rp2p.Send{To: coord, Channel: m.cfg.Channel, Data: w.Bytes()})
+}
+
+func (m *Module) sendProposal(inst *instance, round uint64, val []byte) {
+	w := m.header(msgPropose, inst.id, round)
+	w.Raw(val)
+	data := w.Bytes()
+	for _, p := range m.peers {
+		m.Stk.Call(rp2p.Service, rp2p.Send{To: p, Channel: m.cfg.Channel, Data: data})
+	}
+}
+
+func (m *Module) sendReply(coord kernel.Addr, inst *instance, round uint64, ack bool) {
+	t := msgAck
+	if !ack {
+		t = msgNack
+	}
+	w := m.header(t, inst.id, round)
+	m.Stk.Call(rp2p.Service, rp2p.Send{To: coord, Channel: m.cfg.Channel, Data: w.Bytes()})
+}
+
+func (m *Module) onRecv(rv rp2p.Recv) {
+	r := wire.NewReader(rv.Data)
+	t := r.Byte()
+	id := InstanceID{Group: r.Uvarint(), Seq: r.Uvarint()}
+	round := r.Uvarint()
+	if r.Err() != nil {
+		return
+	}
+	if _, done := m.decisions[id]; done {
+		return // stale traffic for a decided instance
+	}
+	inst := m.inst(id)
+	switch t {
+	case msgEst:
+		ts := r.Uvarint()
+		val := r.Rest()
+		if r.Err() != nil {
+			return
+		}
+		if inst.ests[round] == nil {
+			inst.ests[round] = make(map[kernel.Addr]estimate)
+		}
+		inst.ests[round][rv.From] = estimate{ts: ts, val: val}
+	case msgPropose:
+		val := r.Rest()
+		if r.Err() != nil {
+			return
+		}
+		if _, dup := inst.proposals[round]; !dup {
+			inst.proposals[round] = val
+		}
+	case msgAck, msgNack:
+		if inst.acks[round] == nil {
+			inst.acks[round] = make(map[kernel.Addr]bool)
+		}
+		inst.acks[round][rv.From] = t == msgAck
+		m.maybeDecide(inst, round)
+		return
+	default:
+		return
+	}
+	if t == msgEst {
+		m.coordPhase2(inst, round)
+	}
+	if inst.started {
+		m.advance(inst)
+	}
+}
+
+// onDecision handles the reliable broadcast of a decision.
+func (m *Module) onDecision(d rbcast.Deliver) {
+	r := wire.NewReader(d.Data)
+	id := InstanceID{Group: r.Uvarint(), Seq: r.Uvarint()}
+	val := r.Rest()
+	if r.Err() != nil {
+		return
+	}
+	if _, dup := m.decisions[id]; dup {
+		return
+	}
+	m.decisions[id] = val
+	seqs := m.groupSeqs[id.Group]
+	pos := sort.Search(len(seqs), func(i int) bool { return seqs[i] >= id.Seq })
+	seqs = append(seqs, 0)
+	copy(seqs[pos+1:], seqs[pos:])
+	seqs[pos] = id.Seq
+	m.groupSeqs[id.Group] = seqs
+	if inst, ok := m.instances[id]; ok {
+		inst.decided = true
+		delete(m.instances, id) // retire live state; the cache remains
+	}
+	m.indicate(Decide{ID: id, Value: val})
+}
+
+func (m *Module) indicate(d Decide) {
+	if h, ok := m.handlers[d.ID.Group]; ok {
+		h(d)
+	}
+}

@@ -1,0 +1,394 @@
+// Package core implements the paper's primary contribution: dynamic
+// protocol update (DPU) of atomic broadcast by a replacement module
+// (Repl) that adds a level of indirection between service callers and
+// the protocol providing the service (Section 4), plus the replacement
+// algorithm of Section 5 (Algorithm 1).
+//
+// Structure (Figure 3): applications and dependent protocols (e.g.
+// group membership) call the public "abcast" service, which is provided
+// by Repl. Repl intercepts every call and every response: calls are
+// wrapped in a replacement header and forwarded to the inner
+// "abcast/impl" service; inner deliveries are unwrapped, filtered and
+// re-indicated upward. Protocol modules are never aware that a
+// replacement takes place, and the algorithm depends only on the
+// *specification* of atomic broadcast, never on an implementation.
+//
+// Algorithm 1 (per stack):
+//
+//	rABcast(m):            undelivered ∪= {m}; ABcast(nil, sn, m)
+//	changeABcast(prot):    ABcast(newABcast, sn, prot)
+//	Adeliver(newABcast, sn', prot), sn' = sn:
+//	    sn++; unbind current module; create_module(prot); bind it;
+//	    reissue every m ∈ undelivered with the new sn
+//	Adeliver(nil, sn', m): if sn' = sn { undelivered \= {m}; rAdeliver(m) }
+//
+// The sn filter on nil messages is the paper's line 18; we apply the
+// same filter to newABcast messages so that two changes racing in the
+// same epoch resolve identically on every stack (the first in the old
+// protocol's total order wins; a stale change is discarded and, when
+// this stack initiated it, transparently retried in the new epoch).
+//
+// The old module is unbound but NOT removed — the paper's model lets an
+// unbound module keep responding — so the old protocol's stream keeps
+// delivering (and being filtered) until it drains; the module is retired
+// after a configurable grace period.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/kernel"
+	"repro/internal/wire"
+)
+
+// Service is the public atomic-broadcast service provided by the
+// replacement module. Applications and dependent protocols call and
+// subscribe to this service and never touch abcast.ServiceImpl.
+const Service kernel.ServiceID = "abcast"
+
+// Protocol is the protocol name of the replacement module.
+const Protocol = "dpu/repl"
+
+// Broadcast is the rABcast request: atomically broadcast Data.
+type Broadcast struct {
+	Data []byte
+}
+
+// ChangeProtocol is the changeABcast request: replace the running
+// atomic-broadcast implementation, on every stack, by the named one.
+type ChangeProtocol struct {
+	Protocol string
+}
+
+// Deliver is the rAdeliver indication: Data is delivered in the same
+// total order on every stack, across protocol replacements.
+type Deliver struct {
+	Origin kernel.Addr
+	Data   []byte
+}
+
+// Switched is indicated (in delivery order) when this stack completes a
+// replacement: the moment line 10-16 of Algorithm 1 ran locally.
+type Switched struct {
+	// Sn is the new value of seqNumber (the new epoch).
+	Sn uint64
+	// Protocol is the implementation now bound.
+	Protocol string
+	// At is when the switch completed on this stack.
+	At time.Time
+	// Reissued counts undelivered messages re-broadcast through the new
+	// protocol (Algorithm 1, lines 15-16).
+	Reissued int
+}
+
+// StatusReq asks for a snapshot of the replacement layer's state,
+// delivered through Reply on the executor.
+type StatusReq struct {
+	Reply func(Status)
+}
+
+// Status describes the replacement layer on one stack.
+type Status struct {
+	Sn          uint64
+	Protocol    string
+	Undelivered int
+}
+
+// Config configures the replacement module.
+type Config struct {
+	// InitialProtocol names the implementation installed at epoch 0.
+	InitialProtocol string
+	// Impls resolves implementation names (abcast.StandardRegistry plus
+	// any custom protocols).
+	Impls *abcast.Registry
+	// Grace is how long an unbound (old) module keeps running before
+	// being removed from the stack, so its stream can drain.
+	Grace time.Duration
+	// RetryLostChange re-issues this stack's own change request when it
+	// lost the race against a concurrent change in the same epoch.
+	RetryLostChange bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialProtocol == "" {
+		c.InitialProtocol = abcast.ProtocolCT
+	}
+	if c.Impls == nil {
+		c.Impls = abcast.StandardRegistry()
+	}
+	if c.Grace <= 0 {
+		c.Grace = 500 * time.Millisecond
+	}
+	return c
+}
+
+const (
+	tagNil byte = 0 // ordinary rABcast message
+	tagNew byte = 1 // replacement request
+)
+
+type msgID struct {
+	origin kernel.Addr
+	seq    uint64
+}
+
+// pendingSet is the ordered undelivered set: insertion order is the
+// reissue order; removal is O(1) with lazy compaction.
+type pendingSet struct {
+	order []msgID
+	data  map[msgID][]byte
+}
+
+func newPendingSet() *pendingSet {
+	return &pendingSet{data: make(map[msgID][]byte)}
+}
+
+func (s *pendingSet) add(id msgID, data []byte) {
+	if _, dup := s.data[id]; dup {
+		return
+	}
+	s.data[id] = data
+	s.order = append(s.order, id)
+}
+
+func (s *pendingSet) remove(id msgID) bool {
+	if _, ok := s.data[id]; !ok {
+		return false
+	}
+	delete(s.data, id)
+	if len(s.order) > 2*len(s.data) && len(s.order) > 64 {
+		kept := s.order[:0]
+		for _, d := range s.order {
+			if _, ok := s.data[d]; ok {
+				kept = append(kept, d)
+			}
+		}
+		s.order = kept
+	}
+	return true
+}
+
+func (s *pendingSet) len() int { return len(s.data) }
+
+// each visits live entries in insertion order.
+func (s *pendingSet) each(fn func(id msgID, data []byte)) {
+	for _, id := range s.order {
+		if d, ok := s.data[id]; ok {
+			fn(id, d)
+		}
+	}
+}
+
+// Repl is the replacement module (Algorithm 1).
+type Repl struct {
+	kernel.Base
+	cfg Config
+
+	sn          uint64
+	mseq        uint64
+	undelivered *pendingSet
+	cur         kernel.Module
+	curName     string
+}
+
+// Factory returns the kernel factory for the replacement module. The
+// initial implementation's substrate requirements are resolved in Start
+// through the stack's registry (create_module recursion), so Requires
+// here only lists what every implementation path needs transitively.
+func Factory(cfg Config) kernel.Factory {
+	cfg = cfg.withDefaults()
+	return kernel.Factory{
+		Protocol: Protocol,
+		Provides: []kernel.ServiceID{Service},
+		New: func(st *kernel.Stack) kernel.Module {
+			return &Repl{
+				Base:        kernel.NewBase(st, Protocol),
+				cfg:         cfg,
+				undelivered: newPendingSet(),
+			}
+		},
+	}
+}
+
+// Start subscribes to the inner service and installs the initial
+// implementation (epoch 0).
+func (m *Repl) Start() {
+	m.Stk.Subscribe(abcast.ServiceImpl, m)
+	if err := m.install(m.cfg.InitialProtocol); err != nil {
+		m.Stk.Logf("repl: installing %q: %v", m.cfg.InitialProtocol, err)
+	}
+}
+
+// Stop retires the current implementation and detaches.
+func (m *Repl) Stop() {
+	m.Stk.Unsubscribe(abcast.ServiceImpl, m)
+	if m.cur != nil {
+		cur := m.cur
+		m.cur = nil
+		m.Stk.RemoveModule(cur.ID())
+	}
+}
+
+// install is create_module(prot) (Algorithm 1, lines 22-28): construct
+// the implementation for the current epoch, add it to the stack, bind
+// it to the inner service (flushing calls parked during the unbound
+// window), ensure its required services exist, and start it.
+func (m *Repl) install(name string) error {
+	im, ok := m.cfg.Impls.Lookup(name)
+	if !ok {
+		return fmt.Errorf("core: unknown abcast implementation %q", name)
+	}
+	for _, svc := range im.Requires {
+		if err := m.Stk.EnsureService(svc); err != nil {
+			return fmt.Errorf("core: ensuring %q for %q: %w", svc, name, err)
+		}
+	}
+	mod := im.New(m.Stk, m.sn)
+	if err := m.Stk.AddModule(mod); err != nil {
+		return err
+	}
+	if err := m.Stk.Bind(abcast.ServiceImpl, mod); err != nil {
+		m.Stk.RemoveModule(mod.ID())
+		return err
+	}
+	mod.Start()
+	m.cur = mod
+	m.curName = name
+	return nil
+}
+
+// HandleRequest processes Broadcast (rABcast), ChangeProtocol
+// (changeABcast) and StatusReq.
+func (m *Repl) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
+	switch r := req.(type) {
+	case Broadcast:
+		m.rABcast(r.Data)
+	case ChangeProtocol:
+		m.changeABcast(r.Protocol)
+	case StatusReq:
+		if r.Reply != nil {
+			r.Reply(Status{Sn: m.sn, Protocol: m.curName, Undelivered: m.undelivered.len()})
+		}
+	}
+}
+
+// rABcast: lines 7-9 of Algorithm 1.
+func (m *Repl) rABcast(data []byte) {
+	m.mseq++
+	id := msgID{origin: m.Stk.Addr(), seq: m.mseq}
+	m.undelivered.add(id, data)
+	m.innerBroadcast(m.encodeNil(id, data))
+}
+
+// changeABcast: lines 5-6 of Algorithm 1.
+func (m *Repl) changeABcast(name string) {
+	w := wire.NewWriter(len(name) + 16)
+	w.Byte(tagNew).Uvarint(m.sn).Uvarint(uint64(m.Stk.Addr())).String(name)
+	m.innerBroadcast(w.Bytes())
+}
+
+func (m *Repl) encodeNil(id msgID, data []byte) []byte {
+	w := wire.NewWriter(len(data) + 24)
+	w.Byte(tagNil).Uvarint(m.sn).Uvarint(uint64(id.origin)).Uvarint(id.seq).Raw(data)
+	return w.Bytes()
+}
+
+func (m *Repl) innerBroadcast(encoded []byte) {
+	m.Stk.Call(abcast.ServiceImpl, abcast.Broadcast{Data: encoded})
+}
+
+// HandleIndication processes Adeliver events from the inner service —
+// from the bound module or from an unbound old module still draining.
+func (m *Repl) HandleIndication(svc kernel.ServiceID, ind kernel.Indication) {
+	if svc != abcast.ServiceImpl {
+		return
+	}
+	d, ok := ind.(abcast.Deliver)
+	if !ok {
+		return
+	}
+	r := wire.NewReader(d.Data)
+	tag := r.Byte()
+	sn := r.Uvarint()
+	switch tag {
+	case tagNew:
+		initiator := kernel.Addr(r.Uvarint())
+		name := r.String()
+		if r.Err() != nil {
+			return
+		}
+		m.onChange(sn, initiator, name)
+	case tagNil:
+		id := msgID{origin: kernel.Addr(r.Uvarint()), seq: r.Uvarint()}
+		data := r.Rest()
+		if r.Err() != nil {
+			return
+		}
+		m.onDeliver(sn, id, data)
+	}
+}
+
+// onChange: lines 10-16 of Algorithm 1.
+func (m *Repl) onChange(sn uint64, initiator kernel.Addr, name string) {
+	if sn != m.sn {
+		// A change that lost the race against another change in the same
+		// epoch. Every stack discards it at the same point of the total
+		// order. If we initiated it, optionally retry in the new epoch.
+		if m.cfg.RetryLostChange && initiator == m.Stk.Addr() {
+			m.changeABcast(name)
+		}
+		return
+	}
+	// Validate before mutating: an unknown implementation name is
+	// discarded consistently on every stack (registries must agree
+	// across the group) without advancing the epoch.
+	if _, known := m.cfg.Impls.Lookup(name); !known {
+		m.Stk.Logf("repl: discarding change to unknown implementation %q", name)
+		return
+	}
+	// Line 11: seqNumber++.
+	m.sn++
+	// Line 12: unbind the current module. It stays in the stack and
+	// keeps delivering its (now stale, sn-filtered) stream.
+	old := m.cur
+	m.Stk.Unbind(abcast.ServiceImpl)
+	// Lines 13-14 and 22-28: create_module(prot) and bind.
+	if err := m.install(name); err != nil {
+		// Substrate wiring failed (configuration error): restore the old
+		// binding so the service keeps operating.
+		m.Stk.Logf("repl: change to %q failed: %v; keeping %q", name, err, m.curName)
+		m.sn--
+		if old != nil {
+			if err := m.Stk.Bind(abcast.ServiceImpl, old); err != nil {
+				m.Stk.Logf("repl: rebind failed: %v", err)
+			}
+			m.cur = old
+		}
+		return
+	}
+	// Lines 15-16: reissue undelivered messages through the new module.
+	reissued := 0
+	m.undelivered.each(func(id msgID, data []byte) {
+		m.innerBroadcast(m.encodeNil(id, data))
+		reissued++
+	})
+	// Retire the old module once its stream has had time to drain.
+	if old != nil {
+		oldID := old.ID()
+		m.Stk.After(m.cfg.Grace, func() { m.Stk.RemoveModule(oldID) })
+	}
+	m.Stk.Indicate(Service, Switched{Sn: m.sn, Protocol: name, At: time.Now(), Reissued: reissued})
+}
+
+// onDeliver: lines 17-21 of Algorithm 1.
+func (m *Repl) onDeliver(sn uint64, id msgID, data []byte) {
+	if sn != m.sn {
+		return // line 18: stale protocol's delivery, discarded
+	}
+	if id.origin == m.Stk.Addr() {
+		m.undelivered.remove(id) // lines 19-20
+	}
+	m.Stk.Indicate(Service, Deliver{Origin: id.origin, Data: data}) // line 21
+}

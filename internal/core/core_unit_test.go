@@ -1,0 +1,480 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/kernel"
+	"repro/internal/wire"
+)
+
+// mockImpl is a scripted inner ABcast implementation: it records
+// Broadcast requests and delivers only when the test injects an
+// indication, so every interleaving of Algorithm 1 can be driven
+// deterministically.
+type mockImpl struct {
+	kernel.Base
+	epoch   uint64
+	sent    [][]byte
+	started bool
+	stopped bool
+}
+
+func (m *mockImpl) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
+	if b, ok := req.(abcast.Broadcast); ok {
+		m.sent = append(m.sent, append([]byte(nil), b.Data...))
+	}
+}
+
+func (m *mockImpl) Start() { m.started = true }
+func (m *mockImpl) Stop()  { m.stopped = true }
+
+// pubSink collects indications on the public service.
+type pubSink struct {
+	kernel.Base
+	delivers []Deliver
+	switches []Switched
+}
+
+func (s *pubSink) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
+	switch v := ind.(type) {
+	case Deliver:
+		s.delivers = append(s.delivers, v)
+	case Switched:
+		s.switches = append(s.switches, v)
+	}
+}
+
+// rig is a single-stack Algorithm 1 test rig with a mock inner protocol.
+type rig struct {
+	st    *kernel.Stack
+	repl  *Repl
+	sink  *pubSink
+	mocks *[]*mockImpl
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	mocks := &[]*mockImpl{}
+	impls := abcast.NewRegistry()
+	impls.MustRegister(abcast.Impl{
+		Name: "mock",
+		New: func(st *kernel.Stack, epoch uint64) kernel.Module {
+			m := &mockImpl{Base: kernel.NewBase(st, "mock"), epoch: epoch}
+			*mocks = append(*mocks, m)
+			return m
+		},
+	})
+	impls.MustRegister(abcast.Impl{
+		Name: "mock2",
+		New: func(st *kernel.Stack, epoch uint64) kernel.Module {
+			m := &mockImpl{Base: kernel.NewBase(st, "mock2"), epoch: epoch}
+			*mocks = append(*mocks, m)
+			return m
+		},
+	})
+	cfg.InitialProtocol = "mock"
+	cfg.Impls = impls
+	if cfg.Grace == 0 {
+		cfg.Grace = 30 * time.Millisecond
+	}
+	st := kernel.NewStack(kernel.Config{Addr: 0, Peers: []kernel.Addr{0}})
+	t.Cleanup(st.Close)
+	r := &rig{st: st, mocks: mocks}
+	if err := st.DoSync(func() {
+		f := Factory(cfg)
+		mod := f.New(st)
+		st.AddModule(mod)
+		st.Bind(Service, mod)
+		r.repl = mod.(*Repl)
+		r.sink = &pubSink{Base: kernel.NewBase(st, "pub-sink")}
+		st.AddModule(r.sink)
+		st.Subscribe(Service, r.sink)
+		mod.Start()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (r *rig) sync(t *testing.T) {
+	t.Helper()
+	if err := r.st.DoSync(func() {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cur returns the most recently created mock (the bound implementation).
+func (r *rig) cur() *mockImpl { return (*r.mocks)[len(*r.mocks)-1] }
+
+// injectDeliver simulates an Adeliver from the inner protocol.
+func (r *rig) injectDeliver(data []byte) {
+	r.st.Indicate(abcast.ServiceImpl, abcast.Deliver{Origin: 0, Data: data})
+}
+
+func encNil(sn uint64, origin kernel.Addr, seq uint64, data []byte) []byte {
+	w := wire.NewWriter(len(data) + 24)
+	w.Byte(tagNil).Uvarint(sn).Uvarint(uint64(origin)).Uvarint(seq).Raw(data)
+	return w.Bytes()
+}
+
+func encNew(sn uint64, initiator kernel.Addr, name string) []byte {
+	w := wire.NewWriter(len(name) + 16)
+	w.Byte(tagNew).Uvarint(sn).Uvarint(uint64(initiator)).String(name)
+	return w.Bytes()
+}
+
+func TestRABcastWrapsWithHeaderAndTracksUndelivered(t *testing.T) {
+	r := newRig(t, Config{})
+	r.st.Call(Service, Broadcast{Data: []byte("m1")})
+	r.sync(t)
+	r.st.DoSync(func() {
+		if len(r.cur().sent) != 1 {
+			t.Fatalf("inner got %d broadcasts, want 1", len(r.cur().sent))
+		}
+		want := encNil(0, 0, 1, []byte("m1"))
+		if !bytes.Equal(r.cur().sent[0], want) {
+			t.Errorf("header mismatch:\n got %v\nwant %v", r.cur().sent[0], want)
+		}
+		if r.repl.undelivered.len() != 1 {
+			t.Errorf("undelivered = %d, want 1", r.repl.undelivered.len())
+		}
+	})
+}
+
+func TestDeliverRemovesFromUndeliveredAndIndicates(t *testing.T) {
+	r := newRig(t, Config{})
+	r.st.Call(Service, Broadcast{Data: []byte("m1")})
+	r.sync(t)
+	r.injectDeliver(encNil(0, 0, 1, []byte("m1")))
+	r.sync(t)
+	r.st.DoSync(func() {
+		if len(r.sink.delivers) != 1 || string(r.sink.delivers[0].Data) != "m1" {
+			t.Fatalf("delivers = %+v", r.sink.delivers)
+		}
+		if r.repl.undelivered.len() != 0 {
+			t.Errorf("undelivered = %d after delivery", r.repl.undelivered.len())
+		}
+	})
+}
+
+func TestStaleSnDeliveryDiscarded(t *testing.T) {
+	// Line 18 of Algorithm 1: a message with a stale sequence number is
+	// discarded.
+	r := newRig(t, Config{})
+	r.injectDeliver(encNew(0, 0, "mock2")) // switch: sn 0 -> 1
+	r.sync(t)
+	r.injectDeliver(encNil(0, 0, 1, []byte("stale"))) // old-epoch delivery
+	r.sync(t)
+	r.st.DoSync(func() {
+		if len(r.sink.delivers) != 0 {
+			t.Errorf("stale delivery leaked: %+v", r.sink.delivers)
+		}
+	})
+}
+
+func TestChangeSwitchesModuleAndReissuesUndelivered(t *testing.T) {
+	r := newRig(t, Config{})
+	r.st.Call(Service, Broadcast{Data: []byte("a")})
+	r.st.Call(Service, Broadcast{Data: []byte("b")})
+	r.sync(t)
+	oldMock := r.cur()
+	r.injectDeliver(encNew(0, 0, "mock2"))
+	r.sync(t)
+	r.st.DoSync(func() {
+		newMock := r.cur()
+		if newMock == oldMock {
+			t.Fatal("no new module created")
+		}
+		if newMock.epoch != 1 {
+			t.Errorf("new module epoch = %d, want 1", newMock.epoch)
+		}
+		if !newMock.started {
+			t.Error("new module not started")
+		}
+		// Reissues: both undelivered messages, re-tagged with sn=1,
+		// in the original issue order (lines 15-16).
+		wantA := encNil(1, 0, 1, []byte("a"))
+		wantB := encNil(1, 0, 2, []byte("b"))
+		if len(newMock.sent) != 2 ||
+			!bytes.Equal(newMock.sent[0], wantA) || !bytes.Equal(newMock.sent[1], wantB) {
+			t.Errorf("reissues = %v", newMock.sent)
+		}
+		// Switched indication.
+		if len(r.sink.switches) != 1 || r.sink.switches[0].Sn != 1 ||
+			r.sink.switches[0].Protocol != "mock2" || r.sink.switches[0].Reissued != 2 {
+			t.Errorf("switches = %+v", r.sink.switches)
+		}
+		// The old module is unbound but still in the stack (paper §2).
+		if r.st.Provider(abcast.ServiceImpl) != kernel.Module(newMock) {
+			t.Error("new module not bound to inner service")
+		}
+		if _, in := r.st.Module(oldMock.ID()); !in {
+			t.Error("old module removed immediately; must survive until grace expires")
+		}
+	})
+}
+
+func TestOldModuleRetiredAfterGrace(t *testing.T) {
+	r := newRig(t, Config{Grace: 20 * time.Millisecond})
+	r.sync(t)
+	oldMock := r.cur()
+	r.injectDeliver(encNew(0, 0, "mock2"))
+	r.sync(t)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var gone, stopped bool
+		r.st.DoSync(func() {
+			_, in := r.st.Module(oldMock.ID())
+			gone = !in
+			stopped = oldMock.stopped
+		})
+		if gone {
+			if !stopped {
+				t.Error("old module removed without Stop")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("old module never retired")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestExactlyOnceAcrossSwitch(t *testing.T) {
+	// A message caught by the switch: the old stream delivers it late
+	// (stale sn, filtered) and the reissue delivers it once.
+	r := newRig(t, Config{})
+	r.st.Call(Service, Broadcast{Data: []byte("caught")})
+	r.sync(t)
+	r.injectDeliver(encNew(0, 0, "mock2"))
+	r.sync(t)
+	// Old stream's late delivery with sn=0: filtered.
+	r.injectDeliver(encNil(0, 0, 1, []byte("caught")))
+	// New stream's delivery of the reissue with sn=1: delivered.
+	r.injectDeliver(encNil(1, 0, 1, []byte("caught")))
+	// A duplicate of the reissue (e.g. relayed twice at the boundary)
+	// would violate integrity of the inner protocol, not of Repl; but a
+	// second stale copy must still be filtered.
+	r.injectDeliver(encNil(0, 0, 1, []byte("caught")))
+	r.sync(t)
+	r.st.DoSync(func() {
+		if len(r.sink.delivers) != 1 {
+			t.Fatalf("delivered %d times, want exactly 1: %+v", len(r.sink.delivers), r.sink.delivers)
+		}
+		if r.repl.undelivered.len() != 0 {
+			t.Errorf("undelivered not cleared after reissued delivery")
+		}
+	})
+}
+
+func TestRacingChangeDiscardedAndRetriedWhenMine(t *testing.T) {
+	r := newRig(t, Config{RetryLostChange: true})
+	r.sync(t)
+	// Two changes were issued concurrently in epoch 0; ours lost.
+	r.injectDeliver(encNew(0, 1, "mock2")) // the winner, initiated by stack 1
+	r.sync(t)
+	mockAfterFirst := r.cur()
+	r.injectDeliver(encNew(0, 0, "mock")) // ours, now stale
+	r.sync(t)
+	r.st.DoSync(func() {
+		if r.repl.sn != 1 {
+			t.Errorf("sn = %d, want 1 (stale change must not switch)", r.repl.sn)
+		}
+		// The retry goes out through the *new* module with sn=1.
+		want := encNew(1, 0, "mock")
+		found := false
+		for _, b := range mockAfterFirst.sent {
+			if bytes.Equal(b, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no retry broadcast found in %v", mockAfterFirst.sent)
+		}
+	})
+}
+
+func TestRacingChangeNotRetriedWhenDisabled(t *testing.T) {
+	r := newRig(t, Config{RetryLostChange: false})
+	r.sync(t)
+	r.injectDeliver(encNew(0, 1, "mock2"))
+	r.sync(t)
+	cur := r.cur()
+	before := len(cur.sent)
+	r.injectDeliver(encNew(0, 0, "mock"))
+	r.sync(t)
+	r.st.DoSync(func() {
+		if len(cur.sent) != before {
+			t.Errorf("retry broadcast sent despite RetryLostChange=false")
+		}
+		if r.repl.sn != 1 {
+			t.Errorf("sn = %d, want 1", r.repl.sn)
+		}
+	})
+}
+
+func TestChangeToUnknownProtocolDiscardedWithoutEpochBump(t *testing.T) {
+	r := newRig(t, Config{})
+	r.sync(t)
+	r.injectDeliver(encNew(0, 0, "no-such-impl"))
+	r.sync(t)
+	r.st.DoSync(func() {
+		if r.repl.sn != 0 {
+			t.Errorf("sn = %d, want 0", r.repl.sn)
+		}
+		if len(r.sink.switches) != 0 {
+			t.Errorf("switched: %+v", r.sink.switches)
+		}
+	})
+	// The layer keeps working.
+	r.st.Call(Service, Broadcast{Data: []byte("still-alive")})
+	r.injectDeliver(encNil(0, 0, 1, []byte("still-alive")))
+	r.sync(t)
+	r.st.DoSync(func() {
+		if len(r.sink.delivers) != 1 {
+			t.Errorf("delivery after discarded change failed")
+		}
+	})
+}
+
+func TestBackToBackChanges(t *testing.T) {
+	r := newRig(t, Config{})
+	r.sync(t)
+	r.injectDeliver(encNew(0, 0, "mock2"))
+	r.sync(t)
+	r.injectDeliver(encNew(1, 0, "mock"))
+	r.sync(t)
+	r.injectDeliver(encNew(2, 0, "mock2"))
+	r.sync(t)
+	r.st.DoSync(func() {
+		if r.repl.sn != 3 {
+			t.Errorf("sn = %d, want 3", r.repl.sn)
+		}
+		if r.repl.curName != "mock2" {
+			t.Errorf("current = %q", r.repl.curName)
+		}
+		if got := r.cur().epoch; got != 3 {
+			t.Errorf("current epoch = %d", got)
+		}
+	})
+}
+
+func TestStatusRequest(t *testing.T) {
+	r := newRig(t, Config{})
+	r.st.Call(Service, Broadcast{Data: []byte("x")})
+	got := make(chan Status, 1)
+	r.st.Call(Service, StatusReq{Reply: func(s Status) { got <- s }})
+	select {
+	case s := <-got:
+		if s.Sn != 0 || s.Protocol != "mock" || s.Undelivered != 1 {
+			t.Errorf("status = %+v", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no status reply")
+	}
+}
+
+func TestDeliveryOfOtherStacksMessageLeavesUndeliveredAlone(t *testing.T) {
+	r := newRig(t, Config{})
+	r.st.Call(Service, Broadcast{Data: []byte("mine")})
+	r.sync(t)
+	// A message from stack 7 is delivered; our own stays undelivered.
+	r.injectDeliver(encNil(0, 7, 1, []byte("theirs")))
+	r.sync(t)
+	r.st.DoSync(func() {
+		if len(r.sink.delivers) != 1 || r.sink.delivers[0].Origin != 7 {
+			t.Fatalf("delivers = %+v", r.sink.delivers)
+		}
+		if r.repl.undelivered.len() != 1 {
+			t.Errorf("undelivered = %d, want 1", r.repl.undelivered.len())
+		}
+	})
+}
+
+func TestQuickPendingSetKeepsInsertionOrder(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := newPendingSet()
+		var reference []msgID
+		inRef := func(id msgID) int {
+			for i, r := range reference {
+				if r == id {
+					return i
+				}
+			}
+			return -1
+		}
+		seq := uint64(0)
+		for _, op := range ops {
+			if op%3 != 0 || len(reference) == 0 {
+				seq++
+				id := msgID{origin: kernel.Addr(op % 4), seq: seq}
+				if inRef(id) == -1 {
+					s.add(id, []byte{op})
+					reference = append(reference, id)
+				}
+			} else {
+				victim := reference[int(op)%len(reference)]
+				s.remove(victim)
+				reference = append(reference[:inRef(victim)], reference[inRef(victim)+1:]...)
+			}
+		}
+		if s.len() != len(reference) {
+			return false
+		}
+		var got []msgID
+		s.each(func(id msgID, _ []byte) { got = append(got, id) })
+		if len(got) != len(reference) {
+			return false
+		}
+		for i := range got {
+			if got[i] != reference[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHeaderRoundtrip(t *testing.T) {
+	f := func(sn uint64, origin uint16, seq uint64, data []byte) bool {
+		enc := encNil(sn, kernel.Addr(origin), seq, data)
+		r := wire.NewReader(enc)
+		if r.Byte() != tagNil {
+			return false
+		}
+		gsn := r.Uvarint()
+		gorigin := kernel.Addr(r.Uvarint())
+		gseq := r.Uvarint()
+		gdata := r.Rest()
+		return r.Err() == nil && gsn == sn && gorigin == kernel.Addr(origin) &&
+			gseq == seq && bytes.Equal(gdata, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGarbageFromInnerProtocolIgnored(t *testing.T) {
+	r := newRig(t, Config{})
+	r.sync(t)
+	for _, garbage := range [][]byte{nil, {}, {200}, {0, 0xFF}, {1, 0x80}} {
+		r.injectDeliver(garbage)
+	}
+	r.sync(t)
+	r.st.DoSync(func() {
+		if len(r.sink.delivers) != 0 || len(r.sink.switches) != 0 {
+			t.Errorf("garbage produced indications: %+v %+v", r.sink.delivers, r.sink.switches)
+		}
+		if r.repl.sn != 0 {
+			t.Errorf("sn changed on garbage")
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package envelope
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestWrapUnwrap(t *testing.T) {
+	for _, k := range []Kind{KindApp, KindGM, KindConsRepl, KindBench} {
+		body := []byte("payload")
+		kind, got, err := Unwrap(Wrap(k, body))
+		if err != nil || kind != k || !bytes.Equal(got, body) {
+			t.Errorf("kind %d: got (%d, %q, %v)", k, kind, got, err)
+		}
+	}
+}
+
+func TestUnwrapEmpty(t *testing.T) {
+	if _, _, err := Unwrap(nil); err != ErrEmpty {
+		t.Errorf("Unwrap(nil) err = %v", err)
+	}
+}
+
+func TestWrapEmptyBody(t *testing.T) {
+	kind, body, err := Unwrap(Wrap(KindGM, nil))
+	if err != nil || kind != KindGM || len(body) != 0 {
+		t.Errorf("got (%d, %v, %v)", kind, body, err)
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(k uint8, body []byte) bool {
+		kind, got, err := Unwrap(Wrap(Kind(k), body))
+		return err == nil && kind == Kind(k) && bytes.Equal(got, body)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

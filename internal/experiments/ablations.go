@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// ManagersResult compares the three replacement managers on the same
+// workload: the quantitative version of the paper's qualitative
+// Section 4.2/5.3 comparison (Ablation A in DESIGN.md).
+type ManagersResult struct {
+	Manager        Manager
+	SwitchDuration time.Duration // trigger -> all stacks switched
+	BaselineAvg    time.Duration // latency before the switch
+	DuringAvg      time.Duration // latency of messages sent in the window
+	DuringMax      time.Duration
+	DuringCount    int
+}
+
+// RunManagersComparison switches once under constant load for each
+// manager and reports the disruption.
+func RunManagersComparison(n int, ratePerStack float64, seed int64) ([]ManagersResult, error) {
+	managers := []Manager{ManagerRepl, ManagerGraceful, ManagerMaestro}
+	var out []ManagersResult
+	for i, mgr := range managers {
+		cl, err := BuildCluster(ClusterConfig{
+			N: n, Manager: mgr, Protocol: abcast.ProtocolCT, Net: LANProfile(seed + int64(i)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.NewGenerator(n,
+			workload.Config{RatePerStack: ratePerStack, PayloadSize: 512},
+			cl.Recorder, cl.Broadcast)
+		start := time.Now()
+		gen.Start()
+		time.Sleep(400 * time.Millisecond)
+		trigger := cl.ChangeProtocol(0, abcast.ProtocolCT)
+		doneAt, ok := cl.WaitSwitched(0, 15*time.Second)
+		if !ok {
+			gen.Stop()
+			cl.Close()
+			return nil, fmt.Errorf("experiments: %s switch stalled", mgr)
+		}
+		time.Sleep(300 * time.Millisecond)
+		gen.Stop()
+		cl.WaitQuiesce(10 * time.Second)
+		results := cl.Recorder.Results()
+		res := ManagersResult{Manager: mgr, SwitchDuration: doneAt.Sub(trigger)}
+		res.BaselineAvg, _ = metrics.WindowMean(results, start, trigger)
+		var lats []time.Duration
+		for _, r := range results {
+			if !r.SentAt.Before(trigger) && r.SentAt.Before(doneAt) {
+				lats = append(lats, r.Avg)
+			}
+		}
+		res.DuringAvg = metrics.Mean(lats)
+		res.DuringMax = metrics.Percentile(lats, 1.0)
+		res.DuringCount = len(lats)
+		cl.Close()
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PrintManagersComparison writes the comparison table.
+func PrintManagersComparison(w io.Writer, n int, rate float64, rs []ManagersResult) {
+	fmt.Fprintf(w, "Ablation A — replacement managers under load (n=%d, %0.f msg/s/stack, CT->CT)\n", n, rate)
+	fmt.Fprintf(w, "%10s %12s %14s %14s %14s %8s\n",
+		"manager", "switch[ms]", "baseline[ms]", "during[ms]", "during-max", "msgs")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%10s %12.1f %14.2f %14.2f %14.2f %8d\n",
+			r.Manager, ms(r.SwitchDuration), ms(r.BaselineAvg), ms(r.DuringAvg), ms(r.DuringMax), r.DuringCount)
+	}
+}
+
+// ReissueResult measures the switch cost as a function of the
+// undelivered backlog reissued through the new protocol (Algorithm 1
+// lines 15-16; Ablation B).
+type ReissueResult struct {
+	Backlog        int // burst size injected right before the switch
+	SwitchDuration time.Duration
+	DrainTime      time.Duration // trigger -> every backlog message delivered
+}
+
+// RunReissueScaling sweeps the in-flight backlog at switch time.
+func RunReissueScaling(backlogs []int, seed int64) ([]ReissueResult, error) {
+	var out []ReissueResult
+	for i, backlog := range backlogs {
+		cl, err := BuildCluster(ClusterConfig{
+			N: 3, Manager: ManagerRepl, Protocol: abcast.ProtocolCT, Net: LANProfile(seed + int64(i)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.NewGenerator(3,
+			workload.Config{RatePerStack: 1, PayloadSize: 256}, cl.Recorder, cl.Broadcast)
+		// Inject the backlog and switch immediately, so the burst is
+		// still in flight when the change message overtakes it.
+		gen.Burst(0, backlog)
+		trigger := cl.ChangeProtocol(0, abcast.ProtocolCT)
+		doneAt, ok := cl.WaitSwitched(0, 15*time.Second)
+		if !ok {
+			cl.Close()
+			return nil, fmt.Errorf("experiments: switch stalled at backlog %d", backlog)
+		}
+		if !cl.WaitQuiesce(15 * time.Second) {
+			cl.Close()
+			return nil, fmt.Errorf("experiments: backlog %d did not drain", backlog)
+		}
+		drained := time.Now()
+		gen.Stop()
+		out = append(out, ReissueResult{
+			Backlog:        backlog,
+			SwitchDuration: doneAt.Sub(trigger),
+			DrainTime:      drained.Sub(trigger),
+		})
+		cl.Close()
+	}
+	return out, nil
+}
+
+// PrintReissueScaling writes the sweep table.
+func PrintReissueScaling(w io.Writer, rs []ReissueResult) {
+	fmt.Fprintln(w, "Ablation B — switch cost vs undelivered backlog (n=3, CT->CT)")
+	fmt.Fprintf(w, "%10s %12s %12s\n", "backlog", "switch[ms]", "drain[ms]")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%10d %12.1f %12.1f\n", r.Backlog, ms(r.SwitchDuration), ms(r.DrainTime))
+	}
+}
+
+// MatrixResult is one cross-protocol switch measurement (Ablation C).
+type MatrixResult struct {
+	From, To       string
+	SwitchDuration time.Duration
+	BaselineAvg    time.Duration
+	DuringAvg      time.Duration
+}
+
+// RunSwitchMatrix measures every ordered pair of distinct protocols.
+func RunSwitchMatrix(ratePerStack float64, seed int64) ([]MatrixResult, error) {
+	protos := []string{abcast.ProtocolCT, abcast.ProtocolSeq, abcast.ProtocolToken}
+	var out []MatrixResult
+	salt := seed
+	for _, from := range protos {
+		for _, to := range protos {
+			if from == to {
+				continue
+			}
+			salt++
+			cl, err := BuildCluster(ClusterConfig{
+				N: 3, Manager: ManagerRepl, Protocol: from, Net: LANProfile(salt),
+			})
+			if err != nil {
+				return nil, err
+			}
+			gen := workload.NewGenerator(3,
+				workload.Config{RatePerStack: ratePerStack, PayloadSize: 512},
+				cl.Recorder, cl.Broadcast)
+			start := time.Now()
+			gen.Start()
+			time.Sleep(300 * time.Millisecond)
+			trigger := cl.ChangeProtocol(0, to)
+			doneAt, ok := cl.WaitSwitched(0, 15*time.Second)
+			if !ok {
+				gen.Stop()
+				cl.Close()
+				return nil, fmt.Errorf("experiments: %s->%s stalled", from, to)
+			}
+			time.Sleep(200 * time.Millisecond)
+			gen.Stop()
+			cl.WaitQuiesce(10 * time.Second)
+			results := cl.Recorder.Results()
+			r := MatrixResult{From: from, To: to, SwitchDuration: doneAt.Sub(trigger)}
+			r.BaselineAvg, _ = metrics.WindowMean(results, start, trigger)
+			r.DuringAvg, _ = metrics.WindowMean(results, trigger, doneAt)
+			cl.Close()
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// PrintSwitchMatrix writes the matrix table.
+func PrintSwitchMatrix(w io.Writer, rs []MatrixResult) {
+	fmt.Fprintln(w, "Ablation C — cross-protocol switch matrix (n=3)")
+	fmt.Fprintf(w, "%14s %14s %12s %14s %14s\n", "from", "to", "switch[ms]", "baseline[ms]", "during[ms]")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%14s %14s %12.1f %14.2f %14.2f\n",
+			r.From, r.To, ms(r.SwitchDuration), ms(r.BaselineAvg), ms(r.DuringAvg))
+	}
+}

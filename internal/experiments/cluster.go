@@ -1,0 +1,297 @@
+// Package experiments assembles benchmark clusters and regenerates
+// every figure of the paper's evaluation (Section 6) plus the ablations
+// listed in DESIGN.md. Absolute numbers differ from the 2006 testbed
+// (simulated LAN instead of 100Base-TX, current CPUs instead of Pentium
+// III); the shapes — overhead percentage, spike-and-recover, load
+// curves — are the reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/fd"
+	"repro/internal/graceful"
+	"repro/internal/kernel"
+	"repro/internal/maestro"
+	"repro/internal/metrics"
+	"repro/internal/rbcast"
+	"repro/internal/rp2p"
+	"repro/internal/simnet"
+	"repro/internal/udp"
+	"repro/internal/workload"
+)
+
+// Manager selects the replacement manager under test.
+type Manager string
+
+// Manager kinds.
+const (
+	// ManagerRepl is the paper's replacement module (core.Repl).
+	ManagerRepl Manager = "repl"
+	// ManagerMaestro is the whole-stack-switch baseline.
+	ManagerMaestro Manager = "maestro"
+	// ManagerGraceful is the AAC/barrier baseline.
+	ManagerGraceful Manager = "graceful"
+	// ManagerNone binds the implementation directly, with no
+	// replacement layer at all (Figure 6's "without rplcmnt layer").
+	ManagerNone Manager = "none"
+)
+
+// LANProfile models the paper's testbed network, scaled: a switched
+// 100 Mb/s LAN with ~100 µs one-way latency, small jitter, and per-NIC
+// egress serialization so a broadcast's fan-out cost grows with the
+// group size (as on the paper's Pentium-III/100Base-TX cluster).
+func LANProfile(seed int64) simnet.Config {
+	return simnet.Config{
+		Seed:            seed,
+		BaseLatency:     100 * time.Microsecond,
+		Jitter:          50 * time.Microsecond,
+		BandwidthBps:    100e6,
+		SerializeEgress: true,
+	}
+}
+
+// ClusterConfig assembles a benchmark group.
+type ClusterConfig struct {
+	N        int
+	Manager  Manager
+	Protocol string // initial abcast implementation
+	Net      simnet.Config
+	Grace    time.Duration
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.N <= 0 {
+		c.N = 3
+	}
+	if c.Protocol == "" {
+		c.Protocol = abcast.ProtocolCT
+	}
+	if c.Manager == "" {
+		c.Manager = ManagerRepl
+	}
+	if c.Grace <= 0 {
+		c.Grace = 200 * time.Millisecond
+	}
+	return c
+}
+
+// Cluster is a running benchmark group.
+type Cluster struct {
+	cfg      ClusterConfig
+	Net      *simnet.Network
+	Stacks   []*kernel.Stack
+	Recorder *metrics.Recorder
+	appSvc   kernel.ServiceID
+	sinks    []*benchSink
+	switchMu sync.Mutex
+	switches []switchEvent
+}
+
+type switchEvent struct {
+	stack int
+	sn    uint64
+	at    time.Time
+}
+
+// benchSink records workload deliveries and switch events of one stack.
+type benchSink struct {
+	kernel.Base
+	cl    *Cluster
+	stack int
+}
+
+func (s *benchSink) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
+	switch v := ind.(type) {
+	case core.Deliver:
+		s.record(v.Data)
+	case abcast.Deliver: // ManagerNone path
+		s.record(v.Data)
+	case core.Switched:
+		s.cl.switchMu.Lock()
+		s.cl.switches = append(s.cl.switches, switchEvent{stack: s.stack, sn: v.Sn, at: v.At})
+		s.cl.switchMu.Unlock()
+	}
+}
+
+func (s *benchSink) record(data []byte) {
+	kind, body, err := envelope.Unwrap(data)
+	if err != nil || kind != envelope.KindBench {
+		return
+	}
+	if p, ok := workload.Decode(body); ok {
+		s.cl.Recorder.Delivered(p.ID, time.Now())
+	}
+}
+
+// BuildCluster assembles and starts a benchmark group.
+func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	cl := &Cluster{
+		cfg:      cfg,
+		Net:      simnet.New(cfg.Net),
+		Recorder: metrics.NewRecorder(cfg.N),
+	}
+	reg := kernel.NewRegistry()
+	reg.MustRegister(udp.Factory(cl.Net))
+	reg.MustRegister(rp2p.Factory(rp2p.Config{RTO: 5 * time.Millisecond}))
+	reg.MustRegister(rbcast.Factory(rbcast.Config{}))
+	reg.MustRegister(fd.Factory(fd.Config{Interval: 10 * time.Millisecond, Timeout: 100 * time.Millisecond}))
+	reg.MustRegister(consensus.Factory())
+
+	switch cfg.Manager {
+	case ManagerRepl:
+		reg.MustRegister(core.Factory(core.Config{
+			InitialProtocol: cfg.Protocol, Grace: cfg.Grace,
+		}))
+		cl.appSvc = core.Service
+	case ManagerMaestro:
+		reg.MustRegister(maestro.Factory(maestro.Config{InitialProtocol: cfg.Protocol}))
+		cl.appSvc = core.Service
+	case ManagerGraceful:
+		reg.MustRegister(graceful.Factory(graceful.Config{InitialProtocol: cfg.Protocol, Grace: cfg.Grace}))
+		cl.appSvc = core.Service
+	case ManagerNone:
+		cl.appSvc = abcast.ServiceImpl
+	default:
+		return nil, fmt.Errorf("experiments: unknown manager %q", cfg.Manager)
+	}
+
+	peers := make([]kernel.Addr, cfg.N)
+	for i := range peers {
+		peers[i] = kernel.Addr(i)
+	}
+	impls := abcast.StandardRegistry()
+	for i := 0; i < cfg.N; i++ {
+		st := kernel.NewStack(kernel.Config{
+			Addr: kernel.Addr(i), Peers: peers, Registry: reg, Seed: cfg.Net.Seed + int64(i),
+		})
+		cl.Stacks = append(cl.Stacks, st)
+		i := i
+		var buildErr error
+		err := st.DoSync(func() {
+			switch cfg.Manager {
+			case ManagerRepl:
+				_, buildErr = st.CreateProtocol(core.Protocol)
+			case ManagerMaestro:
+				_, buildErr = st.CreateProtocol(maestro.Protocol)
+			case ManagerGraceful:
+				_, buildErr = st.CreateProtocol(graceful.Protocol)
+			case ManagerNone:
+				im, _ := impls.Lookup(cfg.Protocol)
+				for _, svc := range im.Requires {
+					if e := st.EnsureService(svc); e != nil {
+						buildErr = e
+						return
+					}
+				}
+				mod := im.New(st, 0)
+				st.AddModule(mod)
+				if e := st.Bind(abcast.ServiceImpl, mod); e != nil {
+					buildErr = e
+					return
+				}
+				mod.Start()
+			}
+			if buildErr != nil {
+				return
+			}
+			sink := &benchSink{Base: kernel.NewBase(st, "bench-sink"), cl: cl, stack: i}
+			st.AddModule(sink)
+			st.Subscribe(cl.appSvc, sink)
+			cl.sinks = append(cl.sinks, sink)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if buildErr != nil {
+			return nil, buildErr
+		}
+	}
+	return cl, nil
+}
+
+// Broadcast issues a workload payload from the stack.
+func (cl *Cluster) Broadcast(stack int, payload []byte) {
+	data := envelope.Wrap(envelope.KindBench, payload)
+	if cl.appSvc == core.Service {
+		cl.Stacks[stack].Call(core.Service, core.Broadcast{Data: data})
+	} else {
+		cl.Stacks[stack].Call(abcast.ServiceImpl, abcast.Broadcast{Data: data})
+	}
+}
+
+// ChangeProtocol triggers a replacement from the stack. Returns the
+// trigger instant.
+func (cl *Cluster) ChangeProtocol(stack int, name string) time.Time {
+	at := time.Now()
+	cl.Stacks[stack].Call(core.Service, core.ChangeProtocol{Protocol: name})
+	return at
+}
+
+// SwitchesSince returns per-stack switch completion times with sn >
+// afterSn. The switch is complete when every stack reported it
+// ("finishes when all machines have replaced the old modules").
+func (cl *Cluster) SwitchesSince(afterSn uint64) map[int]time.Time {
+	cl.switchMu.Lock()
+	defer cl.switchMu.Unlock()
+	out := make(map[int]time.Time)
+	for _, ev := range cl.switches {
+		if ev.sn > afterSn {
+			if cur, ok := out[ev.stack]; !ok || ev.at.After(cur) {
+				out[ev.stack] = ev.at
+			}
+		}
+	}
+	return out
+}
+
+// WaitSwitched blocks until every stack completed a switch with sn >
+// afterSn or the deadline passes; it returns the last completion time.
+func (cl *Cluster) WaitSwitched(afterSn uint64, deadline time.Duration) (time.Time, bool) {
+	limit := time.Now().Add(deadline)
+	for time.Now().Before(limit) {
+		got := cl.SwitchesSince(afterSn)
+		if len(got) == cl.cfg.N {
+			var last time.Time
+			for _, at := range got {
+				if at.After(last) {
+					last = at
+				}
+			}
+			return last, true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return time.Time{}, false
+}
+
+// WaitQuiesce waits until every sent message has been delivered on all
+// stacks, or the deadline passes.
+func (cl *Cluster) WaitQuiesce(deadline time.Duration) bool {
+	limit := time.Now().Add(deadline)
+	for time.Now().Before(limit) {
+		complete, sent := cl.Recorder.Complete()
+		if complete == sent {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// Close shuts the group down.
+func (cl *Cluster) Close() {
+	cl.Net.Close()
+	for _, st := range cl.Stacks {
+		if st.Running() {
+			st.Close()
+		}
+	}
+}

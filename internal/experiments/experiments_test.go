@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/workload"
+)
+
+// TestClusterManagersDeliverWorkload smoke-tests every manager path of
+// the benchmark cluster builder.
+func TestClusterManagersDeliverWorkload(t *testing.T) {
+	for _, mgr := range []Manager{ManagerRepl, ManagerMaestro, ManagerGraceful, ManagerNone} {
+		mgr := mgr
+		t.Run(string(mgr), func(t *testing.T) {
+			cl, err := BuildCluster(ClusterConfig{N: 3, Manager: mgr, Net: LANProfile(1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			gen := workload.NewGenerator(3, workload.Config{RatePerStack: 100, PayloadSize: 128},
+				cl.Recorder, cl.Broadcast)
+			gen.Start()
+			time.Sleep(100 * time.Millisecond)
+			gen.Stop()
+			if !cl.WaitQuiesce(15 * time.Second) {
+				complete, sent := cl.Recorder.Complete()
+				t.Fatalf("did not quiesce: %d/%d", complete, sent)
+			}
+			results := cl.Recorder.Results()
+			if len(results) == 0 {
+				t.Fatal("no results recorded")
+			}
+			for _, r := range results {
+				if r.Deliveries != 3 {
+					t.Fatalf("message %d delivered %d times", r.ID, r.Deliveries)
+				}
+				if r.Avg <= 0 {
+					t.Fatalf("non-positive latency %v", r.Avg)
+				}
+			}
+		})
+	}
+}
+
+func TestUnknownManagerRejected(t *testing.T) {
+	if _, err := BuildCluster(ClusterConfig{N: 2, Manager: "bogus"}); err == nil {
+		t.Fatal("bogus manager accepted")
+	}
+}
+
+func TestSwitchTracking(t *testing.T) {
+	cl, err := BuildCluster(ClusterConfig{N: 3, Manager: ManagerRepl, Net: LANProfile(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.ChangeProtocol(0, abcast.ProtocolSeq)
+	if _, ok := cl.WaitSwitched(0, 15*time.Second); !ok {
+		t.Fatal("switch not tracked to completion")
+	}
+	if got := cl.SwitchesSince(0); len(got) != 3 {
+		t.Errorf("SwitchesSince saw %d stacks", len(got))
+	}
+}
+
+// TestFigure5Short runs a miniature Figure 5 and checks its structural
+// properties: all messages delivered, a finite switch window, and a
+// printable result.
+func TestFigure5Short(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	res, err := RunFigure5(Figure5Config{
+		N: 3, RatePerStack: 80, PayloadSize: 512,
+		Duration: 900 * time.Millisecond, SwitchAt: 400 * time.Millisecond,
+		Bin: 100 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Complete != res.Sent {
+		t.Errorf("sent %d complete %d", res.Sent, res.Complete)
+	}
+	if res.SwitchDone < res.SwitchStart {
+		t.Errorf("switch window inverted: %v .. %v", res.SwitchStart, res.SwitchDone)
+	}
+	if res.BaselineAvg <= 0 || res.DuringAvg <= 0 {
+		t.Errorf("degenerate averages: %+v", res)
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "replacement triggered") {
+		t.Errorf("Print output malformed:\n%s", out)
+	}
+}
+
+// TestFigure6Short runs a miniature Figure 6 sweep.
+func TestFigure6Short(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	cfg := Figure6Config{
+		Ns: []int{3}, Loads: []float64{60}, PayloadSize: 256,
+		Duration: 700 * time.Millisecond, Seed: 4,
+	}
+	points, err := RunFigure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("points = %d", len(points))
+	}
+	p := points[0]
+	if p.NoLayer <= 0 || p.WithLayer <= 0 || p.During <= 0 {
+		t.Errorf("degenerate point %+v", p)
+	}
+	if p.NoLayerN == 0 || p.WithLayerN == 0 || p.DuringN == 0 {
+		t.Errorf("empty windows %+v", p)
+	}
+	var sb strings.Builder
+	PrintFigure6(&sb, cfg, points)
+	if !strings.Contains(sb.String(), "Figure 6") {
+		t.Errorf("Print output malformed:\n%s", sb.String())
+	}
+}
+
+// TestManagersComparisonShort checks the ablation runs and that the
+// Maestro baseline indeed disrupts more than the Repl manager.
+func TestManagersComparisonShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	rs, err := RunManagersComparison(3, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	byMgr := map[Manager]ManagersResult{}
+	for _, r := range rs {
+		byMgr[r.Manager] = r
+	}
+	repl, maest := byMgr[ManagerRepl], byMgr[ManagerMaestro]
+	if repl.DuringCount == 0 {
+		t.Error("repl window empty")
+	}
+	// Maestro blocks the application for its finalize window; its
+	// during-switch latency must exceed ours by a clear margin.
+	if maest.DuringAvg <= repl.DuringAvg {
+		t.Errorf("maestro during (%v) not worse than repl (%v); blocking not visible",
+			maest.DuringAvg, repl.DuringAvg)
+	}
+	var sb strings.Builder
+	PrintManagersComparison(&sb, 3, 60, rs)
+	if !strings.Contains(sb.String(), "Ablation A") {
+		t.Error("print malformed")
+	}
+}
+
+func TestReissueScalingShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	rs, err := RunReissueScaling([]int{0, 50}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.SwitchDuration <= 0 {
+			t.Errorf("backlog %d: switch %v", r.Backlog, r.SwitchDuration)
+		}
+	}
+	var sb strings.Builder
+	PrintReissueScaling(&sb, rs)
+	if !strings.Contains(sb.String(), "Ablation B") {
+		t.Error("print malformed")
+	}
+}
+
+func TestSwitchMatrixShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	rs, err := RunSwitchMatrix(40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 6 {
+		t.Fatalf("matrix rows = %d, want 6 ordered pairs", len(rs))
+	}
+	var sb strings.Builder
+	PrintSwitchMatrix(&sb, rs)
+	if !strings.Contains(sb.String(), "Ablation C") {
+		t.Error("print malformed")
+	}
+}

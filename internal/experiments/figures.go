@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Figure5Config parameterises the latency-timeline experiment (paper
+// Figure 5): constant load on n stacks, one CT→CT replacement triggered
+// mid-run, average latency plotted against the send time of each
+// message.
+type Figure5Config struct {
+	N            int
+	RatePerStack float64       // messages per second per stack
+	PayloadSize  int           // bytes
+	Duration     time.Duration // total experiment time
+	SwitchAt     time.Duration // when the replacement is triggered
+	Protocol     string        // both the old and the new protocol
+	NewProtocol  string        // defaults to Protocol (the paper replaces CT by CT)
+	Bin          time.Duration // timeline bucket width
+	Seed         int64
+}
+
+func (c Figure5Config) withDefaults() Figure5Config {
+	if c.N <= 0 {
+		c.N = 7
+	}
+	if c.RatePerStack <= 0 {
+		c.RatePerStack = 50
+	}
+	if c.PayloadSize <= 0 {
+		c.PayloadSize = 1024
+	}
+	if c.Duration <= 0 {
+		c.Duration = 4 * time.Second
+	}
+	if c.SwitchAt <= 0 {
+		c.SwitchAt = c.Duration / 2
+	}
+	if c.Protocol == "" {
+		c.Protocol = abcast.ProtocolCT
+	}
+	if c.NewProtocol == "" {
+		c.NewProtocol = c.Protocol
+	}
+	if c.Bin <= 0 {
+		c.Bin = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Figure5Result is the regenerated Figure 5.
+type Figure5Result struct {
+	Config      Figure5Config
+	Bins        []metrics.Bin
+	SwitchStart time.Duration // trigger, relative to experiment start
+	SwitchDone  time.Duration // all stacks switched, relative to start
+	BaselineAvg time.Duration // mean latency of messages sent before the switch
+	DuringAvg   time.Duration // mean latency of messages sent in the switch window
+	AfterAvg    time.Duration // mean latency of messages sent after the window
+	Sent        int
+	Complete    int
+}
+
+// OverheadPct returns the relative latency increase of the switch
+// window against the pre-switch baseline, in percent.
+func (r Figure5Result) OverheadPct() float64 {
+	if r.BaselineAvg == 0 {
+		return 0
+	}
+	return 100 * (float64(r.DuringAvg) - float64(r.BaselineAvg)) / float64(r.BaselineAvg)
+}
+
+// RunFigure5 executes the experiment.
+func RunFigure5(cfg Figure5Config) (Figure5Result, error) {
+	cfg = cfg.withDefaults()
+	cl, err := BuildCluster(ClusterConfig{
+		N: cfg.N, Manager: ManagerRepl, Protocol: cfg.Protocol, Net: LANProfile(cfg.Seed),
+	})
+	if err != nil {
+		return Figure5Result{}, err
+	}
+	defer cl.Close()
+
+	gen := workload.NewGenerator(cfg.N,
+		workload.Config{RatePerStack: cfg.RatePerStack, PayloadSize: cfg.PayloadSize},
+		cl.Recorder, cl.Broadcast)
+	start := time.Now()
+	gen.Start()
+	time.Sleep(cfg.SwitchAt)
+	trigger := cl.ChangeProtocol(0, cfg.NewProtocol)
+	doneAt, ok := cl.WaitSwitched(0, cfg.Duration)
+	if !ok {
+		gen.Stop()
+		return Figure5Result{}, fmt.Errorf("experiments: switch did not complete everywhere")
+	}
+	remaining := cfg.Duration - time.Since(start)
+	if remaining > 0 {
+		time.Sleep(remaining)
+	}
+	gen.Stop()
+	cl.WaitQuiesce(10 * time.Second)
+
+	results := cl.Recorder.Results()
+	res := Figure5Result{
+		Config:      cfg,
+		Bins:        metrics.Timeline(results, start, cfg.Bin),
+		SwitchStart: trigger.Sub(start),
+		SwitchDone:  doneAt.Sub(start),
+	}
+	res.BaselineAvg, _ = metrics.WindowMean(results, start, trigger)
+	res.DuringAvg, _ = metrics.WindowMean(results, trigger, doneAt.Add(cfg.Bin))
+	res.AfterAvg, _ = metrics.WindowMean(results, doneAt.Add(cfg.Bin), start.Add(cfg.Duration))
+	res.Complete, res.Sent = cl.Recorder.Complete()
+	return res, nil
+}
+
+// Print writes the figure as an aligned text series.
+func (r Figure5Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5 — average ABcast latency vs send time (n=%d, %0.f msg/s/stack, %d-byte payloads)\n",
+		r.Config.N, r.Config.RatePerStack, r.Config.PayloadSize)
+	fmt.Fprintf(w, "replacement: %s -> %s, triggered at %v, completed everywhere at %v (window %v)\n",
+		r.Config.Protocol, r.Config.NewProtocol, r.SwitchStart.Round(time.Millisecond),
+		r.SwitchDone.Round(time.Millisecond), (r.SwitchDone - r.SwitchStart).Round(time.Millisecond))
+	fmt.Fprintf(w, "%12s %8s %12s %12s %12s\n", "t[ms]", "msgs", "avg[ms]", "p95[ms]", "max[ms]")
+	for _, b := range r.Bins {
+		marker := ""
+		if b.Offset <= r.SwitchStart && r.SwitchStart < b.Offset+r.Config.Bin {
+			marker = "  <- replacement triggered"
+		}
+		fmt.Fprintf(w, "%12d %8d %12.2f %12.2f %12.2f%s\n",
+			b.Offset.Milliseconds(), b.Count, ms(b.Avg), ms(b.P95), ms(b.Max), marker)
+	}
+	fmt.Fprintf(w, "baseline avg %0.2f ms | during replacement %0.2f ms (%+0.1f%%) | after %0.2f ms\n",
+		ms(r.BaselineAvg), ms(r.DuringAvg), r.OverheadPct(), ms(r.AfterAvg))
+	fmt.Fprintf(w, "messages: %d sent, %d fully delivered\n", r.Sent, r.Complete)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Figure6Config parameterises the latency-vs-load experiment (paper
+// Figure 6): for each group size and each offered load, measure the
+// average latency (1) without the replacement layer, (2) with the
+// layer in normal operation, and (3) for messages sent while a
+// replacement is in progress.
+type Figure6Config struct {
+	Ns          []int
+	Loads       []float64 // total group load, messages per second
+	PayloadSize int
+	Duration    time.Duration // per measurement point
+	Protocol    string
+	Seed        int64
+}
+
+func (c Figure6Config) withDefaults() Figure6Config {
+	if len(c.Ns) == 0 {
+		c.Ns = []int{3, 7}
+	}
+	if len(c.Loads) == 0 {
+		// The top of the sweep sits just below the n=7 saturation knee;
+		// beyond it the system is overloaded and latencies explode (the
+		// steep right edge of the paper's Figure 6).
+		c.Loads = []float64{50, 100, 200, 350, 500}
+	}
+	if c.PayloadSize <= 0 {
+		c.PayloadSize = 1024
+	}
+	if c.Duration <= 0 {
+		c.Duration = 1500 * time.Millisecond
+	}
+	if c.Protocol == "" {
+		c.Protocol = abcast.ProtocolCT
+	}
+	return c
+}
+
+// Figure6Point is one row of the regenerated Figure 6.
+type Figure6Point struct {
+	N         int
+	Load      float64 // total msgs/s offered to the group
+	NoLayer   time.Duration
+	WithLayer time.Duration
+	During    time.Duration
+	// Counts of messages behind each column, for confidence.
+	NoLayerN, WithLayerN, DuringN int
+}
+
+// LayerOverheadPct is the overhead of adding the replacement layer.
+func (p Figure6Point) LayerOverheadPct() float64 {
+	if p.NoLayer == 0 {
+		return 0
+	}
+	return 100 * (float64(p.WithLayer) - float64(p.NoLayer)) / float64(p.NoLayer)
+}
+
+// RunFigure6 executes the sweep.
+func RunFigure6(cfg Figure6Config) ([]Figure6Point, error) {
+	cfg = cfg.withDefaults()
+	var out []Figure6Point
+	for _, n := range cfg.Ns {
+		for _, load := range cfg.Loads {
+			p := Figure6Point{N: n, Load: load}
+			rate := load / float64(n)
+
+			lat, cnt, err := steadyState(ManagerNone, n, rate, cfg, 1)
+			if err != nil {
+				return nil, err
+			}
+			p.NoLayer, p.NoLayerN = lat, cnt
+
+			lat, cnt, err = steadyState(ManagerRepl, n, rate, cfg, 2)
+			if err != nil {
+				return nil, err
+			}
+			p.WithLayer, p.WithLayerN = lat, cnt
+
+			lat, cnt, err = duringReplacement(n, rate, cfg, 3)
+			if err != nil {
+				return nil, err
+			}
+			p.During, p.DuringN = lat, cnt
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// steadyState measures the mean latency at a fixed load.
+func steadyState(mgr Manager, n int, rate float64, cfg Figure6Config, salt int64) (time.Duration, int, error) {
+	cl, err := BuildCluster(ClusterConfig{
+		N: n, Manager: mgr, Protocol: cfg.Protocol, Net: LANProfile(cfg.Seed + salt),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	gen := workload.NewGenerator(n,
+		workload.Config{RatePerStack: rate, PayloadSize: cfg.PayloadSize},
+		cl.Recorder, cl.Broadcast)
+	gen.Start()
+	time.Sleep(cfg.Duration)
+	gen.Stop()
+	cl.WaitQuiesce(10 * time.Second)
+	results := cl.Recorder.Results()
+	// Skip the warm-up fifth.
+	if len(results) > 5 {
+		results = results[len(results)/5:]
+	}
+	var lats []time.Duration
+	for _, r := range results {
+		lats = append(lats, r.Avg)
+	}
+	return metrics.Mean(lats), len(lats), nil
+}
+
+// duringReplacement measures the mean latency of messages sent inside
+// replacement windows, triggering repeated switches during the run.
+func duringReplacement(n int, rate float64, cfg Figure6Config, salt int64) (time.Duration, int, error) {
+	cl, err := BuildCluster(ClusterConfig{
+		N: n, Manager: ManagerRepl, Protocol: cfg.Protocol, Net: LANProfile(cfg.Seed + salt),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	gen := workload.NewGenerator(n,
+		workload.Config{RatePerStack: rate, PayloadSize: cfg.PayloadSize},
+		cl.Recorder, cl.Broadcast)
+	gen.Start()
+	type window struct{ from, to time.Time }
+	var windows []window
+	deadline := time.Now().Add(cfg.Duration)
+	var sn uint64
+	for time.Now().Before(deadline) {
+		time.Sleep(cfg.Duration / 8)
+		trigger := cl.ChangeProtocol(0, cfg.Protocol)
+		doneAt, ok := cl.WaitSwitched(sn, 10*time.Second)
+		if !ok {
+			gen.Stop()
+			return 0, 0, fmt.Errorf("experiments: replacement %d stalled", sn+1)
+		}
+		sn++
+		// The window covers the switch plus one typical delivery time,
+		// so messages whose latency the switch affected are included
+		// even when the window itself is only a few milliseconds.
+		windows = append(windows, window{from: trigger, to: doneAt.Add(15 * time.Millisecond)})
+	}
+	gen.Stop()
+	cl.WaitQuiesce(10 * time.Second)
+	var lats []time.Duration
+	for _, r := range cl.Recorder.Results() {
+		for _, w := range windows {
+			if !r.SentAt.Before(w.from) && r.SentAt.Before(w.to) {
+				lats = append(lats, r.Avg)
+				break
+			}
+		}
+	}
+	return metrics.Mean(lats), len(lats), nil
+}
+
+// PrintFigure6 writes the sweep as an aligned table.
+func PrintFigure6(w io.Writer, cfg Figure6Config, points []Figure6Point) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Figure 6 — average ABcast latency vs load (%s, %dB payloads)\n", cfg.Protocol, cfg.PayloadSize)
+	fmt.Fprintf(w, "%4s %10s | %14s %14s %9s | %14s\n",
+		"n", "load[m/s]", "no-layer[ms]", "with-layer[ms]", "ovhd", "during[ms]")
+	for _, p := range points {
+		fmt.Fprintf(w, "%4d %10.0f | %14.2f %14.2f %8.1f%% | %14.2f\n",
+			p.N, p.Load, ms(p.NoLayer), ms(p.WithLayer), p.LayerOverheadPct(), ms(p.During))
+	}
+}

@@ -1,0 +1,169 @@
+// Package gm implements the GM module of the paper's stack (Figure 4):
+// a group membership service maintaining a consistent sequence of views
+// among all group members. View changes are totally ordered by the
+// *public* atomic broadcast service — the one provided by the
+// replacement module — which makes GM the paper's example of a protocol
+// that depends on the updated protocol and keeps providing service,
+// unaware, while ABcast is replaced underneath it.
+package gm
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/kernel"
+	"repro/internal/wire"
+)
+
+// Service is the group membership service.
+const Service kernel.ServiceID = "gm"
+
+// Protocol is the protocol name registered for this module.
+const Protocol = "gm"
+
+// View is one membership epoch.
+type View struct {
+	// ID increases by one with every membership change.
+	ID uint64
+	// Members is the sorted member list.
+	Members []kernel.Addr
+}
+
+// clone returns a deep copy of the view.
+func (v View) clone() View {
+	return View{ID: v.ID, Members: append([]kernel.Addr(nil), v.Members...)}
+}
+
+// Contains reports whether p is a member.
+func (v View) Contains(p kernel.Addr) bool {
+	for _, m := range v.Members {
+		if m == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Join requests adding a member; the resulting view change is totally
+// ordered against all other membership operations.
+type Join struct {
+	P kernel.Addr
+}
+
+// Leave requests removing a member.
+type Leave struct {
+	P kernel.Addr
+}
+
+// ViewReq asks for the current view, delivered through Reply on the
+// executor.
+type ViewReq struct {
+	Reply func(View)
+}
+
+// NewView is indicated on Service whenever the view changes.
+type NewView struct {
+	View View
+}
+
+const (
+	opJoin  byte = 0
+	opLeave byte = 1
+)
+
+// Module implements group membership.
+type Module struct {
+	kernel.Base
+	view View
+}
+
+// Factory returns the module factory. It requires the public abcast
+// service (core.Service), not any particular implementation.
+func Factory() kernel.Factory {
+	return kernel.Factory{
+		Protocol: Protocol,
+		Provides: []kernel.ServiceID{Service},
+		Requires: []kernel.ServiceID{core.Service},
+		New: func(st *kernel.Stack) kernel.Module {
+			members := append([]kernel.Addr(nil), st.Peers()...)
+			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+			return &Module{
+				Base: kernel.NewBase(st, Protocol),
+				view: View{ID: 0, Members: members},
+			}
+		},
+	}
+}
+
+// Start subscribes to the public abcast service.
+func (m *Module) Start() {
+	m.Stk.Subscribe(core.Service, m)
+}
+
+// Stop unsubscribes.
+func (m *Module) Stop() {
+	m.Stk.Unsubscribe(core.Service, m)
+}
+
+// HandleRequest processes Join, Leave and ViewReq.
+func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
+	switch r := req.(type) {
+	case Join:
+		m.broadcastOp(opJoin, r.P)
+	case Leave:
+		m.broadcastOp(opLeave, r.P)
+	case ViewReq:
+		if r.Reply != nil {
+			r.Reply(m.view.clone())
+		}
+	}
+}
+
+func (m *Module) broadcastOp(op byte, p kernel.Addr) {
+	w := wire.NewWriter(12)
+	w.Byte(op).Uvarint(uint64(p))
+	m.Stk.Call(core.Service, core.Broadcast{Data: envelope.Wrap(envelope.KindGM, w.Bytes())})
+}
+
+// HandleIndication processes totally-ordered membership operations.
+func (m *Module) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
+	d, ok := ind.(core.Deliver)
+	if !ok {
+		return
+	}
+	kind, body, err := envelope.Unwrap(d.Data)
+	if err != nil || kind != envelope.KindGM {
+		return
+	}
+	r := wire.NewReader(body)
+	op := r.Byte()
+	p := kernel.Addr(r.Uvarint())
+	if r.Err() != nil {
+		return
+	}
+	switch op {
+	case opJoin:
+		if m.view.Contains(p) {
+			return
+		}
+		m.view.ID++
+		m.view.Members = append(m.view.Members, p)
+		sort.Slice(m.view.Members, func(i, j int) bool { return m.view.Members[i] < m.view.Members[j] })
+	case opLeave:
+		if !m.view.Contains(p) {
+			return
+		}
+		m.view.ID++
+		kept := m.view.Members[:0]
+		for _, q := range m.view.Members {
+			if q != p {
+				kept = append(kept, q)
+			}
+		}
+		m.view.Members = kept
+	default:
+		return
+	}
+	m.Stk.Indicate(Service, NewView{View: m.view.clone()})
+}

@@ -1,0 +1,189 @@
+package gm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/gm"
+	"repro/internal/kernel"
+	"repro/internal/rbcast"
+	"repro/internal/rp2p"
+	"repro/internal/simnet"
+	"repro/internal/stacktest"
+	"repro/internal/udp"
+)
+
+const timeout = 20 * time.Second
+
+type viewLog struct {
+	kernel.Base
+	mu    sync.Mutex
+	views []gm.View
+}
+
+func (l *viewLog) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
+	if v, ok := ind.(gm.NewView); ok {
+		l.mu.Lock()
+		l.views = append(l.views, v.View)
+		l.mu.Unlock()
+	}
+}
+
+func (l *viewLog) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.views)
+}
+
+func (l *viewLog) snapshot() []gm.View {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]gm.View(nil), l.views...)
+}
+
+func build(t *testing.T, n int) (*stacktest.Cluster, []*viewLog) {
+	t.Helper()
+	c := stacktest.New(t, n, simnet.Config{}, nil)
+	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(rp2p.Factory(rp2p.Config{RTO: 5 * time.Millisecond}))
+	c.Reg.MustRegister(rbcast.Factory(rbcast.Config{}))
+	c.Reg.MustRegister(fd.Factory(fd.Config{Interval: 5 * time.Millisecond, Timeout: 60 * time.Millisecond}))
+	c.Reg.MustRegister(consensus.Factory())
+	c.Reg.MustRegister(core.Factory(core.Config{InitialProtocol: abcast.ProtocolCT, Grace: 100 * time.Millisecond}))
+	c.Reg.MustRegister(gm.Factory())
+	c.CreateAll(gm.Protocol)
+	logs := make([]*viewLog, n)
+	for i := range logs {
+		i := i
+		c.OnSync(i, func() {
+			logs[i] = &viewLog{Base: kernel.NewBase(c.Stacks[i], "view-log")}
+			c.Stacks[i].AddModule(logs[i])
+			c.Stacks[i].Subscribe(gm.Service, logs[i])
+		})
+	}
+	return c, logs
+}
+
+func TestInitialViewContainsAllPeers(t *testing.T) {
+	c, _ := build(t, 3)
+	got := make(chan gm.View, 1)
+	c.Stacks[0].Call(gm.Service, gm.ViewReq{Reply: func(v gm.View) { got <- v }})
+	select {
+	case v := <-got:
+		if v.ID != 0 || len(v.Members) != 3 {
+			t.Errorf("initial view %+v", v)
+		}
+		if !v.Contains(0) || !v.Contains(2) || v.Contains(7) {
+			t.Errorf("Contains broken: %+v", v)
+		}
+	case <-time.After(timeout):
+		t.Fatal("no view reply")
+	}
+}
+
+func TestLeaveAndJoinProduceConsistentViews(t *testing.T) {
+	c, logs := build(t, 3)
+	c.Stacks[0].Call(gm.Service, gm.Leave{P: 1})
+	c.Eventually(timeout, "view 1 everywhere", func() bool {
+		for _, l := range logs {
+			if l.count() < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	c.Stacks[2].Call(gm.Service, gm.Join{P: 1})
+	c.Eventually(timeout, "view 2 everywhere", func() bool {
+		for _, l := range logs {
+			if l.count() < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	for i, l := range logs {
+		vs := l.snapshot()
+		if vs[0].ID != 1 || len(vs[0].Members) != 2 || vs[0].Contains(1) {
+			t.Errorf("stack %d view[0] = %+v", i, vs[0])
+		}
+		if vs[1].ID != 2 || len(vs[1].Members) != 3 || !vs[1].Contains(1) {
+			t.Errorf("stack %d view[1] = %+v", i, vs[1])
+		}
+	}
+}
+
+func TestConcurrentOpsTotallyOrdered(t *testing.T) {
+	// Two conflicting operations issued concurrently must be applied in
+	// the same order on every stack (GM inherits ABcast's total order).
+	c, logs := build(t, 3)
+	c.Stacks[0].Call(gm.Service, gm.Leave{P: 2})
+	c.Stacks[1].Call(gm.Service, gm.Leave{P: 0})
+	c.Eventually(timeout, "both ops everywhere", func() bool {
+		for _, l := range logs {
+			if l.count() < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	var ref string
+	for i, l := range logs {
+		vs := l.snapshot()
+		seq := fmt.Sprintf("%v|%v", vs[0].Members, vs[1].Members)
+		if i == 0 {
+			ref = seq
+		} else if seq != ref {
+			t.Fatalf("stack %d view sequence %q != %q", i, seq, ref)
+		}
+	}
+}
+
+func TestDuplicateOpsAreIdempotent(t *testing.T) {
+	c, logs := build(t, 3)
+	c.Stacks[0].Call(gm.Service, gm.Leave{P: 1})
+	c.Stacks[0].Call(gm.Service, gm.Leave{P: 1}) // second leave: no new view
+	c.Eventually(timeout, "first view", func() bool { return logs[0].count() >= 1 })
+	time.Sleep(100 * time.Millisecond)
+	for i, l := range logs {
+		if l.count() != 1 {
+			t.Errorf("stack %d got %d views, want 1 (duplicate op applied)", i, l.count())
+		}
+	}
+}
+
+func TestViewsSurviveProtocolSwitch(t *testing.T) {
+	// The paper's modularity claim: GM depends on the abcast service and
+	// must keep working, unaware, across the replacement.
+	c, logs := build(t, 3)
+	c.Stacks[0].Call(gm.Service, gm.Leave{P: 2})
+	c.Eventually(timeout, "pre-switch view", func() bool {
+		for _, l := range logs {
+			if l.count() < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	c.Stacks[1].Call(core.Service, core.ChangeProtocol{Protocol: abcast.ProtocolSeq})
+	c.Stacks[0].Call(gm.Service, gm.Join{P: 2})
+	c.Eventually(timeout, "post-switch view", func() bool {
+		for _, l := range logs {
+			if l.count() < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	for i, l := range logs {
+		vs := l.snapshot()
+		if vs[1].ID != 2 || !vs[1].Contains(2) {
+			t.Errorf("stack %d post-switch view %+v", i, vs[1])
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package graceful is a baseline replacement manager modelled on
+// Graceful Adaptation (Chen, Hiltunen, Schlichting), the second system
+// the paper compares against (Section 4.2): each adaptable component
+// holds Adaptation-Aware Components (AACs) providing alternative
+// implementations, and a Component Adaptor (CA) coordinates switching in
+// three barrier-synchronized phases:
+//
+//  1. PREPARE  — every stack instantiates the new AAC and acks;
+//  2. DEACTIVATE — the old AAC stops accepting new calls (calls are
+//     buffered, not blocked), drains for SettleDelay, and acks;
+//  3. ACTIVATE — the new AAC becomes active, buffered calls flush.
+//
+// Compared to the paper's Repl approach this costs three coordination
+// rounds with barriers (the paper argues barrier synchronization is
+// exactly what should be avoided in an asynchronous network), and the
+// buffered calls show up as a latency bump for messages issued during
+// the window — while the application is, unlike with Maestro, never
+// fully blocked.
+//
+// The module provides the same public service and request/indication
+// types as core.Repl, so workloads run unchanged against either manager.
+package graceful
+
+import (
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/rbcast"
+	"repro/internal/rp2p"
+	"repro/internal/wire"
+)
+
+// Protocol is the protocol name registered for this module.
+const Protocol = "dpu/graceful"
+
+const (
+	ctrlChannel = "graceful"
+	ackChannel  = "graceful-ack"
+)
+
+const (
+	ctrlPrepare    byte = 0
+	ctrlDeactivate byte = 1
+	ctrlActivate   byte = 2
+)
+
+// Config configures the Graceful Adaptation baseline.
+type Config struct {
+	// InitialProtocol names the implementation activated at epoch 0.
+	InitialProtocol string
+	// Impls resolves implementation names.
+	Impls *abcast.Registry
+	// SettleDelay is the drain window between deactivation and the
+	// deactivation ack.
+	SettleDelay time.Duration
+	// Grace is how long the deactivated AAC survives after activation
+	// of the new one.
+	Grace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialProtocol == "" {
+		c.InitialProtocol = abcast.ProtocolCT
+	}
+	if c.Impls == nil {
+		c.Impls = abcast.StandardRegistry()
+	}
+	if c.SettleDelay <= 0 {
+		c.SettleDelay = 60 * time.Millisecond
+	}
+	if c.Grace <= 0 {
+		c.Grace = 300 * time.Millisecond
+	}
+	return c
+}
+
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phasePrepared
+	phaseDeactivated
+)
+
+// Module is the CA (component adaptor) with its AACs.
+type Module struct {
+	kernel.Base
+	cfg Config
+
+	epoch   uint64
+	active  kernel.Module // the activated AAC
+	curName string
+
+	ph       phase
+	nextAAC  kernel.Module // instantiated at PREPARE, activated at ACTIVATE
+	nextName string
+	buffered [][]byte
+
+	switchSeq uint64
+	acks      map[kernel.Addr]bool
+	initiator bool
+}
+
+// Factory returns the kernel factory for the Graceful baseline.
+func Factory(cfg Config) kernel.Factory {
+	cfg = cfg.withDefaults()
+	return kernel.Factory{
+		Protocol: Protocol,
+		Provides: []kernel.ServiceID{core.Service},
+		Requires: []kernel.ServiceID{rbcast.Service},
+		New: func(st *kernel.Stack) kernel.Module {
+			return &Module{
+				Base: kernel.NewBase(st, Protocol),
+				cfg:  cfg,
+				acks: make(map[kernel.Addr]bool),
+			}
+		},
+	}
+}
+
+// Start activates the initial AAC and wires control channels.
+func (m *Module) Start() {
+	m.Stk.Subscribe(abcast.ServiceImpl, m)
+	m.Stk.Call(rbcast.Service, rbcast.Listen{Channel: ctrlChannel, Handler: m.onCtrl})
+	m.Stk.Call(rp2p.Service, rp2p.Listen{Channel: ackChannel, Handler: m.onAck})
+	mod, err := m.instantiate(m.cfg.InitialProtocol, m.epoch)
+	if err != nil {
+		m.Stk.Logf("graceful: install: %v", err)
+		return
+	}
+	m.activate(mod, m.cfg.InitialProtocol)
+}
+
+// Stop detaches.
+func (m *Module) Stop() {
+	m.Stk.Unsubscribe(abcast.ServiceImpl, m)
+	m.Stk.Call(rbcast.Service, rbcast.Unlisten{Channel: ctrlChannel})
+	m.Stk.Call(rp2p.Service, rp2p.Unlisten{Channel: ackChannel})
+	for _, mod := range []kernel.Module{m.active, m.nextAAC} {
+		if mod != nil {
+			m.Stk.RemoveModule(mod.ID())
+		}
+	}
+	m.active, m.nextAAC = nil, nil
+}
+
+func (m *Module) instantiate(name string, epoch uint64) (kernel.Module, error) {
+	im, ok := m.cfg.Impls.Lookup(name)
+	if !ok {
+		return nil, errUnknown(name)
+	}
+	for _, svc := range im.Requires {
+		if err := m.Stk.EnsureService(svc); err != nil {
+			return nil, err
+		}
+	}
+	mod := im.New(m.Stk, epoch)
+	if err := m.Stk.AddModule(mod); err != nil {
+		return nil, err
+	}
+	mod.Start()
+	return mod, nil
+}
+
+func (m *Module) activate(mod kernel.Module, name string) {
+	if err := m.Stk.Bind(abcast.ServiceImpl, mod); err != nil {
+		m.Stk.Logf("graceful: bind: %v", err)
+		return
+	}
+	m.active = mod
+	m.curName = name
+}
+
+type unknownErr string
+
+func (e unknownErr) Error() string { return "graceful: unknown implementation " + string(e) }
+
+func errUnknown(name string) error { return unknownErr(name) }
+
+// HandleRequest processes the shared core request types.
+func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
+	switch r := req.(type) {
+	case core.Broadcast:
+		if m.ph == phaseDeactivated {
+			// Old AAC no longer accepts calls; buffer for the new one.
+			m.buffered = append(m.buffered, append([]byte(nil), r.Data...))
+			return
+		}
+		m.Stk.Call(abcast.ServiceImpl, abcast.Broadcast{Data: r.Data})
+	case core.ChangeProtocol:
+		m.initiate(r.Protocol)
+	case core.StatusReq:
+		if r.Reply != nil {
+			r.Reply(core.Status{Sn: m.epoch, Protocol: m.curName, Undelivered: len(m.buffered)})
+		}
+	}
+}
+
+func (m *Module) initiate(name string) {
+	m.switchSeq++
+	m.acks = make(map[kernel.Addr]bool)
+	m.initiator = true
+	m.broadcastCtrl(ctrlPrepare, m.switchSeq, name)
+}
+
+func (m *Module) broadcastCtrl(op byte, seq uint64, name string) {
+	w := wire.NewWriter(len(name) + 16)
+	w.Byte(op).Uvarint(seq).Uvarint(uint64(m.Stk.Addr())).String(name)
+	m.Stk.Call(rbcast.Service, rbcast.Broadcast{Channel: ctrlChannel, Data: w.Bytes()})
+}
+
+func (m *Module) sendAck(to kernel.Addr, seq uint64) {
+	w := wire.NewWriter(12)
+	w.Uvarint(seq)
+	m.Stk.Call(rp2p.Service, rp2p.Send{To: to, Channel: ackChannel, Data: w.Bytes()})
+}
+
+func (m *Module) onCtrl(d rbcast.Deliver) {
+	r := wire.NewReader(d.Data)
+	op := r.Byte()
+	seq := r.Uvarint()
+	from := kernel.Addr(r.Uvarint())
+	name := r.String()
+	if r.Err() != nil {
+		return
+	}
+	switch op {
+	case ctrlPrepare:
+		mod, err := m.instantiate(name, m.epoch+1)
+		if err != nil {
+			m.Stk.Logf("graceful: prepare: %v", err)
+			return
+		}
+		m.nextAAC = mod
+		m.nextName = name
+		m.ph = phasePrepared
+		m.sendAck(from, seq)
+	case ctrlDeactivate:
+		if m.ph != phasePrepared {
+			return
+		}
+		m.ph = phaseDeactivated
+		// Old AAC drains while calls buffer; ack after the settle window.
+		m.Stk.After(m.cfg.SettleDelay, func() { m.sendAck(from, seq) })
+	case ctrlActivate:
+		if m.ph != phaseDeactivated || m.nextAAC == nil {
+			return
+		}
+		old := m.active
+		m.Stk.Unbind(abcast.ServiceImpl)
+		m.epoch++
+		m.activate(m.nextAAC, m.nextName)
+		m.nextAAC = nil
+		m.ph = phaseIdle
+		buffered := m.buffered
+		m.buffered = nil
+		for _, data := range buffered {
+			m.Stk.Call(abcast.ServiceImpl, abcast.Broadcast{Data: data})
+		}
+		if old != nil {
+			oldID := old.ID()
+			m.Stk.After(m.cfg.Grace, func() { m.Stk.RemoveModule(oldID) })
+		}
+		m.Stk.Indicate(core.Service, core.Switched{
+			Sn: m.epoch, Protocol: m.curName, At: time.Now(), Reissued: len(buffered),
+		})
+	}
+}
+
+// onAck advances the initiator's barrier.
+func (m *Module) onAck(rv rp2p.Recv) {
+	if !m.initiator {
+		return
+	}
+	r := wire.NewReader(rv.Data)
+	seq := r.Uvarint()
+	if r.Err() != nil || seq != m.switchSeq {
+		return
+	}
+	m.acks[rv.From] = true
+	if len(m.acks) != m.Stk.N() {
+		return
+	}
+	m.acks = make(map[kernel.Addr]bool)
+	switch m.ph {
+	case phasePrepared:
+		m.broadcastCtrl(ctrlDeactivate, seq, m.nextName)
+	case phaseDeactivated:
+		m.broadcastCtrl(ctrlActivate, seq, m.nextName)
+		m.initiator = false
+	}
+}
+
+// HandleIndication re-indicates inner deliveries on the public service.
+func (m *Module) HandleIndication(svc kernel.ServiceID, ind kernel.Indication) {
+	if svc != abcast.ServiceImpl {
+		return
+	}
+	if d, ok := ind.(abcast.Deliver); ok {
+		m.Stk.Indicate(core.Service, core.Deliver{Origin: d.Origin, Data: d.Data})
+	}
+}

@@ -1,0 +1,174 @@
+package graceful_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/graceful"
+	"repro/internal/kernel"
+	"repro/internal/rbcast"
+	"repro/internal/rp2p"
+	"repro/internal/simnet"
+	"repro/internal/stacktest"
+	"repro/internal/udp"
+)
+
+const timeout = 20 * time.Second
+
+type sink struct {
+	kernel.Base
+	mu       sync.Mutex
+	delivers []string
+	switches []core.Switched
+}
+
+func (s *sink) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch v := ind.(type) {
+	case core.Deliver:
+		s.delivers = append(s.delivers, fmt.Sprintf("%d:%s", v.Origin, v.Data))
+	case core.Switched:
+		s.switches = append(s.switches, v)
+	}
+}
+
+func (s *sink) deliverCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.delivers)
+}
+
+func (s *sink) switchCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.switches)
+}
+
+func build(t *testing.T, n int, settle time.Duration) (*stacktest.Cluster, []*sink) {
+	t.Helper()
+	c := stacktest.New(t, n, simnet.Config{}, nil)
+	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(rp2p.Factory(rp2p.Config{RTO: 5 * time.Millisecond}))
+	c.Reg.MustRegister(rbcast.Factory(rbcast.Config{}))
+	c.Reg.MustRegister(fd.Factory(fd.Config{Interval: 5 * time.Millisecond, Timeout: 60 * time.Millisecond}))
+	c.Reg.MustRegister(consensus.Factory())
+	c.Reg.MustRegister(graceful.Factory(graceful.Config{
+		InitialProtocol: abcast.ProtocolCT, SettleDelay: settle, Grace: 100 * time.Millisecond,
+	}))
+	c.CreateAll(graceful.Protocol)
+	sinks := make([]*sink, n)
+	for i := range sinks {
+		i := i
+		c.OnSync(i, func() {
+			sinks[i] = &sink{Base: kernel.NewBase(c.Stacks[i], "sink")}
+			c.Stacks[i].AddModule(sinks[i])
+			c.Stacks[i].Subscribe(core.Service, sinks[i])
+		})
+	}
+	return c, sinks
+}
+
+func TestBroadcastWithoutSwitch(t *testing.T) {
+	c, sinks := build(t, 3, 30*time.Millisecond)
+	for k := 0; k < 8; k++ {
+		c.Stacks[k%3].Call(core.Service, core.Broadcast{Data: []byte(fmt.Sprintf("m%d", k))})
+	}
+	c.Eventually(timeout, "deliveries", func() bool {
+		for _, s := range sinks {
+			if s.deliverCount() < 8 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestThreePhaseSwitchCompletes(t *testing.T) {
+	c, sinks := build(t, 3, 30*time.Millisecond)
+	c.Stacks[0].Call(core.Service, core.ChangeProtocol{Protocol: abcast.ProtocolSeq})
+	c.Eventually(timeout, "switch everywhere", func() bool {
+		for _, s := range sinks {
+			if s.switchCount() != 1 {
+				return false
+			}
+		}
+		return true
+	})
+	got := make(chan core.Status, 1)
+	c.Stacks[2].Call(core.Service, core.StatusReq{Reply: func(s core.Status) { got <- s }})
+	if s := <-got; s.Protocol != abcast.ProtocolSeq || s.Sn != 1 {
+		t.Errorf("status = %+v", s)
+	}
+	// Traffic flows on the new AAC.
+	c.Stacks[1].Call(core.Service, core.Broadcast{Data: []byte("post")})
+	c.Eventually(timeout, "post delivery", func() bool {
+		for _, s := range sinks {
+			if s.deliverCount() < 1 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestCallsBufferedNotLostDuringWindow(t *testing.T) {
+	// Unlike Maestro, graceful adaptation accepts calls during the
+	// window (they are buffered at the CA); all must be delivered after
+	// activation.
+	c, sinks := build(t, 3, 60*time.Millisecond)
+	c.Stacks[0].Call(core.Service, core.ChangeProtocol{Protocol: abcast.ProtocolCT})
+	// Issue a burst while the three phases run.
+	for k := 0; k < 10; k++ {
+		c.Stacks[k%3].Call(core.Service, core.Broadcast{Data: []byte(fmt.Sprintf("w%d", k))})
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Eventually(timeout, "all window messages delivered", func() bool {
+		for _, s := range sinks {
+			if s.deliverCount() < 10 {
+				return false
+			}
+		}
+		return true
+	})
+	// Exactly once.
+	time.Sleep(100 * time.Millisecond)
+	for i, s := range sinks {
+		if got := s.deliverCount(); got != 10 {
+			t.Errorf("stack %d delivered %d, want 10", i, got)
+		}
+	}
+}
+
+func TestBackToBackSwitches(t *testing.T) {
+	c, sinks := build(t, 3, 20*time.Millisecond)
+	c.Stacks[0].Call(core.Service, core.ChangeProtocol{Protocol: abcast.ProtocolSeq})
+	c.Eventually(timeout, "first switch", func() bool {
+		for _, s := range sinks {
+			if s.switchCount() < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	c.Stacks[1].Call(core.Service, core.ChangeProtocol{Protocol: abcast.ProtocolToken})
+	c.Eventually(timeout, "second switch", func() bool {
+		for _, s := range sinks {
+			if s.switchCount() < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	got := make(chan core.Status, 1)
+	c.Stacks[0].Call(core.Service, core.StatusReq{Reply: func(s core.Status) { got <- s }})
+	if s := <-got; s.Protocol != abcast.ProtocolToken || s.Sn != 2 {
+		t.Errorf("status = %+v", s)
+	}
+}

@@ -1,0 +1,37 @@
+package kernel
+
+// Base provides the boilerplate part of a Module. Protocol modules embed
+// it and override the handlers they care about; the zero-value handlers
+// ignore events, matching modules that are pure initiators.
+type Base struct {
+	Stk   *Stack
+	MID   ModuleID
+	Proto string
+}
+
+// NewBase builds a Base with a fresh unique module ID for the protocol.
+// Executor-only (uses the stack's ID counter).
+func NewBase(st *Stack, protocol string) Base {
+	return Base{Stk: st, MID: st.NextModuleID(protocol), Proto: protocol}
+}
+
+// ID returns the module's identity.
+func (b *Base) ID() ModuleID { return b.MID }
+
+// Protocol returns the protocol name.
+func (b *Base) Protocol() string { return b.Proto }
+
+// Stack returns the stack the module lives in.
+func (b *Base) Stack() *Stack { return b.Stk }
+
+// HandleRequest ignores requests; override in the embedding module.
+func (b *Base) HandleRequest(ServiceID, Request) {}
+
+// HandleIndication ignores indications; override in the embedding module.
+func (b *Base) HandleIndication(ServiceID, Indication) {}
+
+// Start is a no-op; override in the embedding module.
+func (b *Base) Start() {}
+
+// Stop is a no-op; override in the embedding module.
+func (b *Base) Stop() {}

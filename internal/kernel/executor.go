@@ -1,0 +1,85 @@
+package kernel
+
+import "sync"
+
+// executor is the serial event loop of one stack: an unbounded FIFO of
+// closures drained by a single goroutine. Unboundedness matters: module
+// code enqueues follow-up events while the executor is busy, and a
+// bounded channel would deadlock the loop against itself.
+type executor struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	stopped bool
+	drain   bool
+	done    chan struct{}
+}
+
+func newExecutor() *executor {
+	e := &executor{done: make(chan struct{})}
+	e.cond = sync.NewCond(&e.mu)
+	go e.run()
+	return e
+}
+
+// do enqueues fn; reports false when the executor no longer accepts work.
+func (e *executor) do(fn func()) bool {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return false
+	}
+	e.queue = append(e.queue, fn)
+	e.mu.Unlock()
+	e.cond.Signal()
+	return true
+}
+
+// stop halts the loop and returns without waiting, so it is safe to
+// call from an event running on the executor itself. With drain=true,
+// already-queued events still run; with drain=false (crash) the queue
+// is discarded.
+func (e *executor) stop(drain bool) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	e.drain = drain
+	if !drain {
+		e.queue = nil
+	}
+	e.mu.Unlock()
+	e.cond.Signal()
+}
+
+// wait blocks until the loop goroutine has exited. Must not be called
+// from the executor itself.
+func (e *executor) wait() { <-e.done }
+
+func (e *executor) running() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !e.stopped
+}
+
+func (e *executor) run() {
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.stopped {
+			e.cond.Wait()
+		}
+		if e.stopped && (!e.drain || len(e.queue) == 0) {
+			e.queue = nil
+			e.mu.Unlock()
+			close(e.done)
+			return
+		}
+		fn := e.queue[0]
+		e.queue[0] = nil
+		e.queue = e.queue[1:]
+		e.mu.Unlock()
+		fn()
+	}
+}

@@ -1,0 +1,668 @@
+// Package kernel implements the protocol-composition framework of the
+// paper's Section 2 (the SAMOA model): protocols are implemented by one
+// module per stack; modules are dynamically bound to and unbound from
+// services; a service call executes the bound module, and a call made
+// while no module is bound is parked until some module is bound (weak
+// stack-well-formedness is the guarantee that this wait is finite).
+//
+// Execution model: every stack owns a single serial executor goroutine.
+// All module state on a stack is read and written only by events running
+// on that executor, so modules need no internal locking. Network
+// callbacks and timers inject events from the outside with Do; test and
+// application code can use DoSync to run a closure and wait for it.
+//
+// Concurrency contract:
+//
+//   - Call, Indicate, Do, After, Every are safe from any goroutine.
+//   - Bind, Unbind, Subscribe, Unsubscribe, AddModule, RemoveModule,
+//     CreateProtocol, EnsureService, Provider and the other structural
+//     accessors must run on the executor (module code, or a closure
+//     passed to Do/DoSync).
+package kernel
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Addr identifies a stack (a machine in the paper's model).
+type Addr int
+
+// ServiceID names a service: the specification of a distributed
+// protocol, e.g. "abcast" or "consensus".
+type ServiceID string
+
+// ModuleID uniquely names a module instance within one stack.
+type ModuleID string
+
+// Request is a service call payload, handled by the module bound to the
+// service.
+type Request any
+
+// Indication is an up-call payload, delivered to every listener of the
+// service (a "response" in the paper's terminology).
+type Indication any
+
+// Module is one protocol module living in one stack. HandleRequest and
+// HandleIndication are invoked on the stack's executor goroutine.
+type Module interface {
+	// ID returns the module's unique identity within its stack.
+	ID() ModuleID
+	// Protocol returns the protocol name this module implements
+	// (several modules of the same protocol may coexist, e.g. the old
+	// and the new version during a dynamic update).
+	Protocol() string
+	// HandleRequest processes a call on a service this module is bound to.
+	HandleRequest(svc ServiceID, req Request)
+	// HandleIndication processes an indication emitted on a service this
+	// module subscribed to.
+	HandleIndication(svc ServiceID, ind Indication)
+	// Start is invoked on the executor after the module has been added,
+	// bound to its provided services, and its required services ensured.
+	Start()
+	// Stop is invoked on the executor when the module is removed.
+	Stop()
+}
+
+// Factory describes how to instantiate a protocol module and which
+// services it provides and requires, enabling the paper's create_module
+// recursion (Algorithm 1, lines 22-28).
+type Factory struct {
+	// Protocol is the unique protocol name, e.g. "net/rp2p".
+	Protocol string
+	// Provides lists services the module gets bound to on creation.
+	Provides []ServiceID
+	// Requires lists services that must be bound before the module starts.
+	Requires []ServiceID
+	// New constructs the module for a stack. It must not touch stack
+	// structure; wiring happens in Start.
+	New func(st *Stack) Module
+}
+
+// Registry maps protocol names to factories and services to the
+// protocols able to provide them. A single registry is typically shared
+// by all stacks of a group.
+type Registry struct {
+	mu        sync.RWMutex
+	byProto   map[string]Factory
+	byService map[ServiceID][]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byProto:   make(map[string]Factory),
+		byService: make(map[ServiceID][]string),
+	}
+}
+
+// Register adds a factory. Registering the same protocol name twice is
+// an error.
+func (r *Registry) Register(f Factory) error {
+	if f.Protocol == "" {
+		return fmt.Errorf("kernel: factory with empty protocol name")
+	}
+	if f.New == nil {
+		return fmt.Errorf("kernel: factory %q has nil constructor", f.Protocol)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byProto[f.Protocol]; dup {
+		return fmt.Errorf("kernel: protocol %q already registered", f.Protocol)
+	}
+	r.byProto[f.Protocol] = f
+	for _, s := range f.Provides {
+		r.byService[s] = append(r.byService[s], f.Protocol)
+	}
+	return nil
+}
+
+// MustRegister is Register that panics on error; for package init wiring.
+func (r *Registry) MustRegister(f Factory) {
+	if err := r.Register(f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the factory registered under the protocol name.
+func (r *Registry) Lookup(protocol string) (Factory, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.byProto[protocol]
+	return f, ok
+}
+
+// ProviderFor returns the first registered protocol providing svc.
+func (r *Registry) ProviderFor(svc ServiceID) (Factory, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	protos := r.byService[svc]
+	if len(protos) == 0 {
+		return Factory{}, false
+	}
+	return r.byProto[protos[0]], true
+}
+
+// Protocols returns the sorted names of all registered protocols.
+func (r *Registry) Protocols() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.byProto))
+	for n := range r.byProto {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Config configures a stack.
+type Config struct {
+	// Addr is this stack's address within the group.
+	Addr Addr
+	// Peers lists every stack of the group, including Addr itself.
+	Peers []Addr
+	// Registry resolves protocol factories for create_module recursion.
+	Registry *Registry
+	// Tracer, when non-nil, receives structural events (binds, blocked
+	// calls, ...) for the property checkers. May be shared across stacks.
+	Tracer Tracer
+	// Seed seeds the stack-local deterministic RNG (executor-only use).
+	Seed int64
+	// Logger, when non-nil, receives diagnostic messages.
+	Logger *log.Logger
+}
+
+// Stack is the set of modules located on one machine, together with the
+// service bindings and the serial executor that runs them.
+type Stack struct {
+	cfg  Config
+	exec *executor
+	rng  *rand.Rand
+
+	// Executor-owned state below.
+	services map[ServiceID]*service
+	modules  map[ModuleID]Module
+	protoSeq map[string]int // per-protocol instance counter for module IDs
+	ensuring map[ServiceID]bool
+
+	timerMu sync.Mutex
+	timers  map[*Timer]struct{}
+	closed  bool // guarded by timerMu; blocks new timers after close
+
+	crashed atomic.Bool
+}
+
+// service holds the binding state for one service on one stack.
+type service struct {
+	id        ServiceID
+	provider  Module
+	listeners []Module
+	pending   []pendingCall
+}
+
+type pendingCall struct {
+	req Request
+	at  time.Time
+}
+
+// NewStack creates a stack and starts its executor.
+func NewStack(cfg Config) *Stack {
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry()
+	}
+	st := &Stack{
+		cfg:      cfg,
+		exec:     newExecutor(),
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.Addr) << 32))),
+		services: make(map[ServiceID]*service),
+		modules:  make(map[ModuleID]Module),
+		protoSeq: make(map[string]int),
+		ensuring: make(map[ServiceID]bool),
+		timers:   make(map[*Timer]struct{}),
+	}
+	return st
+}
+
+// Addr returns this stack's address.
+func (st *Stack) Addr() Addr { return st.cfg.Addr }
+
+// Peers returns the group membership (including this stack).
+func (st *Stack) Peers() []Addr { return st.cfg.Peers }
+
+// N returns the group size.
+func (st *Stack) N() int { return len(st.cfg.Peers) }
+
+// Others returns all peers except this stack.
+func (st *Stack) Others() []Addr {
+	out := make([]Addr, 0, len(st.cfg.Peers)-1)
+	for _, p := range st.cfg.Peers {
+		if p != st.cfg.Addr {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Registry returns the factory registry used for create_module recursion.
+func (st *Stack) Registry() *Registry { return st.cfg.Registry }
+
+// Rand returns the stack-local deterministic RNG. Executor-only.
+func (st *Stack) Rand() *rand.Rand { return st.rng }
+
+// Logf logs a diagnostic message when a logger is configured.
+func (st *Stack) Logf(format string, args ...any) {
+	if st.cfg.Logger != nil {
+		st.cfg.Logger.Printf("[stack %d] "+format, append([]any{st.cfg.Addr}, args...)...)
+	}
+}
+
+// Do schedules fn on the executor. It reports false when the stack has
+// stopped (crashed or closed) and the event was discarded.
+func (st *Stack) Do(fn func()) bool {
+	return st.exec.do(fn)
+}
+
+// DoSync runs fn on the executor and waits for it to complete. It must
+// not be called from the executor itself (it would deadlock); module
+// code already runs on the executor and can call fn directly. When the
+// stack crashes before fn runs, DoSync returns an error instead of
+// hanging.
+func (st *Stack) DoSync(fn func()) error {
+	done := make(chan struct{})
+	ran := false
+	ok := st.exec.do(func() {
+		defer close(done)
+		fn()
+		ran = true
+	})
+	if !ok {
+		return fmt.Errorf("kernel: stack %d stopped", st.cfg.Addr)
+	}
+	select {
+	case <-done:
+		return nil
+	case <-st.exec.done:
+		select {
+		case <-done:
+			if ran {
+				return nil
+			}
+		default:
+		}
+		return fmt.Errorf("kernel: stack %d stopped before event ran", st.cfg.Addr)
+	}
+}
+
+// Crashed reports whether the stack has crashed.
+func (st *Stack) Crashed() bool { return st.crashed.Load() }
+
+// Running reports whether the executor still accepts events.
+func (st *Stack) Running() bool { return st.exec.running() }
+
+// Crash halts the stack immediately: queued events are discarded and
+// timers cancelled, modelling a machine crash. Safe from any goroutine,
+// including the stack's own executor.
+func (st *Stack) Crash() {
+	st.crashed.Store(true)
+	st.cancelTimers()
+	st.trace(TraceEvent{Kind: TraceCrash})
+	st.exec.stop(false)
+}
+
+// Close stops the stack after the currently queued events have run and
+// waits for the executor to exit. Must not be called from the executor.
+func (st *Stack) Close() {
+	st.cancelTimers()
+	st.exec.stop(true)
+	st.exec.wait()
+}
+
+func (st *Stack) cancelTimers() {
+	st.timerMu.Lock()
+	st.closed = true
+	timers := st.timers
+	st.timers = make(map[*Timer]struct{})
+	st.timerMu.Unlock()
+	for t := range timers {
+		t.mu.Lock()
+		t.stopped = true
+		if t.t != nil {
+			t.t.Stop()
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Timer is a cancellable deferred event.
+type Timer struct {
+	st *Stack
+
+	mu      sync.Mutex
+	t       *time.Timer
+	stopped bool
+}
+
+// Stop cancels the timer. Safe from any goroutine; a no-op if the timer
+// already fired or was stopped.
+func (t *Timer) Stop() {
+	t.mu.Lock()
+	t.stopped = true
+	if t.t != nil {
+		t.t.Stop()
+	}
+	t.mu.Unlock()
+	t.st.timerMu.Lock()
+	delete(t.st.timers, t)
+	t.st.timerMu.Unlock()
+}
+
+func (t *Timer) isStopped() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stopped
+}
+
+// arm sets the underlying timer unless the Timer or its stack stopped.
+func (t *Timer) arm(d time.Duration, onFire func()) bool {
+	st := t.st
+	st.timerMu.Lock()
+	defer st.timerMu.Unlock()
+	if st.closed {
+		return false
+	}
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return false
+	}
+	t.t = time.AfterFunc(d, func() {
+		st.timerMu.Lock()
+		delete(st.timers, t)
+		st.timerMu.Unlock()
+		if !t.isStopped() {
+			onFire()
+		}
+	})
+	t.mu.Unlock()
+	st.timers[t] = struct{}{}
+	return true
+}
+
+// After schedules fn on the executor after d. The returned timer can be
+// stopped; it is valid (and inert) even when the stack already stopped.
+func (st *Stack) After(d time.Duration, fn func()) *Timer {
+	tm := &Timer{st: st}
+	tm.arm(d, func() { st.Do(fn) })
+	return tm
+}
+
+// Every schedules fn on the executor every d until the returned timer
+// is stopped or the stack stops.
+func (st *Stack) Every(d time.Duration, fn func()) *Timer {
+	tm := &Timer{st: st}
+	var fire func()
+	fire = func() {
+		if st.Do(fn) {
+			tm.arm(d, fire)
+		}
+	}
+	tm.arm(d, fire)
+	return tm
+}
+
+// svc returns (creating on demand) the service record. Executor-only.
+func (st *Stack) svc(id ServiceID) *service {
+	s, ok := st.services[id]
+	if !ok {
+		s = &service{id: id}
+		st.services[id] = s
+	}
+	return s
+}
+
+// Call invokes the service: the bound module handles the request; with
+// no module bound the call is parked until a bind (the paper's blocked
+// service call). Safe from any goroutine.
+func (st *Stack) Call(id ServiceID, req Request) {
+	st.Do(func() { st.dispatch(id, req) })
+}
+
+// dispatch routes a request. Executor-only.
+func (st *Stack) dispatch(id ServiceID, req Request) {
+	s := st.svc(id)
+	if s.provider == nil {
+		s.pending = append(s.pending, pendingCall{req: req, at: time.Now()})
+		st.trace(TraceEvent{Kind: TraceCallBlocked, Service: id})
+		return
+	}
+	st.trace(TraceEvent{Kind: TraceCall, Service: id, Module: s.provider.ID()})
+	s.provider.HandleRequest(id, req)
+}
+
+// Indicate emits an indication on the service: every subscribed listener
+// receives it. Safe from any goroutine.
+func (st *Stack) Indicate(id ServiceID, ind Indication) {
+	st.Do(func() { st.indicate(id, ind) })
+}
+
+// indicate delivers an indication to the current listeners. Executor-only.
+func (st *Stack) indicate(id ServiceID, ind Indication) {
+	s := st.svc(id)
+	if len(s.listeners) == 0 {
+		st.trace(TraceEvent{Kind: TraceIndicationDropped, Service: id})
+		return
+	}
+	st.trace(TraceEvent{Kind: TraceIndicate, Service: id})
+	// Snapshot: listeners may subscribe/unsubscribe while handling.
+	snapshot := append([]Module(nil), s.listeners...)
+	for _, m := range snapshot {
+		m.HandleIndication(id, ind)
+	}
+}
+
+// Bind binds m to the service and flushes any parked calls to it, in
+// arrival order. At most one module may be bound at a time (paper §2).
+// Executor-only.
+func (st *Stack) Bind(id ServiceID, m Module) error {
+	s := st.svc(id)
+	if s.provider != nil {
+		return fmt.Errorf("kernel: service %q already bound to %q", id, s.provider.ID())
+	}
+	s.provider = m
+	st.trace(TraceEvent{Kind: TraceBind, Service: id, Module: m.ID(), Protocol: m.Protocol()})
+	if len(s.pending) > 0 {
+		parked := s.pending
+		s.pending = nil
+		now := time.Now()
+		for _, pc := range parked {
+			st.trace(TraceEvent{
+				Kind: TraceCallUnblocked, Service: id, Module: m.ID(),
+				Blocked: now.Sub(pc.at),
+			})
+			m.HandleRequest(id, pc.req)
+		}
+	}
+	return nil
+}
+
+// Unbind removes the current binding of the service. The module stays
+// in the stack and may keep emitting indications (paper §2: "Unbinding a
+// module does not remove it from the stack"). Executor-only.
+func (st *Stack) Unbind(id ServiceID) {
+	s := st.svc(id)
+	if s.provider == nil {
+		return
+	}
+	st.trace(TraceEvent{Kind: TraceUnbind, Service: id, Module: s.provider.ID(), Protocol: s.provider.Protocol()})
+	s.provider = nil
+}
+
+// Provider returns the module currently bound to the service, or nil.
+// Executor-only.
+func (st *Stack) Provider(id ServiceID) Module {
+	return st.svc(id).provider
+}
+
+// PendingCalls returns the number of parked calls on the service.
+// Executor-only.
+func (st *Stack) PendingCalls(id ServiceID) int {
+	return len(st.svc(id).pending)
+}
+
+// Subscribe registers m as a listener of the service's indications.
+// Executor-only.
+func (st *Stack) Subscribe(id ServiceID, m Module) {
+	s := st.svc(id)
+	for _, l := range s.listeners {
+		if l.ID() == m.ID() {
+			return
+		}
+	}
+	s.listeners = append(s.listeners, m)
+	st.trace(TraceEvent{Kind: TraceSubscribe, Service: id, Module: m.ID()})
+}
+
+// Unsubscribe removes m from the service's listeners. Executor-only.
+func (st *Stack) Unsubscribe(id ServiceID, m Module) {
+	s := st.svc(id)
+	for i, l := range s.listeners {
+		if l.ID() == m.ID() {
+			s.listeners = append(s.listeners[:i], s.listeners[i+1:]...)
+			st.trace(TraceEvent{Kind: TraceUnsubscribe, Service: id, Module: m.ID()})
+			return
+		}
+	}
+}
+
+// AddModule inserts a constructed module into the stack without binding
+// or starting it. Executor-only.
+func (st *Stack) AddModule(m Module) error {
+	if _, dup := st.modules[m.ID()]; dup {
+		return fmt.Errorf("kernel: module %q already in stack %d", m.ID(), st.cfg.Addr)
+	}
+	st.modules[m.ID()] = m
+	st.trace(TraceEvent{Kind: TraceModuleAdd, Module: m.ID(), Protocol: m.Protocol()})
+	return nil
+}
+
+// RemoveModule unbinds the module everywhere, unsubscribes it, stops it
+// and removes it from the stack. Executor-only.
+func (st *Stack) RemoveModule(id ModuleID) {
+	m, ok := st.modules[id]
+	if !ok {
+		return
+	}
+	for _, s := range st.services {
+		if s.provider != nil && s.provider.ID() == id {
+			st.Unbind(s.id)
+		}
+		st.Unsubscribe(s.id, m)
+	}
+	m.Stop()
+	delete(st.modules, id)
+	st.trace(TraceEvent{Kind: TraceModuleRemove, Module: id, Protocol: m.Protocol()})
+}
+
+// Module returns the module with the given ID, if present. Executor-only.
+func (st *Stack) Module(id ModuleID) (Module, bool) {
+	m, ok := st.modules[id]
+	return m, ok
+}
+
+// Modules returns the IDs of all modules in the stack, sorted.
+// Executor-only.
+func (st *Stack) Modules() []ModuleID {
+	ids := make([]ModuleID, 0, len(st.modules))
+	for id := range st.modules {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// HasProtocol reports whether some module of the protocol is in the
+// stack. Executor-only.
+func (st *Stack) HasProtocol(protocol string) bool {
+	for _, m := range st.modules {
+		if m.Protocol() == protocol {
+			return true
+		}
+	}
+	return false
+}
+
+// NextModuleID builds a unique module ID for a protocol instance, e.g.
+// "abcast/ct#1@3". Executor-only.
+func (st *Stack) NextModuleID(protocol string) ModuleID {
+	st.protoSeq[protocol]++
+	return ModuleID(fmt.Sprintf("%s#%d@%d", protocol, st.protoSeq[protocol], st.cfg.Addr))
+}
+
+// CreateProtocol implements the paper's create_module(p) recursion
+// (Algorithm 1, lines 22-28): construct the protocol's module, add it,
+// bind it to its provided services, recursively ensure every required
+// service has a bound provider, then start the module. Executor-only.
+func (st *Stack) CreateProtocol(protocol string) (Module, error) {
+	f, ok := st.cfg.Registry.Lookup(protocol)
+	if !ok {
+		return nil, fmt.Errorf("kernel: unknown protocol %q", protocol)
+	}
+	return st.instantiate(f)
+}
+
+func (st *Stack) instantiate(f Factory) (Module, error) {
+	m := f.New(st)
+	if err := st.AddModule(m); err != nil {
+		return nil, err
+	}
+	for _, svc := range f.Provides {
+		if err := st.Bind(svc, m); err != nil {
+			st.RemoveModule(m.ID())
+			return nil, err
+		}
+	}
+	for _, svc := range f.Requires {
+		if err := st.EnsureService(svc); err != nil {
+			st.RemoveModule(m.ID())
+			return nil, err
+		}
+	}
+	m.Start()
+	return m, nil
+}
+
+// EnsureService guarantees that a provider is bound to svc, creating one
+// through the registry when necessary (lines 26-28 of Algorithm 1).
+// Executor-only.
+func (st *Stack) EnsureService(svc ServiceID) error {
+	if st.svc(svc).provider != nil {
+		return nil
+	}
+	if st.ensuring[svc] {
+		return fmt.Errorf("kernel: cyclic service requirement through %q", svc)
+	}
+	f, ok := st.cfg.Registry.ProviderFor(svc)
+	if !ok {
+		return fmt.Errorf("kernel: no registered provider for service %q", svc)
+	}
+	st.ensuring[svc] = true
+	defer delete(st.ensuring, svc)
+	_, err := st.instantiate(f)
+	return err
+}
+
+func (st *Stack) trace(ev TraceEvent) {
+	if st.cfg.Tracer == nil {
+		return
+	}
+	ev.Stack = st.cfg.Addr
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	st.cfg.Tracer.Trace(ev)
+}

@@ -1,0 +1,579 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testModule records everything it handles.
+type testModule struct {
+	Base
+	requests    []Request
+	indications []Indication
+	started     int
+	stopped     int
+	onRequest   func(ServiceID, Request)
+}
+
+func newTestModule(st *Stack, proto string) *testModule {
+	return &testModule{Base: NewBase(st, proto)}
+}
+
+func (m *testModule) HandleRequest(svc ServiceID, req Request) {
+	m.requests = append(m.requests, req)
+	if m.onRequest != nil {
+		m.onRequest(svc, req)
+	}
+}
+
+func (m *testModule) HandleIndication(svc ServiceID, ind Indication) {
+	m.indications = append(m.indications, ind)
+}
+
+func (m *testModule) Start() { m.started++ }
+func (m *testModule) Stop()  { m.stopped++ }
+
+func newTestStack(t *testing.T, tracer Tracer) *Stack {
+	t.Helper()
+	st := NewStack(Config{Addr: 0, Peers: []Addr{0, 1, 2}, Tracer: tracer})
+	t.Cleanup(st.Close)
+	return st
+}
+
+func TestCallDispatchedToBoundModule(t *testing.T) {
+	st := newTestStack(t, nil)
+	var m *testModule
+	if err := st.DoSync(func() {
+		m = newTestModule(st, "p")
+		if err := st.AddModule(m); err != nil {
+			t.Errorf("AddModule: %v", err)
+		}
+		if err := st.Bind("svc", m); err != nil {
+			t.Errorf("Bind: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st.Call("svc", "hello")
+	st.DoSync(func() {})
+	if err := st.DoSync(func() {
+		if len(m.requests) != 1 || m.requests[0] != "hello" {
+			t.Errorf("requests = %v", m.requests)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallBlocksUntilBindThenFlushesInOrder(t *testing.T) {
+	st := newTestStack(t, nil)
+	// Calls before any bind must park.
+	for i := 0; i < 5; i++ {
+		st.Call("svc", i)
+	}
+	var m *testModule
+	if err := st.DoSync(func() {
+		if got := st.PendingCalls("svc"); got != 5 {
+			t.Errorf("PendingCalls = %d, want 5", got)
+		}
+		m = newTestModule(st, "p")
+		st.AddModule(m)
+		if err := st.Bind("svc", m); err != nil {
+			t.Errorf("Bind: %v", err)
+		}
+		// Flush happens synchronously inside Bind.
+		if len(m.requests) != 5 {
+			t.Fatalf("flushed %d calls, want 5", len(m.requests))
+		}
+		for i, r := range m.requests {
+			if r != i {
+				t.Errorf("request %d = %v, want %d (FIFO violated)", i, r, i)
+			}
+		}
+		if st.PendingCalls("svc") != 0 {
+			t.Errorf("pending not drained")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtMostOneModuleBound(t *testing.T) {
+	st := newTestStack(t, nil)
+	st.DoSync(func() {
+		a := newTestModule(st, "a")
+		b := newTestModule(st, "b")
+		st.AddModule(a)
+		st.AddModule(b)
+		if err := st.Bind("svc", a); err != nil {
+			t.Fatalf("first Bind: %v", err)
+		}
+		if err := st.Bind("svc", b); err == nil {
+			t.Fatal("second Bind succeeded; paper requires at most one bound module")
+		}
+		st.Unbind("svc")
+		if err := st.Bind("svc", b); err != nil {
+			t.Fatalf("Bind after Unbind: %v", err)
+		}
+		if st.Provider("svc") != b {
+			t.Error("Provider is not the rebound module")
+		}
+	})
+}
+
+func TestUnboundModuleStaysInStackAndCanIndicate(t *testing.T) {
+	// Paper §2: "Unbinding a module does not remove it from the stack"
+	// and "a module can respond to a service call even if unbound".
+	st := newTestStack(t, nil)
+	var provider, listener *testModule
+	st.DoSync(func() {
+		provider = newTestModule(st, "p")
+		listener = newTestModule(st, "q")
+		st.AddModule(provider)
+		st.AddModule(listener)
+		st.Bind("svc", provider)
+		st.Subscribe("svc", listener)
+		st.Unbind("svc")
+		if _, ok := st.Module(provider.ID()); !ok {
+			t.Error("unbound module removed from stack")
+		}
+	})
+	st.Indicate("svc", "late response")
+	st.DoSync(func() {
+		if len(listener.indications) != 1 || listener.indications[0] != "late response" {
+			t.Errorf("indications = %v", listener.indications)
+		}
+	})
+}
+
+func TestIndicationsGoToAllListeners(t *testing.T) {
+	st := newTestStack(t, nil)
+	var a, b *testModule
+	st.DoSync(func() {
+		a = newTestModule(st, "a")
+		b = newTestModule(st, "b")
+		st.AddModule(a)
+		st.AddModule(b)
+		st.Subscribe("svc", a)
+		st.Subscribe("svc", b)
+		st.Subscribe("svc", a) // duplicate subscribe must be idempotent
+	})
+	st.Indicate("svc", 1)
+	st.Indicate("svc", 2)
+	st.DoSync(func() {
+		if len(a.indications) != 2 || len(b.indications) != 2 {
+			t.Errorf("a=%v b=%v, want 2 each", a.indications, b.indications)
+		}
+	})
+}
+
+func TestUnsubscribeStopsIndications(t *testing.T) {
+	st := newTestStack(t, nil)
+	var a *testModule
+	st.DoSync(func() {
+		a = newTestModule(st, "a")
+		st.AddModule(a)
+		st.Subscribe("svc", a)
+	})
+	st.Indicate("svc", 1)
+	st.DoSync(func() { st.Unsubscribe("svc", a) })
+	st.Indicate("svc", 2)
+	st.DoSync(func() {
+		if len(a.indications) != 1 {
+			t.Errorf("indications = %v, want just the first", a.indications)
+		}
+	})
+}
+
+func TestRemoveModuleUnbindsStopsAndUnsubscribes(t *testing.T) {
+	st := newTestStack(t, nil)
+	st.DoSync(func() {
+		m := newTestModule(st, "p")
+		st.AddModule(m)
+		st.Bind("svc", m)
+		st.Subscribe("other", m)
+		st.RemoveModule(m.ID())
+		if m.stopped != 1 {
+			t.Errorf("stopped = %d, want 1", m.stopped)
+		}
+		if st.Provider("svc") != nil {
+			t.Error("still bound after removal")
+		}
+		if _, ok := st.Module(m.ID()); ok {
+			t.Error("still in stack after removal")
+		}
+	})
+}
+
+func TestExecutorIsFIFO(t *testing.T) {
+	st := newTestStack(t, nil)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		st.Do(func() { order = append(order, i) })
+	}
+	st.DoSync(func() {})
+	st.DoSync(func() {
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("order[%d] = %d; executor reordered events", i, v)
+			}
+		}
+	})
+}
+
+func TestEventsFromManyGoroutinesAllRun(t *testing.T) {
+	st := newTestStack(t, nil)
+	var count int
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				st.Do(func() { count++ })
+			}
+		}()
+	}
+	wg.Wait()
+	st.DoSync(func() {
+		if count != 4000 {
+			t.Errorf("count = %d, want 4000", count)
+		}
+	})
+}
+
+func TestCreateProtocolRecursion(t *testing.T) {
+	// q requires r; r requires s; creating q must build the whole chain
+	// bottom-up (Algorithm 1, create_module).
+	reg := NewRegistry()
+	var startOrder []string
+	mk := func(name string, provides, requires []ServiceID) Factory {
+		return Factory{
+			Protocol: name,
+			Provides: provides,
+			Requires: requires,
+			New: func(st *Stack) Module {
+				m := newTestModule(st, name)
+				m.onRequest = nil
+				return &startRecorder{testModule: m, order: &startOrder}
+			},
+		}
+	}
+	reg.MustRegister(mk("q", []ServiceID{"q"}, []ServiceID{"r"}))
+	reg.MustRegister(mk("r", []ServiceID{"r"}, []ServiceID{"s"}))
+	reg.MustRegister(mk("s", []ServiceID{"s"}, nil))
+
+	st := NewStack(Config{Addr: 0, Peers: []Addr{0}, Registry: reg})
+	defer st.Close()
+	st.DoSync(func() {
+		if _, err := st.CreateProtocol("q"); err != nil {
+			t.Fatalf("CreateProtocol: %v", err)
+		}
+		for _, svc := range []ServiceID{"q", "r", "s"} {
+			if st.Provider(svc) == nil {
+				t.Errorf("service %q not bound after recursion", svc)
+			}
+		}
+	})
+	// Substrates must start before the protocols that require them.
+	want := []string{"s", "r", "q"}
+	if fmt.Sprint(startOrder) != fmt.Sprint(want) {
+		t.Errorf("start order = %v, want %v", startOrder, want)
+	}
+}
+
+type startRecorder struct {
+	*testModule
+	order *[]string
+}
+
+func (m *startRecorder) Start() {
+	m.testModule.Start()
+	*m.order = append(*m.order, m.Protocol())
+}
+
+func TestCreateProtocolDoesNotDuplicateBoundServices(t *testing.T) {
+	reg := NewRegistry()
+	created := 0
+	reg.MustRegister(Factory{
+		Protocol: "base", Provides: []ServiceID{"s"},
+		New: func(st *Stack) Module {
+			created++
+			return newTestModule(st, "base")
+		},
+	})
+	reg.MustRegister(Factory{
+		Protocol: "top", Provides: []ServiceID{"t"}, Requires: []ServiceID{"s"},
+		New: func(st *Stack) Module { return newTestModule(st, "top") },
+	})
+	st := NewStack(Config{Addr: 0, Peers: []Addr{0}, Registry: reg})
+	defer st.Close()
+	st.DoSync(func() {
+		if _, err := st.CreateProtocol("top"); err != nil {
+			t.Fatalf("first: %v", err)
+		}
+		st.Unbind("t")
+		if _, err := st.CreateProtocol("top"); err != nil {
+			t.Fatalf("second: %v", err)
+		}
+	})
+	if created != 1 {
+		t.Errorf("base created %d times, want 1 (service already bound)", created)
+	}
+}
+
+func TestMutualRequirementsResolve(t *testing.T) {
+	// a requires sb, b requires sa. Because a module is bound to its
+	// provided services *before* its requirements are ensured, the
+	// apparent cycle resolves: creating a binds sa, then creates b,
+	// whose requirement on sa is already satisfied.
+	reg := NewRegistry()
+	reg.MustRegister(Factory{
+		Protocol: "a", Provides: []ServiceID{"sa"}, Requires: []ServiceID{"sb"},
+		New: func(st *Stack) Module { return newTestModule(st, "a") },
+	})
+	reg.MustRegister(Factory{
+		Protocol: "b", Provides: []ServiceID{"sb"}, Requires: []ServiceID{"sa"},
+		New: func(st *Stack) Module { return newTestModule(st, "b") },
+	})
+	st := NewStack(Config{Addr: 0, Peers: []Addr{0}, Registry: reg})
+	defer st.Close()
+	st.DoSync(func() {
+		if _, err := st.CreateProtocol("a"); err != nil {
+			t.Errorf("mutual requirements did not resolve: %v", err)
+		}
+		if st.Provider("sa") == nil || st.Provider("sb") == nil {
+			t.Error("services not both bound")
+		}
+	})
+}
+
+func TestUnknownProtocolAndProvider(t *testing.T) {
+	st := newTestStack(t, nil)
+	st.DoSync(func() {
+		if _, err := st.CreateProtocol("nope"); err == nil {
+			t.Error("CreateProtocol(unknown) succeeded")
+		}
+		if err := st.EnsureService("unprovided"); err == nil {
+			t.Error("EnsureService(unprovided) succeeded")
+		}
+	})
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	reg := NewRegistry()
+	f := Factory{Protocol: "x", New: func(st *Stack) Module { return newTestModule(st, "x") }}
+	if err := reg.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(f); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := reg.Register(Factory{Protocol: "", New: f.New}); err == nil {
+		t.Error("empty protocol name accepted")
+	}
+	if err := reg.Register(Factory{Protocol: "y"}); err == nil {
+		t.Error("nil constructor accepted")
+	}
+}
+
+func TestTimerAfterFiresOnExecutor(t *testing.T) {
+	st := newTestStack(t, nil)
+	ch := make(chan struct{})
+	st.After(5*time.Millisecond, func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestTimerStopPreventsFiring(t *testing.T) {
+	st := newTestStack(t, nil)
+	var fired atomic.Bool
+	tm := st.After(30*time.Millisecond, func() { fired.Store(true) })
+	tm.Stop()
+	time.Sleep(80 * time.Millisecond)
+	if fired.Load() {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestEveryRepeats(t *testing.T) {
+	st := newTestStack(t, nil)
+	var n atomic.Int32
+	tm := st.Every(5*time.Millisecond, func() { n.Add(1) })
+	deadline := time.After(2 * time.Second)
+	for n.Load() < 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("Every fired only %d times", n.Load())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	tm.Stop()
+	at := n.Load()
+	time.Sleep(50 * time.Millisecond)
+	if got := n.Load(); got > at+1 {
+		t.Errorf("Every kept firing after Stop: %d -> %d", at, got)
+	}
+}
+
+func TestCrashDiscardsQueueAndStopsTimers(t *testing.T) {
+	st := NewStack(Config{Addr: 3, Peers: []Addr{3}})
+	var ran atomic.Bool
+	st.After(50*time.Millisecond, func() { ran.Store(true) })
+	st.Crash()
+	if st.Do(func() { ran.Store(true) }) {
+		t.Error("Do accepted after crash")
+	}
+	if !st.Crashed() {
+		t.Error("Crashed() = false")
+	}
+	if st.Running() {
+		t.Error("Running() = true after crash")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if ran.Load() {
+		t.Error("event or timer ran after crash")
+	}
+}
+
+func TestCrashFromOwnExecutorDoesNotDeadlock(t *testing.T) {
+	st := NewStack(Config{Addr: 0, Peers: []Addr{0}})
+	done := make(chan struct{})
+	st.Do(func() {
+		st.Crash()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Crash from executor deadlocked")
+	}
+}
+
+func TestDoSyncReturnsErrorWhenCrashedBeforeRunning(t *testing.T) {
+	st := NewStack(Config{Addr: 0, Peers: []Addr{0}})
+	block := make(chan struct{})
+	st.Do(func() { <-block })
+	errCh := make(chan error, 1)
+	go func() { errCh <- st.DoSync(func() {}) }()
+	time.Sleep(10 * time.Millisecond)
+	st.Crash()
+	close(block)
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("DoSync returned nil after crash discarded its event")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("DoSync hung after crash")
+	}
+}
+
+func TestCloseDrainsQueuedEvents(t *testing.T) {
+	st := NewStack(Config{Addr: 0, Peers: []Addr{0}})
+	var count int
+	for i := 0; i < 50; i++ {
+		st.Do(func() { count++ })
+	}
+	st.Close()
+	if count != 50 {
+		t.Errorf("count = %d, want 50 (Close must drain)", count)
+	}
+}
+
+func TestNextModuleIDUnique(t *testing.T) {
+	st := newTestStack(t, nil)
+	st.DoSync(func() {
+		seen := make(map[ModuleID]bool)
+		for i := 0; i < 100; i++ {
+			id := st.NextModuleID("p")
+			if seen[id] {
+				t.Fatalf("duplicate module id %q", id)
+			}
+			seen[id] = true
+		}
+	})
+}
+
+func TestOthersExcludesSelf(t *testing.T) {
+	st := NewStack(Config{Addr: 1, Peers: []Addr{0, 1, 2}})
+	defer st.Close()
+	others := st.Others()
+	if len(others) != 2 || others[0] != 0 || others[1] != 2 {
+		t.Errorf("Others = %v", others)
+	}
+	if st.N() != 3 {
+		t.Errorf("N = %d", st.N())
+	}
+}
+
+// recTracer collects events for assertions.
+type recTracer struct {
+	mu  sync.Mutex
+	evs []TraceEvent
+}
+
+func (r *recTracer) Trace(ev TraceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evs = append(r.evs, ev)
+}
+
+func (r *recTracer) count(k TraceKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ev := range r.evs {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTracerSeesBlockedAndUnblockedCalls(t *testing.T) {
+	tr := &recTracer{}
+	st := newTestStack(t, tr)
+	st.Call("svc", "x")
+	st.DoSync(func() {
+		m := newTestModule(st, "p")
+		st.AddModule(m)
+		st.Bind("svc", m)
+	})
+	st.DoSync(func() {})
+	if tr.count(TraceCallBlocked) != 1 {
+		t.Errorf("blocked events = %d, want 1", tr.count(TraceCallBlocked))
+	}
+	if tr.count(TraceCallUnblocked) != 1 {
+		t.Errorf("unblocked events = %d, want 1", tr.count(TraceCallUnblocked))
+	}
+	if tr.count(TraceBind) != 1 {
+		t.Errorf("bind events = %d, want 1", tr.count(TraceBind))
+	}
+}
+
+func TestTracerSeesDroppedIndications(t *testing.T) {
+	tr := &recTracer{}
+	st := newTestStack(t, tr)
+	st.Indicate("svc", "nobody listening")
+	st.DoSync(func() {})
+	if tr.count(TraceIndicationDropped) != 1 {
+		t.Errorf("dropped = %d, want 1", tr.count(TraceIndicationDropped))
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	if TraceBind.String() != "bind" {
+		t.Errorf("TraceBind.String() = %q", TraceBind.String())
+	}
+	if TraceKind(99).String() != "unknown" {
+		t.Errorf("unknown kind String() = %q", TraceKind(99).String())
+	}
+}

@@ -1,0 +1,89 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickBindingModelEquivalence drives a service with random
+// bind/unbind/call sequences and compares against a trivial reference
+// model: calls made while bound are handled immediately by the bound
+// module; calls made while unbound park and flush, in order, to the
+// next module bound.
+func TestQuickBindingModelEquivalence(t *testing.T) {
+	f := func(ops []uint8) bool {
+		st := NewStack(Config{Addr: 0, Peers: []Addr{0}})
+		defer st.Close()
+		ok := true
+		err := st.DoSync(func() {
+			var handled []int // (moduleIdx<<16 | callId) in handling order
+			var modules []*quickModule
+			mkModule := func() *quickModule {
+				m := &quickModule{Base: NewBase(st, "qm"), idx: len(modules), out: &handled}
+				modules = append(modules, m)
+				st.AddModule(m)
+				return m
+			}
+			// Reference model state.
+			var refParked []int
+			var refHandled []int
+			bound := -1
+			callID := 0
+			for _, op := range ops {
+				switch op % 4 {
+				case 0, 1: // call
+					st.dispatch("svc", callID)
+					if bound >= 0 {
+						refHandled = append(refHandled, bound<<16|callID)
+					} else {
+						refParked = append(refParked, callID)
+					}
+					callID++
+				case 2: // bind a fresh module (unbinding any current one)
+					st.Unbind("svc")
+					m := mkModule()
+					if e := st.Bind("svc", m); e != nil {
+						ok = false
+						return
+					}
+					bound = m.idx
+					for _, parked := range refParked {
+						refHandled = append(refHandled, bound<<16|parked)
+					}
+					refParked = nil
+				case 3: // unbind
+					st.Unbind("svc")
+					bound = -1
+				}
+			}
+			if len(handled) != len(refHandled) {
+				ok = false
+				return
+			}
+			for i := range handled {
+				if handled[i] != refHandled[i] {
+					ok = false
+					return
+				}
+			}
+			// Parked calls match the model too.
+			if st.PendingCalls("svc") != len(refParked) {
+				ok = false
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+type quickModule struct {
+	Base
+	idx int
+	out *[]int
+}
+
+func (m *quickModule) HandleRequest(_ ServiceID, req Request) {
+	*m.out = append(*m.out, m.idx<<16|req.(int))
+}

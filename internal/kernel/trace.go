@@ -1,0 +1,67 @@
+package kernel
+
+import "time"
+
+// TraceKind classifies structural events emitted by a stack.
+type TraceKind int
+
+// Trace event kinds. The DPU property checkers consume these: blocked /
+// unblocked pairs witness (weak) stack-well-formedness, bind events per
+// protocol witness protocol-operationability.
+const (
+	// TraceCall: a service call dispatched to the bound module.
+	TraceCall TraceKind = iota
+	// TraceCallBlocked: a call arrived while the service was unbound and
+	// was parked.
+	TraceCallBlocked
+	// TraceCallUnblocked: a parked call was flushed to a newly bound
+	// module; Blocked carries the waiting duration.
+	TraceCallUnblocked
+	// TraceBind: a module was bound to a service.
+	TraceBind
+	// TraceUnbind: a module was unbound from a service.
+	TraceUnbind
+	// TraceSubscribe / TraceUnsubscribe: listener registration changes.
+	TraceSubscribe
+	TraceUnsubscribe
+	// TraceIndicate: an indication was delivered to at least one listener.
+	TraceIndicate
+	// TraceIndicationDropped: an indication had no listener.
+	TraceIndicationDropped
+	// TraceModuleAdd / TraceModuleRemove: module lifecycle.
+	TraceModuleAdd
+	TraceModuleRemove
+	// TraceCrash: the stack crashed.
+	TraceCrash
+)
+
+var traceKindNames = [...]string{
+	"call", "call-blocked", "call-unblocked", "bind", "unbind",
+	"subscribe", "unsubscribe", "indicate", "indication-dropped",
+	"module-add", "module-remove", "crash",
+}
+
+// String returns a short name for the kind.
+func (k TraceKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return "unknown"
+}
+
+// TraceEvent is one structural event on one stack.
+type TraceEvent struct {
+	Stack    Addr
+	Kind     TraceKind
+	Service  ServiceID
+	Module   ModuleID
+	Protocol string
+	Blocked  time.Duration // TraceCallUnblocked: how long the call waited
+	Time     time.Time
+}
+
+// Tracer receives trace events. Implementations must be safe for
+// concurrent use: stacks of a group typically share one tracer.
+type Tracer interface {
+	Trace(TraceEvent)
+}

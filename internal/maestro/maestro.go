@@ -1,0 +1,258 @@
+// Package maestro is a baseline replacement manager modelled on the
+// Maestro/Ensemble approach the paper compares against (Section 4.2):
+// protocol replacement is whole-stack replacement, coordinated by a
+// stack switch (SS) module on every machine.
+//
+// The protocol: the initiator reliably broadcasts PREPARE; every stack
+// then (1) blocks the application — new broadcast calls queue — and
+// finalizes the old protocol by letting its stream drain for
+// FinalizeDelay; (2) reports READY to the initiator; (3) the initiator,
+// once all stacks are ready, broadcasts SWITCH; (4) every stack destroys
+// the old modules, creates the new stack, flushes the queued calls and
+// unblocks.
+//
+// The measurable consequences the paper points out: the application is
+// blocked for the whole coordination window (unlike the Repl approach),
+// and a crash during the window stalls the switch (the SS coordination
+// is not fault-tolerant the way ABcast-based coordination is).
+//
+// The module provides the same public service and request/indication
+// types as core.Repl, so workloads run unchanged against either manager.
+package maestro
+
+import (
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/rbcast"
+	"repro/internal/rp2p"
+	"repro/internal/wire"
+)
+
+// Protocol is the protocol name registered for this module.
+const Protocol = "dpu/maestro"
+
+const (
+	ctrlChannel = "maestro"     // rbcast: PREPARE / SWITCH
+	ackChannel  = "maestro-ack" // rp2p: READY
+)
+
+const (
+	ctrlPrepare byte = 0
+	ctrlSwitch  byte = 1
+)
+
+// Config configures the Maestro-style manager.
+type Config struct {
+	// InitialProtocol names the implementation installed at epoch 0.
+	InitialProtocol string
+	// Impls resolves implementation names.
+	Impls *abcast.Registry
+	// FinalizeDelay is how long each stack lets the old stack drain
+	// while the application is blocked (the finalize() call).
+	FinalizeDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialProtocol == "" {
+		c.InitialProtocol = abcast.ProtocolCT
+	}
+	if c.Impls == nil {
+		c.Impls = abcast.StandardRegistry()
+	}
+	if c.FinalizeDelay <= 0 {
+		c.FinalizeDelay = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Module is the SS (stack switch) module.
+type Module struct {
+	kernel.Base
+	cfg Config
+
+	epoch    uint64
+	cur      kernel.Module
+	curName  string
+	blocking bool
+	queued   [][]byte
+
+	// Initiator state.
+	switchSeq uint64
+	ready     map[kernel.Addr]bool
+	pendName  string
+}
+
+// Factory returns the kernel factory for the Maestro baseline.
+func Factory(cfg Config) kernel.Factory {
+	cfg = cfg.withDefaults()
+	return kernel.Factory{
+		Protocol: Protocol,
+		Provides: []kernel.ServiceID{core.Service},
+		Requires: []kernel.ServiceID{rbcast.Service},
+		New: func(st *kernel.Stack) kernel.Module {
+			return &Module{
+				Base:  kernel.NewBase(st, Protocol),
+				cfg:   cfg,
+				ready: make(map[kernel.Addr]bool),
+			}
+		},
+	}
+}
+
+// Start installs the initial implementation and wires control channels.
+func (m *Module) Start() {
+	m.Stk.Subscribe(abcast.ServiceImpl, m)
+	m.Stk.Call(rbcast.Service, rbcast.Listen{Channel: ctrlChannel, Handler: m.onCtrl})
+	m.Stk.Call(rp2p.Service, rp2p.Listen{Channel: ackChannel, Handler: m.onReady})
+	if err := m.install(m.cfg.InitialProtocol); err != nil {
+		m.Stk.Logf("maestro: install: %v", err)
+	}
+}
+
+// Stop detaches.
+func (m *Module) Stop() {
+	m.Stk.Unsubscribe(abcast.ServiceImpl, m)
+	m.Stk.Call(rbcast.Service, rbcast.Unlisten{Channel: ctrlChannel})
+	m.Stk.Call(rp2p.Service, rp2p.Unlisten{Channel: ackChannel})
+	if m.cur != nil {
+		m.Stk.RemoveModule(m.cur.ID())
+		m.cur = nil
+	}
+}
+
+func (m *Module) install(name string) error {
+	im, ok := m.cfg.Impls.Lookup(name)
+	if !ok {
+		return errUnknown(name)
+	}
+	for _, svc := range im.Requires {
+		if err := m.Stk.EnsureService(svc); err != nil {
+			return err
+		}
+	}
+	mod := im.New(m.Stk, m.epoch)
+	if err := m.Stk.AddModule(mod); err != nil {
+		return err
+	}
+	if err := m.Stk.Bind(abcast.ServiceImpl, mod); err != nil {
+		m.Stk.RemoveModule(mod.ID())
+		return err
+	}
+	mod.Start()
+	m.cur = mod
+	m.curName = name
+	return nil
+}
+
+type unknownErr string
+
+func (e unknownErr) Error() string { return "maestro: unknown implementation " + string(e) }
+
+func errUnknown(name string) error { return unknownErr(name) }
+
+// HandleRequest processes Broadcast, ChangeProtocol and StatusReq using
+// the shared core types.
+func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
+	switch r := req.(type) {
+	case core.Broadcast:
+		if m.blocking {
+			m.queued = append(m.queued, append([]byte(nil), r.Data...))
+			return
+		}
+		m.Stk.Call(abcast.ServiceImpl, abcast.Broadcast{Data: r.Data})
+	case core.ChangeProtocol:
+		m.initiate(r.Protocol)
+	case core.StatusReq:
+		if r.Reply != nil {
+			r.Reply(core.Status{Sn: m.epoch, Protocol: m.curName, Undelivered: len(m.queued)})
+		}
+	}
+}
+
+func (m *Module) initiate(name string) {
+	m.switchSeq++
+	m.ready = make(map[kernel.Addr]bool)
+	m.pendName = name
+	w := wire.NewWriter(len(name) + 16)
+	w.Byte(ctrlPrepare).Uvarint(m.switchSeq).Uvarint(uint64(m.Stk.Addr())).String(name)
+	m.Stk.Call(rbcast.Service, rbcast.Broadcast{Channel: ctrlChannel, Data: w.Bytes()})
+}
+
+func (m *Module) onCtrl(d rbcast.Deliver) {
+	r := wire.NewReader(d.Data)
+	switch r.Byte() {
+	case ctrlPrepare:
+		seq := r.Uvarint()
+		initiator := kernel.Addr(r.Uvarint())
+		name := r.String()
+		if r.Err() != nil {
+			return
+		}
+		// Block the application and finalize the old stack.
+		m.blocking = true
+		m.Stk.After(m.cfg.FinalizeDelay, func() {
+			w := wire.NewWriter(12)
+			w.Uvarint(seq)
+			m.Stk.Call(rp2p.Service, rp2p.Send{To: initiator, Channel: ackChannel, Data: w.Bytes()})
+		})
+		_ = name // the switch message re-carries the name
+	case ctrlSwitch:
+		_ = r.Uvarint() // seq
+		name := r.String()
+		if r.Err() != nil {
+			return
+		}
+		m.doSwitch(name)
+	}
+}
+
+func (m *Module) onReady(rv rp2p.Recv) {
+	r := wire.NewReader(rv.Data)
+	seq := r.Uvarint()
+	if r.Err() != nil || seq != m.switchSeq {
+		return
+	}
+	m.ready[rv.From] = true
+	if len(m.ready) == m.Stk.N() {
+		w := wire.NewWriter(len(m.pendName) + 12)
+		w.Byte(ctrlSwitch).Uvarint(seq).String(m.pendName)
+		m.Stk.Call(rbcast.Service, rbcast.Broadcast{Channel: ctrlChannel, Data: w.Bytes()})
+	}
+}
+
+// doSwitch destroys the old stack and starts the new one (whole-stack
+// replacement), then flushes the blocked calls.
+func (m *Module) doSwitch(name string) {
+	if m.cur != nil {
+		m.Stk.Unbind(abcast.ServiceImpl)
+		m.Stk.RemoveModule(m.cur.ID())
+		m.cur = nil
+	}
+	m.epoch++
+	if err := m.install(name); err != nil {
+		m.Stk.Logf("maestro: switch install: %v", err)
+		return
+	}
+	m.blocking = false
+	queued := m.queued
+	m.queued = nil
+	for _, data := range queued {
+		m.Stk.Call(abcast.ServiceImpl, abcast.Broadcast{Data: data})
+	}
+	m.Stk.Indicate(core.Service, core.Switched{
+		Sn: m.epoch, Protocol: name, At: time.Now(), Reissued: len(queued),
+	})
+}
+
+// HandleIndication re-indicates inner deliveries on the public service.
+func (m *Module) HandleIndication(svc kernel.ServiceID, ind kernel.Indication) {
+	if svc != abcast.ServiceImpl {
+		return
+	}
+	if d, ok := ind.(abcast.Deliver); ok {
+		m.Stk.Indicate(core.Service, core.Deliver{Origin: d.Origin, Data: d.Data})
+	}
+}

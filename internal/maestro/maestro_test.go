@@ -1,0 +1,188 @@
+package maestro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/kernel"
+	"repro/internal/maestro"
+	"repro/internal/rbcast"
+	"repro/internal/rp2p"
+	"repro/internal/simnet"
+	"repro/internal/stacktest"
+	"repro/internal/udp"
+)
+
+const timeout = 20 * time.Second
+
+type sink struct {
+	kernel.Base
+	mu       sync.Mutex
+	delivers []string
+	switches []core.Switched
+}
+
+func (s *sink) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch v := ind.(type) {
+	case core.Deliver:
+		s.delivers = append(s.delivers, fmt.Sprintf("%d:%s", v.Origin, v.Data))
+	case core.Switched:
+		s.switches = append(s.switches, v)
+	}
+}
+
+func (s *sink) deliverCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.delivers)
+}
+
+func (s *sink) switchCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.switches)
+}
+
+func (s *sink) deliveries() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.delivers...)
+}
+
+func build(t *testing.T, n int, finalize time.Duration) (*stacktest.Cluster, []*sink) {
+	t.Helper()
+	c := stacktest.New(t, n, simnet.Config{}, nil)
+	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(rp2p.Factory(rp2p.Config{RTO: 5 * time.Millisecond}))
+	c.Reg.MustRegister(rbcast.Factory(rbcast.Config{}))
+	c.Reg.MustRegister(fd.Factory(fd.Config{Interval: 5 * time.Millisecond, Timeout: 60 * time.Millisecond}))
+	c.Reg.MustRegister(consensus.Factory())
+	c.Reg.MustRegister(maestro.Factory(maestro.Config{
+		InitialProtocol: abcast.ProtocolCT, FinalizeDelay: finalize,
+	}))
+	c.CreateAll(maestro.Protocol)
+	sinks := make([]*sink, n)
+	for i := range sinks {
+		i := i
+		c.OnSync(i, func() {
+			sinks[i] = &sink{Base: kernel.NewBase(c.Stacks[i], "sink")}
+			c.Stacks[i].AddModule(sinks[i])
+			c.Stacks[i].Subscribe(core.Service, sinks[i])
+		})
+	}
+	return c, sinks
+}
+
+func TestBroadcastWithoutSwitch(t *testing.T) {
+	c, sinks := build(t, 3, 50*time.Millisecond)
+	for k := 0; k < 10; k++ {
+		c.Stacks[k%3].Call(core.Service, core.Broadcast{Data: []byte(fmt.Sprintf("m%d", k))})
+	}
+	c.Eventually(timeout, "deliveries", func() bool {
+		for _, s := range sinks {
+			if s.deliverCount() < 10 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestWholeStackSwitchCompletes(t *testing.T) {
+	c, sinks := build(t, 3, 30*time.Millisecond)
+	c.Stacks[0].Call(core.Service, core.Broadcast{Data: []byte("pre")})
+	c.Eventually(timeout, "pre delivery", func() bool {
+		for _, s := range sinks {
+			if s.deliverCount() < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	c.Stacks[1].Call(core.Service, core.ChangeProtocol{Protocol: abcast.ProtocolSeq})
+	c.Eventually(timeout, "switch everywhere", func() bool {
+		for _, s := range sinks {
+			if s.switchCount() != 1 {
+				return false
+			}
+		}
+		return true
+	})
+	c.Stacks[2].Call(core.Service, core.Broadcast{Data: []byte("post")})
+	c.Eventually(timeout, "post delivery", func() bool {
+		for _, s := range sinks {
+			if s.deliverCount() < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	got := make(chan core.Status, 1)
+	c.Stacks[0].Call(core.Service, core.StatusReq{Reply: func(s core.Status) { got <- s }})
+	if s := <-got; s.Protocol != abcast.ProtocolSeq || s.Sn != 1 {
+		t.Errorf("status = %+v", s)
+	}
+}
+
+func TestApplicationIsBlockedDuringSwitch(t *testing.T) {
+	// Maestro's defining weakness vs the paper's approach: broadcasts
+	// issued during the switch window are queued until the new stack
+	// starts, so their latency includes the whole coordination window.
+	const finalize = 120 * time.Millisecond
+	c, sinks := build(t, 3, finalize)
+	c.Stacks[0].Call(core.Service, core.ChangeProtocol{Protocol: abcast.ProtocolCT})
+	time.Sleep(20 * time.Millisecond) // inside the blocking window
+	sentAt := time.Now()
+	c.Stacks[0].Call(core.Service, core.Broadcast{Data: []byte("blocked")})
+	c.Eventually(timeout, "blocked message delivered", func() bool {
+		return sinks[0].deliverCount() >= 1
+	})
+	elapsed := time.Since(sentAt)
+	if elapsed < finalize/2 {
+		t.Errorf("blocked message delivered after %v; expected to wait out the finalize window (~%v)",
+			elapsed, finalize)
+	}
+}
+
+func TestDeliverySequencesMatchAcrossSwitch(t *testing.T) {
+	c, sinks := build(t, 3, 30*time.Millisecond)
+	for k := 0; k < 5; k++ {
+		c.Stacks[k%3].Call(core.Service, core.Broadcast{Data: []byte(fmt.Sprintf("a%d", k))})
+	}
+	time.Sleep(50 * time.Millisecond)
+	c.Stacks[0].Call(core.Service, core.ChangeProtocol{Protocol: abcast.ProtocolSeq})
+	c.Eventually(timeout, "switch", func() bool {
+		for _, s := range sinks {
+			if s.switchCount() != 1 {
+				return false
+			}
+		}
+		return true
+	})
+	for k := 0; k < 5; k++ {
+		c.Stacks[k%3].Call(core.Service, core.Broadcast{Data: []byte(fmt.Sprintf("b%d", k))})
+	}
+	c.Eventually(timeout, "all delivered", func() bool {
+		for _, s := range sinks {
+			if s.deliverCount() < 10 {
+				return false
+			}
+		}
+		return true
+	})
+	ref := sinks[0].deliveries()
+	for i := 1; i < 3; i++ {
+		got := sinks[i].deliveries()
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Fatalf("stack %d sequence %v != %v", i, got, ref)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package rbcast implements reliable broadcast over the RP2P service:
+// the initiator sends to everybody, and every stack relays a message on
+// first receipt before delivering it. With reliable channels this gives
+// the classic guarantees — validity (a correct sender's message is
+// delivered), agreement (if any correct stack delivers m, every correct
+// stack does, even if the sender crashed mid-broadcast) and integrity
+// (no duplicates, no invention).
+//
+// Like RP2P, deliveries are demultiplexed by named channels with
+// buffering of unclaimed channels, so messages addressed to a protocol
+// version that does not exist yet wait for its module.
+package rbcast
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/rp2p"
+	"repro/internal/wire"
+)
+
+// Service is the reliable-broadcast service.
+const Service kernel.ServiceID = "rbcast"
+
+// Protocol is the protocol name registered for this module.
+const Protocol = "rbcast"
+
+// rp2pChannel carries all rbcast traffic on the RP2P service.
+const rp2pChannel = "rb"
+
+// Broadcast requests a reliable broadcast to the whole group,
+// including the sender.
+type Broadcast struct {
+	Channel string
+	Data    []byte
+}
+
+// Deliver is handed to the channel's handler on every stack.
+type Deliver struct {
+	Origin kernel.Addr
+	Data   []byte
+}
+
+// Listen registers the handler for a channel, flushing buffered
+// messages. The handler runs on the stack's executor.
+type Listen struct {
+	Channel string
+	Handler func(Deliver)
+}
+
+// Unlisten removes the channel's handler; subsequent messages buffer.
+type Unlisten struct {
+	Channel string
+}
+
+// Config tunes the module.
+type Config struct {
+	// BufferLimit bounds per-channel buffering of unclaimed messages.
+	BufferLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferLimit <= 0 {
+		c.BufferLimit = 16384
+	}
+	return c
+}
+
+// seenSet tracks which sequence numbers of one origin were received,
+// compacting the contiguous prefix so memory stays bounded under FIFO
+// arrival.
+type seenSet struct {
+	maxContig uint64
+	sparse    map[uint64]bool
+}
+
+func (s *seenSet) add(seq uint64) bool {
+	if seq <= s.maxContig || s.sparse[seq] {
+		return false
+	}
+	s.sparse[seq] = true
+	for s.sparse[s.maxContig+1] {
+		delete(s.sparse, s.maxContig+1)
+		s.maxContig++
+	}
+	return true
+}
+
+// Module implements reliable broadcast.
+type Module struct {
+	kernel.Base
+	cfg       Config
+	seq       uint64
+	seen      map[kernel.Addr]*seenSet
+	handlers  map[string]func(Deliver)
+	unclaimed map[string][]Deliver
+	drops     uint64
+}
+
+// Factory returns the module factory.
+func Factory(cfg Config) kernel.Factory {
+	cfg = cfg.withDefaults()
+	return kernel.Factory{
+		Protocol: Protocol,
+		Provides: []kernel.ServiceID{Service},
+		Requires: []kernel.ServiceID{rp2p.Service},
+		New: func(st *kernel.Stack) kernel.Module {
+			return &Module{
+				Base:      kernel.NewBase(st, Protocol),
+				cfg:       cfg,
+				seen:      make(map[kernel.Addr]*seenSet),
+				handlers:  make(map[string]func(Deliver)),
+				unclaimed: make(map[string][]Deliver),
+			}
+		},
+	}
+}
+
+// Start hooks into the RP2P channel.
+func (m *Module) Start() {
+	m.Stk.Call(rp2p.Service, rp2p.Listen{Channel: rp2pChannel, Handler: m.onRecv})
+}
+
+// Stop detaches from RP2P.
+func (m *Module) Stop() {
+	m.Stk.Call(rp2p.Service, rp2p.Unlisten{Channel: rp2pChannel})
+}
+
+// HandleRequest processes Broadcast, Listen and Unlisten.
+func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
+	switch r := req.(type) {
+	case Broadcast:
+		m.broadcast(r)
+	case Listen:
+		m.handlers[r.Channel] = r.Handler
+		if buf := m.unclaimed[r.Channel]; len(buf) > 0 {
+			delete(m.unclaimed, r.Channel)
+			for _, d := range buf {
+				r.Handler(d)
+			}
+		}
+	case Unlisten:
+		delete(m.handlers, r.Channel)
+	}
+}
+
+func (m *Module) broadcast(b Broadcast) {
+	m.seq++
+	origin := m.Stk.Addr()
+	w := wire.NewWriter(len(b.Data) + len(b.Channel) + 20)
+	w.Uvarint(uint64(origin)).Uvarint(m.seq).String(b.Channel).Raw(b.Data)
+	encoded := w.Bytes()
+	m.markSeen(origin, m.seq)
+	for _, p := range m.Stk.Others() {
+		m.Stk.Call(rp2p.Service, rp2p.Send{To: p, Channel: rp2pChannel, Data: encoded})
+	}
+	m.deliver(b.Channel, Deliver{Origin: origin, Data: b.Data})
+}
+
+func (m *Module) markSeen(origin kernel.Addr, seq uint64) bool {
+	ss, ok := m.seen[origin]
+	if !ok {
+		ss = &seenSet{sparse: make(map[uint64]bool)}
+		m.seen[origin] = ss
+	}
+	return ss.add(seq)
+}
+
+func (m *Module) onRecv(rv rp2p.Recv) {
+	r := wire.NewReader(rv.Data)
+	origin := kernel.Addr(r.Uvarint())
+	seq := r.Uvarint()
+	channel := r.String()
+	data := r.Rest()
+	if r.Err() != nil {
+		return
+	}
+	if !m.markSeen(origin, seq) {
+		return // already relayed and delivered
+	}
+	// Relay before delivering: agreement despite sender crash.
+	for _, p := range m.Stk.Others() {
+		if p == origin || p == rv.From {
+			continue
+		}
+		m.Stk.Call(rp2p.Service, rp2p.Send{To: p, Channel: rp2pChannel, Data: rv.Data})
+	}
+	m.deliver(channel, Deliver{Origin: origin, Data: data})
+}
+
+func (m *Module) deliver(channel string, d Deliver) {
+	if h, ok := m.handlers[channel]; ok {
+		h(d)
+		return
+	}
+	buf := m.unclaimed[channel]
+	if len(buf) >= m.cfg.BufferLimit {
+		m.drops++
+		m.Stk.Logf("rbcast: channel %q buffer full, dropping", channel)
+		return
+	}
+	m.unclaimed[channel] = append(buf, d)
+}

@@ -1,0 +1,155 @@
+package rbcast_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rbcast"
+	"repro/internal/rp2p"
+	"repro/internal/simnet"
+	"repro/internal/stacktest"
+	"repro/internal/udp"
+)
+
+const timeout = 10 * time.Second
+
+type delivLog struct {
+	mu  sync.Mutex
+	got []rbcast.Deliver
+}
+
+func (l *delivLog) add(d rbcast.Deliver) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.got = append(l.got, d)
+}
+
+func (l *delivLog) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.got)
+}
+
+func (l *delivLog) snapshot() []rbcast.Deliver {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]rbcast.Deliver(nil), l.got...)
+}
+
+func build(t *testing.T, n int, netCfg simnet.Config) (*stacktest.Cluster, []*delivLog) {
+	c := stacktest.New(t, n, netCfg, nil)
+	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(rp2p.Factory(rp2p.Config{RTO: 5 * time.Millisecond}))
+	c.Reg.MustRegister(rbcast.Factory(rbcast.Config{}))
+	c.CreateAll(rbcast.Protocol)
+	logs := make([]*delivLog, n)
+	for i := range logs {
+		logs[i] = &delivLog{}
+		c.Stacks[i].Call(rbcast.Service, rbcast.Listen{Channel: "t", Handler: logs[i].add})
+	}
+	return c, logs
+}
+
+func TestBroadcastReachesEveryoneIncludingSender(t *testing.T) {
+	c, logs := build(t, 3, simnet.Config{})
+	c.Stacks[0].Call(rbcast.Service, rbcast.Broadcast{Channel: "t", Data: []byte("hello")})
+	c.Eventually(timeout, "delivery everywhere", func() bool {
+		for _, l := range logs {
+			if l.count() != 1 {
+				return false
+			}
+		}
+		return true
+	})
+	for i, l := range logs {
+		d := l.snapshot()[0]
+		if d.Origin != 0 || string(d.Data) != "hello" {
+			t.Errorf("stack %d got %+v", i, d)
+		}
+	}
+}
+
+func TestNoDuplicatesDespiteRelays(t *testing.T) {
+	c, logs := build(t, 5, simnet.Config{Seed: 3, BaseLatency: time.Millisecond, Jitter: time.Millisecond})
+	const total = 30
+	for i := 0; i < total; i++ {
+		c.Stacks[i%5].Call(rbcast.Service, rbcast.Broadcast{Channel: "t", Data: []byte{byte(i)}})
+	}
+	c.Eventually(timeout, "all deliveries", func() bool {
+		for _, l := range logs {
+			if l.count() < total {
+				return false
+			}
+		}
+		return true
+	})
+	time.Sleep(50 * time.Millisecond)
+	for i, l := range logs {
+		if got := l.count(); got != total {
+			t.Errorf("stack %d delivered %d, want exactly %d", i, got, total)
+		}
+		seen := map[string]bool{}
+		for _, d := range l.snapshot() {
+			key := fmt.Sprintf("%d-%v", d.Origin, d.Data)
+			if seen[key] {
+				t.Errorf("stack %d delivered %s twice", i, key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestAgreementDespiteSenderCrashMidBroadcast(t *testing.T) {
+	// The sender manages to reach only stack 1 before crashing; the
+	// relay step must spread the message to stack 2 anyway.
+	c, logs := build(t, 3, simnet.Config{BaseLatency: 2 * time.Millisecond})
+	c.Net.Cut(0, 2) // sender can only reach stack 1
+	c.Stacks[0].Call(rbcast.Service, rbcast.Broadcast{Channel: "t", Data: []byte("m")})
+	// Give the message time to reach stack 1, then crash the sender.
+	c.Eventually(timeout, "reached stack 1", func() bool { return logs[1].count() == 1 })
+	c.Net.SetDown(0, true)
+	c.Eventually(timeout, "relayed to stack 2", func() bool { return logs[2].count() == 1 })
+	if d := logs[2].snapshot()[0]; d.Origin != 0 || string(d.Data) != "m" {
+		t.Errorf("stack 2 got %+v", d)
+	}
+}
+
+func TestLossyNetworkStillDeliversEverywhere(t *testing.T) {
+	c, logs := build(t, 4, simnet.Config{Seed: 6, LossRate: 0.25, BaseLatency: time.Millisecond})
+	const total = 20
+	for i := 0; i < total; i++ {
+		c.Stacks[i%4].Call(rbcast.Service, rbcast.Broadcast{Channel: "t", Data: []byte{byte(i)}})
+	}
+	c.Eventually(timeout, "all deliveries under loss", func() bool {
+		for _, l := range logs {
+			if l.count() != total {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestChannelBufferingForLateListeners(t *testing.T) {
+	c, _ := build(t, 2, simnet.Config{})
+	c.Stacks[0].Call(rbcast.Service, rbcast.Broadcast{Channel: "late", Data: []byte("early-bird")})
+	late := &delivLog{}
+	time.Sleep(20 * time.Millisecond)
+	c.Stacks[1].Call(rbcast.Service, rbcast.Listen{Channel: "late", Handler: late.add})
+	c.Eventually(timeout, "buffered message flushed", func() bool { return late.count() == 1 })
+	if d := late.snapshot()[0]; string(d.Data) != "early-bird" {
+		t.Errorf("got %+v", d)
+	}
+}
+
+func TestValidityLocalDeliveryIsImmediate(t *testing.T) {
+	c, logs := build(t, 3, simnet.Config{BaseLatency: 50 * time.Millisecond})
+	start := time.Now()
+	c.Stacks[0].Call(rbcast.Service, rbcast.Broadcast{Channel: "t", Data: []byte("x")})
+	c.Eventually(timeout, "self delivery", func() bool { return logs[0].count() == 1 })
+	if el := time.Since(start); el > 40*time.Millisecond {
+		t.Errorf("local delivery took %v; should not wait for the network", el)
+	}
+}

@@ -1,0 +1,69 @@
+package rbcast
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeenSetExactlyOnce(t *testing.T) {
+	s := &seenSet{sparse: make(map[uint64]bool)}
+	if !s.add(1) || s.add(1) {
+		t.Fatal("first add must return true, second false")
+	}
+	if !s.add(3) {
+		t.Fatal("gap add failed")
+	}
+	if s.add(3) {
+		t.Fatal("duplicate gap add accepted")
+	}
+	if !s.add(2) {
+		t.Fatal("fill add failed")
+	}
+	// 1..3 now contiguous; all must read as seen.
+	for seq := uint64(1); seq <= 3; seq++ {
+		if s.add(seq) {
+			t.Fatalf("seq %d re-added after compaction", seq)
+		}
+	}
+	if s.maxContig != 3 {
+		t.Fatalf("maxContig = %d, want 3", s.maxContig)
+	}
+	if len(s.sparse) != 0 {
+		t.Fatalf("sparse not compacted: %v", s.sparse)
+	}
+}
+
+// TestQuickSeenSetMatchesReferenceSet compares the compacting set with
+// a plain map under random insertion orders: add must return true
+// exactly on first insertion, and memory must compact to the contiguous
+// prefix.
+func TestQuickSeenSetMatchesReferenceSet(t *testing.T) {
+	f := func(raw []uint8) bool {
+		s := &seenSet{sparse: make(map[uint64]bool)}
+		ref := make(map[uint64]bool)
+		for _, r := range raw {
+			seq := uint64(r%32) + 1 // dense domain to force compaction
+			fresh := !ref[seq]
+			ref[seq] = true
+			if s.add(seq) != fresh {
+				return false
+			}
+		}
+		// Every seq in ref must now be rejected; absent ones accepted.
+		for seq := uint64(1); seq <= 33; seq++ {
+			if ref[seq] && s.add(seq) {
+				return false
+			}
+		}
+		// Compaction invariant: sparse never contains seqs <= maxContig.
+		for seq := range s.sparse {
+			if seq <= s.maxContig {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

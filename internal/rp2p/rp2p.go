@@ -1,0 +1,468 @@
+// Package rp2p implements the RP2P module of the paper's stack
+// (Figure 4): reliable, FIFO point-to-point communication between
+// stacks, built on the unreliable UDP service with sequence numbers,
+// cumulative acknowledgements, retransmission with exponential backoff
+// and a sliding send window.
+//
+// Deliveries are demultiplexed by named channels. A channel with no
+// registered handler buffers its messages until a handler registers:
+// this realises the paper's rule that "if Pj is not currently in stack
+// j, the invocation made by Q is completed when Pj is added to stack j"
+// — during a dynamic protocol update, messages addressed to the next
+// protocol version wait for that module's creation.
+package rp2p
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/udp"
+	"repro/internal/wire"
+)
+
+// Service is the reliable point-to-point service.
+const Service kernel.ServiceID = "net/rp2p"
+
+// Protocol is the protocol name registered for this module.
+const Protocol = "net/rp2p"
+
+// Send requests a reliable FIFO transmission to one stack.
+type Send struct {
+	To      kernel.Addr
+	Channel string
+	Data    []byte
+}
+
+// Recv is handed to the channel's registered handler for every
+// delivered message, in FIFO order per (sender, receiver) pair.
+type Recv struct {
+	From    kernel.Addr
+	Channel string
+	Data    []byte
+}
+
+// Listen registers the handler for a channel and flushes any messages
+// buffered while the channel had no handler. The handler runs on the
+// stack's executor.
+type Listen struct {
+	Channel string
+	Handler func(Recv)
+}
+
+// Unlisten removes the channel's handler; subsequent messages buffer.
+type Unlisten struct {
+	Channel string
+}
+
+// StatsReq asks for a snapshot of module counters, delivered through
+// Reply on the executor.
+type StatsReq struct {
+	Reply func(Stats)
+}
+
+// Stats counts module activity.
+type Stats struct {
+	Sent          uint64
+	Delivered     uint64
+	Retransmits   uint64
+	DupsDiscarded uint64
+	Buffered      uint64 // currently buffered on unclaimed channels
+	BufferDrops   uint64
+}
+
+// Config tunes the reliability machinery.
+type Config struct {
+	// RTO is the initial (and minimum) retransmission timeout. The
+	// effective timeout adapts to the measured round-trip time
+	// (RFC 6298-style SRTT/RTTVAR over echo-timestamp samples), so a
+	// congested path does not collapse into a retransmission storm.
+	RTO time.Duration
+	// MaxRTO caps exponential backoff and RTT adaptation.
+	MaxRTO time.Duration
+	// Window is the maximum number of unacknowledged packets per peer.
+	Window int
+	// RetransmitBurst caps how many packets one timer expiry resends
+	// (oldest first); the rest wait for the next expiry or an ack.
+	RetransmitBurst int
+	// BufferLimit bounds per-channel buffering of unclaimed messages.
+	BufferLimit int
+}
+
+// DefaultConfig returns production defaults scaled for the simulated
+// LAN profiles used in the experiments.
+func DefaultConfig() Config {
+	return Config{
+		RTO:             20 * time.Millisecond,
+		MaxRTO:          500 * time.Millisecond,
+		Window:          128,
+		RetransmitBurst: 8,
+		BufferLimit:     16384,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.RTO <= 0 {
+		c.RTO = d.RTO
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = d.MaxRTO
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.RetransmitBurst <= 0 {
+		c.RetransmitBurst = d.RetransmitBurst
+	}
+	if c.BufferLimit <= 0 {
+		c.BufferLimit = d.BufferLimit
+	}
+	return c
+}
+
+const (
+	pktData byte = 0
+	pktAck  byte = 1
+)
+
+// outPkt is one in-flight packet. The wire encoding carries a transmit
+// timestamp that the receiver echoes in its ack (like TCP timestamps,
+// RFC 7323): RTT samples stay clean even when cumulative acks are held
+// back by a head-of-line loss, the case where sampling "time until the
+// ack covered it" would wildly inflate the estimate.
+type outPkt struct {
+	seq     uint64
+	encoded []byte // timestamp field starts at tsOffset
+	tsOff   int
+}
+
+type peer struct {
+	addr kernel.Addr
+
+	// Sender side.
+	nextSeq uint64 // next sequence number to assign (starts at 1)
+	sendQ   []*outPkt
+	unacked map[uint64]*outPkt
+	rto     time.Duration // current timeout incl. backoff
+	srtt    time.Duration // smoothed RTT (0 until first sample)
+	rttvar  time.Duration
+	rtimer  *kernel.Timer
+	rtGen   uint64 // invalidates retransmit events queued by dead timers
+
+	// Receiver side.
+	expected uint64 // next in-order sequence wanted (starts at 1)
+	oob      map[uint64]Recv
+	echoTS   uint64 // transmit timestamp of the last data packet, echoed in acks
+}
+
+// sampleRTT folds one round-trip measurement into the adaptive timeout
+// (RFC 6298 coefficients).
+func (p *peer) sampleRTT(s time.Duration, minRTO, maxRTO time.Duration) {
+	if p.srtt == 0 {
+		p.srtt = s
+		p.rttvar = s / 2
+	} else {
+		diff := p.srtt - s
+		if diff < 0 {
+			diff = -diff
+		}
+		p.rttvar = (3*p.rttvar + diff) / 4
+		p.srtt = (7*p.srtt + s) / 8
+	}
+	rto := p.srtt + 4*p.rttvar
+	if rto < minRTO {
+		rto = minRTO
+	}
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	p.rto = rto
+}
+
+// Module implements the RP2P module.
+type Module struct {
+	kernel.Base
+	cfg       Config
+	peers     map[kernel.Addr]*peer
+	handlers  map[string]func(Recv)
+	unclaimed map[string][]Recv
+	stats     Stats
+}
+
+// Factory returns the module factory.
+func Factory(cfg Config) kernel.Factory {
+	cfg = cfg.withDefaults()
+	return kernel.Factory{
+		Protocol: Protocol,
+		Provides: []kernel.ServiceID{Service},
+		Requires: []kernel.ServiceID{udp.Service},
+		New: func(st *kernel.Stack) kernel.Module {
+			return &Module{
+				Base:      kernel.NewBase(st, Protocol),
+				cfg:       cfg,
+				peers:     make(map[kernel.Addr]*peer),
+				handlers:  make(map[string]func(Recv)),
+				unclaimed: make(map[string][]Recv),
+			}
+		},
+	}
+}
+
+// Start subscribes to the UDP service.
+func (m *Module) Start() {
+	m.Stk.Subscribe(udp.Service, m)
+}
+
+// Stop cancels retransmission timers.
+func (m *Module) Stop() {
+	for _, p := range m.peers {
+		if p.rtimer != nil {
+			p.rtimer.Stop()
+		}
+	}
+	m.Stk.Unsubscribe(udp.Service, m)
+}
+
+func (m *Module) peerFor(a kernel.Addr) *peer {
+	p, ok := m.peers[a]
+	if !ok {
+		p = &peer{addr: a, nextSeq: 1, expected: 1,
+			unacked: make(map[uint64]*outPkt), oob: make(map[uint64]Recv), rto: m.cfg.RTO}
+		m.peers[a] = p
+	}
+	return p
+}
+
+// HandleRequest processes Send, Listen, Unlisten and StatsReq.
+func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
+	switch r := req.(type) {
+	case Send:
+		m.send(r)
+	case Listen:
+		m.handlers[r.Channel] = r.Handler
+		if buf := m.unclaimed[r.Channel]; len(buf) > 0 {
+			delete(m.unclaimed, r.Channel)
+			m.stats.Buffered -= uint64(len(buf))
+			for _, rv := range buf {
+				r.Handler(rv)
+			}
+		}
+	case Unlisten:
+		delete(m.handlers, r.Channel)
+	case StatsReq:
+		if r.Reply != nil {
+			r.Reply(m.stats)
+		}
+	}
+}
+
+func (m *Module) send(s Send) {
+	m.stats.Sent++
+	if s.To == m.Stk.Addr() {
+		// Local shortcut: the executor's FIFO already gives order.
+		m.deliver(Recv{From: s.To, Channel: s.Channel, Data: s.Data})
+		return
+	}
+	p := m.peerFor(s.To)
+	w := wire.NewWriter(len(s.Data) + len(s.Channel) + 24)
+	w.Byte(pktData).Uvarint(p.nextSeq)
+	tsOff := w.Len()
+	w.Uint64(0) // transmit timestamp, stamped per transmission
+	w.String(s.Channel).Raw(s.Data)
+	pkt := &outPkt{seq: p.nextSeq, encoded: w.Bytes(), tsOff: tsOff}
+	p.nextSeq++
+	if len(p.unacked) < m.cfg.Window {
+		p.unacked[pkt.seq] = pkt
+		m.transmit(p, pkt)
+		m.armRetransmit(p)
+	} else {
+		p.sendQ = append(p.sendQ, pkt)
+	}
+}
+
+func (m *Module) transmit(p *peer, pkt *outPkt) {
+	binary.BigEndian.PutUint64(pkt.encoded[pkt.tsOff:], uint64(time.Now().UnixNano()))
+	m.Stk.Call(udp.Service, udp.Send{To: p.addr, Chan: udp.ChanRP2P, Data: pkt.encoded})
+}
+
+func (m *Module) armRetransmit(p *peer) {
+	if p.rtimer != nil {
+		return
+	}
+	p.rtGen++
+	gen := p.rtGen
+	p.rtimer = m.Stk.After(p.rto, func() { m.retransmit(p, gen) })
+}
+
+func (m *Module) retransmit(p *peer, gen uint64) {
+	if gen != p.rtGen {
+		return // a queued event from a timer that was since invalidated
+	}
+	p.rtimer = nil
+	if len(p.unacked) == 0 {
+		return
+	}
+	seqs := make([]uint64, 0, len(p.unacked))
+	for s := range p.unacked {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	// Resend only the oldest few: a full-window resend under congestion
+	// is exactly the retransmission storm that melts a loaded path.
+	if len(seqs) > m.cfg.RetransmitBurst {
+		seqs = seqs[:m.cfg.RetransmitBurst]
+	}
+	for _, s := range seqs {
+		m.transmit(p, p.unacked[s])
+		m.stats.Retransmits++
+	}
+	p.rto = min(p.rto*2, m.cfg.MaxRTO)
+	m.armRetransmit(p)
+}
+
+// HandleIndication processes UDP receptions tagged for RP2P.
+func (m *Module) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
+	rv, ok := ind.(udp.Recv)
+	if !ok || rv.Chan != udp.ChanRP2P {
+		return
+	}
+	r := wire.NewReader(rv.Data)
+	switch r.Byte() {
+	case pktData:
+		seq := r.Uvarint()
+		ts := r.Uint64()
+		channel := r.String()
+		data := r.Rest()
+		if r.Err() != nil {
+			return
+		}
+		m.onData(rv.From, seq, ts, channel, data)
+	case pktAck:
+		want := r.Uvarint()
+		echoTS := r.Uint64()
+		if r.Err() != nil {
+			return
+		}
+		m.onAck(rv.From, want, echoTS)
+	}
+}
+
+func (m *Module) onData(from kernel.Addr, seq uint64, ts uint64, channel string, data []byte) {
+	p := m.peerFor(from)
+	p.echoTS = ts
+	switch {
+	case seq < p.expected:
+		m.stats.DupsDiscarded++
+	case seq == p.expected:
+		m.deliver(Recv{From: from, Channel: channel, Data: data})
+		p.expected++
+		for {
+			next, ok := p.oob[p.expected]
+			if !ok {
+				break
+			}
+			delete(p.oob, p.expected)
+			m.deliver(next)
+			p.expected++
+		}
+	default: // future packet: buffer out-of-order
+		if _, dup := p.oob[seq]; !dup {
+			// The sender's window bounds how far ahead seq can be; cap
+			// defensively anyway.
+			if len(p.oob) < 4*m.cfg.Window {
+				p.oob[seq] = Recv{From: from, Channel: channel, Data: data}
+			}
+		} else {
+			m.stats.DupsDiscarded++
+		}
+	}
+	m.sendAck(p)
+}
+
+func (m *Module) sendAck(p *peer) {
+	w := wire.NewWriter(20)
+	w.Byte(pktAck).Uvarint(p.expected).Uint64(p.echoTS)
+	m.Stk.Call(udp.Service, udp.Send{To: p.addr, Chan: udp.ChanRP2P, Data: w.Bytes()})
+}
+
+func (m *Module) onAck(from kernel.Addr, want uint64, echoTS uint64) {
+	p := m.peerFor(from)
+	// Every ack carries an RTT measurement for the transmission that
+	// triggered it, valid even for retransmissions and held-back
+	// cumulative acks.
+	if echoTS > 0 {
+		if sample := time.Since(time.Unix(0, int64(echoTS))); sample > 0 && sample < 10*m.cfg.MaxRTO {
+			p.sampleRTT(sample, m.cfg.RTO, m.cfg.MaxRTO)
+		}
+	}
+	progressed := false
+	for s := range p.unacked {
+		if s < want {
+			delete(p.unacked, s)
+			progressed = true
+		}
+	}
+	if progressed {
+		// Forward progress resets exponential backoff (as TCP does):
+		// back to the RTT-derived timeout, or the floor with no samples.
+		if p.srtt > 0 {
+			rto := p.srtt + 4*p.rttvar
+			if rto < m.cfg.RTO {
+				rto = m.cfg.RTO
+			}
+			if rto > m.cfg.MaxRTO {
+				rto = m.cfg.MaxRTO
+			}
+			p.rto = rto
+		} else {
+			p.rto = m.cfg.RTO
+		}
+	}
+	// Top the window up from the backlog.
+	for len(p.sendQ) > 0 && len(p.unacked) < m.cfg.Window {
+		pkt := p.sendQ[0]
+		p.sendQ[0] = nil
+		p.sendQ = p.sendQ[1:]
+		p.unacked[pkt.seq] = pkt
+		m.transmit(p, pkt)
+	}
+	switch {
+	case len(p.unacked) == 0:
+		if p.rtimer != nil {
+			p.rtimer.Stop()
+			p.rtimer = nil
+			p.rtGen++ // invalidate any already-queued retransmit event
+		}
+	case progressed:
+		// Restart the clock with the current (possibly just reduced)
+		// timeout: a timer armed during backoff would otherwise keep
+		// pacing retransmissions at the backed-off interval even while
+		// acks flow.
+		if p.rtimer != nil {
+			p.rtimer.Stop()
+			p.rtimer = nil
+			p.rtGen++
+		}
+		m.armRetransmit(p)
+	default:
+		m.armRetransmit(p)
+	}
+}
+
+func (m *Module) deliver(rv Recv) {
+	m.stats.Delivered++
+	if h, ok := m.handlers[rv.Channel]; ok {
+		h(rv)
+		return
+	}
+	buf := m.unclaimed[rv.Channel]
+	if len(buf) >= m.cfg.BufferLimit {
+		m.stats.BufferDrops++
+		m.Stk.Logf("rp2p: channel %q buffer full, dropping", rv.Channel)
+		return
+	}
+	m.unclaimed[rv.Channel] = append(buf, rv)
+	m.stats.Buffered++
+}

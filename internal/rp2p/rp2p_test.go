@@ -1,0 +1,347 @@
+package rp2p_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rp2p"
+	"repro/internal/simnet"
+	"repro/internal/stacktest"
+	"repro/internal/udp"
+)
+
+const timeout = 10 * time.Second
+
+// recvLog collects deliveries thread-safely (handlers run on executors).
+type recvLog struct {
+	mu  sync.Mutex
+	got []rp2p.Recv
+}
+
+func (l *recvLog) add(rv rp2p.Recv) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.got = append(l.got, rv)
+}
+
+func (l *recvLog) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.got)
+}
+
+func (l *recvLog) snapshot() []rp2p.Recv {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]rp2p.Recv(nil), l.got...)
+}
+
+func build(t *testing.T, n int, netCfg simnet.Config, cfg rp2p.Config) *stacktest.Cluster {
+	c := stacktest.New(t, n, netCfg, nil)
+	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(rp2p.Factory(cfg))
+	c.CreateAll(rp2p.Protocol)
+	return c
+}
+
+func listen(c *stacktest.Cluster, i int, channel string, log *recvLog) {
+	c.Stacks[i].Call(rp2p.Service, rp2p.Listen{Channel: channel, Handler: log.add})
+}
+
+func TestReliableDeliveryPerfectNet(t *testing.T) {
+	c := build(t, 2, simnet.Config{}, rp2p.Config{})
+	log := &recvLog{}
+	listen(c, 1, "ch", log)
+	for i := 0; i < 20; i++ {
+		c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "ch", Data: []byte{byte(i)}})
+	}
+	c.Eventually(timeout, "20 messages", func() bool { return log.count() == 20 })
+	for i, rv := range log.snapshot() {
+		if rv.Data[0] != byte(i) {
+			t.Fatalf("message %d out of order: got %d", i, rv.Data[0])
+		}
+		if rv.From != 0 {
+			t.Fatalf("message %d from %d", i, rv.From)
+		}
+	}
+}
+
+func TestReliableFIFOUnderHeavyLoss(t *testing.T) {
+	c := build(t, 2,
+		simnet.Config{Seed: 11, LossRate: 0.3, BaseLatency: time.Millisecond, Jitter: time.Millisecond},
+		rp2p.Config{RTO: 5 * time.Millisecond, Window: 16})
+	log := &recvLog{}
+	listen(c, 1, "ch", log)
+	const total = 200
+	for i := 0; i < total; i++ {
+		c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "ch", Data: []byte{byte(i / 256), byte(i % 256)}})
+	}
+	c.Eventually(timeout, "all messages despite loss", func() bool { return log.count() == total })
+	for i, rv := range log.snapshot() {
+		got := int(rv.Data[0])*256 + int(rv.Data[1])
+		if got != i {
+			t.Fatalf("position %d: got message %d (FIFO violated under loss)", i, got)
+		}
+	}
+}
+
+func TestExactlyOnceUnderDuplication(t *testing.T) {
+	c := build(t, 2,
+		simnet.Config{Seed: 5, DupRate: 0.5, BaseLatency: time.Millisecond},
+		rp2p.Config{RTO: 5 * time.Millisecond})
+	log := &recvLog{}
+	listen(c, 1, "ch", log)
+	const total = 100
+	for i := 0; i < total; i++ {
+		c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "ch", Data: []byte{byte(i)}})
+	}
+	c.Eventually(timeout, "all messages", func() bool { return log.count() >= total })
+	time.Sleep(50 * time.Millisecond) // give duplicates a chance to arrive
+	if got := log.count(); got != total {
+		t.Errorf("delivered %d, want exactly %d (duplicates leaked)", got, total)
+	}
+}
+
+func TestSelfSendDeliversLocally(t *testing.T) {
+	c := build(t, 1, simnet.Config{BaseLatency: time.Hour}, rp2p.Config{})
+	log := &recvLog{}
+	listen(c, 0, "me", log)
+	c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 0, Channel: "me", Data: []byte("self")})
+	c.Eventually(timeout, "self delivery", func() bool { return log.count() == 1 })
+	if rv := log.snapshot()[0]; rv.From != 0 || string(rv.Data) != "self" {
+		t.Errorf("got %+v", rv)
+	}
+}
+
+func TestUnclaimedChannelBuffersUntilListen(t *testing.T) {
+	// The paper's "invocation completed when the module is added":
+	// messages for a channel nobody listens to yet must wait, then flush
+	// in order on Listen.
+	c := build(t, 2, simnet.Config{}, rp2p.Config{})
+	for i := 0; i < 5; i++ {
+		c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "future", Data: []byte{byte(i)}})
+	}
+	// Wait for the messages to arrive and buffer on stack 1.
+	c.Eventually(timeout, "buffered messages", func() bool {
+		var buffered uint64
+		done := make(chan struct{})
+		c.Stacks[1].Call(rp2p.Service, rp2p.StatsReq{Reply: func(s rp2p.Stats) {
+			buffered = s.Buffered
+			close(done)
+		}})
+		<-done
+		return buffered == 5
+	})
+	log := &recvLog{}
+	listen(c, 1, "future", log)
+	c.Eventually(timeout, "flush on listen", func() bool { return log.count() == 5 })
+	for i, rv := range log.snapshot() {
+		if rv.Data[0] != byte(i) {
+			t.Fatalf("flushed out of order at %d: %d", i, rv.Data[0])
+		}
+	}
+}
+
+func TestChannelsAreIndependent(t *testing.T) {
+	c := build(t, 2, simnet.Config{}, rp2p.Config{})
+	logA, logB := &recvLog{}, &recvLog{}
+	listen(c, 1, "a", logA)
+	listen(c, 1, "b", logB)
+	c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "a", Data: []byte("to-a")})
+	c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "b", Data: []byte("to-b")})
+	c.Eventually(timeout, "both channels", func() bool { return logA.count() == 1 && logB.count() == 1 })
+	if string(logA.snapshot()[0].Data) != "to-a" || string(logB.snapshot()[0].Data) != "to-b" {
+		t.Error("channel demux mixed up payloads")
+	}
+}
+
+func TestUnlistenBuffersAgain(t *testing.T) {
+	c := build(t, 2, simnet.Config{}, rp2p.Config{})
+	log := &recvLog{}
+	listen(c, 1, "ch", log)
+	c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "ch", Data: []byte("1")})
+	c.Eventually(timeout, "first", func() bool { return log.count() == 1 })
+	c.Stacks[1].Call(rp2p.Service, rp2p.Unlisten{Channel: "ch"})
+	c.OnSync(1, func() {})
+	c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "ch", Data: []byte("2")})
+	time.Sleep(20 * time.Millisecond)
+	if log.count() != 1 {
+		t.Fatalf("message delivered after Unlisten")
+	}
+	listen(c, 1, "ch", log)
+	c.Eventually(timeout, "second after re-listen", func() bool { return log.count() == 2 })
+}
+
+func TestWindowBacklogDrains(t *testing.T) {
+	// With a tiny window, a burst larger than the window must still be
+	// delivered completely and in order.
+	c := build(t, 2,
+		simnet.Config{Seed: 2, BaseLatency: time.Millisecond, LossRate: 0.1},
+		rp2p.Config{Window: 4, RTO: 5 * time.Millisecond})
+	log := &recvLog{}
+	listen(c, 1, "ch", log)
+	const total = 100
+	for i := 0; i < total; i++ {
+		c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "ch", Data: []byte{byte(i)}})
+	}
+	c.Eventually(timeout, "backlog drained", func() bool { return log.count() == total })
+	for i, rv := range log.snapshot() {
+		if rv.Data[0] != byte(i) {
+			t.Fatalf("order violated at %d", i)
+		}
+	}
+}
+
+func TestBidirectionalTrafficIsIndependent(t *testing.T) {
+	c := build(t, 2, simnet.Config{Seed: 9, LossRate: 0.2}, rp2p.Config{RTO: 5 * time.Millisecond})
+	log0, log1 := &recvLog{}, &recvLog{}
+	listen(c, 0, "ch", log0)
+	listen(c, 1, "ch", log1)
+	for i := 0; i < 50; i++ {
+		c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "ch", Data: []byte{byte(i)}})
+		c.Stacks[1].Call(rp2p.Service, rp2p.Send{To: 0, Channel: "ch", Data: []byte{byte(i)}})
+	}
+	c.Eventually(timeout, "both directions", func() bool {
+		return log0.count() == 50 && log1.count() == 50
+	})
+}
+
+func TestManyPeersAllToAll(t *testing.T) {
+	const n = 5
+	c := build(t, n, simnet.Config{Seed: 4, LossRate: 0.1, BaseLatency: time.Millisecond},
+		rp2p.Config{RTO: 5 * time.Millisecond})
+	logs := make([]*recvLog, n)
+	for i := 0; i < n; i++ {
+		logs[i] = &recvLog{}
+		listen(c, i, "all", logs[i])
+	}
+	const per = 20
+	for i := 0; i < n; i++ {
+		for k := 0; k < per; k++ {
+			for j := 0; j < n; j++ {
+				if j != i {
+					c.Stacks[i].Call(rp2p.Service, rp2p.Send{To: c.Stacks[j].Addr(), Channel: "all", Data: []byte{byte(i), byte(k)}})
+				}
+			}
+		}
+	}
+	want := per * (n - 1)
+	c.Eventually(timeout, "all-to-all", func() bool {
+		for i := 0; i < n; i++ {
+			if logs[i].count() != want {
+				return false
+			}
+		}
+		return true
+	})
+	// Per-sender FIFO must hold at every receiver.
+	for i := 0; i < n; i++ {
+		lastK := map[byte]int{}
+		for _, rv := range logs[i].snapshot() {
+			sender, k := rv.Data[0], int(rv.Data[1])
+			if last, ok := lastK[sender]; ok && k != last+1 {
+				t.Fatalf("receiver %d: sender %d jumped %d -> %d", i, sender, last, k)
+			}
+			lastK[sender] = k
+		}
+	}
+}
+
+func TestRetransmissionsHappenUnderLoss(t *testing.T) {
+	c := build(t, 2, simnet.Config{Seed: 8, LossRate: 0.5}, rp2p.Config{RTO: 5 * time.Millisecond})
+	log := &recvLog{}
+	listen(c, 1, "ch", log)
+	for i := 0; i < 30; i++ {
+		c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "ch", Data: []byte{byte(i)}})
+	}
+	c.Eventually(timeout, "delivery", func() bool { return log.count() == 30 })
+	var stats rp2p.Stats
+	done := make(chan struct{})
+	c.Stacks[0].Call(rp2p.Service, rp2p.StatsReq{Reply: func(s rp2p.Stats) {
+		stats = s
+		close(done)
+	}})
+	<-done
+	if stats.Retransmits == 0 {
+		t.Error("no retransmissions recorded under 50% loss")
+	}
+}
+
+// TestQuickExactlyOnceFIFO is the package's property-based test: for
+// random message counts, loss rates and window sizes, every message is
+// delivered exactly once and in order.
+func TestQuickExactlyOnceFIFO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is slow")
+	}
+	f := func(seed int64, nMsg uint8, loss uint8, window uint8) bool {
+		total := int(nMsg)%40 + 1
+		lossRate := float64(loss%45) / 100.0
+		win := int(window)%8 + 1
+		c := build(t, 2,
+			simnet.Config{Seed: seed, LossRate: lossRate, BaseLatency: 200 * time.Microsecond},
+			rp2p.Config{Window: win, RTO: 2 * time.Millisecond, MaxRTO: 20 * time.Millisecond})
+		defer c.Close()
+		log := &recvLog{}
+		listen(c, 1, "q", log)
+		for i := 0; i < total; i++ {
+			c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "q", Data: []byte{byte(i)}})
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for log.count() < total && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if log.count() != total {
+			t.Logf("seed=%d total=%d loss=%.2f win=%d: delivered %d", seed, total, lossRate, win, log.count())
+			return false
+		}
+		for i, rv := range log.snapshot() {
+			if rv.Data[0] != byte(i) {
+				t.Logf("seed=%d: order violated at %d", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := build(t, 2, simnet.Config{}, rp2p.Config{})
+	log := &recvLog{}
+	listen(c, 1, "ch", log)
+	c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "ch", Data: []byte("x")})
+	c.Eventually(timeout, "delivery", func() bool { return log.count() == 1 })
+	for i, st := range c.Stacks {
+		done := make(chan rp2p.Stats, 1)
+		st.Call(rp2p.Service, rp2p.StatsReq{Reply: func(s rp2p.Stats) { done <- s }})
+		s := <-done
+		if i == 0 && s.Sent != 1 {
+			t.Errorf("sender stats: %+v", s)
+		}
+		if i == 1 && s.Delivered != 1 {
+			t.Errorf("receiver stats: %+v", s)
+		}
+	}
+}
+
+func TestBufferLimitDropsExcess(t *testing.T) {
+	c := build(t, 2, simnet.Config{}, rp2p.Config{BufferLimit: 3})
+	for i := 0; i < 10; i++ {
+		c.Stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "nobody", Data: []byte{byte(i)}})
+	}
+	c.Eventually(timeout, "buffer filled and trimmed", func() bool {
+		var s rp2p.Stats
+		done := make(chan struct{})
+		c.Stacks[1].Call(rp2p.Service, rp2p.StatsReq{Reply: func(got rp2p.Stats) {
+			s = got
+			close(done)
+		}})
+		<-done
+		return s.Buffered == 3 && s.BufferDrops == 7
+	})
+}

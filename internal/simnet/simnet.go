@@ -1,0 +1,329 @@
+// Package simnet is the network substrate substituting for the paper's
+// cluster (7 PCs on a 100Base-TX switch). It is an in-memory datagram
+// fabric with a parameterised fault and latency model: one-way base
+// latency, uniform jitter, a bandwidth term proportional to packet size,
+// probabilistic loss and duplication, link cuts (partitions) and
+// endpoint crashes. Packets are delivered asynchronously on timer
+// goroutines; receivers re-inject them into their stack's executor.
+//
+// The model is deliberately simple but exercises exactly the code paths
+// the protocols depend on: variable delay (reordering across sources),
+// loss (retransmission), duplication (dedup) and partitions (failure
+// detection and consensus rounds).
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Addr identifies an endpoint (one per stack).
+type Addr int
+
+// Config parameterises the fabric. The zero value is a perfect network
+// with zero latency.
+type Config struct {
+	// Seed makes packet fates (loss, jitter, duplication) reproducible.
+	Seed int64
+	// BaseLatency is the one-way propagation delay.
+	BaseLatency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// BandwidthBps, when > 0, adds size*8/BandwidthBps of transmission
+	// delay per packet.
+	BandwidthBps float64
+	// SerializeEgress, when true together with BandwidthBps, models a
+	// per-NIC transmit queue: a sender's packets serialize through its
+	// link, so fan-out (n-1 unicasts per broadcast) costs grow with the
+	// group size — the effect that makes larger groups slower on real
+	// hardware.
+	SerializeEgress bool
+	// EgressQueueLimit bounds the transmit queue (as queueing delay):
+	// packets that would wait longer are tail-dropped, like a real NIC
+	// or switch buffer. 0 means a 50ms default when SerializeEgress is
+	// on. Without a bound, congestion turns into unbounded bufferbloat
+	// instead of the loss that congestion control needs to observe.
+	EgressQueueLimit time.Duration
+	// LossRate is the probability a packet is dropped, in [0, 1].
+	LossRate float64
+	// DupRate is the probability a packet is delivered twice.
+	DupRate float64
+	// LoopbackLatency is the delay for self-addressed packets.
+	LoopbackLatency time.Duration
+}
+
+// Stats counts fabric activity. Retrieve a snapshot with Network.Stats.
+type Stats struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64 // loss-model drops
+	QueueDrops uint64 // egress-queue tail drops (congestion)
+	Cut        uint64 // drops due to partitions or down endpoints
+	Duplicated uint64
+	Bytes      uint64
+}
+
+// ErrClosed is returned by operations on a closed network.
+var ErrClosed = errors.New("simnet: network closed")
+
+type link struct{ a, b Addr }
+
+func mkLink(a, b Addr) link {
+	if a > b {
+		a, b = b, a
+	}
+	return link{a, b}
+}
+
+// Network is the shared fabric connecting all endpoints of a group.
+type Network struct {
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	eps     map[Addr]*Endpoint
+	cuts    map[link]bool
+	down    map[Addr]bool
+	latency map[link]time.Duration // per-link override
+	egress  map[Addr]time.Time     // per-NIC transmit queue tail
+	timers  map[*time.Timer]struct{}
+	stats   Stats
+	closed  bool
+}
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	return &Network{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		eps:     make(map[Addr]*Endpoint),
+		cuts:    make(map[link]bool),
+		down:    make(map[Addr]bool),
+		latency: make(map[link]time.Duration),
+		egress:  make(map[Addr]time.Time),
+		timers:  make(map[*time.Timer]struct{}),
+	}
+}
+
+// Endpoint is one stack's attachment point.
+type Endpoint struct {
+	net  *Network
+	addr Addr
+	recv func(from Addr, data []byte)
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// Close detaches the endpoint; in-flight packets to it are discarded
+// and the address becomes available again.
+func (e *Endpoint) Close() {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if e.net.eps[e.addr] == e {
+		delete(e.net.eps, e.addr)
+	}
+}
+
+// Open attaches an endpoint at addr. recv is invoked on a timer
+// goroutine for every delivered packet; it must hand the packet to the
+// stack's executor and return quickly.
+func (n *Network) Open(addr Addr, recv func(from Addr, data []byte)) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.eps[addr]; dup {
+		return nil, fmt.Errorf("simnet: endpoint %d already open", addr)
+	}
+	ep := &Endpoint{net: n, addr: addr, recv: recv}
+	n.eps[addr] = ep
+	return ep, nil
+}
+
+// Send transmits data to the endpoint at to. The data is copied; the
+// caller may reuse the buffer. Sending never blocks.
+func (e *Endpoint) Send(to Addr, data []byte) {
+	n := e.net
+	n.mu.Lock()
+	if n.closed || n.down[e.addr] {
+		n.mu.Unlock()
+		return
+	}
+	n.stats.Sent++
+	n.stats.Bytes += uint64(len(data))
+	if n.down[to] || n.cuts[mkLink(e.addr, to)] {
+		n.stats.Cut++
+		n.mu.Unlock()
+		return
+	}
+	if e.addr != to && n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	delay, ok := n.delayLocked(e.addr, to, len(data))
+	if !ok {
+		n.stats.QueueDrops++
+		n.mu.Unlock()
+		return
+	}
+	dup := e.addr != to && n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate
+	var dupDelay time.Duration
+	if dup {
+		var dupOK bool
+		dupDelay, dupOK = n.delayLocked(e.addr, to, len(data))
+		dup = dupOK
+		if dupOK {
+			n.stats.Duplicated++
+		}
+	}
+	buf := append([]byte(nil), data...)
+	n.scheduleLocked(delay, e.addr, to, buf)
+	if dup {
+		n.scheduleLocked(dupDelay, e.addr, to, buf)
+	}
+	n.mu.Unlock()
+}
+
+// delayLocked computes one packet's delay; n.mu must be held. The
+// second result is false when the sender's egress queue is full and the
+// packet is tail-dropped.
+func (n *Network) delayLocked(from, to Addr, size int) (time.Duration, bool) {
+	if from == to {
+		return n.cfg.LoopbackLatency, true
+	}
+	d := n.cfg.BaseLatency
+	if ov, ok := n.latency[mkLink(from, to)]; ok {
+		d = ov
+	}
+	if n.cfg.Jitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	if n.cfg.BandwidthBps > 0 {
+		tx := time.Duration(float64(size*8) / n.cfg.BandwidthBps * float64(time.Second))
+		if n.cfg.SerializeEgress {
+			// The packet leaves only when the NIC's queue has drained;
+			// a queue beyond the limit tail-drops instead.
+			limit := n.cfg.EgressQueueLimit
+			if limit <= 0 {
+				limit = 50 * time.Millisecond
+			}
+			now := time.Now()
+			tail := n.egress[from]
+			if tail.Before(now) {
+				tail = now
+			}
+			// Tail-drop when the backlog (waiting time) exceeds the
+			// limit. The packet's own transmission time is not counted:
+			// any packet can pass an idle link, however large.
+			if tail.Sub(now) > limit {
+				return 0, false
+			}
+			tail = tail.Add(tx)
+			n.egress[from] = tail
+			d += tail.Sub(now)
+		} else {
+			d += tx
+		}
+	}
+	return d, true
+}
+
+// scheduleLocked arms the delivery timer; n.mu must be held.
+func (n *Network) scheduleLocked(delay time.Duration, from, to Addr, data []byte) {
+	var tm *time.Timer
+	tm = time.AfterFunc(delay, func() {
+		n.mu.Lock()
+		delete(n.timers, tm)
+		if n.closed || n.down[to] || n.cuts[mkLink(from, to)] {
+			n.stats.Cut++
+			n.mu.Unlock()
+			return
+		}
+		ep := n.eps[to]
+		if ep == nil {
+			n.stats.Cut++
+			n.mu.Unlock()
+			return
+		}
+		n.stats.Delivered++
+		recv := ep.recv
+		n.mu.Unlock()
+		recv(from, data)
+	})
+	n.timers[tm] = struct{}{}
+}
+
+// Cut severs the bidirectional link between a and b (partition).
+func (n *Network) Cut(a, b Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cuts[mkLink(a, b)] = true
+}
+
+// Heal restores the link between a and b.
+func (n *Network) Heal(a, b Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cuts, mkLink(a, b))
+}
+
+// Isolate cuts every link touching a (full partition of one node).
+func (n *Network) Isolate(a Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for other := range n.eps {
+		if other != a {
+			n.cuts[mkLink(a, other)] = true
+		}
+	}
+}
+
+// SetDown marks an endpoint crashed (true) or recovered (false).
+// Packets from and to a down endpoint are silently discarded.
+func (n *Network) SetDown(a Addr, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[a] = down
+}
+
+// SetLinkLatency overrides the base latency of one link.
+func (n *Network) SetLinkLatency(a, b Addr, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency[mkLink(a, b)] = d
+}
+
+// Update atomically adjusts the configuration (e.g. to change the loss
+// rate mid-experiment). The seed and RNG are unaffected.
+func (n *Network) Update(fn func(*Config)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn(&n.cfg)
+}
+
+// Stats returns a snapshot of fabric counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close shuts the fabric down: pending deliveries are cancelled and
+// subsequent sends discarded.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.closed = true
+	for tm := range n.timers {
+		tm.Stop()
+	}
+	n.timers = make(map[*time.Timer]struct{})
+}

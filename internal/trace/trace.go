@@ -1,0 +1,161 @@
+// Package trace collects kernel trace events across the stacks of a
+// group and checks the paper's generic dynamic-update properties
+// (Section 3) on recorded runs:
+//
+//   - weak stack-well-formedness: a service call made while no module is
+//     bound is eventually unblocked by a bind (no call parked forever);
+//   - weak protocol-operationability: whenever a module of protocol P is
+//     bound in some stack, every non-crashed stack eventually contains a
+//     module of P.
+//
+// The checkers run offline on the recorded event list once the system
+// has quiesced, which matches the "eventually" modality of the weak
+// properties.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// Collector is a kernel.Tracer shared by all stacks of a group.
+type Collector struct {
+	mu  sync.Mutex
+	evs []kernel.TraceEvent
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Trace implements kernel.Tracer.
+func (c *Collector) Trace(ev kernel.TraceEvent) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+// Events returns a snapshot of the recorded events.
+func (c *Collector) Events() []kernel.TraceEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]kernel.TraceEvent(nil), c.evs...)
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.evs)
+}
+
+// Reset discards recorded events.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.evs = nil
+	c.mu.Unlock()
+}
+
+// BlockReport summarises blocked service calls for one run.
+type BlockReport struct {
+	// Blocked counts calls that were parked on an unbound service.
+	Blocked int
+	// Unblocked counts parked calls later flushed by a bind.
+	Unblocked int
+	// MaxBlock and TotalBlock aggregate the waiting durations.
+	MaxBlock   time.Duration
+	TotalBlock time.Duration
+}
+
+// MeanBlock returns the average waiting duration of unblocked calls.
+func (r BlockReport) MeanBlock() time.Duration {
+	if r.Unblocked == 0 {
+		return 0
+	}
+	return r.TotalBlock / time.Duration(r.Unblocked)
+}
+
+// CheckWeakStackWellFormedness verifies that every call parked on an
+// unbound service was eventually flushed. Crashed stacks are exempt
+// (the paper's properties only constrain non-crashed stacks).
+func CheckWeakStackWellFormedness(evs []kernel.TraceEvent) (BlockReport, error) {
+	rep := BlockReport{}
+	type key struct {
+		stack kernel.Addr
+		svc   kernel.ServiceID
+	}
+	outstanding := make(map[key]int)
+	crashed := make(map[kernel.Addr]bool)
+	for _, ev := range evs {
+		switch ev.Kind {
+		case kernel.TraceCallBlocked:
+			rep.Blocked++
+			outstanding[key{ev.Stack, ev.Service}]++
+		case kernel.TraceCallUnblocked:
+			rep.Unblocked++
+			outstanding[key{ev.Stack, ev.Service}]--
+			rep.TotalBlock += ev.Blocked
+			if ev.Blocked > rep.MaxBlock {
+				rep.MaxBlock = ev.Blocked
+			}
+		case kernel.TraceCrash:
+			crashed[ev.Stack] = true
+		}
+	}
+	for k, n := range outstanding {
+		if n > 0 && !crashed[k.stack] {
+			return rep, fmt.Errorf(
+				"trace: weak stack-well-formedness violated: %d call(s) still parked on service %q of stack %d",
+				n, k.svc, k.stack)
+		}
+	}
+	return rep, nil
+}
+
+// CheckProtocolOperationability verifies weak protocol-operationability
+// for protocol P: if some stack ever bound a module of P, then every
+// non-crashed stack of the group eventually contained a module of P.
+func CheckProtocolOperationability(evs []kernel.TraceEvent, protocol string, group []kernel.Addr) error {
+	bound := false
+	contains := make(map[kernel.Addr]bool)
+	crashed := make(map[kernel.Addr]bool)
+	for _, ev := range evs {
+		switch ev.Kind {
+		case kernel.TraceBind:
+			if ev.Protocol == protocol {
+				bound = true
+			}
+		case kernel.TraceModuleAdd:
+			if ev.Protocol == protocol {
+				contains[ev.Stack] = true
+			}
+		case kernel.TraceCrash:
+			crashed[ev.Stack] = true
+		}
+	}
+	if !bound {
+		return nil // vacuously true
+	}
+	for _, a := range group {
+		if !crashed[a] && !contains[a] {
+			return fmt.Errorf(
+				"trace: weak protocol-operationability violated: protocol %q was bound somewhere but stack %d never contained a module of it",
+				protocol, a)
+		}
+	}
+	return nil
+}
+
+// BindCount returns how many bind events each stack recorded for the
+// protocol, a convenience for switch-counting assertions.
+func BindCount(evs []kernel.TraceEvent, protocol string) map[kernel.Addr]int {
+	out := make(map[kernel.Addr]int)
+	for _, ev := range evs {
+		if ev.Kind == kernel.TraceBind && ev.Protocol == protocol {
+			out[ev.Stack]++
+		}
+	}
+	return out
+}

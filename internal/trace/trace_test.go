@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+func ev(stack kernel.Addr, kind kernel.TraceKind) kernel.TraceEvent {
+	return kernel.TraceEvent{Stack: stack, Kind: kind, Time: time.Now()}
+}
+
+func TestCollectorRecordsAndResets(t *testing.T) {
+	c := NewCollector()
+	c.Trace(ev(0, kernel.TraceBind))
+	c.Trace(ev(1, kernel.TraceCall))
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	events := c.Events()
+	if len(events) != 2 || events[0].Kind != kernel.TraceBind {
+		t.Errorf("Events = %+v", events)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("Len after Reset = %d", c.Len())
+	}
+}
+
+func TestWellFormednessHoldsWhenAllCallsFlushed(t *testing.T) {
+	evs := []kernel.TraceEvent{
+		{Stack: 0, Kind: kernel.TraceCallBlocked, Service: "s"},
+		{Stack: 0, Kind: kernel.TraceCallBlocked, Service: "s"},
+		{Stack: 0, Kind: kernel.TraceCallUnblocked, Service: "s", Blocked: 3 * time.Millisecond},
+		{Stack: 0, Kind: kernel.TraceCallUnblocked, Service: "s", Blocked: 5 * time.Millisecond},
+	}
+	rep, err := CheckWeakStackWellFormedness(evs)
+	if err != nil {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+	if rep.Blocked != 2 || rep.Unblocked != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.MaxBlock != 5*time.Millisecond {
+		t.Errorf("MaxBlock = %v", rep.MaxBlock)
+	}
+	if rep.MeanBlock() != 4*time.Millisecond {
+		t.Errorf("MeanBlock = %v", rep.MeanBlock())
+	}
+}
+
+func TestWellFormednessViolatedByParkedCall(t *testing.T) {
+	evs := []kernel.TraceEvent{
+		{Stack: 2, Kind: kernel.TraceCallBlocked, Service: "abcast"},
+	}
+	if _, err := CheckWeakStackWellFormedness(evs); err == nil {
+		t.Fatal("parked call not detected")
+	}
+}
+
+func TestWellFormednessExemptsCrashedStacks(t *testing.T) {
+	evs := []kernel.TraceEvent{
+		{Stack: 2, Kind: kernel.TraceCallBlocked, Service: "abcast"},
+		{Stack: 2, Kind: kernel.TraceCrash},
+	}
+	if _, err := CheckWeakStackWellFormedness(evs); err != nil {
+		t.Fatalf("crashed stack not exempt: %v", err)
+	}
+}
+
+func TestMeanBlockZeroWhenNothingUnblocked(t *testing.T) {
+	if (BlockReport{}).MeanBlock() != 0 {
+		t.Error("MeanBlock on empty report != 0")
+	}
+}
+
+func TestOperationabilityHolds(t *testing.T) {
+	group := []kernel.Addr{0, 1, 2}
+	evs := []kernel.TraceEvent{
+		{Stack: 0, Kind: kernel.TraceBind, Protocol: "p"},
+		{Stack: 0, Kind: kernel.TraceModuleAdd, Protocol: "p"},
+		{Stack: 1, Kind: kernel.TraceModuleAdd, Protocol: "p"},
+		{Stack: 2, Kind: kernel.TraceModuleAdd, Protocol: "p"},
+	}
+	if err := CheckProtocolOperationability(evs, "p", group); err != nil {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func TestOperationabilityViolatedByMissingModule(t *testing.T) {
+	group := []kernel.Addr{0, 1, 2}
+	evs := []kernel.TraceEvent{
+		{Stack: 0, Kind: kernel.TraceBind, Protocol: "p"},
+		{Stack: 0, Kind: kernel.TraceModuleAdd, Protocol: "p"},
+		{Stack: 1, Kind: kernel.TraceModuleAdd, Protocol: "p"},
+		// stack 2 never contains a module of p
+	}
+	if err := CheckProtocolOperationability(evs, "p", group); err == nil {
+		t.Fatal("missing module not detected")
+	}
+}
+
+func TestOperationabilityVacuousWhenNeverBound(t *testing.T) {
+	evs := []kernel.TraceEvent{
+		{Stack: 0, Kind: kernel.TraceModuleAdd, Protocol: "p"},
+	}
+	if err := CheckProtocolOperationability(evs, "p", []kernel.Addr{0, 1}); err != nil {
+		t.Fatalf("vacuous case flagged: %v", err)
+	}
+}
+
+func TestOperationabilityExemptsCrashedStacks(t *testing.T) {
+	group := []kernel.Addr{0, 1}
+	evs := []kernel.TraceEvent{
+		{Stack: 0, Kind: kernel.TraceBind, Protocol: "p"},
+		{Stack: 0, Kind: kernel.TraceModuleAdd, Protocol: "p"},
+		{Stack: 1, Kind: kernel.TraceCrash},
+	}
+	if err := CheckProtocolOperationability(evs, "p", group); err != nil {
+		t.Fatalf("crashed stack not exempt: %v", err)
+	}
+}
+
+func TestBindCount(t *testing.T) {
+	evs := []kernel.TraceEvent{
+		{Stack: 0, Kind: kernel.TraceBind, Protocol: "p"},
+		{Stack: 0, Kind: kernel.TraceBind, Protocol: "p"},
+		{Stack: 1, Kind: kernel.TraceBind, Protocol: "q"},
+	}
+	counts := BindCount(evs, "p")
+	if counts[0] != 2 || counts[1] != 0 {
+		t.Errorf("counts = %v", counts)
+	}
+}

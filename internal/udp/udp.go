@@ -1,0 +1,95 @@
+// Package udp is the bottom module of the group-communication stack
+// (Figure 4 of the paper): an interface to an unreliable datagram
+// transport. It binds a simnet endpoint to the "net/udp" service and
+// demultiplexes traffic with a one-byte channel tag so that several
+// upper modules (RP2P, the failure detector) can share the socket.
+package udp
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/simnet"
+)
+
+// Service is the unreliable datagram service.
+const Service kernel.ServiceID = "net/udp"
+
+// Protocol is the protocol name registered for this module.
+const Protocol = "net/udp"
+
+// Well-known channel tags for modules sharing the socket.
+const (
+	ChanRP2P byte = 1
+	ChanFD   byte = 2
+)
+
+// Send requests an unreliable datagram transmission.
+type Send struct {
+	To   kernel.Addr
+	Chan byte
+	Data []byte
+}
+
+// Recv is indicated for every received datagram, to all listeners of
+// the service; each listener filters on Chan.
+type Recv struct {
+	From kernel.Addr
+	Chan byte
+	Data []byte
+}
+
+// Module implements the UDP module.
+type Module struct {
+	kernel.Base
+	net *simnet.Network
+	ep  *simnet.Endpoint
+}
+
+// Factory returns the module factory bound to a simnet fabric.
+func Factory(net *simnet.Network) kernel.Factory {
+	return kernel.Factory{
+		Protocol: Protocol,
+		Provides: []kernel.ServiceID{Service},
+		New: func(st *kernel.Stack) kernel.Module {
+			return &Module{Base: kernel.NewBase(st, Protocol), net: net}
+		},
+	}
+}
+
+// Start opens the endpoint at the stack's address.
+func (m *Module) Start() {
+	ep, err := m.net.Open(simnet.Addr(m.Stk.Addr()), m.receive)
+	if err != nil {
+		m.Stk.Logf("udp: open: %v", err)
+		return
+	}
+	m.ep = ep
+}
+
+// Stop releases the endpoint.
+func (m *Module) Stop() {
+	if m.ep != nil {
+		m.ep.Close()
+		m.ep = nil
+	}
+}
+
+// HandleRequest transmits Send requests.
+func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
+	s, ok := req.(Send)
+	if !ok || m.ep == nil {
+		return
+	}
+	buf := make([]byte, 0, len(s.Data)+1)
+	buf = append(buf, s.Chan)
+	buf = append(buf, s.Data...)
+	m.ep.Send(simnet.Addr(s.To), buf)
+}
+
+// receive runs on a simnet timer goroutine; it re-injects the packet
+// into the stack as an indication (Indicate enqueues onto the executor).
+func (m *Module) receive(from simnet.Addr, data []byte) {
+	if len(data) < 1 {
+		return
+	}
+	m.Stk.Indicate(Service, Recv{From: kernel.Addr(from), Chan: data[0], Data: data[1:]})
+}

@@ -1,0 +1,224 @@
+// Package wire implements the binary encoding used by every protocol
+// header in the repository. It is a tiny, allocation-conscious codec:
+// writers append to a byte slice, readers consume one with a sticky
+// error so call sites can decode a whole header and check Err() once.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is reported when a reader runs out of bytes.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrOverflow is reported when a varint does not fit its target type.
+var ErrOverflow = errors.New("wire: varint overflow")
+
+// Writer appends values to a growing byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded bytes. The slice aliases the writer's
+// internal buffer; callers must not keep writing through the writer
+// while holding the result unless they own both.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Byte appends a single byte.
+func (w *Writer) Byte(b byte) *Writer {
+	w.buf = append(w.buf, b)
+	return w
+}
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(b bool) *Writer {
+	if b {
+		return w.Byte(1)
+	}
+	return w.Byte(0)
+}
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) *Writer {
+	w.buf = binary.AppendUvarint(w.buf, v)
+	return w
+}
+
+// Varint appends a signed varint (zig-zag).
+func (w *Writer) Varint(v int64) *Writer {
+	w.buf = binary.AppendVarint(w.buf, v)
+	return w
+}
+
+// Uint64 appends a fixed-width big-endian uint64.
+func (w *Writer) Uint64(v uint64) *Writer {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+	return w
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) BytesField(b []byte) *Writer {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) *Writer {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+	return w
+}
+
+// Raw appends bytes with no length prefix (trailing payloads).
+func (w *Writer) Raw(b []byte) *Writer {
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// Reader consumes a byte slice produced by Writer. The first decoding
+// failure latches into err; subsequent reads return zero values.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over b. The reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first error encountered while decoding, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int {
+	if r.err != nil {
+		return 0
+	}
+	return len(r.buf) - r.off
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Byte reads a single byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Bool reads a boolean encoded as one byte.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.fail(ErrTruncated)
+		} else {
+			r.fail(ErrOverflow)
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.fail(ErrTruncated)
+		} else {
+			r.fail(ErrOverflow)
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Uint64 reads a fixed-width big-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf)-r.off < 8 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// BytesField reads a length-prefixed byte slice. The result aliases the
+// reader's buffer.
+func (r *Reader) BytesField() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	return string(r.BytesField())
+}
+
+// Rest returns all unread bytes (trailing payload) and advances to the
+// end of the buffer.
+func (r *Reader) Rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	b := r.buf[r.off:]
+	r.off = len(r.buf)
+	return b
+}
+
+// Expect consumes a byte and fails with a descriptive error when it
+// does not match want.
+func (r *Reader) Expect(want byte, what string) {
+	got := r.Byte()
+	if r.err == nil && got != want {
+		r.fail(fmt.Errorf("wire: bad %s: got %d want %d", what, got, want))
+	}
+}

@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundtripScalars(t *testing.T) {
+	w := NewWriter(64)
+	w.Byte(7).Bool(true).Bool(false).Uvarint(300).Varint(-12345).Uint64(math.MaxUint64)
+	r := NewReader(w.Bytes())
+	if got := r.Byte(); got != 7 {
+		t.Errorf("Byte = %d, want 7", got)
+	}
+	if !r.Bool() {
+		t.Errorf("first Bool = false, want true")
+	}
+	if r.Bool() {
+		t.Errorf("second Bool = true, want false")
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d, want 300", got)
+	}
+	if got := r.Varint(); got != -12345 {
+		t.Errorf("Varint = %d, want -12345", got)
+	}
+	if got := r.Uint64(); got != math.MaxUint64 {
+		t.Errorf("Uint64 = %d, want max", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestRoundtripComposite(t *testing.T) {
+	payload := []byte("trailing payload")
+	w := NewWriter(0)
+	w.String("abcast/ct").BytesField([]byte{1, 2, 3}).Raw(payload)
+	r := NewReader(w.Bytes())
+	if got := r.String(); got != "abcast/ct" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.BytesField(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("BytesField = %v", got)
+	}
+	if got := r.Rest(); !bytes.Equal(got, payload) {
+		t.Errorf("Rest = %q", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestEmptyFields(t *testing.T) {
+	w := NewWriter(0)
+	w.String("").BytesField(nil)
+	r := NewReader(w.Bytes())
+	if got := r.String(); got != "" {
+		t.Errorf("String = %q, want empty", got)
+	}
+	if got := r.BytesField(); len(got) != 0 {
+		t.Errorf("BytesField = %v, want empty", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	w := NewWriter(0)
+	w.String("hello").Uint64(42)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		_ = r.String()
+		r.Uint64()
+		if r.Err() == nil {
+			t.Errorf("cut=%d: no error on truncated input", cut)
+		}
+	}
+}
+
+func TestErrorIsSticky(t *testing.T) {
+	r := NewReader(nil)
+	r.Byte()
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	first := r.Err()
+	r.Uvarint()
+	_ = r.String()
+	if r.Err() != first {
+		t.Errorf("error replaced: %v != %v", r.Err(), first)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining after error = %d", r.Remaining())
+	}
+}
+
+func TestExpect(t *testing.T) {
+	w := NewWriter(0)
+	w.Byte(3)
+	r := NewReader(w.Bytes())
+	r.Expect(3, "tag")
+	if r.Err() != nil {
+		t.Fatalf("Expect(match) failed: %v", r.Err())
+	}
+	r2 := NewReader(w.Bytes())
+	r2.Expect(4, "tag")
+	if r2.Err() == nil {
+		t.Fatal("Expect(mismatch) did not fail")
+	}
+}
+
+func TestLengthOverflowRejected(t *testing.T) {
+	// A length prefix larger than the buffer must fail, not panic.
+	w := NewWriter(0)
+	w.Uvarint(1 << 40)
+	r := NewReader(w.Bytes())
+	if got := r.BytesField(); got != nil {
+		t.Errorf("BytesField = %v, want nil", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestQuickUvarintRoundtrip(t *testing.T) {
+	f := func(v uint64) bool {
+		w := NewWriter(0)
+		w.Uvarint(v)
+		r := NewReader(w.Bytes())
+		return r.Uvarint() == v && r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVarintRoundtrip(t *testing.T) {
+	f := func(v int64) bool {
+		w := NewWriter(0)
+		w.Varint(v)
+		r := NewReader(w.Bytes())
+		return r.Varint() == v && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompositeRoundtrip(t *testing.T) {
+	f := func(s string, b []byte, u uint64, i int64, flag bool, tail []byte) bool {
+		w := NewWriter(0)
+		w.String(s).BytesField(b).Uvarint(u).Varint(i).Bool(flag).Raw(tail)
+		r := NewReader(w.Bytes())
+		gs := r.String()
+		gb := r.BytesField()
+		gu := r.Uvarint()
+		gi := r.Varint()
+		gf := r.Bool()
+		gt := r.Rest()
+		return r.Err() == nil && gs == s && bytes.Equal(gb, b) &&
+			gu == u && gi == i && gf == flag && bytes.Equal(gt, tail)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGarbageNeverPanics(t *testing.T) {
+	f := func(garbage []byte) bool {
+		r := NewReader(garbage)
+		_ = r.String()
+		r.BytesField()
+		r.Uvarint()
+		r.Uint64()
+		r.Varint()
+		r.Rest()
+		return true // reaching here without panic is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package workload generates the constant-rate atomic-broadcast load of
+// the paper's benchmark (Section 6.2): every stack issues fixed-size
+// messages at a fixed rate; each message carries its id and send
+// timestamp so receivers can compute latency without a global clock
+// (the whole group shares one process here, so time.Now is a perfectly
+// synchronized clock).
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Payload is a decoded workload message.
+type Payload struct {
+	ID     metrics.MsgID
+	SentAt time.Time
+}
+
+// Encode builds a workload payload of exactly size bytes (minimum
+// header size applies; padding fills the rest).
+func Encode(id metrics.MsgID, at time.Time, size int) []byte {
+	w := wire.NewWriter(size + 20)
+	w.Uvarint(uint64(id)).Varint(at.UnixNano())
+	if pad := size - w.Len(); pad > 0 {
+		w.Raw(make([]byte, pad))
+	}
+	return w.Bytes()
+}
+
+// Decode parses a workload payload.
+func Decode(data []byte) (Payload, bool) {
+	r := wire.NewReader(data)
+	id := metrics.MsgID(r.Uvarint())
+	nanos := r.Varint()
+	if r.Err() != nil {
+		return Payload{}, false
+	}
+	return Payload{ID: id, SentAt: time.Unix(0, nanos)}, true
+}
+
+// Config parameterises one generator.
+type Config struct {
+	// RatePerStack is messages per second issued by each stack.
+	RatePerStack float64
+	// PayloadSize is the encoded message size in bytes.
+	PayloadSize int
+}
+
+// Generator drives constant load into a group. Send is invoked with a
+// stack index and an encoded payload; the generator handles pacing, id
+// assignment and recording.
+type Generator struct {
+	cfg      Config
+	n        int
+	rec      *metrics.Recorder
+	send     func(stack int, payload []byte)
+	nextID   atomic.Uint64
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewGenerator builds a generator for n stacks.
+func NewGenerator(n int, cfg Config, rec *metrics.Recorder, send func(stack int, payload []byte)) *Generator {
+	if cfg.PayloadSize <= 0 {
+		cfg.PayloadSize = 128
+	}
+	return &Generator{cfg: cfg, n: n, rec: rec, send: send, stopCh: make(chan struct{})}
+}
+
+// Start launches one pacing goroutine per stack.
+func (g *Generator) Start() {
+	interval := time.Duration(float64(time.Second) / g.cfg.RatePerStack)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	for i := 0; i < g.n; i++ {
+		i := i
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-g.stopCh:
+					return
+				case <-ticker.C:
+					g.emit(i)
+				}
+			}
+		}()
+	}
+}
+
+func (g *Generator) emit(stack int) {
+	id := metrics.MsgID(g.nextID.Add(1))
+	now := time.Now()
+	g.rec.Sent(id, now)
+	g.send(stack, Encode(id, now, g.cfg.PayloadSize))
+}
+
+// Burst synchronously emits k back-to-back messages from the stack,
+// used to build a controlled in-flight backlog before a switch.
+func (g *Generator) Burst(stack, k int) {
+	for i := 0; i < k; i++ {
+		g.emit(stack)
+	}
+}
+
+// Sent returns the number of messages issued so far.
+func (g *Generator) Sent() int { return int(g.nextID.Load()) }
+
+// Stop halts pacing and waits for the goroutines to exit. Idempotent.
+func (g *Generator) Stop() {
+	g.stopOnce.Do(func() { close(g.stopCh) })
+	g.wg.Wait()
+}

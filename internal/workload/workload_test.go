@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	at := time.Unix(0, 1718100000000000000)
+	data := Encode(42, at, 256)
+	if len(data) != 256 {
+		t.Errorf("len = %d, want 256 (padded)", len(data))
+	}
+	p, ok := Decode(data)
+	if !ok {
+		t.Fatal("Decode failed")
+	}
+	if p.ID != 42 || !p.SentAt.Equal(at) {
+		t.Errorf("decoded %+v", p)
+	}
+}
+
+func TestEncodeSmallerThanHeaderStillWorks(t *testing.T) {
+	data := Encode(1, time.Now(), 1)
+	if _, ok := Decode(data); !ok {
+		t.Error("Decode of minimal payload failed")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, ok := Decode(nil); ok {
+		t.Error("Decode(nil) succeeded")
+	}
+	if _, ok := Decode([]byte{0x80}); ok {
+		t.Error("Decode(truncated varint) succeeded")
+	}
+}
+
+func TestQuickPayloadRoundtrip(t *testing.T) {
+	f := func(id uint64, nanos int64, size uint16) bool {
+		at := time.Unix(0, nanos)
+		data := Encode(metrics.MsgID(id), at, int(size))
+		p, ok := Decode(data)
+		return ok && p.ID == metrics.MsgID(id) && p.SentAt.UnixNano() == nanos
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorPacesAndRecords(t *testing.T) {
+	rec := metrics.NewRecorder(1)
+	var mu sync.Mutex
+	perStack := make(map[int]int)
+	gen := NewGenerator(3, Config{RatePerStack: 200, PayloadSize: 64}, rec,
+		func(stack int, payload []byte) {
+			if len(payload) != 64 {
+				t.Errorf("payload size %d", len(payload))
+			}
+			p, ok := Decode(payload)
+			if !ok {
+				t.Error("generator produced undecodable payload")
+				return
+			}
+			rec.Delivered(p.ID, time.Now())
+			mu.Lock()
+			perStack[stack]++
+			mu.Unlock()
+		})
+	gen.Start()
+	time.Sleep(100 * time.Millisecond)
+	gen.Stop()
+	gen.Stop() // idempotent
+	mu.Lock()
+	defer mu.Unlock()
+	if len(perStack) != 3 {
+		t.Fatalf("stacks seen: %v", perStack)
+	}
+	total := 0
+	for s, n := range perStack {
+		if n == 0 {
+			t.Errorf("stack %d sent nothing", s)
+		}
+		total += n
+	}
+	if gen.Sent() != total {
+		t.Errorf("Sent() = %d, callbacks saw %d", gen.Sent(), total)
+	}
+	// Rough pacing check: 3 stacks * 200/s * 0.1s = 60 expected; allow
+	// a wide band for scheduler noise.
+	if total < 20 || total > 150 {
+		t.Errorf("sent %d messages in 100ms at 3x200/s", total)
+	}
+	complete, sent := rec.Complete()
+	if complete != sent {
+		t.Errorf("recorder complete %d != sent %d", complete, sent)
+	}
+}
+
+func TestGeneratorBurst(t *testing.T) {
+	rec := metrics.NewRecorder(1)
+	var count int
+	var mu sync.Mutex
+	gen := NewGenerator(2, Config{RatePerStack: 1}, rec, func(stack int, payload []byte) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		if stack != 1 {
+			t.Errorf("burst from stack %d, want 1", stack)
+		}
+	})
+	gen.Burst(1, 25)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 25 || gen.Sent() != 25 {
+		t.Errorf("burst sent %d (Sent=%d), want 25", count, gen.Sent())
+	}
+}
+
+func TestGeneratorUniqueIDs(t *testing.T) {
+	rec := metrics.NewRecorder(1)
+	var mu sync.Mutex
+	seen := make(map[metrics.MsgID]bool)
+	gen := NewGenerator(4, Config{RatePerStack: 500}, rec, func(_ int, payload []byte) {
+		p, _ := Decode(payload)
+		mu.Lock()
+		if seen[p.ID] {
+			t.Errorf("duplicate id %d", p.ID)
+		}
+		seen[p.ID] = true
+		mu.Unlock()
+	})
+	gen.Start()
+	time.Sleep(50 * time.Millisecond)
+	gen.Stop()
+}
