@@ -26,6 +26,7 @@ import (
 	"repro/internal/rbcast"
 	"repro/internal/rp2p"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/udp"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -256,7 +257,7 @@ func newBenchGroup(b *testing.B, n int, protocols ...string) *benchGroup {
 		BaseLatency: 50 * time.Microsecond, Seed: 1,
 	})}
 	reg := kernel.NewRegistry()
-	reg.MustRegister(udp.Factory(g.net))
+	reg.MustRegister(udp.Factory(transport.Sim(g.net)))
 	reg.MustRegister(rp2p.Factory(rp2p.Config{}))
 	reg.MustRegister(rbcast.Factory(rbcast.Config{}))
 	reg.MustRegister(fd.Factory(fd.Config{}))

@@ -1,15 +1,30 @@
 // Command dpu-sim runs a scripted dynamic-protocol-update scenario and
-// narrates it: n stacks exchange totally-ordered messages over a
-// simulated LAN while the atomic-broadcast protocol is replaced on the
-// fly, optionally with crash and loss injection, finishing with a
+// narrates it: n stacks exchange totally-ordered messages while the
+// atomic-broadcast protocol is replaced on the fly, finishing with a
 // consistency audit of the delivery sequences.
 //
-// Usage:
+// In the default single-process mode the stacks share a simulated LAN
+// with optional loss and crash injection:
 //
 //	dpu-sim -n 5 -msgs 200 -switch abcast/seq,abcast/token -loss 0.05 -crash 4
+//
+// In multi-process mode each process hosts one stack and the group
+// communicates over real UDP sockets. Start one process per address
+// book entry, each with the same -peers list and its own -listen
+// address; the chain of -switch protocols is driven mid-stream by the
+// processes whose turn it is:
+//
+//	dpu-sim -listen 127.0.0.1:7000 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -msgs 90 -switch abcast/seq
+//	dpu-sim -listen 127.0.0.1:7001 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -msgs 90 -switch abcast/seq
+//	dpu-sim -listen 127.0.0.1:7002 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -msgs 90 -switch abcast/seq
+//
+// Every process audits its own delivery sequence (exactly-once, all
+// messages present) and prints a digest of the sequence; identical
+// digests across processes certify the uniform total order.
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -17,31 +32,21 @@ import (
 	"time"
 
 	"repro/dpu"
+	"repro/internal/transport"
 )
 
 func main() {
-	n := flag.Int("n", 3, "group size")
+	n := flag.Int("n", 3, "group size (single-process mode)")
 	msgs := flag.Int("msgs", 100, "messages to broadcast (round-robin senders)")
 	switches := flag.String("switch", "abcast/seq", "comma-separated protocol switch chain")
 	initial := flag.String("initial", dpu.ProtocolCT, "initial protocol")
-	loss := flag.Float64("loss", 0, "packet loss probability")
-	crash := flag.Int("crash", -1, "stack to crash after the last switch (-1: none)")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	loss := flag.Float64("loss", 0, "packet loss probability (simulated in single-process mode, injected over UDP in multi-process mode)")
+	crash := flag.Int("crash", -1, "stack to crash after the last switch (-1: none; single-process mode)")
+	seed := flag.Int64("seed", 1, "simulation / fault-injection seed")
+	listen := flag.String("listen", "", "this process's UDP address (enables multi-process mode)")
+	peers := flag.String("peers", "", "comma-separated address book of the whole group, in stack order (multi-process mode)")
+	quiet := flag.Duration("quiet", 2*time.Second, "silence that ends delivery collection")
 	flag.Parse()
-
-	opts := []dpu.Option{
-		dpu.WithSeed(*seed),
-		dpu.WithInitialProtocol(*initial),
-	}
-	if *loss > 0 {
-		opts = append(opts, dpu.WithLoss(*loss))
-	}
-	c, err := dpu.New(*n, opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer c.Close()
 
 	chain := []string{}
 	for _, s := range strings.Split(*switches, ",") {
@@ -49,70 +54,266 @@ func main() {
 			chain = append(chain, s)
 		}
 	}
+
+	if *listen != "" {
+		runMulti(*listen, *peers, *msgs, *initial, chain, *loss, *seed, *quiet)
+		return
+	}
+	runSingle(*n, *msgs, *initial, chain, *loss, *crash, *seed, *quiet)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// digest fingerprints a delivery sequence for cross-process comparison.
+func digest(seq []string) string {
+	h := sha256.New()
+	for _, s := range seq {
+		fmt.Fprintln(h, s)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// runMulti hosts one stack of an n-process group over real UDP sockets.
+func runMulti(listen, peerList string, msgs int, initial string, chain []string, loss float64, seed int64, quiet time.Duration) {
+	book := make(map[transport.Addr]string)
+	self := -1
+	var addrs []string
+	for _, a := range strings.Split(peerList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) < 2 {
+		fatalf("multi-process mode needs -peers with at least two addresses")
+	}
+	for i, a := range addrs {
+		book[transport.Addr(i)] = a
+		if a == listen {
+			self = i
+		}
+	}
+	if self < 0 {
+		fatalf("-listen %s does not appear in -peers %s", listen, peerList)
+	}
+	n := len(addrs)
+
+	var tr transport.Transport
+	udpTr, err := transport.NewUDP(transport.UDPConfig{Book: book})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tr = udpTr
+	if loss > 0 {
+		tr = transport.Faulty(udpTr, transport.FaultConfig{Seed: seed, LossRate: loss})
+	}
+	c, err := dpu.New(n, dpu.WithTransport(tr), dpu.WithLocalStacks(self),
+		dpu.WithInitialProtocol(initial), dpu.WithSeed(seed))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer c.Close()
+
+	fmt.Printf("stack %d of %d listening on %s, initial protocol %s\n", self, n, listen, initial)
+
+	var sequence []string
+	delivered := make(map[string]int)
+	hellos := make(map[string]bool)
+	take := func(origin int, data []byte) {
+		s := fmt.Sprintf("%d:%s", origin, data)
+		sequence = append(sequence, s)
+		delivered[s]++
+		if strings.HasPrefix(string(data), "hello-") {
+			hellos[s] = true
+		}
+	}
+
+	// Barrier: every process announces itself through the atomic
+	// broadcast and waits for the whole group, so no workload message
+	// races a peer that has not bound its socket yet.
+	if err := c.Broadcast(self, []byte(fmt.Sprintf("hello-%d", self))); err != nil {
+		fatalf("%v", err)
+	}
+	for len(hellos) < n {
+		select {
+		case d := <-c.Deliveries(self):
+			take(d.Origin, d.Data)
+		case <-time.After(60 * time.Second):
+			fatalf("joined only %d of %d peers", len(hellos), n)
+		}
+	}
+	fmt.Printf("all %d stacks joined\n", n)
+
+	// Workload: global message index i is broadcast by stack i%n; the
+	// chain's step'th switch is initiated by stack step%n after phase
+	// step's share of messages. Each process waits for its own switch
+	// event, so later phases exercise the new protocol while earlier
+	// messages may still be draining elsewhere — the live mid-stream
+	// replacement the paper is about.
 	phases := len(chain) + 1
-	perPhase := *msgs / phases
+	perPhase := msgs / phases
+	sendRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i%n != self {
+				continue
+			}
+			if err := c.Broadcast(self, []byte(fmt.Sprintf("msg-%04d", i))); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+	pump := func() {
+		for {
+			select {
+			case d := <-c.Deliveries(self):
+				take(d.Origin, d.Data)
+			default:
+				return
+			}
+		}
+	}
+	lo := 0
+	for step, next := range chain {
+		hi := (step + 1) * perPhase
+		sendRange(lo, hi)
+		lo = hi
+		if step%n == self {
+			fmt.Printf("[%s] initiating switch to %s\n", time.Now().Format("15:04:05.000"), next)
+			if err := c.ChangeProtocol(self, next); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		for done := false; !done; {
+			select {
+			case ev := <-c.Switches(self):
+				fmt.Printf("switched to %s (epoch %d, %d reissued)\n", ev.Protocol, ev.Epoch, ev.Reissued)
+				done = true
+			case d := <-c.Deliveries(self):
+				take(d.Origin, d.Data)
+			case <-time.After(60 * time.Second):
+				fatalf("switch to %s never completed locally", next)
+			}
+		}
+		pump()
+	}
+	sendRange(lo, msgs)
+
+	// Collect until every expected message arrived and the line has
+	// been quiet, then audit.
+	want := msgs + n // workload plus hellos
+	for {
+		timeout := quiet
+		if len(sequence) < want {
+			timeout = 60 * time.Second
+		}
+		select {
+		case d := <-c.Deliveries(self):
+			take(d.Origin, d.Data)
+		case <-time.After(timeout):
+			if len(sequence) >= want {
+				goto audit
+			}
+			fatalf("AGREEMENT VIOLATION: delivered %d of %d expected messages", len(sequence), want)
+		}
+	}
+
+audit:
+	for s, k := range delivered {
+		if k != 1 {
+			fatalf("EXACTLY-ONCE VIOLATION: %s delivered %d times", s, k)
+		}
+	}
+	if len(sequence) != want {
+		fatalf("AGREEMENT VIOLATION: delivered %d, want %d", len(sequence), want)
+	}
+	st, err := c.Status(self)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("OK: stack %d delivered %d messages exactly once; final protocol %s (epoch %d)\n",
+		self, len(sequence), st.Protocol, st.Epoch)
+	fmt.Printf("sequence digest %s (must match every peer)\n", digest(sequence))
+}
+
+// runSingle is the original scripted scenario over the simulated LAN.
+func runSingle(n, msgs int, initial string, chain []string, loss float64, crash int, seed int64, quiet time.Duration) {
+	opts := []dpu.Option{
+		dpu.WithSeed(seed),
+		dpu.WithInitialProtocol(initial),
+	}
+	if loss > 0 {
+		opts = append(opts, dpu.WithLoss(loss))
+	}
+	c, err := dpu.New(n, opts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer c.Close()
+
+	phases := len(chain) + 1
+	perPhase := msgs / phases
 	sent := 0
 	sendBatch := func(k int) {
 		for i := 0; i < k; i++ {
 			payload := fmt.Sprintf("msg-%04d", sent)
-			if err := c.Broadcast(sent%*n, []byte(payload)); err == nil {
+			if err := c.Broadcast(sent%n, []byte(payload)); err == nil {
 				sent++
 			}
 		}
 	}
 
 	fmt.Printf("group of %d stacks, initial protocol %s, %d messages, loss %.0f%%\n",
-		*n, *initial, *msgs, *loss*100)
+		n, initial, msgs, loss*100)
 	sendBatch(perPhase)
 	for step, next := range chain {
 		fmt.Printf("[%v] switching to %s (initiated by stack %d)...\n",
-			time.Now().Format("15:04:05.000"), next, step%*n)
-		if err := c.ChangeProtocol(step%*n, next); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			time.Now().Format("15:04:05.000"), next, step%n)
+		if err := c.ChangeProtocol(step%n, next); err != nil {
+			fatalf("%v", err)
 		}
-		for i := 0; i < *n; i++ {
+		for i := 0; i < n; i++ {
 			select {
 			case ev := <-c.Switches(i):
 				fmt.Printf("  stack %d switched to %s (epoch %d, %d reissued)\n",
 					ev.Stack, ev.Protocol, ev.Epoch, ev.Reissued)
 			case <-time.After(30 * time.Second):
-				fmt.Fprintf(os.Stderr, "stack %d never switched\n", i)
-				os.Exit(1)
+				fatalf("stack %d never switched", i)
 			}
 		}
 		sendBatch(perPhase)
 	}
-	sendBatch(*msgs - sent) // remainder
+	sendBatch(msgs - sent) // remainder
 
-	live := make([]bool, *n)
+	live := make([]bool, n)
 	for i := range live {
 		live[i] = true
 	}
-	if *crash >= 0 && *crash < *n {
+	if crash >= 0 && crash < n {
 		// Give the doomed stack's queued broadcasts a moment to leave;
 		// whatever is still local when it dies is legitimately lost
 		// (uniform agreement covers only messages that got delivered
 		// somewhere).
 		time.Sleep(500 * time.Millisecond)
-		fmt.Printf("crashing stack %d\n", *crash)
-		c.Crash(*crash)
-		live[*crash] = false
+		fmt.Printf("crashing stack %d\n", crash)
+		c.Crash(crash)
+		live[crash] = false
 	}
 
 	// Collect until each live stack has been quiet for a while, then
 	// audit: every live stack must have delivered the identical
 	// sequence (uniform agreement + uniform total order).
-	sequences := make([][]string, *n)
-	for i := 0; i < *n; i++ {
+	sequences := make([][]string, n)
+	for i := 0; i < n; i++ {
 		if !live[i] {
 			continue
 		}
 	collect:
 		for {
-			quiet := 2 * time.Second
+			wait := quiet
 			if len(sequences[i]) >= sent {
-				quiet = 200 * time.Millisecond
+				wait = 200 * time.Millisecond
 			}
 			select {
 			case d, ok := <-c.Deliveries(i):
@@ -120,13 +321,13 @@ func main() {
 					break collect
 				}
 				sequences[i] = append(sequences[i], fmt.Sprintf("%d:%s", d.Origin, d.Data))
-			case <-time.After(quiet):
+			case <-time.After(wait):
 				break collect
 			}
 		}
 	}
 	ref := -1
-	for i := 0; i < *n; i++ {
+	for i := 0; i < n; i++ {
 		if !live[i] {
 			continue
 		}
@@ -135,15 +336,13 @@ func main() {
 			continue
 		}
 		if len(sequences[i]) != len(sequences[ref]) {
-			fmt.Fprintf(os.Stderr, "AGREEMENT VIOLATION: stack %d delivered %d, stack %d delivered %d\n",
+			fatalf("AGREEMENT VIOLATION: stack %d delivered %d, stack %d delivered %d",
 				i, len(sequences[i]), ref, len(sequences[ref]))
-			os.Exit(1)
 		}
 		for k := range sequences[ref] {
 			if sequences[i][k] != sequences[ref][k] {
-				fmt.Fprintf(os.Stderr, "ORDER VIOLATION at %d: stack %d=%s stack %d=%s\n",
+				fatalf("ORDER VIOLATION at %d: stack %d=%s stack %d=%s",
 					k, ref, sequences[ref][k], i, sequences[i][k])
-				os.Exit(1)
 			}
 		}
 	}

@@ -3,7 +3,9 @@
 // Protocol Update" (Rütti, Wojciechowski, Schiper — IPDPS 2006).
 //
 // A Cluster assembles n protocol stacks (the paper's machines) over a
-// simulated LAN, each running the Figure-4 group-communication stack —
+// simulated LAN — or, with WithTransport, over real UDP sockets
+// spanning OS processes and hosts — each running the Figure-4
+// group-communication stack —
 // UDP, reliable point-to-point, failure detector, Chandra–Toueg
 // consensus, atomic broadcast — topped by the replacement module that
 // makes the atomic-broadcast protocol hot-swappable:
@@ -34,6 +36,7 @@ import (
 	"repro/internal/rbcast"
 	"repro/internal/rp2p"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/udp"
 )
 
@@ -86,6 +89,8 @@ type Status struct {
 type options struct {
 	protocol     string
 	net          simnet.Config
+	transport    transport.Transport
+	local        []int
 	grace        time.Duration
 	membership   bool
 	buffer       int
@@ -168,17 +173,43 @@ func WithConsensusVariant(implName string, policy consensus.CoordPolicy) Option 
 	}
 }
 
+// WithTransport runs the cluster over the given datagram fabric
+// instead of the built-in simulated LAN — typically a real-socket
+// transport built with transport.NewUDP and a static address book, so
+// stacks can live in different OS processes or on different hosts (see
+// WithLocalStacks and cmd/dpu-sim's -listen/-peers mode).
+//
+// With an external transport the simulation-only options (WithLatency,
+// WithLoss, WithBandwidth) no longer shape the network — real links
+// do — and the fault-injection methods Partition and Heal become
+// no-ops; Crash still halts the local stack. Close closes the
+// transport.
+func WithTransport(tr transport.Transport) Option {
+	return func(o *options) { o.transport = tr }
+}
+
+// WithLocalStacks restricts which of the n stacks this process hosts
+// (default: all of them). The remaining addresses are expected to be
+// served by other processes sharing the same transport address book.
+// Cluster methods taking a stack index only accept local stacks.
+func WithLocalStacks(ids ...int) Option {
+	return func(o *options) { o.local = append(o.local, ids...) }
+}
+
 // WithTracer attaches a kernel tracer (e.g. trace.NewCollector()) to
 // every stack.
 func WithTracer(t kernel.Tracer) Option {
 	return func(o *options) { o.tracer = t }
 }
 
-// Cluster is a running group of n stacks.
+// Cluster is a running group of n stacks — all hosted by this process
+// (the default), or just the subset selected with WithLocalStacks when
+// the group spans several processes over a shared transport.
 type Cluster struct {
 	n      int
-	net    *simnet.Network
-	stacks []*kernel.Stack
+	net    *simnet.Network // nil when running over an external transport
+	tr     transport.Transport
+	stacks []*kernel.Stack // indexed by stack id; nil for remote stacks
 
 	deliveries []chan Delivery
 	switches   []chan SwitchEvent
@@ -214,9 +245,29 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		}
 	}
 
+	var (
+		net *simnet.Network
+		tr  = o.transport
+	)
+	if tr == nil {
+		net = simnet.New(o.net)
+		tr = transport.Sim(net)
+	}
+	local := make(map[int]bool, n)
+	if len(o.local) == 0 {
+		for i := 0; i < n; i++ {
+			local[i] = true
+		}
+	}
+	for _, id := range o.local {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("dpu: local stack %d out of range [0,%d)", id, n)
+		}
+		local[id] = true
+	}
+
 	reg := kernel.NewRegistry()
-	net := simnet.New(o.net)
-	reg.MustRegister(udp.Factory(net))
+	reg.MustRegister(udp.Factory(tr))
 	reg.MustRegister(rp2p.Factory(rp2p.Config{}))
 	reg.MustRegister(rbcast.Factory(rbcast.Config{}))
 	reg.MustRegister(fd.Factory(fd.Config{}))
@@ -237,6 +288,8 @@ func New(n int, opts ...Option) (*Cluster, error) {
 	c := &Cluster{
 		n:          n,
 		net:        net,
+		tr:         tr,
+		stacks:     make([]*kernel.Stack, n),
 		deliveries: make([]chan Delivery, n),
 		switches:   make([]chan SwitchEvent, n),
 		views:      make([]chan View, n),
@@ -247,11 +300,14 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		peers[i] = kernel.Addr(i)
 	}
 	for i := 0; i < n; i++ {
+		if !local[i] {
+			continue
+		}
 		st := kernel.NewStack(kernel.Config{
 			Addr: kernel.Addr(i), Peers: peers, Registry: reg,
 			Seed: o.net.Seed + int64(i), Tracer: o.tracer,
 		})
-		c.stacks = append(c.stacks, st)
+		c.stacks[i] = st
 		c.deliveries[i] = make(chan Delivery, o.buffer)
 		c.switches[i] = make(chan SwitchEvent, 64)
 		c.views[i] = make(chan View, 64)
@@ -261,6 +317,16 @@ func New(n int, opts ...Option) (*Cluster, error) {
 			if _, e := st.CreateProtocol(core.Protocol); e != nil {
 				buildErr = e
 				return
+			}
+			// A transport bind failure inside the build (real sockets:
+			// port conflict, bad address) can only be recorded by the
+			// udp module; surface it instead of returning a cluster
+			// that silently drops all traffic.
+			if um, ok := st.Provider(udp.Service).(*udp.Module); ok {
+				if e := um.OpenErr(); e != nil {
+					buildErr = e
+					return
+				}
 			}
 			if o.membership {
 				if _, e := st.CreateProtocol(gm.Protocol); e != nil {
@@ -330,6 +396,9 @@ func (c *Cluster) check(stack int) error {
 	if stack < 0 || stack >= c.n {
 		return fmt.Errorf("dpu: stack %d out of range [0,%d)", stack, c.n)
 	}
+	if c.stacks[stack] == nil {
+		return fmt.Errorf("dpu: stack %d is not local to this process", stack)
+	}
 	if !c.stacks[stack].Running() {
 		return fmt.Errorf("dpu: stack %d is not running", stack)
 	}
@@ -360,7 +429,8 @@ func (c *Cluster) ChangeProtocol(stack int, protocol string) error {
 	return nil
 }
 
-// Deliveries returns the stack's totally-ordered delivery stream.
+// Deliveries returns the stack's totally-ordered delivery stream (nil
+// for a stack not hosted by this process).
 func (c *Cluster) Deliveries(stack int) <-chan Delivery { return c.deliveries[stack] }
 
 // Switches returns the stack's protocol-replacement events.
@@ -407,40 +477,61 @@ func (c *Cluster) Leave(stack, member int) error {
 }
 
 // Crash kills the stack abruptly: its events are discarded and its
-// network traffic stops, modelling a machine crash.
+// network traffic stops, modelling a machine crash. Only local stacks
+// can be crashed; over an external transport the network isolation is
+// skipped (the halted stack simply goes silent).
 func (c *Cluster) Crash(stack int) error {
 	if stack < 0 || stack >= c.n {
 		return fmt.Errorf("dpu: stack %d out of range", stack)
 	}
-	c.net.SetDown(simnet.Addr(stack), true)
+	if c.stacks[stack] == nil {
+		return fmt.Errorf("dpu: stack %d is not local to this process", stack)
+	}
+	if c.net != nil {
+		c.net.SetDown(simnet.Addr(stack), true)
+	}
 	c.stacks[stack].Crash()
 	return nil
 }
 
-// Partition cuts the network link between two stacks.
-func (c *Cluster) Partition(a, b int) { c.net.Cut(simnet.Addr(a), simnet.Addr(b)) }
+// Partition cuts the network link between two stacks. It requires the
+// built-in simulated network and is a no-op over WithTransport.
+func (c *Cluster) Partition(a, b int) {
+	if c.net != nil {
+		c.net.Cut(simnet.Addr(a), simnet.Addr(b))
+	}
+}
 
-// Heal restores the link between two stacks.
-func (c *Cluster) Heal(a, b int) { c.net.Heal(simnet.Addr(a), simnet.Addr(b)) }
+// Heal restores the link between two stacks. It requires the built-in
+// simulated network and is a no-op over WithTransport.
+func (c *Cluster) Heal(a, b int) {
+	if c.net != nil {
+		c.net.Heal(simnet.Addr(a), simnet.Addr(b))
+	}
+}
 
 // Stack exposes the underlying kernel stack for advanced composition
-// (binding custom modules, inspecting services). See internal/kernel's
-// concurrency contract.
+// (binding custom modules, inspecting services); nil for a stack not
+// hosted by this process. See internal/kernel's concurrency contract.
 func (c *Cluster) Stack(stack int) *kernel.Stack { return c.stacks[stack] }
 
-// Close shuts the cluster down and closes the delivery channels.
+// Close shuts the cluster down — including the transport, whether
+// built-in or passed via WithTransport — and closes the local stacks'
+// delivery channels.
 func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
-		c.net.Close()
+		c.tr.Close()
 		for _, st := range c.stacks {
-			if st.Running() {
+			if st != nil && st.Running() {
 				st.Close()
 			}
 		}
 		for i := range c.deliveries {
-			close(c.deliveries[i])
-			close(c.switches[i])
-			close(c.views[i])
+			if c.deliveries[i] != nil {
+				close(c.deliveries[i])
+				close(c.switches[i])
+				close(c.views[i])
+			}
 		}
 	})
 }

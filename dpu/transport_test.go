@@ -1,0 +1,184 @@
+package dpu_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/dpu"
+	"repro/internal/transport"
+	"repro/internal/transport/transporttest"
+)
+
+// udpBook reserves n loopback ports and returns a transport address
+// book over them.
+func udpBook(t *testing.T, n int) map[transport.Addr]string {
+	t.Helper()
+	book := make(map[transport.Addr]string, n)
+	for i, a := range transporttest.ReserveAddrs(t, n) {
+		book[transport.Addr(i)] = a
+	}
+	return book
+}
+
+// TestClusterOverRealUDP runs the full stack over real loopback
+// sockets: messages broadcast before, during and after a live
+// ChangeProtocol must come out exactly once, in the same total order,
+// on every stack.
+func TestClusterOverRealUDP(t *testing.T) {
+	const n, msgs = 3, 60
+	tr, err := transport.NewUDP(transport.UDPConfig{Book: udpBook(t, n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dpu.New(n, dpu.WithTransport(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	send := func(from, count int) {
+		for i := 0; i < count; i++ {
+			if err := c.Broadcast(from, []byte(fmt.Sprintf("u-%d-%d", from, i))); err != nil {
+				t.Fatal(err)
+			}
+			from = (from + 1) % n
+		}
+	}
+	send(0, msgs/2)
+	if err := c.ChangeProtocol(1, dpu.ProtocolSequencer); err != nil {
+		t.Fatal(err)
+	}
+	send(1, msgs-msgs/2)
+
+	for i := 0; i < n; i++ {
+		select {
+		case ev := <-c.Switches(i):
+			if ev.Protocol != dpu.ProtocolSequencer {
+				t.Fatalf("stack %d switched to %q", i, ev.Protocol)
+			}
+		case <-time.After(timeout):
+			t.Fatalf("stack %d never switched", i)
+		}
+	}
+
+	sequences := make([][]string, n)
+	for i := 0; i < n; i++ {
+		for _, d := range drain(t, c, i, msgs) {
+			sequences[i] = append(sequences[i], fmt.Sprintf("%d:%s", d.Origin, d.Data))
+		}
+	}
+	for i := 1; i < n; i++ {
+		if len(sequences[i]) != len(sequences[0]) {
+			t.Fatalf("stack %d delivered %d, stack 0 delivered %d", i, len(sequences[i]), len(sequences[0]))
+		}
+		for k := range sequences[0] {
+			if sequences[i][k] != sequences[0][k] {
+				t.Fatalf("order divergence at %d: stack0=%s stack%d=%s", k, sequences[0][k], i, sequences[i][k])
+			}
+		}
+	}
+	// Exactly once: no duplicates beyond the expected count.
+	seen := map[string]bool{}
+	for _, s := range sequences[0] {
+		if seen[s] {
+			t.Fatalf("duplicate delivery %s", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != msgs {
+		t.Fatalf("delivered %d distinct messages, want %d", len(seen), msgs)
+	}
+}
+
+// TestClusterOverLossyUDP layers simnet-style loss over the real
+// sockets; RP2P's retransmission must still get every message through.
+func TestClusterOverLossyUDP(t *testing.T) {
+	const n, msgs = 3, 30
+	inner, err := transport.NewUDP(transport.UDPConfig{Book: udpBook(t, n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.Faulty(inner, transport.FaultConfig{Seed: 11, LossRate: 0.1, DupRate: 0.05})
+	c, err := dpu.New(n, dpu.WithTransport(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < msgs; i++ {
+		if err := c.Broadcast(i%n, []byte(fmt.Sprintf("lossy-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := drain(t, c, 0, msgs)
+	for i := 1; i < n; i++ {
+		got := drain(t, c, i, msgs)
+		for k := range ref {
+			a := fmt.Sprintf("%d:%s", ref[k].Origin, ref[k].Data)
+			b := fmt.Sprintf("%d:%s", got[k].Origin, got[k].Data)
+			if a != b {
+				t.Fatalf("order divergence at %d: stack0=%s stack%d=%s", k, a, i, b)
+			}
+		}
+	}
+	if st := tr.Stats(); st.Dropped == 0 {
+		t.Fatalf("loss injection idle: %+v", st)
+	}
+}
+
+// TestBindFailureSurfaces pins down that a transport bind conflict —
+// which the udp module can only record, not return — comes back as an
+// error from dpu.New instead of yielding a cluster that silently drops
+// all traffic.
+func TestBindFailureSurfaces(t *testing.T) {
+	book := udpBook(t, 2)
+	ua, err := net.ResolveUDPAddr("udp", book[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	squatter, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer squatter.Close()
+	tr, err := transport.NewUDP(transport.UDPConfig{Book: book})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if c, err := dpu.New(2, dpu.WithTransport(tr)); err == nil {
+		c.Close()
+		t.Fatal("bind conflict did not surface from dpu.New")
+	}
+}
+
+// TestLocalStacksValidation covers the multi-process configuration
+// surface without spawning processes.
+func TestLocalStacksValidation(t *testing.T) {
+	tr, err := transport.NewUDP(transport.UDPConfig{Book: udpBook(t, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dpu.New(3, dpu.WithTransport(tr), dpu.WithLocalStacks(5)); err == nil {
+		t.Fatal("out-of-range local stack accepted")
+	}
+	c, err := dpu.New(3, dpu.WithTransport(tr), dpu.WithLocalStacks(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Broadcast(0, []byte("x")); err == nil {
+		t.Fatal("broadcast from remote stack accepted")
+	}
+	if c.Stack(0) != nil || c.Stack(1) == nil {
+		t.Fatal("local/remote stack exposure wrong")
+	}
+	if c.Deliveries(0) != nil || c.Deliveries(1) == nil {
+		t.Fatal("local/remote delivery channels wrong")
+	}
+	if err := c.Broadcast(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}

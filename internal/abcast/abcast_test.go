@@ -59,7 +59,7 @@ func (s *sink) snapshot() []delivery {
 func build(t *testing.T, n int, netCfg simnet.Config, implName string) (*stacktest.Cluster, []*sink) {
 	t.Helper()
 	c := stacktest.New(t, n, netCfg, nil)
-	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(udp.Factory(c.Tr))
 	c.Reg.MustRegister(rp2p.Factory(rp2p.Config{RTO: 5 * time.Millisecond}))
 	c.Reg.MustRegister(rbcast.Factory(rbcast.Config{}))
 	c.Reg.MustRegister(fd.Factory(fd.Config{Interval: 5 * time.Millisecond, Timeout: 60 * time.Millisecond}))
@@ -362,7 +362,7 @@ func TestTwoEpochsAreIsolated(t *testing.T) {
 	// Two CT instances at different epochs on the same stacks must not
 	// see each other's messages — the property the DPU layer depends on.
 	c := stacktest.New(t, 3, simnet.Config{}, nil)
-	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(udp.Factory(c.Tr))
 	c.Reg.MustRegister(rp2p.Factory(rp2p.Config{RTO: 5 * time.Millisecond}))
 	c.Reg.MustRegister(rbcast.Factory(rbcast.Config{}))
 	c.Reg.MustRegister(fd.Factory(fd.Config{Interval: 5 * time.Millisecond, Timeout: 60 * time.Millisecond}))

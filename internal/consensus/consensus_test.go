@@ -49,7 +49,7 @@ func (l *decLog) count() int {
 
 func build(t *testing.T, n int, netCfg simnet.Config, fdCfg fd.Config) (*stacktest.Cluster, []*decLog) {
 	c := stacktest.New(t, n, netCfg, nil)
-	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(udp.Factory(c.Tr))
 	c.Reg.MustRegister(rp2p.Factory(rp2p.Config{RTO: 5 * time.Millisecond}))
 	c.Reg.MustRegister(rbcast.Factory(rbcast.Config{}))
 	c.Reg.MustRegister(fd.Factory(fdCfg))

@@ -70,7 +70,7 @@ func (s *appSink) deliveries() []string {
 func buildDPU(t *testing.T, n int, netCfg simnet.Config, replCfg core.Config, tracer kernel.Tracer) (*stacktest.Cluster, []*appSink) {
 	t.Helper()
 	c := stacktest.New(t, n, netCfg, tracer)
-	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(udp.Factory(c.Tr))
 	c.Reg.MustRegister(rp2p.Factory(rp2p.Config{RTO: 5 * time.Millisecond}))
 	c.Reg.MustRegister(rbcast.Factory(rbcast.Config{}))
 	c.Reg.MustRegister(fd.Factory(fd.Config{Interval: 5 * time.Millisecond, Timeout: 60 * time.Millisecond}))

@@ -23,6 +23,7 @@ import (
 	"repro/internal/rbcast"
 	"repro/internal/rp2p"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/udp"
 	"repro/internal/workload"
 )
@@ -139,7 +140,7 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 		Recorder: metrics.NewRecorder(cfg.N),
 	}
 	reg := kernel.NewRegistry()
-	reg.MustRegister(udp.Factory(cl.Net))
+	reg.MustRegister(udp.Factory(transport.Sim(cl.Net)))
 	reg.MustRegister(rp2p.Factory(rp2p.Config{RTO: 5 * time.Millisecond}))
 	reg.MustRegister(rbcast.Factory(rbcast.Config{}))
 	reg.MustRegister(fd.Factory(fd.Config{Interval: 10 * time.Millisecond, Timeout: 100 * time.Millisecond}))

@@ -6,6 +6,10 @@
 // a heartbeat from a suspected peer both restores it and lengthens its
 // timeout — so in a stable run false suspicions eventually cease, the
 // ◇S convergence argument.
+//
+// Heartbeats travel on the shared socket under the udp.ChanFD channel
+// tag (see internal/udp's registry), deliberately below RP2P:
+// retransmitting a stale heartbeat would defeat the timeout logic.
 package fd
 
 import (

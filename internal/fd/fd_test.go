@@ -52,7 +52,7 @@ func (l *fdLog) restoreCount() int {
 
 func build(t *testing.T, n int, netCfg simnet.Config, cfg fd.Config) (*stacktest.Cluster, []*fdLog) {
 	c := stacktest.New(t, n, netCfg, nil)
-	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(udp.Factory(c.Tr))
 	c.Reg.MustRegister(fd.Factory(cfg))
 	c.CreateAll(fd.Protocol)
 	logs := make([]*fdLog, n)

@@ -60,7 +60,7 @@ func (s *sink) deliveries() []string {
 func build(t *testing.T, n int, finalize time.Duration) (*stacktest.Cluster, []*sink) {
 	t.Helper()
 	c := stacktest.New(t, n, simnet.Config{}, nil)
-	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(udp.Factory(c.Tr))
 	c.Reg.MustRegister(rp2p.Factory(rp2p.Config{RTO: 5 * time.Millisecond}))
 	c.Reg.MustRegister(rbcast.Factory(rbcast.Config{}))
 	c.Reg.MustRegister(fd.Factory(fd.Config{Interval: 5 * time.Millisecond, Timeout: 60 * time.Millisecond}))

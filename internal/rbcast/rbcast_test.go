@@ -40,7 +40,7 @@ func (l *delivLog) snapshot() []rbcast.Deliver {
 
 func build(t *testing.T, n int, netCfg simnet.Config) (*stacktest.Cluster, []*delivLog) {
 	c := stacktest.New(t, n, netCfg, nil)
-	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(udp.Factory(c.Tr))
 	c.Reg.MustRegister(rp2p.Factory(rp2p.Config{RTO: 5 * time.Millisecond}))
 	c.Reg.MustRegister(rbcast.Factory(rbcast.Config{}))
 	c.CreateAll(rbcast.Protocol)

@@ -10,6 +10,11 @@
 // j, the invocation made by Q is completed when Pj is added to stack j"
 // — during a dynamic protocol update, messages addressed to the next
 // protocol version wait for that module's creation.
+//
+// On the wire, all RP2P traffic shares the socket under the
+// udp.ChanRP2P channel tag (see internal/udp's registry); the named
+// channels here ("rb", "cons", epoch-scoped abcast channels, ...) are
+// a second, string-keyed multiplexing level inside that tag.
 package rp2p
 
 import (

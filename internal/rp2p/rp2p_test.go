@@ -40,7 +40,7 @@ func (l *recvLog) snapshot() []rp2p.Recv {
 
 func build(t *testing.T, n int, netCfg simnet.Config, cfg rp2p.Config) *stacktest.Cluster {
 	c := stacktest.New(t, n, netCfg, nil)
-	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(udp.Factory(c.Tr))
 	c.Reg.MustRegister(rp2p.Factory(cfg))
 	c.CreateAll(rp2p.Protocol)
 	return c

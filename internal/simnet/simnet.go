@@ -10,6 +10,10 @@
 // the protocols depend on: variable delay (reordering across sources),
 // loss (retransmission), duplication (dedup) and partitions (failure
 // detection and consensus rounds).
+//
+// The stack does not use this package directly: transport.Sim adapts a
+// Network to the internal/transport interface, next to the real-socket
+// backend (see internal/transport).
 package simnet
 
 import (

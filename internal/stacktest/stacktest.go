@@ -10,12 +10,14 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Cluster is a group of stacks wired to one fabric.
 type Cluster struct {
 	T      *testing.T
 	Net    *simnet.Network
+	Tr     transport.Transport // Net wrapped as a transport, for udp.Factory
 	Reg    *kernel.Registry
 	Stacks []*kernel.Stack
 }
@@ -29,6 +31,7 @@ func New(t *testing.T, n int, netCfg simnet.Config, tracer kernel.Tracer) *Clust
 		Net: simnet.New(netCfg),
 		Reg: kernel.NewRegistry(),
 	}
+	c.Tr = transport.Sim(c.Net)
 	peers := make([]kernel.Addr, n)
 	for i := range peers {
 		peers[i] = kernel.Addr(i)

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultConfig parameterises the Faulty decorator with simnet's loss and
+// duplication semantics: every non-loopback send is independently lost
+// with probability LossRate, and (when it survives) duplicated with
+// probability DupRate. Loopback (self-addressed) sends are never
+// dropped, matching simnet.
+type FaultConfig struct {
+	// Seed makes packet fates reproducible.
+	Seed int64
+	// LossRate is the probability a datagram is dropped, in [0, 1].
+	LossRate float64
+	// DupRate is the probability a datagram is sent twice, in [0, 1].
+	DupRate float64
+}
+
+// FaultStats counts the decorator's interventions.
+type FaultStats struct {
+	Passed     uint64
+	Dropped    uint64
+	Duplicated uint64
+}
+
+// Faulty layers probabilistic loss and duplication over any transport,
+// so fault-injection tests written against the simnet model also run
+// over real sockets. Closing the decorator closes the inner transport.
+func Faulty(inner Transport, cfg FaultConfig) *FaultyTransport {
+	return &FaultyTransport{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// FaultyTransport is the decorator returned by Faulty.
+type FaultyTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats FaultStats
+}
+
+// Open opens the inner endpoint and wraps its sender.
+func (t *FaultyTransport) Open(addr Addr, recv RecvFunc) (Endpoint, error) {
+	ep, err := t.inner.Open(addr, recv)
+	if err != nil {
+		return nil, err
+	}
+	return faultyEndpoint{t: t, ep: ep}, nil
+}
+
+// Close closes the inner transport.
+func (t *FaultyTransport) Close() { t.inner.Close() }
+
+// Stats returns a snapshot of the decorator's counters.
+func (t *FaultyTransport) Stats() FaultStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// fate rolls the dice for one send; n.b. a dropped datagram cannot also
+// be duplicated, as in simnet.
+func (t *FaultyTransport) fate(loopback bool) (drop, dup bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !loopback && t.cfg.LossRate > 0 && t.rng.Float64() < t.cfg.LossRate {
+		t.stats.Dropped++
+		return true, false
+	}
+	if !loopback && t.cfg.DupRate > 0 && t.rng.Float64() < t.cfg.DupRate {
+		t.stats.Duplicated++
+		t.stats.Passed++
+		return false, true
+	}
+	t.stats.Passed++
+	return false, false
+}
+
+type faultyEndpoint struct {
+	t  *FaultyTransport
+	ep Endpoint
+}
+
+func (e faultyEndpoint) Addr() Addr { return e.ep.Addr() }
+
+func (e faultyEndpoint) Send(to Addr, data []byte) {
+	drop, dup := e.t.fate(to == e.ep.Addr())
+	if drop {
+		return
+	}
+	e.ep.Send(to, data)
+	if dup {
+		e.ep.Send(to, data)
+	}
+}
+
+func (e faultyEndpoint) Close() { e.ep.Close() }

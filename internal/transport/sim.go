@@ -1,0 +1,30 @@
+package transport
+
+import "repro/internal/simnet"
+
+// Sim adapts an internal/simnet fabric to the Transport interface. The
+// simnet network keeps its full fault model (latency, jitter,
+// bandwidth, loss, duplication, partitions, crashes) and its
+// determinism; closing the returned transport closes the underlying
+// network.
+func Sim(n *simnet.Network) Transport { return simTransport{n} }
+
+type simTransport struct{ net *simnet.Network }
+
+func (t simTransport) Open(addr Addr, recv RecvFunc) (Endpoint, error) {
+	ep, err := t.net.Open(simnet.Addr(addr), func(from simnet.Addr, data []byte) {
+		recv(Addr(from), data)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return simEndpoint{ep}, nil
+}
+
+func (t simTransport) Close() { t.net.Close() }
+
+type simEndpoint struct{ ep *simnet.Endpoint }
+
+func (e simEndpoint) Addr() Addr             { return Addr(e.ep.Addr()) }
+func (e simEndpoint) Send(to Addr, b []byte) { e.ep.Send(simnet.Addr(to), b) }
+func (e simEndpoint) Close()                 { e.ep.Close() }

@@ -1,0 +1,67 @@
+// Package transport abstracts the unreliable datagram fabric under the
+// group-communication stack (the wire below Figure 4's UDP module), so
+// the same protocol code runs over an in-process simulated LAN or over
+// real UDP sockets spanning OS processes and hosts.
+//
+// A Transport hands out Endpoints: one per stack, identified by a small
+// integer Addr that doubles as the stack's group address. Endpoints
+// send best-effort datagrams — loss, duplication and reordering are all
+// permitted, exactly the service the paper's stack assumes at the
+// bottom and repairs above (RP2P adds reliability and FIFO order, the
+// protocols above add agreement).
+//
+// Two backends are provided:
+//
+//   - Sim wraps internal/simnet, preserving the deterministic,
+//     fault-parameterised in-memory fabric used by the test suites and
+//     benchmark figures.
+//   - NewUDP binds real net.UDPConn sockets with a static address book
+//     mapping Addr to host:port, for multi-process and multi-host
+//     deployments (see cmd/dpu-sim's -listen/-peers mode).
+//
+// The Faulty decorator layers simnet-style probabilistic loss and
+// duplication over any backend, so fault-injection tests can run
+// against real sockets too.
+package transport
+
+import "errors"
+
+// Addr identifies an endpoint: the stack's address within its group.
+// The value is the same small integer used as kernel.Addr and, for the
+// simulated backend, simnet.Addr.
+type Addr int
+
+// RecvFunc is invoked for every datagram delivered to an endpoint. It
+// runs on a transport-owned goroutine (a simnet timer goroutine or a
+// socket read loop); implementations must hand the packet to their
+// stack's executor and return quickly. The data slice is owned by the
+// receiver and remains valid after the call returns.
+type RecvFunc func(from Addr, data []byte)
+
+// Endpoint is one stack's attachment to the fabric.
+type Endpoint interface {
+	// Addr returns the endpoint's address.
+	Addr() Addr
+	// Send transmits data to the endpoint at to, best-effort: the
+	// datagram may be lost, duplicated or reordered, and Send never
+	// blocks on delivery. The data is copied (or encoded) before Send
+	// returns; the caller may reuse the buffer.
+	Send(to Addr, data []byte)
+	// Close detaches the endpoint. In-flight packets to it are
+	// discarded; the address becomes available for a new Open.
+	Close()
+}
+
+// Transport is a factory of endpoints over one fabric.
+type Transport interface {
+	// Open attaches an endpoint at addr. recv is invoked for every
+	// delivered datagram. Opening an address twice without closing the
+	// first endpoint is an error.
+	Open(addr Addr, recv RecvFunc) (Endpoint, error)
+	// Close shuts the whole fabric down: every endpoint is detached and
+	// subsequent sends are discarded.
+	Close()
+}
+
+// ErrClosed is returned by Open on a closed transport.
+var ErrClosed = errors.New("transport: closed")

@@ -1,0 +1,388 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/transport/transporttest"
+	"repro/internal/wire"
+)
+
+// reserveBook builds an address book over freshly reserved loopback
+// ports.
+func reserveBook(t *testing.T, n int) map[Addr]string {
+	t.Helper()
+	book := make(map[Addr]string, n)
+	for i, a := range transporttest.ReserveAddrs(t, n) {
+		book[Addr(i)] = a
+	}
+	return book
+}
+
+type packet struct {
+	from Addr
+	data string
+}
+
+// collector funnels deliveries into a channel.
+func collector(buf int) (RecvFunc, chan packet) {
+	ch := make(chan packet, buf)
+	return func(from Addr, data []byte) {
+		ch <- packet{from, string(data)}
+	}, ch
+}
+
+func expectPacket(t *testing.T, ch chan packet, want packet) {
+	t.Helper()
+	select {
+	case got := <-ch:
+		if got != want {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %+v", want)
+	}
+}
+
+func expectQuiet(t *testing.T, ch chan packet, d time.Duration) {
+	t.Helper()
+	select {
+	case got := <-ch:
+		t.Fatalf("unexpected delivery %+v", got)
+	case <-time.After(d):
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	tr, err := NewUDP(UDPConfig{Book: reserveBook(t, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	recv0, ch0 := collector(8)
+	recv1, ch1 := collector(8)
+	ep0, err := tr.Open(0, recv0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := tr.Open(1, recv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep0.Addr() != 0 || ep1.Addr() != 1 {
+		t.Fatalf("bad endpoint addrs %d %d", ep0.Addr(), ep1.Addr())
+	}
+
+	ep0.Send(1, []byte("ping"))
+	expectPacket(t, ch1, packet{0, "ping"})
+	ep1.Send(0, []byte("pong"))
+	expectPacket(t, ch0, packet{1, "pong"})
+
+	// Loopback: a self-addressed datagram comes back through the socket.
+	ep0.Send(0, []byte("self"))
+	expectPacket(t, ch0, packet{0, "self"})
+
+	// Empty payloads survive framing.
+	ep1.Send(0, nil)
+	expectPacket(t, ch0, packet{1, ""})
+
+	st := tr.Stats()
+	if st.Sent != 4 || st.Delivered != 4 || st.Malformed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestUDPOpenErrors(t *testing.T) {
+	tr, err := NewUDP(UDPConfig{Book: reserveBook(t, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	recv, _ := collector(1)
+	if _, err := tr.Open(0, recv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Open(0, recv); err == nil {
+		t.Fatal("double open succeeded")
+	}
+	if _, err := tr.Open(7, recv); err == nil {
+		t.Fatal("open of unlisted address succeeded")
+	}
+	tr.Close()
+	if _, err := tr.Open(0, recv); err != ErrClosed {
+		t.Fatalf("open after close: %v", err)
+	}
+}
+
+func TestUDPSendErrors(t *testing.T) {
+	tr, err := NewUDP(UDPConfig{Book: reserveBook(t, 1), MaxPacket: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	recv, ch := collector(1)
+	ep, err := tr.Open(0, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Send(9, []byte("no such peer"))
+	ep.Send(0, make([]byte, 4096)) // beyond MaxPacket
+	expectQuiet(t, ch, 50*time.Millisecond)
+	if st := tr.Stats(); st.SendErrs != 2 || st.Sent != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestUDPFrameCorruption feeds raw datagrams — truncated, mis-tagged
+// and version-skewed — straight into the socket and checks the decoder
+// drops each without disturbing subsequent good frames.
+func TestUDPFrameCorruption(t *testing.T) {
+	book := reserveBook(t, 1)
+	tr, err := NewUDP(UDPConfig{Book: book})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	recv, ch := collector(8)
+	if _, err := tr.Open(0, recv); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	dst, err := net.ResolveUDPAddr("udp", book[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := wire.NewWriter(16).Byte(frameMagic).Byte(frameVersion).Uvarint(3).Raw([]byte("ok")).Bytes()
+	bad := [][]byte{
+		{},                                   // empty datagram
+		{frameMagic},                         // truncated after magic
+		{frameMagic, frameVersion},           // truncated before the sender address
+		good[:2],                             // truncated header
+		{0x00, frameVersion, 0x01, 'x'},      // wrong magic
+		{frameMagic, frameVersion + 1, 0x01}, // wrong version
+		append([]byte{frameMagic, frameVersion}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF), // overflowing sender varint
+	}
+	for i, b := range bad {
+		if _, err := raw.WriteToUDP(b, dst); err != nil {
+			t.Fatalf("write bad frame %d: %v", i, err)
+		}
+	}
+	if _, err := raw.WriteToUDP(good, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	// The good frame arrives; none of the bad ones do.
+	expectPacket(t, ch, packet{3, "ok"})
+	expectQuiet(t, ch, 50*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := tr.Stats(); st.Malformed == uint64(len(bad)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("malformed count %d, want %d", tr.Stats().Malformed, len(bad))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestUDPOverLimitDatagram sends from a peer configured with a larger
+// MaxPacket: the receiver's read loop must drop the over-limit
+// datagram as malformed instead of delivering a silently truncated
+// frame (ReadFromUDP cuts at the buffer with no error).
+func TestUDPOverLimitDatagram(t *testing.T) {
+	book := reserveBook(t, 2)
+	small, err := NewUDP(UDPConfig{Book: book, MaxPacket: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer small.Close()
+	big, err := NewUDP(UDPConfig{Book: book, MaxPacket: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer big.Close()
+	recv0, ch0 := collector(4)
+	if _, err := small.Open(0, recv0); err != nil {
+		t.Fatal(err)
+	}
+	epBig, err := big.Open(1, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	epBig.Send(0, make([]byte, 2000)) // fits big's limit, exceeds small's
+	expectQuiet(t, ch0, 50*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for small.Stats().Malformed != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("over-limit datagram not counted: %+v", small.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A frame within the receiver's limit still flows.
+	epBig.Send(0, []byte("ok"))
+	expectPacket(t, ch0, packet{1, "ok"})
+}
+
+// TestDecodeFrameTruncation checks every strict prefix of a valid frame
+// is rejected (the wire reader's sticky ErrTruncated path).
+func TestDecodeFrameTruncation(t *testing.T) {
+	full := wire.NewWriter(16).Byte(frameMagic).Byte(frameVersion).Uvarint(300).Raw([]byte("payload")).Bytes()
+	from, payload, ok := decodeFrame(full)
+	if !ok || from != 300 || string(payload) != "payload" {
+		t.Fatalf("full frame: from=%d payload=%q ok=%v", from, payload, ok)
+	}
+	// Prefixes shorter than the 4-byte header (magic, version, 2-byte
+	// uvarint) must fail; longer prefixes just shorten the payload.
+	for cut := 0; cut < 4; cut++ {
+		if _, _, ok := decodeFrame(full[:cut]); ok {
+			t.Fatalf("truncated frame of %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestSimAdapterRoundTrip(t *testing.T) {
+	net := simnet.New(simnet.Config{Seed: 1})
+	tr := Sim(net)
+	defer tr.Close()
+	recv0, ch0 := collector(8)
+	recv1, ch1 := collector(8)
+	ep0, err := tr.Open(0, recv0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := tr.Open(1, recv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0.Send(1, []byte("a"))
+	ep1.Send(0, []byte("b"))
+	ep0.Send(0, []byte("self"))
+	expectPacket(t, ch1, packet{0, "a"})
+	// ch0 receives from two senders; simnet does not order across them.
+	got := map[packet]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case p := <-ch0:
+			got[p] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out; got %v", got)
+		}
+	}
+	if !got[packet{1, "b"}] || !got[packet{0, "self"}] {
+		t.Fatalf("got %v", got)
+	}
+	ep1.Close()
+	if _, err := tr.Open(1, recv1); err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+}
+
+// TestFaultyLoss injects simnet-style probabilistic loss over the real
+// socket backend: with LossRate 1 nothing but loopback traffic
+// survives; with loss off again everything flows.
+func TestFaultyLoss(t *testing.T) {
+	inner, err := NewUDP(UDPConfig{Book: reserveBook(t, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Faulty(inner, FaultConfig{Seed: 42, LossRate: 1})
+	defer tr.Close()
+	recv0, ch0 := collector(64)
+	recv1, ch1 := collector(64)
+	ep0, err := tr.Open(0, recv0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Open(1, recv1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		ep0.Send(1, []byte(fmt.Sprintf("doomed-%d", i)))
+	}
+	expectQuiet(t, ch1, 100*time.Millisecond)
+	if st := tr.Stats(); st.Dropped != 20 || st.Passed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Loopback is exempt from loss, as in simnet.
+	ep0.Send(0, []byte("self"))
+	expectPacket(t, ch0, packet{0, "self"})
+}
+
+// TestFaultyDup duplicates every datagram: each send is delivered
+// exactly twice — the dedup burden the upper layers must carry.
+func TestFaultyDup(t *testing.T) {
+	inner := Sim(simnet.New(simnet.Config{Seed: 7}))
+	tr := Faulty(inner, FaultConfig{Seed: 7, DupRate: 1})
+	defer tr.Close()
+	recv1, ch1 := collector(8)
+	ep0, err := tr.Open(0, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Open(1, recv1); err != nil {
+		t.Fatal(err)
+	}
+	ep0.Send(1, []byte("x"))
+	expectPacket(t, ch1, packet{0, "x"})
+	expectPacket(t, ch1, packet{0, "x"})
+	expectQuiet(t, ch1, 50*time.Millisecond)
+	if st := tr.Stats(); st.Duplicated != 1 || st.Passed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestFaultySeededLoss pins the deterministic fate sequence: the same
+// seed yields the same survivors, the property the simnet-based suites
+// rely on.
+func TestFaultySeededLoss(t *testing.T) {
+	run := func() []string {
+		inner := Sim(simnet.New(simnet.Config{Seed: 3}))
+		tr := Faulty(inner, FaultConfig{Seed: 99, LossRate: 0.5})
+		defer tr.Close()
+		recv1, ch1 := collector(64)
+		ep0, err := tr.Open(0, func(Addr, []byte) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Open(1, recv1); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 16; i++ {
+			ep0.Send(1, []byte(fmt.Sprintf("m%d", i)))
+		}
+		var got []string
+		for {
+			select {
+			case p := <-ch1:
+				got = append(got, p.data)
+			case <-time.After(100 * time.Millisecond):
+				return got
+			}
+		}
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 16 {
+		t.Fatalf("expected partial loss, got %d of 16", len(a))
+	}
+	// Zero-latency simnet timers do not order concurrent deliveries;
+	// only the set of survivors is deterministic.
+	sort.Strings(a)
+	sort.Strings(b)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("fates not reproducible:\n%v\n%v", a, b)
+	}
+}

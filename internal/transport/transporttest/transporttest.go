@@ -1,0 +1,33 @@
+// Package transporttest provides shared helpers for tests that run the
+// real-socket transport backend on the loopback interface. It must not
+// import internal/transport, so the transport package's own internal
+// tests can use it too.
+package transporttest
+
+import (
+	"net"
+	"testing"
+)
+
+// ReserveAddrs binds n ephemeral loopback UDP ports, releases them and
+// returns their "host:port" addresses in order — the raw material for
+// an address book keyed by small integer group addresses. The tiny
+// window in which another process could grab a released port is
+// acceptable in tests.
+func ReserveAddrs(t testing.TB, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	conns := make([]*net.UDPConn, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		conns = append(conns, c)
+		addrs = append(addrs, c.LocalAddr().String())
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return addrs
+}

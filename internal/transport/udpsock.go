@@ -1,0 +1,271 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// Real-socket frame layout (one frame per UDP datagram), encoded with
+// the internal/wire codec shared by every protocol header:
+//
+//	magic   byte    0xD7 — rejects strays from other programs
+//	version byte    1
+//	from    uvarint sender's group address
+//	payload rest    opaque datagram body
+//
+// The sender's address travels in the frame rather than being inferred
+// from the socket source address, so the address book may point at
+// NAT'd or multi-homed peers whose observed source differs from their
+// book entry. The group is mutually trusting (as in the paper's
+// cluster); authentication is out of scope.
+const (
+	frameMagic   byte = 0xD7
+	frameVersion byte = 1
+)
+
+// MaxDatagram is the default receive buffer and the largest payload a
+// UDP endpoint accepts (the practical UDP payload ceiling).
+const MaxDatagram = 65507
+
+// UDPConfig configures a real-socket transport.
+type UDPConfig struct {
+	// Book maps every group address to its UDP "host:port". All
+	// entries are resolved once, in NewUDP.
+	Book map[Addr]string
+	// MaxPacket bounds the receive buffer (default MaxDatagram).
+	MaxPacket int
+	// Logf, when non-nil, receives diagnostics (send errors, malformed
+	// frames). The transport never logs through any other channel.
+	Logf func(format string, args ...any)
+}
+
+// UDPStats counts socket activity. Retrieve a snapshot with Stats.
+type UDPStats struct {
+	Sent      uint64 // datagrams handed to the socket
+	Delivered uint64 // well-formed frames delivered to receivers
+	Malformed uint64 // frames dropped by the decoder
+	SendErrs  uint64 // socket write failures (dropped, as loss)
+	Bytes     uint64 // payload bytes sent
+}
+
+// UDPTransport sends datagrams over real net.UDPConn sockets using a
+// static address book. It satisfies Transport: each Open binds one
+// socket and starts a read-loop goroutine that decodes frames and hands
+// them to the endpoint's RecvFunc.
+type UDPTransport struct {
+	cfg  UDPConfig
+	book map[Addr]*net.UDPAddr
+
+	mu     sync.Mutex
+	eps    map[Addr]*udpEndpoint
+	closed bool
+
+	// Per-packet counters are atomics: every Send and every received
+	// datagram touches them, and endpoints must not contend on t.mu.
+	sent, delivered, malformed, sendErrs, bytes atomic.Uint64
+}
+
+// NewUDP resolves the address book and returns a real-socket transport.
+// No sockets are bound until Open.
+func NewUDP(cfg UDPConfig) (*UDPTransport, error) {
+	if len(cfg.Book) == 0 {
+		return nil, fmt.Errorf("transport: empty address book")
+	}
+	if cfg.MaxPacket <= 0 {
+		cfg.MaxPacket = MaxDatagram
+	}
+	book := make(map[Addr]*net.UDPAddr, len(cfg.Book))
+	for a, s := range cfg.Book {
+		ua, err := net.ResolveUDPAddr("udp", s)
+		if err != nil {
+			return nil, fmt.Errorf("transport: address book entry %d (%q): %w", a, s, err)
+		}
+		book[a] = ua
+	}
+	return &UDPTransport{cfg: cfg, book: book, eps: make(map[Addr]*udpEndpoint)}, nil
+}
+
+func (t *UDPTransport) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// Open binds the socket listed for addr in the address book and starts
+// its read loop.
+func (t *UDPTransport) Open(addr Addr, recv RecvFunc) (Endpoint, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := t.eps[addr]; dup {
+		return nil, fmt.Errorf("transport: endpoint %d already open", addr)
+	}
+	ua, ok := t.book[addr]
+	if !ok {
+		return nil, fmt.Errorf("transport: address %d not in book", addr)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bind %d at %v: %w", addr, ua, err)
+	}
+	ep := &udpEndpoint{tr: t, addr: addr, conn: conn, recv: recv}
+	t.eps[addr] = ep
+	ep.wg.Add(1)
+	go ep.readLoop()
+	return ep, nil
+}
+
+// Stats returns a snapshot of socket counters.
+func (t *UDPTransport) Stats() UDPStats {
+	return UDPStats{
+		Sent:      t.sent.Load(),
+		Delivered: t.delivered.Load(),
+		Malformed: t.malformed.Load(),
+		SendErrs:  t.sendErrs.Load(),
+		Bytes:     t.bytes.Load(),
+	}
+}
+
+// Close detaches every endpoint and rejects further Opens.
+func (t *UDPTransport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	eps := make([]*udpEndpoint, 0, len(t.eps))
+	for _, ep := range t.eps {
+		eps = append(eps, ep)
+	}
+	t.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+type udpEndpoint struct {
+	tr   *UDPTransport
+	addr Addr
+	conn *net.UDPConn
+	recv RecvFunc
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Addr returns the endpoint's group address.
+func (e *udpEndpoint) Addr() Addr { return e.addr }
+
+// Send frames data and writes it to the socket of to's book entry.
+// Failures (unknown address, oversized payload, socket errors) drop the
+// datagram, as network loss would; RP2P's retransmission recovers.
+func (e *udpEndpoint) Send(to Addr, data []byte) {
+	t := e.tr
+	dst, ok := t.book[to]
+	if !ok || len(data) > t.cfg.MaxPacket-maxFrameHeader {
+		reason := "address not in book"
+		if ok {
+			reason = "oversized payload"
+		}
+		t.sendErrs.Add(1)
+		t.logf("transport: drop send %d->%d: %s", e.addr, to, reason)
+		return
+	}
+	w := wire.NewWriter(len(data) + maxFrameHeader)
+	w.Byte(frameMagic).Byte(frameVersion).Uvarint(uint64(e.addr)).Raw(data)
+	if _, err := e.conn.WriteToUDP(w.Bytes(), dst); err != nil {
+		t.sendErrs.Add(1)
+		t.logf("transport: send %d->%d: %v", e.addr, to, err)
+		return
+	}
+	t.sent.Add(1)
+	t.bytes.Add(uint64(len(data)))
+}
+
+// maxFrameHeader bounds the frame header: magic, version and a uvarint
+// address of at most 10 bytes.
+const maxFrameHeader = 12
+
+// readLoop decodes frames off the socket until the endpoint closes.
+func (e *udpEndpoint) readLoop() {
+	defer e.wg.Done()
+	t := e.tr
+	// One byte beyond MaxPacket: ReadFromUDP silently cuts a datagram
+	// at the buffer size, so a full read marks an over-limit datagram
+	// (e.g. a peer configured with a larger MaxPacket) that must be
+	// dropped rather than delivered as a truncated-but-decodable frame.
+	buf := make([]byte, t.cfg.MaxPacket+1)
+	for {
+		n, _, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			// Socket closed (endpoint shutdown) or unrecoverable.
+			return
+		}
+		if n == len(buf) {
+			t.malformed.Add(1)
+			t.logf("transport: endpoint %d: dropped over-limit datagram (>%d bytes)", e.addr, t.cfg.MaxPacket)
+			continue
+		}
+		from, payload, ok := decodeFrame(buf[:n])
+		if !ok {
+			t.malformed.Add(1)
+			t.logf("transport: endpoint %d: dropped malformed %d-byte frame", e.addr, n)
+			continue
+		}
+		t.delivered.Add(1)
+		// The receiver owns its slice; the read buffer is reused.
+		e.recvPacket(from, append([]byte(nil), payload...))
+	}
+}
+
+// recvPacket delivers one decoded frame unless the endpoint has closed.
+func (e *udpEndpoint) recvPacket(from Addr, data []byte) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if !closed {
+		e.recv(from, data)
+	}
+}
+
+// Close shuts the socket down and waits for the read loop to exit.
+func (e *udpEndpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.conn.Close()
+	e.wg.Wait()
+	t := e.tr
+	t.mu.Lock()
+	if t.eps[e.addr] == e {
+		delete(t.eps, e.addr)
+	}
+	t.mu.Unlock()
+}
+
+// decodeFrame parses one datagram; ok is false for frames that are
+// truncated, carry the wrong magic or version, or whose sender address
+// overflows.
+func decodeFrame(b []byte) (from Addr, payload []byte, ok bool) {
+	r := wire.NewReader(b)
+	r.Expect(frameMagic, "transport magic")
+	r.Expect(frameVersion, "transport version")
+	f := r.Uvarint()
+	payload = r.Rest()
+	if r.Err() != nil || f >= 1<<31 {
+		return 0, nil, false
+	}
+	return Addr(f), payload, true
+}

@@ -1,13 +1,35 @@
 // Package udp is the bottom module of the group-communication stack
 // (Figure 4 of the paper): an interface to an unreliable datagram
-// transport. It binds a simnet endpoint to the "net/udp" service and
+// transport. It binds a transport endpoint to the "net/udp" service and
 // demultiplexes traffic with a one-byte channel tag so that several
-// upper modules (RP2P, the failure detector) can share the socket.
+// upper modules can share the socket.
+//
+// The module is transport-agnostic: it speaks to internal/transport,
+// so the same stack runs over the deterministic in-process simnet
+// fabric (transport.Sim) or over real UDP sockets spanning processes
+// and hosts (transport.NewUDP).
+//
+// # Channel-tag registry
+//
+// Every datagram carries a one-byte tag directly after the transport
+// frame; each listener of the Recv indication filters on it. The
+// well-known tags are declared here so the registry has a single home:
+//
+//	ChanRP2P (1) — net/rp2p sequence/ack traffic. Everything above
+//	  RP2P (rbcast, consensus, abcast, gm, core) multiplexes further
+//	  by *named* RP2P channels ("rb", "cons", "cons-dec", "sq/<epoch>",
+//	  "tk/<epoch>", "ab/<impl>/<epoch>", ...), not by new byte tags.
+//	ChanFD (2) — the failure detector's heartbeats, which deliberately
+//	  bypass RP2P: losing one is harmless and retransmitting a stale
+//	  heartbeat would defeat the timeout logic.
+//
+// New modules that need raw datagrams should claim the next free byte
+// here rather than inventing a private constant.
 package udp
 
 import (
 	"repro/internal/kernel"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Service is the unreliable datagram service.
@@ -16,10 +38,13 @@ const Service kernel.ServiceID = "net/udp"
 // Protocol is the protocol name registered for this module.
 const Protocol = "net/udp"
 
-// Well-known channel tags for modules sharing the socket.
+// Well-known channel tags for modules sharing the socket. See the
+// package comment for the registry.
 const (
+	// ChanRP2P carries reliable point-to-point (net/rp2p) traffic.
 	ChanRP2P byte = 1
-	ChanFD   byte = 2
+	// ChanFD carries failure-detector heartbeats.
+	ChanFD byte = 2
 )
 
 // Send requests an unreliable datagram transmission.
@@ -37,33 +62,43 @@ type Recv struct {
 	Data []byte
 }
 
-// Module implements the UDP module.
+// Module implements the UDP module over a transport backend.
 type Module struct {
 	kernel.Base
-	net *simnet.Network
-	ep  *simnet.Endpoint
+	tr      transport.Transport
+	ep      transport.Endpoint
+	openErr error
 }
 
-// Factory returns the module factory bound to a simnet fabric.
-func Factory(net *simnet.Network) kernel.Factory {
+// Factory returns the module factory bound to a transport fabric.
+func Factory(tr transport.Transport) kernel.Factory {
 	return kernel.Factory{
 		Protocol: Protocol,
 		Provides: []kernel.ServiceID{Service},
 		New: func(st *kernel.Stack) kernel.Module {
-			return &Module{Base: kernel.NewBase(st, Protocol), net: net}
+			return &Module{Base: kernel.NewBase(st, Protocol), tr: tr}
 		},
 	}
 }
 
-// Start opens the endpoint at the stack's address.
+// Start opens the endpoint at the stack's address. Module.Start cannot
+// return an error, so a failure (e.g. a real-socket bind conflict) is
+// recorded for OpenErr and the module stays up with no endpoint,
+// dropping all traffic.
 func (m *Module) Start() {
-	ep, err := m.net.Open(simnet.Addr(m.Stk.Addr()), m.receive)
+	ep, err := m.tr.Open(transport.Addr(m.Stk.Addr()), m.receive)
 	if err != nil {
+		m.openErr = err
 		m.Stk.Logf("udp: open: %v", err)
 		return
 	}
 	m.ep = ep
 }
+
+// OpenErr reports whether Start failed to open the transport endpoint.
+// Stack builders should check it (on the executor) after creating the
+// stack: with real sockets a bind failure is otherwise silent.
+func (m *Module) OpenErr() error { return m.openErr }
 
 // Stop releases the endpoint.
 func (m *Module) Stop() {
@@ -82,12 +117,13 @@ func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
 	buf := make([]byte, 0, len(s.Data)+1)
 	buf = append(buf, s.Chan)
 	buf = append(buf, s.Data...)
-	m.ep.Send(simnet.Addr(s.To), buf)
+	m.ep.Send(transport.Addr(s.To), buf)
 }
 
-// receive runs on a simnet timer goroutine; it re-injects the packet
-// into the stack as an indication (Indicate enqueues onto the executor).
-func (m *Module) receive(from simnet.Addr, data []byte) {
+// receive runs on a transport goroutine (simnet timer or socket read
+// loop); it re-injects the packet into the stack as an indication
+// (Indicate enqueues onto the executor).
+func (m *Module) receive(from transport.Addr, data []byte) {
 	if len(data) < 1 {
 		return
 	}

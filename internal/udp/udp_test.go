@@ -44,7 +44,7 @@ func (s *sink) at(i int) udp.Recv {
 
 func build(t *testing.T, n int, cfg simnet.Config) (*stacktest.Cluster, []*sink) {
 	c := stacktest.New(t, n, cfg, nil)
-	c.Reg.MustRegister(udp.Factory(c.Net))
+	c.Reg.MustRegister(udp.Factory(c.Tr))
 	c.CreateAll(udp.Protocol)
 	sinks := make([]*sink, n)
 	for i := range sinks {
