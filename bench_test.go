@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -178,16 +179,13 @@ func BenchmarkSwitchMatrix(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 				start := time.Now()
-				c.ChangeProtocol(0, pair[1])
-				for s := 0; s < 3; s++ {
-					select {
-					case <-c.Switches(s):
-					case <-time.After(20 * time.Second):
-						b.Fatal("switch stalled")
-					}
+				if _, err := c.ChangeProtocolAll(ctx, pair[1]); err != nil {
+					b.Fatalf("switch stalled: %v", err)
 				}
 				switchMS += float64(time.Since(start)) / float64(time.Millisecond)
+				cancel()
 				c.Close()
 			}
 			b.ReportMetric(switchMS/float64(b.N), "switch-ms")

@@ -18,17 +18,23 @@
 //	dpu-sim -listen 127.0.0.1:7001 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -msgs 90 -switch abcast/seq
 //	dpu-sim -listen 127.0.0.1:7002 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -msgs 90 -switch abcast/seq
 //
-// Every process audits its own delivery sequence (exactly-once, all
-// messages present) and prints a digest of the sequence; identical
-// digests across processes certify the uniform total order.
+// Switch barriers are deterministic: the initiating process blocks in
+// Node.ChangeProtocol until its local replacement completes, and every
+// other process blocks in WaitForEpoch for the same epoch — no
+// sleep-based guessing. Every process audits its own delivery sequence
+// (exactly-once, all messages present) and prints a digest of the
+// sequence; identical digests across processes certify the uniform
+// total order.
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/dpu"
@@ -115,43 +121,74 @@ func runMulti(listen, peerList string, msgs int, initial string, chain []string,
 		fatalf("%v", err)
 	}
 	defer c.Close()
+	node, err := c.Node(self)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// The audit must see every delivery, so the subscription blocks the
+	// stack rather than dropping when the collector lags.
+	sub, err := node.Subscribe(dpu.SubscribeOptions{Deliveries: true, Buffer: 8192, Policy: dpu.Block})
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	fmt.Printf("stack %d of %d listening on %s, initial protocol %s\n", self, n, listen, initial)
 
-	var sequence []string
-	delivered := make(map[string]int)
-	hellos := make(map[string]bool)
-	take := func(origin int, data []byte) {
-		s := fmt.Sprintf("%d:%s", origin, data)
-		sequence = append(sequence, s)
-		delivered[s]++
-		if strings.HasPrefix(string(data), "hello-") {
-			hellos[s] = true
+	want := msgs + n // workload plus hellos
+	var (
+		mu        sync.Mutex
+		sequence  []string
+		delivered = make(map[string]int)
+	)
+	hellosDone := make(chan struct{})
+	allDone := make(chan struct{})
+	progress := make(chan struct{}, 1) // coalesced delivery ticks
+	go func() {
+		hellos := 0
+		for d := range sub.Deliveries() {
+			s := fmt.Sprintf("%d:%s", d.Origin, d.Data)
+			mu.Lock()
+			sequence = append(sequence, s)
+			delivered[s]++
+			total := len(sequence)
+			mu.Unlock()
+			select {
+			case progress <- struct{}{}:
+			default:
+			}
+			if strings.HasPrefix(string(d.Data), "hello-") {
+				if hellos++; hellos == n {
+					close(hellosDone)
+				}
+			}
+			if total == want {
+				close(allDone)
+			}
 		}
-	}
+	}()
+
+	ctx := context.Background()
 
 	// Barrier: every process announces itself through the atomic
 	// broadcast and waits for the whole group, so no workload message
 	// races a peer that has not bound its socket yet.
-	if err := c.Broadcast(self, []byte(fmt.Sprintf("hello-%d", self))); err != nil {
+	if err := node.Broadcast(ctx, []byte(fmt.Sprintf("hello-%d", self))); err != nil {
 		fatalf("%v", err)
 	}
-	for len(hellos) < n {
-		select {
-		case d := <-c.Deliveries(self):
-			take(d.Origin, d.Data)
-		case <-time.After(60 * time.Second):
-			fatalf("joined only %d of %d peers", len(hellos), n)
-		}
+	select {
+	case <-hellosDone:
+	case <-time.After(60 * time.Second):
+		fatalf("group did not assemble within 60s")
 	}
 	fmt.Printf("all %d stacks joined\n", n)
 
 	// Workload: global message index i is broadcast by stack i%n; the
 	// chain's step'th switch is initiated by stack step%n after phase
-	// step's share of messages. Each process waits for its own switch
-	// event, so later phases exercise the new protocol while earlier
-	// messages may still be draining elsewhere — the live mid-stream
-	// replacement the paper is about.
+	// step's share of messages. The initiator blocks until its own
+	// replacement completes; everyone else waits for the same epoch —
+	// later phases exercise the new protocol while earlier messages may
+	// still be draining elsewhere, the live mid-stream replacement the
+	// paper is about.
 	phases := len(chain) + 1
 	perPhase := msgs / phases
 	sendRange := func(lo, hi int) {
@@ -159,18 +196,8 @@ func runMulti(listen, peerList string, msgs int, initial string, chain []string,
 			if i%n != self {
 				continue
 			}
-			if err := c.Broadcast(self, []byte(fmt.Sprintf("msg-%04d", i))); err != nil {
+			if err := node.Broadcast(ctx, []byte(fmt.Sprintf("msg-%04d", i))); err != nil {
 				fatalf("%v", err)
-			}
-		}
-	}
-	pump := func() {
-		for {
-			select {
-			case d := <-c.Deliveries(self):
-				take(d.Origin, d.Data)
-			default:
-				return
 			}
 		}
 	}
@@ -179,47 +206,46 @@ func runMulti(listen, peerList string, msgs int, initial string, chain []string,
 		hi := (step + 1) * perPhase
 		sendRange(lo, hi)
 		lo = hi
+		sctx, cancel := context.WithTimeout(ctx, 60*time.Second)
 		if step%n == self {
 			fmt.Printf("[%s] initiating switch to %s\n", time.Now().Format("15:04:05.000"), next)
-			if err := c.ChangeProtocol(self, next); err != nil {
-				fatalf("%v", err)
+			ev, err := node.ChangeProtocol(sctx, next)
+			if err != nil {
+				fatalf("switch to %s: %v", next, err)
 			}
-		}
-		for done := false; !done; {
-			select {
-			case ev := <-c.Switches(self):
-				fmt.Printf("switched to %s (epoch %d, %d reissued)\n", ev.Protocol, ev.Epoch, ev.Reissued)
-				done = true
-			case d := <-c.Deliveries(self):
-				take(d.Origin, d.Data)
-			case <-time.After(60 * time.Second):
-				fatalf("switch to %s never completed locally", next)
+			fmt.Printf("switched to %s (epoch %d, %d reissued)\n", ev.Protocol, ev.Epoch, ev.Reissued)
+		} else {
+			st, err := node.WaitForEpoch(sctx, uint64(step+1))
+			if err != nil {
+				fatalf("switch to %s never completed locally: %v", next, err)
 			}
+			fmt.Printf("switched to %s (epoch %d)\n", st.Protocol, st.Epoch)
 		}
-		pump()
+		cancel()
 	}
 	sendRange(lo, msgs)
 
-	// Collect until every expected message arrived and the line has
-	// been quiet, then audit.
-	want := msgs + n // workload plus hellos
+	// Collect until every expected message arrived — tolerating any run
+	// length as long as deliveries keep making progress (60s of silence
+	// is the failure signal) — then linger for the quiet window so a
+	// late duplicate would still be caught, and audit.
+collect:
 	for {
-		timeout := quiet
-		if len(sequence) < want {
-			timeout = 60 * time.Second
-		}
 		select {
-		case d := <-c.Deliveries(self):
-			take(d.Origin, d.Data)
-		case <-time.After(timeout):
-			if len(sequence) >= want {
-				goto audit
-			}
-			fatalf("AGREEMENT VIOLATION: delivered %d of %d expected messages", len(sequence), want)
+		case <-allDone:
+			break collect
+		case <-progress:
+		case <-time.After(60 * time.Second):
+			mu.Lock()
+			got := len(sequence)
+			mu.Unlock()
+			fatalf("AGREEMENT VIOLATION: delivered %d of %d expected messages", got, want)
 		}
 	}
+	<-time.After(quiet)
 
-audit:
+	mu.Lock()
+	defer mu.Unlock()
 	for s, k := range delivered {
 		if k != 1 {
 			fatalf("EXACTLY-ONCE VIOLATION: %s delivered %d times", s, k)
@@ -228,7 +254,7 @@ audit:
 	if len(sequence) != want {
 		fatalf("AGREEMENT VIOLATION: delivered %d, want %d", len(sequence), want)
 	}
-	st, err := c.Status(self)
+	st, err := node.Status(ctx)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -251,6 +277,23 @@ func runSingle(n, msgs int, initial string, chain []string, loss float64, crash 
 		fatalf("%v", err)
 	}
 	defer c.Close()
+	ctx := context.Background()
+
+	nodes := make([]*dpu.Node, n)
+	subs := make([]*dpu.Subscription, n)
+	for i := 0; i < n; i++ {
+		if nodes[i], err = c.Node(i); err != nil {
+			fatalf("%v", err)
+		}
+		// Sized to hold the whole workload so the audit-side collector
+		// can read after the fact without ever blocking the stacks.
+		subs[i], err = nodes[i].Subscribe(dpu.SubscribeOptions{
+			Deliveries: true, Buffer: msgs + 64, Policy: dpu.Block,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	phases := len(chain) + 1
 	perPhase := msgs / phases
@@ -258,7 +301,7 @@ func runSingle(n, msgs int, initial string, chain []string, loss float64, crash 
 	sendBatch := func(k int) {
 		for i := 0; i < k; i++ {
 			payload := fmt.Sprintf("msg-%04d", sent)
-			if err := c.Broadcast(sent%n, []byte(payload)); err == nil {
+			if err := nodes[sent%n].Broadcast(ctx, []byte(payload)); err == nil {
 				sent++
 			}
 		}
@@ -268,20 +311,27 @@ func runSingle(n, msgs int, initial string, chain []string, loss float64, crash 
 		n, initial, msgs, loss*100)
 	sendBatch(perPhase)
 	for step, next := range chain {
+		initiator := step % n
 		fmt.Printf("[%v] switching to %s (initiated by stack %d)...\n",
-			time.Now().Format("15:04:05.000"), next, step%n)
-		if err := c.ChangeProtocol(step%n, next); err != nil {
-			fatalf("%v", err)
+			time.Now().Format("15:04:05.000"), next, initiator)
+		sctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		ev, err := nodes[initiator].ChangeProtocol(sctx, next)
+		if err != nil {
+			fatalf("switch to %s: %v", next, err)
 		}
+		fmt.Printf("  stack %d switched to %s (epoch %d, %d reissued)\n",
+			initiator, ev.Protocol, ev.Epoch, ev.Reissued)
 		for i := 0; i < n; i++ {
-			select {
-			case ev := <-c.Switches(i):
-				fmt.Printf("  stack %d switched to %s (epoch %d, %d reissued)\n",
-					ev.Stack, ev.Protocol, ev.Epoch, ev.Reissued)
-			case <-time.After(30 * time.Second):
-				fatalf("stack %d never switched", i)
+			if i == initiator {
+				continue
 			}
+			st, err := c.WaitForEpoch(sctx, i, ev.Epoch)
+			if err != nil {
+				fatalf("stack %d never switched: %v", i, err)
+			}
+			fmt.Printf("  stack %d switched to %s (epoch %d)\n", i, st.Protocol, st.Epoch)
 		}
+		cancel()
 		sendBatch(perPhase)
 	}
 	sendBatch(msgs - sent) // remainder
@@ -291,13 +341,13 @@ func runSingle(n, msgs int, initial string, chain []string, loss float64, crash 
 		live[i] = true
 	}
 	if crash >= 0 && crash < n {
-		// Give the doomed stack's queued broadcasts a moment to leave;
-		// whatever is still local when it dies is legitimately lost
-		// (uniform agreement covers only messages that got delivered
-		// somewhere).
+		// Fault drill: give the doomed stack's queued broadcasts a
+		// moment to leave; whatever is still local when it dies is
+		// legitimately lost (uniform agreement covers only messages
+		// that got delivered somewhere).
 		time.Sleep(500 * time.Millisecond)
 		fmt.Printf("crashing stack %d\n", crash)
-		c.Crash(crash)
+		nodes[crash].Crash()
 		live[crash] = false
 	}
 
@@ -316,7 +366,7 @@ func runSingle(n, msgs int, initial string, chain []string, loss float64, crash 
 				wait = 200 * time.Millisecond
 			}
 			select {
-			case d, ok := <-c.Deliveries(i):
+			case d, ok := <-subs[i].Deliveries():
 				if !ok {
 					break collect
 				}
@@ -353,7 +403,7 @@ func runSingle(n, msgs int, initial string, chain []string, loss float64, crash 
 			break
 		}
 	}
-	st, _ := c.Status(aliveProbe)
+	st, _ := nodes[aliveProbe].Status(ctx)
 	fmt.Printf("OK: %d of %d sent messages delivered in identical total order on all live stacks; final protocol %s (epoch %d)\n",
 		len(sequences[ref]), sent, st.Protocol, st.Epoch)
 }

@@ -1,0 +1,559 @@
+package dpu
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/fd"
+	"repro/internal/gm"
+	"repro/internal/kernel"
+	"repro/internal/rbcast"
+	"repro/internal/rp2p"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/udp"
+)
+
+// Cluster is a running group of n stacks — all hosted by this process
+// (the default), or just the subset selected with WithLocalStacks when
+// the group spans several processes over a shared transport.
+type Cluster struct {
+	n          int
+	net        *simnet.Network // nil when running over an external transport
+	tr         transport.Transport
+	stacks     []*kernel.Stack // indexed by stack id; nil for remote stacks
+	impls      *abcast.Registry
+	membership bool
+
+	// Legacy fixed per-stack streams (see Deliveries/Switches/Views).
+	deliveries []chan Delivery
+	switches   []chan SwitchEvent
+	views      []chan View
+	dropped    []atomic.Uint64
+
+	// Per-stack backpressure windows for Node.Broadcast: one token per
+	// own broadcast still undelivered locally.
+	outstanding []chan struct{}
+
+	// Per-stack subscription registries. The locks are per stack so a
+	// Block-policy publisher parked on one stack's slow consumer cannot
+	// stall Subscribe/Close traffic on other stacks.
+	subLocks []sync.RWMutex
+	subs     [][]*Subscription
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	faultWarn sync.Once
+}
+
+// New assembles and starts a cluster of n stacks.
+func New(n int, opts ...Option) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dpu: cluster size %d < 1", n)
+	}
+	o := &options{
+		protocol: ProtocolCT,
+		net: simnet.Config{
+			BaseLatency:  100 * time.Microsecond,
+			Jitter:       50 * time.Microsecond,
+			BandwidthBps: 100e6,
+		},
+		grace:          500 * time.Millisecond,
+		buffer:         8192,
+		maxOutstanding: 1024,
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	if o.maxOutstanding < 1 {
+		o.maxOutstanding = 1
+	}
+
+	// Validate configuration and build the registry before constructing
+	// any transport, so every early error return leaves the caller's
+	// transport untouched and nothing is leaked.
+	local := make(map[int]bool, n)
+	if len(o.local) == 0 {
+		for i := 0; i < n; i++ {
+			local[i] = true
+		}
+	}
+	for _, id := range o.local {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("%w: local stack %d not in [0,%d)", ErrOutOfRange, id, n)
+		}
+		local[id] = true
+	}
+	impls := abcast.StandardRegistry()
+	for _, im := range o.extraImpls {
+		if err := impls.Register(im); err != nil {
+			return nil, err
+		}
+	}
+
+	var (
+		net *simnet.Network
+		tr  = o.transport
+	)
+	if tr == nil {
+		net = simnet.New(o.net)
+		tr = transport.Sim(net)
+	}
+
+	reg := kernel.NewRegistry()
+	reg.MustRegister(udp.Factory(tr))
+	reg.MustRegister(rp2p.Factory(rp2p.Config{}))
+	reg.MustRegister(rbcast.Factory(rbcast.Config{}))
+	reg.MustRegister(fd.Factory(fd.Config{}))
+	reg.MustRegister(consensus.Factory())
+	for _, cv := range o.consVariants {
+		reg.MustRegister(consensus.FactoryWith(cv))
+	}
+	reg.MustRegister(core.Factory(core.Config{
+		InitialProtocol: o.protocol,
+		Impls:           impls,
+		Grace:           o.grace,
+		RetryLostChange: true,
+	}))
+	if o.membership {
+		reg.MustRegister(gm.Factory())
+	}
+
+	c := &Cluster{
+		n:           n,
+		net:         net,
+		tr:          tr,
+		stacks:      make([]*kernel.Stack, n),
+		impls:       impls,
+		membership:  o.membership,
+		deliveries:  make([]chan Delivery, n),
+		switches:    make([]chan SwitchEvent, n),
+		views:       make([]chan View, n),
+		dropped:     make([]atomic.Uint64, n),
+		outstanding: make([]chan struct{}, n),
+		subLocks:    make([]sync.RWMutex, n),
+		subs:        make([][]*Subscription, n),
+		closed:      make(chan struct{}),
+	}
+	peers := make([]kernel.Addr, n)
+	for i := range peers {
+		peers[i] = kernel.Addr(i)
+	}
+	for i := 0; i < n; i++ {
+		if !local[i] {
+			continue
+		}
+		st := kernel.NewStack(kernel.Config{
+			Addr: kernel.Addr(i), Peers: peers, Registry: reg,
+			Seed: o.net.Seed + int64(i), Tracer: o.tracer,
+		})
+		c.stacks[i] = st
+		c.deliveries[i] = make(chan Delivery, o.buffer)
+		c.switches[i] = make(chan SwitchEvent, 64)
+		c.views[i] = make(chan View, 64)
+		c.outstanding[i] = make(chan struct{}, o.maxOutstanding)
+		i := i
+		var buildErr error
+		err := st.DoSync(func() {
+			if _, e := st.CreateProtocol(core.Protocol); e != nil {
+				buildErr = e
+				return
+			}
+			// A transport bind failure inside the build (real sockets:
+			// port conflict, bad address) can only be recorded by the
+			// udp module; surface it instead of returning a cluster
+			// that silently drops all traffic.
+			if um, ok := st.Provider(udp.Service).(*udp.Module); ok {
+				if e := um.OpenErr(); e != nil {
+					buildErr = e
+					return
+				}
+			}
+			if o.membership {
+				if _, e := st.CreateProtocol(gm.Protocol); e != nil {
+					buildErr = e
+					return
+				}
+			}
+			pump := &pumpModule{Base: kernel.NewBase(st, "dpu/pump"), c: c, stack: i}
+			st.AddModule(pump)
+			st.Subscribe(core.Service, pump)
+			if o.membership {
+				st.Subscribe(gm.Service, pump)
+			}
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if buildErr != nil {
+			c.Close()
+			return nil, buildErr
+		}
+	}
+	return c, nil
+}
+
+// pumpModule forwards public-service indications into the cluster's
+// subscriptions and legacy channels, and completes the backpressure
+// window for the stack's own deliveries.
+type pumpModule struct {
+	kernel.Base
+	c     *Cluster
+	stack int
+}
+
+func (p *pumpModule) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
+	switch v := ind.(type) {
+	case core.Deliver:
+		kind, body, err := envelope.Unwrap(v.Data)
+		if err != nil || (kind != envelope.KindApp && kind != envelope.KindAppPaced) {
+			return
+		}
+		if kind == envelope.KindAppPaced && v.Origin == kernel.Addr(p.stack) {
+			// One of this stack's own paced broadcasts completed the
+			// loop: free the window slot it acquired in Node.Broadcast.
+			select {
+			case <-p.c.outstanding[p.stack]:
+			default:
+			}
+		}
+		d := Delivery{Stack: p.stack, Origin: int(v.Origin), Data: body, At: time.Now()}
+		p.c.publishDelivery(p.stack, d)
+		select {
+		case p.c.deliveries[p.stack] <- d:
+		default:
+			p.c.dropped[p.stack].Add(1)
+		}
+	case core.Switched:
+		ev := SwitchEvent{Stack: p.stack, Epoch: v.Sn, Protocol: v.Protocol, At: v.At, Reissued: v.Reissued}
+		p.c.publishSwitch(p.stack, ev)
+		select {
+		case p.c.switches[p.stack] <- ev:
+		default:
+		}
+	case gm.NewView:
+		members := make([]int, len(v.View.Members))
+		for i, m := range v.View.Members {
+			members[i] = int(m)
+		}
+		view := View{ID: v.View.ID, Members: members}
+		p.c.publishView(p.stack, view)
+		select {
+		case p.c.views[p.stack] <- view:
+		default:
+		}
+	}
+}
+
+// check validates that the stack index is in range, hosted by this
+// process, and still running.
+func (c *Cluster) check(stack int) error {
+	if stack < 0 || stack >= c.n {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrOutOfRange, stack, c.n)
+	}
+	if c.stacks[stack] == nil {
+		return fmt.Errorf("%w: stack %d", ErrRemoteStack, stack)
+	}
+	if !c.stacks[stack].Running() {
+		return fmt.Errorf("%w: stack %d", ErrNotRunning, stack)
+	}
+	return nil
+}
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return c.n }
+
+// ChangeProtocolAll replaces the atomic-broadcast protocol on every
+// stack and blocks until every stack hosted by this process has
+// completed the switch (remote stacks confirm on their own hosts via
+// WaitForEpoch). The change is initiated by the lowest-indexed local
+// running stack; the returned SwitchEvent is the initiator's.
+func (c *Cluster) ChangeProtocolAll(ctx context.Context, protocol string) (SwitchEvent, error) {
+	var initiator *Node
+	for i := 0; i < c.n; i++ {
+		if n, err := c.Node(i); err == nil {
+			initiator = n
+			break
+		}
+	}
+	if initiator == nil {
+		return SwitchEvent{}, fmt.Errorf("%w: no local running stack", ErrNotRunning)
+	}
+	ev, err := initiator.ChangeProtocol(ctx, protocol)
+	if err != nil {
+		return SwitchEvent{}, err
+	}
+	for i := 0; i < c.n; i++ {
+		if i == initiator.id {
+			continue
+		}
+		n, err := c.Node(i)
+		if err != nil {
+			continue // remote or stopped stacks cannot be awaited here
+		}
+		if _, err := n.WaitForEpoch(ctx, ev.Epoch); err != nil {
+			return ev, fmt.Errorf("dpu: waiting for stack %d: %w", i, err)
+		}
+	}
+	return ev, nil
+}
+
+// WaitForEpoch blocks until the local stack's replacement layer has
+// reached the given epoch (seqNumber ≥ epoch) and returns its status.
+// This is the deterministic switch barrier for observers that did not
+// initiate a change — e.g. the non-initiating processes of a
+// multi-process group.
+func (c *Cluster) WaitForEpoch(ctx context.Context, stack int, epoch uint64) (Status, error) {
+	n, err := c.Node(stack)
+	if err != nil {
+		return Status{}, err
+	}
+	return n.WaitForEpoch(ctx, epoch)
+}
+
+// Broadcast atomically broadcasts data from the stack: it will be
+// delivered exactly once, in the same total order, on every stack.
+//
+// Deprecated: use Node.Broadcast, which applies backpressure against
+// the outstanding-broadcast window and honors a context.
+func (c *Cluster) Broadcast(stack int, data []byte) error {
+	if err := c.check(stack); err != nil {
+		return err
+	}
+	c.stacks[stack].Call(core.Service, core.Broadcast{Data: envelope.Wrap(envelope.KindApp, data)})
+	return nil
+}
+
+// ChangeProtocol replaces the atomic-broadcast protocol on every stack,
+// on the fly, without interrupting service (Algorithm 1). Any stack may
+// initiate. The protocol name is validated immediately
+// (ErrUnknownProtocol); completion is asynchronous.
+//
+// Deprecated: use Node.ChangeProtocol, which blocks until the local
+// switch completes and returns the resulting SwitchEvent.
+func (c *Cluster) ChangeProtocol(stack int, protocol string) error {
+	if err := c.check(stack); err != nil {
+		return err
+	}
+	if _, ok := c.impls.Lookup(protocol); !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownProtocol, protocol)
+	}
+	c.stacks[stack].Call(core.Service, core.ChangeProtocol{Protocol: protocol})
+	return nil
+}
+
+// Deliveries returns the stack's totally-ordered delivery stream. It
+// returns nil — which blocks forever when received from — for an
+// out-of-range or remote stack index.
+//
+// Deprecated: use Node.Subscribe, which returns typed streams with an
+// explicit buffer and lag policy, and surfaces bad indexes as errors.
+func (c *Cluster) Deliveries(stack int) <-chan Delivery {
+	if stack < 0 || stack >= c.n {
+		return nil
+	}
+	return c.deliveries[stack]
+}
+
+// Switches returns the stack's protocol-replacement events (nil for an
+// out-of-range or remote stack index).
+//
+// Deprecated: use Node.Subscribe or the SwitchEvent returned by
+// Node.ChangeProtocol.
+func (c *Cluster) Switches(stack int) <-chan SwitchEvent {
+	if stack < 0 || stack >= c.n {
+		return nil
+	}
+	return c.switches[stack]
+}
+
+// Views returns the stack's membership views (requires WithMembership;
+// nil for an out-of-range or remote stack index).
+//
+// Deprecated: use Node.Subscribe.
+func (c *Cluster) Views(stack int) <-chan View {
+	if stack < 0 || stack >= c.n {
+		return nil
+	}
+	return c.views[stack]
+}
+
+// Dropped reports deliveries discarded because the consumer of
+// Deliveries(stack) lagged behind the buffer (0 for an out-of-range
+// index). Subscriptions count their own drops (Subscription.Dropped).
+func (c *Cluster) Dropped(stack int) uint64 {
+	if stack < 0 || stack >= c.n {
+		return 0
+	}
+	return c.dropped[stack].Load()
+}
+
+// Status returns a snapshot of the stack's replacement layer.
+//
+// Deprecated: use Node.Status, which takes a context instead of this
+// wrapper's fixed 10-second timeout.
+func (c *Cluster) Status(stack int) (Status, error) {
+	n, err := c.Node(stack)
+	if err != nil {
+		return Status{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return n.Status(ctx)
+}
+
+// Join adds a member to the logical group view (requires WithMembership).
+func (c *Cluster) Join(stack, member int) error {
+	n, err := c.Node(stack)
+	if err != nil {
+		return err
+	}
+	return n.Join(member)
+}
+
+// Leave removes a member from the logical group view.
+func (c *Cluster) Leave(stack, member int) error {
+	n, err := c.Node(stack)
+	if err != nil {
+		return err
+	}
+	return n.Leave(member)
+}
+
+// Crash kills the stack abruptly: its events are discarded and its
+// network traffic stops, modelling a machine crash. Only local stacks
+// can be crashed; over an external transport the network isolation is
+// skipped (the halted stack simply goes silent).
+func (c *Cluster) Crash(stack int) error {
+	if stack < 0 || stack >= c.n {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrOutOfRange, stack, c.n)
+	}
+	if c.stacks[stack] == nil {
+		return fmt.Errorf("%w: stack %d", ErrRemoteStack, stack)
+	}
+	if c.net != nil {
+		c.net.SetDown(simnet.Addr(stack), true)
+	}
+	c.stacks[stack].Crash()
+	return nil
+}
+
+// PartitionLink cuts the network link between two stacks. It requires
+// the built-in simulated network: over WithTransport it returns
+// ErrUnsupported (real links cannot be cut from here).
+func (c *Cluster) PartitionLink(a, b int) error {
+	if err := c.checkLink(a, b); err != nil {
+		return err
+	}
+	c.net.Cut(simnet.Addr(a), simnet.Addr(b))
+	return nil
+}
+
+// HealLink restores the link between two stacks. It requires the
+// built-in simulated network: over WithTransport it returns
+// ErrUnsupported.
+func (c *Cluster) HealLink(a, b int) error {
+	if err := c.checkLink(a, b); err != nil {
+		return err
+	}
+	c.net.Heal(simnet.Addr(a), simnet.Addr(b))
+	return nil
+}
+
+func (c *Cluster) checkLink(a, b int) error {
+	if a < 0 || a >= c.n || b < 0 || b >= c.n {
+		return fmt.Errorf("%w: link %d-%d not in [0,%d)", ErrOutOfRange, a, b, c.n)
+	}
+	if c.net == nil {
+		return fmt.Errorf("%w: link faults need the built-in simulated network", ErrUnsupported)
+	}
+	return nil
+}
+
+// Partition cuts the network link between two stacks. It requires the
+// built-in simulated network and is a silent no-op over WithTransport.
+//
+// Deprecated: use PartitionLink, which reports ErrUnsupported instead
+// of silently doing nothing.
+func (c *Cluster) Partition(a, b int) {
+	if c.net == nil {
+		c.warnFaultNoop()
+		return
+	}
+	c.net.Cut(simnet.Addr(a), simnet.Addr(b))
+}
+
+// Heal restores the link between two stacks. It requires the built-in
+// simulated network and is a silent no-op over WithTransport.
+//
+// Deprecated: use HealLink, which reports ErrUnsupported instead of
+// silently doing nothing.
+func (c *Cluster) Heal(a, b int) {
+	if c.net == nil {
+		c.warnFaultNoop()
+		return
+	}
+	c.net.Heal(simnet.Addr(a), simnet.Addr(b))
+}
+
+func (c *Cluster) warnFaultNoop() {
+	c.faultWarn.Do(func() {
+		log.Printf("dpu: Partition/Heal are no-ops over an external transport; use PartitionLink/HealLink to get an error instead")
+	})
+}
+
+// Stack exposes the underlying kernel stack for advanced composition
+// (binding custom modules, inspecting services); nil for an
+// out-of-range index or a stack not hosted by this process. See
+// internal/kernel's concurrency contract.
+func (c *Cluster) Stack(stack int) *kernel.Stack {
+	if stack < 0 || stack >= c.n {
+		return nil
+	}
+	return c.stacks[stack]
+}
+
+// Close shuts the cluster down — including the transport, whether
+// built-in or passed via WithTransport — closes every subscription and
+// the local stacks' legacy channels, and unblocks any Node call still
+// waiting (ErrClosed).
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		close(c.closed) // unblocks Node waits and Block-policy publishers
+		c.tr.Close()
+		// Close every local stack, including crashed ones: Crash stops
+		// the executor asynchronously, and Close waits for it to exit,
+		// which guarantees no pump event is still mid-publish when the
+		// channels below are closed.
+		for _, st := range c.stacks {
+			if st != nil {
+				st.Close()
+			}
+		}
+		var subs []*Subscription
+		for i := range c.subs {
+			c.subLocks[i].Lock()
+			subs = append(subs, c.subs[i]...)
+			c.subLocks[i].Unlock()
+		}
+		for _, s := range subs {
+			s.Close()
+		}
+		for i := range c.deliveries {
+			if c.deliveries[i] != nil {
+				close(c.deliveries[i])
+				close(c.switches[i])
+				close(c.views[i])
+			}
+		}
+	})
+}

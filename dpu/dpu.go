@@ -5,39 +5,41 @@
 // A Cluster assembles n protocol stacks (the paper's machines) over a
 // simulated LAN — or, with WithTransport, over real UDP sockets
 // spanning OS processes and hosts — each running the Figure-4
-// group-communication stack —
-// UDP, reliable point-to-point, failure detector, Chandra–Toueg
-// consensus, atomic broadcast — topped by the replacement module that
-// makes the atomic-broadcast protocol hot-swappable:
+// group-communication stack — UDP, reliable point-to-point, failure
+// detector, Chandra–Toueg consensus, atomic broadcast — topped by the
+// replacement module that makes the atomic-broadcast protocol
+// hot-swappable.
+//
+// Interaction goes through per-stack Node handles, which are validated
+// once (sentinel errors ErrOutOfRange, ErrRemoteStack, ErrNotRunning)
+// and take a context on every blocking operation:
 //
 //	c, _ := dpu.New(3)
 //	defer c.Close()
-//	c.Broadcast(0, []byte("hello"))          // totally ordered
-//	c.ChangeProtocol(0, dpu.ProtocolSequencer) // live, no interruption
-//	for d := range c.Deliveries(1) { ... }
+//	node, _ := c.Node(0)
+//	sub, _ := node.Subscribe(dpu.SubscribeOptions{Deliveries: true})
+//	node.Broadcast(ctx, []byte("hello"))           // backpressured
+//	ev, _ := node.ChangeProtocol(ctx, dpu.ProtocolSequencer)
+//	// ev is the completed switch: the paper's "seqNumber advanced"
+//	for d := range sub.Deliveries() { ... }        // totally ordered
 //
-// Messages broadcast before, during and after a ChangeProtocol are
+// ChangeProtocol blocks until the replacement completes locally — the
+// well-defined moment of Algorithm 1 where seqNumber advances and
+// undelivered messages are reissued — and returns the resulting
+// SwitchEvent. WaitForEpoch gives the same barrier to observers that
+// did not initiate the change; ChangeProtocolAll drives a whole local
+// group. Messages broadcast before, during and after a replacement are
 // delivered exactly once, in the same total order, on every stack.
+//
+// The index-based Cluster methods (Broadcast, ChangeProtocol,
+// Deliveries, ...) survive as thin deprecated wrappers around the Node
+// API; see the migration table in the README.
 package dpu
 
 import (
-	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/abcast"
-	"repro/internal/consensus"
-	"repro/internal/core"
-	"repro/internal/envelope"
-	"repro/internal/fd"
-	"repro/internal/gm"
-	"repro/internal/kernel"
-	"repro/internal/rbcast"
-	"repro/internal/rp2p"
-	"repro/internal/simnet"
-	"repro/internal/transport"
-	"repro/internal/udp"
 )
 
 // Bundled atomic-broadcast protocol names for ChangeProtocol.
@@ -84,454 +86,4 @@ type Status struct {
 	Epoch       uint64
 	Protocol    string
 	Undelivered int
-}
-
-type options struct {
-	protocol     string
-	net          simnet.Config
-	transport    transport.Transport
-	local        []int
-	grace        time.Duration
-	membership   bool
-	buffer       int
-	extraImpls   []abcast.Impl
-	consVariants []consensus.Config
-	tracer       kernel.Tracer
-}
-
-// Option configures New.
-type Option func(*options)
-
-// WithInitialProtocol selects the protocol installed at epoch 0
-// (default ProtocolCT).
-func WithInitialProtocol(name string) Option {
-	return func(o *options) { o.protocol = name }
-}
-
-// WithSeed makes the simulated network's fates reproducible.
-func WithSeed(seed int64) Option {
-	return func(o *options) { o.net.Seed = seed }
-}
-
-// WithLatency sets the one-way network latency (default 100µs) and
-// jitter (default latency/2).
-func WithLatency(base, jitter time.Duration) Option {
-	return func(o *options) { o.net.BaseLatency, o.net.Jitter = base, jitter }
-}
-
-// WithLoss sets the packet loss probability in [0,1].
-func WithLoss(p float64) Option {
-	return func(o *options) { o.net.LossRate = p }
-}
-
-// WithBandwidth models a shared medium of the given bits per second.
-func WithBandwidth(bps float64) Option {
-	return func(o *options) { o.net.BandwidthBps = bps }
-}
-
-// WithGrace sets how long a replaced protocol module keeps draining
-// before it is removed (default 500ms).
-func WithGrace(d time.Duration) Option {
-	return func(o *options) { o.grace = d }
-}
-
-// WithMembership adds the group-membership module (GM in Figure 4) on
-// top of the replaceable atomic broadcast.
-func WithMembership() Option {
-	return func(o *options) { o.membership = true }
-}
-
-// WithDeliveryBuffer sets the per-stack delivery channel capacity
-// (default 8192). When a consumer lags behind, the oldest unread
-// deliveries are counted as dropped (see Dropped).
-func WithDeliveryBuffer(n int) Option {
-	return func(o *options) { o.buffer = n }
-}
-
-// WithProtocolImpl registers a custom atomic-broadcast implementation
-// so ChangeProtocol can switch to it. See abcast.Impl for the contract.
-func WithProtocolImpl(im abcast.Impl) Option {
-	return func(o *options) { o.extraImpls = append(o.extraImpls, im) }
-}
-
-// WithConsensusVariant registers a CT atomic-broadcast variant that
-// runs on its own consensus protocol instance — the paper's
-// consensus-replacement extension. implName is the protocol name to
-// pass to ChangeProtocol; policy selects the coordinator strategy of
-// the new consensus protocol.
-func WithConsensusVariant(implName string, policy consensus.CoordPolicy) Option {
-	return func(o *options) {
-		svc := kernel.ServiceID("consensus/" + implName)
-		o.extraImpls = append(o.extraImpls, abcast.CTImplOn(implName, svc))
-		o.consVariants = append(o.consVariants, consensus.Config{
-			Service:    svc,
-			Protocol:   "consensus@" + implName,
-			Channel:    "cons@" + implName,
-			DecChannel: "cons-dec@" + implName,
-			Policy:     policy,
-		})
-	}
-}
-
-// WithTransport runs the cluster over the given datagram fabric
-// instead of the built-in simulated LAN — typically a real-socket
-// transport built with transport.NewUDP and a static address book, so
-// stacks can live in different OS processes or on different hosts (see
-// WithLocalStacks and cmd/dpu-sim's -listen/-peers mode).
-//
-// With an external transport the simulation-only options (WithLatency,
-// WithLoss, WithBandwidth) no longer shape the network — real links
-// do — and the fault-injection methods Partition and Heal become
-// no-ops; Crash still halts the local stack. Close closes the
-// transport.
-func WithTransport(tr transport.Transport) Option {
-	return func(o *options) { o.transport = tr }
-}
-
-// WithLocalStacks restricts which of the n stacks this process hosts
-// (default: all of them). The remaining addresses are expected to be
-// served by other processes sharing the same transport address book.
-// Cluster methods taking a stack index only accept local stacks.
-func WithLocalStacks(ids ...int) Option {
-	return func(o *options) { o.local = append(o.local, ids...) }
-}
-
-// WithTracer attaches a kernel tracer (e.g. trace.NewCollector()) to
-// every stack.
-func WithTracer(t kernel.Tracer) Option {
-	return func(o *options) { o.tracer = t }
-}
-
-// Cluster is a running group of n stacks — all hosted by this process
-// (the default), or just the subset selected with WithLocalStacks when
-// the group spans several processes over a shared transport.
-type Cluster struct {
-	n      int
-	net    *simnet.Network // nil when running over an external transport
-	tr     transport.Transport
-	stacks []*kernel.Stack // indexed by stack id; nil for remote stacks
-
-	deliveries []chan Delivery
-	switches   []chan SwitchEvent
-	views      []chan View
-	dropped    []atomic.Uint64
-
-	closeOnce sync.Once
-}
-
-// New assembles and starts a cluster of n stacks.
-func New(n int, opts ...Option) (*Cluster, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("dpu: cluster size %d < 1", n)
-	}
-	o := &options{
-		protocol: ProtocolCT,
-		net: simnet.Config{
-			BaseLatency:  100 * time.Microsecond,
-			Jitter:       50 * time.Microsecond,
-			BandwidthBps: 100e6,
-		},
-		grace:  500 * time.Millisecond,
-		buffer: 8192,
-	}
-	for _, opt := range opts {
-		opt(o)
-	}
-
-	impls := abcast.StandardRegistry()
-	for _, im := range o.extraImpls {
-		if err := impls.Register(im); err != nil {
-			return nil, err
-		}
-	}
-
-	var (
-		net *simnet.Network
-		tr  = o.transport
-	)
-	if tr == nil {
-		net = simnet.New(o.net)
-		tr = transport.Sim(net)
-	}
-	local := make(map[int]bool, n)
-	if len(o.local) == 0 {
-		for i := 0; i < n; i++ {
-			local[i] = true
-		}
-	}
-	for _, id := range o.local {
-		if id < 0 || id >= n {
-			return nil, fmt.Errorf("dpu: local stack %d out of range [0,%d)", id, n)
-		}
-		local[id] = true
-	}
-
-	reg := kernel.NewRegistry()
-	reg.MustRegister(udp.Factory(tr))
-	reg.MustRegister(rp2p.Factory(rp2p.Config{}))
-	reg.MustRegister(rbcast.Factory(rbcast.Config{}))
-	reg.MustRegister(fd.Factory(fd.Config{}))
-	reg.MustRegister(consensus.Factory())
-	for _, cv := range o.consVariants {
-		reg.MustRegister(consensus.FactoryWith(cv))
-	}
-	reg.MustRegister(core.Factory(core.Config{
-		InitialProtocol: o.protocol,
-		Impls:           impls,
-		Grace:           o.grace,
-		RetryLostChange: true,
-	}))
-	if o.membership {
-		reg.MustRegister(gm.Factory())
-	}
-
-	c := &Cluster{
-		n:          n,
-		net:        net,
-		tr:         tr,
-		stacks:     make([]*kernel.Stack, n),
-		deliveries: make([]chan Delivery, n),
-		switches:   make([]chan SwitchEvent, n),
-		views:      make([]chan View, n),
-		dropped:    make([]atomic.Uint64, n),
-	}
-	peers := make([]kernel.Addr, n)
-	for i := range peers {
-		peers[i] = kernel.Addr(i)
-	}
-	for i := 0; i < n; i++ {
-		if !local[i] {
-			continue
-		}
-		st := kernel.NewStack(kernel.Config{
-			Addr: kernel.Addr(i), Peers: peers, Registry: reg,
-			Seed: o.net.Seed + int64(i), Tracer: o.tracer,
-		})
-		c.stacks[i] = st
-		c.deliveries[i] = make(chan Delivery, o.buffer)
-		c.switches[i] = make(chan SwitchEvent, 64)
-		c.views[i] = make(chan View, 64)
-		i := i
-		var buildErr error
-		err := st.DoSync(func() {
-			if _, e := st.CreateProtocol(core.Protocol); e != nil {
-				buildErr = e
-				return
-			}
-			// A transport bind failure inside the build (real sockets:
-			// port conflict, bad address) can only be recorded by the
-			// udp module; surface it instead of returning a cluster
-			// that silently drops all traffic.
-			if um, ok := st.Provider(udp.Service).(*udp.Module); ok {
-				if e := um.OpenErr(); e != nil {
-					buildErr = e
-					return
-				}
-			}
-			if o.membership {
-				if _, e := st.CreateProtocol(gm.Protocol); e != nil {
-					buildErr = e
-					return
-				}
-			}
-			pump := &pumpModule{Base: kernel.NewBase(st, "dpu/pump"), c: c, stack: i}
-			st.AddModule(pump)
-			st.Subscribe(core.Service, pump)
-			if o.membership {
-				st.Subscribe(gm.Service, pump)
-			}
-		})
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		if buildErr != nil {
-			c.Close()
-			return nil, buildErr
-		}
-	}
-	return c, nil
-}
-
-// pumpModule forwards public-service indications into the cluster's
-// channels, dropping (and counting) when a consumer lags.
-type pumpModule struct {
-	kernel.Base
-	c     *Cluster
-	stack int
-}
-
-func (p *pumpModule) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
-	switch v := ind.(type) {
-	case core.Deliver:
-		kind, body, err := envelope.Unwrap(v.Data)
-		if err != nil || kind != envelope.KindApp {
-			return
-		}
-		d := Delivery{Stack: p.stack, Origin: int(v.Origin), Data: body, At: time.Now()}
-		select {
-		case p.c.deliveries[p.stack] <- d:
-		default:
-			p.c.dropped[p.stack].Add(1)
-		}
-	case core.Switched:
-		ev := SwitchEvent{Stack: p.stack, Epoch: v.Sn, Protocol: v.Protocol, At: v.At, Reissued: v.Reissued}
-		select {
-		case p.c.switches[p.stack] <- ev:
-		default:
-		}
-	case gm.NewView:
-		members := make([]int, len(v.View.Members))
-		for i, m := range v.View.Members {
-			members[i] = int(m)
-		}
-		select {
-		case p.c.views[p.stack] <- View{ID: v.View.ID, Members: members}:
-		default:
-		}
-	}
-}
-
-func (c *Cluster) check(stack int) error {
-	if stack < 0 || stack >= c.n {
-		return fmt.Errorf("dpu: stack %d out of range [0,%d)", stack, c.n)
-	}
-	if c.stacks[stack] == nil {
-		return fmt.Errorf("dpu: stack %d is not local to this process", stack)
-	}
-	if !c.stacks[stack].Running() {
-		return fmt.Errorf("dpu: stack %d is not running", stack)
-	}
-	return nil
-}
-
-// N returns the cluster size.
-func (c *Cluster) N() int { return c.n }
-
-// Broadcast atomically broadcasts data from the stack: it will be
-// delivered exactly once, in the same total order, on every stack.
-func (c *Cluster) Broadcast(stack int, data []byte) error {
-	if err := c.check(stack); err != nil {
-		return err
-	}
-	c.stacks[stack].Call(core.Service, core.Broadcast{Data: envelope.Wrap(envelope.KindApp, data)})
-	return nil
-}
-
-// ChangeProtocol replaces the atomic-broadcast protocol on every stack,
-// on the fly, without interrupting service (Algorithm 1). Any stack may
-// initiate.
-func (c *Cluster) ChangeProtocol(stack int, protocol string) error {
-	if err := c.check(stack); err != nil {
-		return err
-	}
-	c.stacks[stack].Call(core.Service, core.ChangeProtocol{Protocol: protocol})
-	return nil
-}
-
-// Deliveries returns the stack's totally-ordered delivery stream (nil
-// for a stack not hosted by this process).
-func (c *Cluster) Deliveries(stack int) <-chan Delivery { return c.deliveries[stack] }
-
-// Switches returns the stack's protocol-replacement events.
-func (c *Cluster) Switches(stack int) <-chan SwitchEvent { return c.switches[stack] }
-
-// Views returns the stack's membership views (requires WithMembership).
-func (c *Cluster) Views(stack int) <-chan View { return c.views[stack] }
-
-// Dropped reports deliveries discarded because the consumer of
-// Deliveries(stack) lagged behind the buffer.
-func (c *Cluster) Dropped(stack int) uint64 { return c.dropped[stack].Load() }
-
-// Status returns a snapshot of the stack's replacement layer.
-func (c *Cluster) Status(stack int) (Status, error) {
-	if err := c.check(stack); err != nil {
-		return Status{}, err
-	}
-	got := make(chan core.Status, 1)
-	c.stacks[stack].Call(core.Service, core.StatusReq{Reply: func(s core.Status) { got <- s }})
-	select {
-	case s := <-got:
-		return Status{Epoch: s.Sn, Protocol: s.Protocol, Undelivered: s.Undelivered}, nil
-	case <-time.After(10 * time.Second):
-		return Status{}, fmt.Errorf("dpu: stack %d status timed out", stack)
-	}
-}
-
-// Join adds a member to the logical group view (requires WithMembership).
-func (c *Cluster) Join(stack, member int) error {
-	if err := c.check(stack); err != nil {
-		return err
-	}
-	c.stacks[stack].Call(gm.Service, gm.Join{P: kernel.Addr(member)})
-	return nil
-}
-
-// Leave removes a member from the logical group view.
-func (c *Cluster) Leave(stack, member int) error {
-	if err := c.check(stack); err != nil {
-		return err
-	}
-	c.stacks[stack].Call(gm.Service, gm.Leave{P: kernel.Addr(member)})
-	return nil
-}
-
-// Crash kills the stack abruptly: its events are discarded and its
-// network traffic stops, modelling a machine crash. Only local stacks
-// can be crashed; over an external transport the network isolation is
-// skipped (the halted stack simply goes silent).
-func (c *Cluster) Crash(stack int) error {
-	if stack < 0 || stack >= c.n {
-		return fmt.Errorf("dpu: stack %d out of range", stack)
-	}
-	if c.stacks[stack] == nil {
-		return fmt.Errorf("dpu: stack %d is not local to this process", stack)
-	}
-	if c.net != nil {
-		c.net.SetDown(simnet.Addr(stack), true)
-	}
-	c.stacks[stack].Crash()
-	return nil
-}
-
-// Partition cuts the network link between two stacks. It requires the
-// built-in simulated network and is a no-op over WithTransport.
-func (c *Cluster) Partition(a, b int) {
-	if c.net != nil {
-		c.net.Cut(simnet.Addr(a), simnet.Addr(b))
-	}
-}
-
-// Heal restores the link between two stacks. It requires the built-in
-// simulated network and is a no-op over WithTransport.
-func (c *Cluster) Heal(a, b int) {
-	if c.net != nil {
-		c.net.Heal(simnet.Addr(a), simnet.Addr(b))
-	}
-}
-
-// Stack exposes the underlying kernel stack for advanced composition
-// (binding custom modules, inspecting services); nil for a stack not
-// hosted by this process. See internal/kernel's concurrency contract.
-func (c *Cluster) Stack(stack int) *kernel.Stack { return c.stacks[stack] }
-
-// Close shuts the cluster down — including the transport, whether
-// built-in or passed via WithTransport — and closes the local stacks'
-// delivery channels.
-func (c *Cluster) Close() {
-	c.closeOnce.Do(func() {
-		c.tr.Close()
-		for _, st := range c.stacks {
-			if st != nil && st.Running() {
-				st.Close()
-			}
-		}
-		for i := range c.deliveries {
-			if c.deliveries[i] != nil {
-				close(c.deliveries[i])
-				close(c.switches[i])
-				close(c.views[i])
-			}
-		}
-	})
 }

@@ -1,0 +1,187 @@
+package dpu
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/gm"
+	"repro/internal/kernel"
+)
+
+// Node is a validated handle on one stack hosted by this process. It is
+// the primary interaction surface of the library: every blocking
+// operation takes a context, broadcasts are backpressured against the
+// outstanding window, and protocol switches block until the paper's
+// completion moment — seqNumber advancing locally — and return it.
+//
+// A Node is cheap and safe to share across goroutines. Liveness is
+// re-checked on every call, so a handle obtained before a crash fails
+// with ErrNotRunning afterwards rather than hanging.
+type Node struct {
+	c  *Cluster
+	id int
+}
+
+// Node returns a handle on the stack, validating the index once:
+// ErrOutOfRange for an index outside [0, N()), ErrRemoteStack for a
+// stack hosted by another process, ErrNotRunning for a crashed or
+// closed stack.
+func (c *Cluster) Node(stack int) (*Node, error) {
+	if err := c.check(stack); err != nil {
+		return nil, err
+	}
+	return &Node{c: c, id: stack}, nil
+}
+
+// Index returns the stack index this handle addresses.
+func (n *Node) Index() int { return n.id }
+
+// stack re-validates the handle and returns the underlying stack.
+func (n *Node) stack() (*kernel.Stack, error) {
+	if err := n.c.check(n.id); err != nil {
+		return nil, err
+	}
+	return n.c.stacks[n.id], nil
+}
+
+// Broadcast atomically broadcasts data from this stack: it will be
+// delivered exactly once, in the same total order, on every stack.
+//
+// Broadcast applies backpressure: when WithMaxOutstanding of this
+// stack's own broadcasts are still undelivered, the call blocks until
+// the total order catches up, the context is done, or the stack stops.
+func (n *Node) Broadcast(ctx context.Context, data []byte) error {
+	st, err := n.stack()
+	if err != nil {
+		return err
+	}
+	select {
+	case n.c.outstanding[n.id] <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-st.Done():
+		return fmt.Errorf("%w: stack %d", ErrNotRunning, n.id)
+	case <-n.c.closed:
+		return ErrClosed
+	}
+	// KindAppPaced marks the message as holding a window slot, so the
+	// pump only releases slots for deliveries that acquired one —
+	// legacy KindApp broadcasts can never shrink the window.
+	st.Call(core.Service, core.Broadcast{Data: envelope.Wrap(envelope.KindAppPaced, data)})
+	return nil
+}
+
+// ChangeProtocol replaces the atomic-broadcast protocol on every stack,
+// on the fly, without interrupting service (Algorithm 1). The name is
+// validated up front (ErrUnknownProtocol, before anything is
+// broadcast); the call then blocks until the replacement completes on
+// THIS stack — the moment its seqNumber advances and undelivered
+// messages are reissued — and returns the resulting SwitchEvent. Other
+// stacks complete at their own position of the total order; wait on
+// them with WaitForEpoch, or use Cluster.ChangeProtocolAll.
+//
+// A request that loses the race against a concurrent change is
+// transparently retried in the next epoch, so the returned event may
+// carry a later epoch than the one current when the call was made.
+func (n *Node) ChangeProtocol(ctx context.Context, protocol string) (SwitchEvent, error) {
+	st, err := n.stack()
+	if err != nil {
+		return SwitchEvent{}, err
+	}
+	// Name validation happens in the replacement module, before it
+	// broadcasts anything; an unknown name replies immediately and is
+	// mapped to ErrUnknownProtocol below.
+	reply := make(chan core.ChangeReply, 1)
+	st.Call(core.Service, core.ChangeProtocol{
+		Protocol: protocol,
+		Reply:    func(r core.ChangeReply) { reply <- r },
+	})
+	select {
+	case r := <-reply:
+		if r.Err != nil {
+			if errors.Is(r.Err, core.ErrUnknownProtocol) {
+				return SwitchEvent{}, fmt.Errorf("%w: %q", ErrUnknownProtocol, protocol)
+			}
+			return SwitchEvent{}, r.Err
+		}
+		return SwitchEvent{
+			Stack: n.id, Epoch: r.Ev.Sn, Protocol: r.Ev.Protocol,
+			At: r.Ev.At, Reissued: r.Ev.Reissued,
+		}, nil
+	case <-ctx.Done():
+		return SwitchEvent{}, ctx.Err()
+	case <-st.Done():
+		return SwitchEvent{}, fmt.Errorf("%w: stack %d", ErrNotRunning, n.id)
+	case <-n.c.closed:
+		return SwitchEvent{}, ErrClosed
+	}
+}
+
+// WaitForEpoch blocks until this stack's replacement layer has reached
+// the given epoch (seqNumber ≥ epoch) and returns its status. It is the
+// observer-side switch barrier: a stack that did not initiate a change
+// can still wait deterministically for the change to complete locally.
+func (n *Node) WaitForEpoch(ctx context.Context, epoch uint64) (Status, error) {
+	st, err := n.stack()
+	if err != nil {
+		return Status{}, err
+	}
+	reply := make(chan core.Status, 1)
+	st.Call(core.Service, core.EpochWaitReq{
+		Epoch: epoch,
+		Reply: func(s core.Status) { reply <- s },
+		Done:  ctx.Done(), // lets the module prune the waiter on ctx expiry
+	})
+	select {
+	case s := <-reply:
+		return Status{Epoch: s.Sn, Protocol: s.Protocol, Undelivered: s.Undelivered}, nil
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	case <-st.Done():
+		return Status{}, fmt.Errorf("%w: stack %d", ErrNotRunning, n.id)
+	case <-n.c.closed:
+		return Status{}, ErrClosed
+	}
+}
+
+// Status returns a snapshot of this stack's replacement layer.
+func (n *Node) Status(ctx context.Context) (Status, error) {
+	return n.WaitForEpoch(ctx, 0)
+}
+
+// Join adds a member to the logical group view. Requires
+// WithMembership (ErrUnsupported otherwise).
+func (n *Node) Join(member int) error {
+	return n.gmCall(member, func(p kernel.Addr) kernel.Request { return gm.Join{P: p} })
+}
+
+// Leave removes a member from the logical group view. Requires
+// WithMembership (ErrUnsupported otherwise).
+func (n *Node) Leave(member int) error {
+	return n.gmCall(member, func(p kernel.Addr) kernel.Request { return gm.Leave{P: p} })
+}
+
+func (n *Node) gmCall(member int, req func(kernel.Addr) kernel.Request) error {
+	st, err := n.stack()
+	if err != nil {
+		return err
+	}
+	if !n.c.membership {
+		return fmt.Errorf("%w: membership module not enabled (WithMembership)", ErrUnsupported)
+	}
+	if member < 0 || member >= n.c.n {
+		return fmt.Errorf("%w: member %d not in [0,%d)", ErrOutOfRange, member, n.c.n)
+	}
+	st.Call(gm.Service, req(kernel.Addr(member)))
+	return nil
+}
+
+// Crash kills this stack abruptly, modelling a machine crash. The
+// handle (and every other handle on this stack) fails with
+// ErrNotRunning afterwards.
+func (n *Node) Crash() error {
+	return n.c.Crash(n.id)
+}

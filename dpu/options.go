@@ -1,0 +1,145 @@
+package dpu
+
+import (
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/consensus"
+	"repro/internal/kernel"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+type options struct {
+	protocol       string
+	net            simnet.Config
+	transport      transport.Transport
+	local          []int
+	grace          time.Duration
+	membership     bool
+	buffer         int
+	maxOutstanding int
+	extraImpls     []abcast.Impl
+	consVariants   []consensus.Config
+	tracer         kernel.Tracer
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithInitialProtocol selects the protocol installed at epoch 0
+// (default ProtocolCT).
+func WithInitialProtocol(name string) Option {
+	return func(o *options) { o.protocol = name }
+}
+
+// WithSeed makes the simulated network's fates reproducible.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.net.Seed = seed }
+}
+
+// WithLatency sets the one-way network latency (default 100µs) and
+// jitter (default latency/2).
+func WithLatency(base, jitter time.Duration) Option {
+	return func(o *options) { o.net.BaseLatency, o.net.Jitter = base, jitter }
+}
+
+// WithLoss sets the packet loss probability in [0,1].
+func WithLoss(p float64) Option {
+	return func(o *options) { o.net.LossRate = p }
+}
+
+// WithBandwidth models a shared medium of the given bits per second.
+func WithBandwidth(bps float64) Option {
+	return func(o *options) { o.net.BandwidthBps = bps }
+}
+
+// WithGrace sets how long a replaced protocol module keeps draining
+// before it is removed (default 500ms).
+func WithGrace(d time.Duration) Option {
+	return func(o *options) { o.grace = d }
+}
+
+// WithMembership adds the group-membership module (GM in Figure 4) on
+// top of the replaceable atomic broadcast.
+func WithMembership() Option {
+	return func(o *options) { o.membership = true }
+}
+
+// WithDeliveryBuffer sets the per-stack delivery channel capacity of
+// the legacy Deliveries stream (default 8192). When a consumer lags
+// behind a full buffer, further deliveries are discarded and counted
+// (see Dropped) — the buffer keeps the oldest unread entries.
+// Node.Subscribe carries its own buffer and an explicit lag policy
+// instead.
+func WithDeliveryBuffer(n int) Option {
+	return func(o *options) { o.buffer = n }
+}
+
+// WithMaxOutstanding bounds the number of a stack's own broadcasts that
+// may be in flight — issued through Node.Broadcast but not yet
+// delivered back by the total order — before further Node.Broadcast
+// calls block (default 1024). This is the backpressure window that
+// keeps a fast producer from flooding the replacement layer's
+// undelivered set. The legacy Cluster.Broadcast bypasses the window.
+func WithMaxOutstanding(n int) Option {
+	return func(o *options) { o.maxOutstanding = n }
+}
+
+// WithProtocolImpl registers a custom atomic-broadcast implementation
+// so ChangeProtocol can switch to it. See abcast.Impl for the contract.
+func WithProtocolImpl(im abcast.Impl) Option {
+	return func(o *options) { o.extraImpls = append(o.extraImpls, im) }
+}
+
+// WithConsensusVariant registers a CT atomic-broadcast variant that
+// runs on its own consensus protocol instance — the paper's
+// consensus-replacement extension. implName is the protocol name to
+// pass to ChangeProtocol; policy selects the coordinator strategy of
+// the new consensus protocol.
+func WithConsensusVariant(implName string, policy consensus.CoordPolicy) Option {
+	return func(o *options) {
+		svc := kernel.ServiceID("consensus/" + implName)
+		o.extraImpls = append(o.extraImpls, abcast.CTImplOn(implName, svc))
+		o.consVariants = append(o.consVariants, consensus.Config{
+			Service:    svc,
+			Protocol:   "consensus@" + implName,
+			Channel:    "cons@" + implName,
+			DecChannel: "cons-dec@" + implName,
+			Policy:     policy,
+		})
+	}
+}
+
+// WithTransport runs the cluster over the given datagram fabric
+// instead of the built-in simulated LAN — typically a real-socket
+// transport built with transport.NewUDP and a static address book, so
+// stacks can live in different OS processes or on different hosts (see
+// WithLocalStacks and cmd/dpu-sim's -listen/-peers mode).
+//
+// With an external transport the simulation-only options (WithLatency,
+// WithLoss, WithBandwidth) no longer shape the network — real links
+// do — and the link-fault methods PartitionLink and HealLink return
+// ErrUnsupported; Crash still halts the local stack. Close closes the
+// transport. Ownership transfers when New starts wiring stacks: a New
+// that fails during the build closes the transport, while a
+// configuration error caught before wiring (bad cluster size or local
+// stack index, duplicate protocol name) leaves it open for reuse.
+func WithTransport(tr transport.Transport) Option {
+	return func(o *options) { o.transport = tr }
+}
+
+// WithLocalStacks restricts which of the n stacks this process hosts
+// (default: all of them). The remaining addresses are expected to be
+// served by other processes sharing the same transport address book.
+// Cluster methods taking a stack index only accept local stacks, and
+// Node handles exist only for local stacks (ErrRemoteStack otherwise).
+func WithLocalStacks(ids ...int) Option {
+	return func(o *options) { o.local = append(o.local, ids...) }
+}
+
+// WithTracer attaches a kernel tracer (e.g. trace.NewCollector()) to
+// every stack.
+func WithTracer(t kernel.Tracer) Option {
+	return func(o *options) { o.tracer = t }
+}

@@ -1,0 +1,214 @@
+package dpu
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// LagPolicy selects what happens when a Subscription's consumer falls
+// behind its buffer.
+type LagPolicy int
+
+const (
+	// DropOldest discards the oldest buffered event to make room for
+	// the newest and counts the discard (Subscription.Dropped). The
+	// stack never blocks; a slow consumer sees the most recent window
+	// of events. This is the default.
+	DropOldest LagPolicy = iota
+	// Block applies backpressure into the stack: the stack's executor
+	// waits until the consumer makes room. Nothing is ever dropped, but
+	// a stalled consumer stalls the whole stack — including the
+	// protocol layers below — so Block is for consumers that must see
+	// every event (e.g. state machine replicas) and are known to drain.
+	Block
+)
+
+// SubscribeOptions selects the event streams and lag behavior of a
+// Subscription. Zero-value streams are excluded; an excluded stream's
+// accessor returns a channel that is already closed, so ranging over it
+// terminates instead of blocking forever.
+type SubscribeOptions struct {
+	// Deliveries selects the totally-ordered message stream.
+	Deliveries bool
+	// Switches selects protocol-replacement completion events.
+	Switches bool
+	// Views selects membership views (requires WithMembership).
+	Views bool
+	// Buffer is the per-stream channel capacity (default 256).
+	Buffer int
+	// Policy is the lag policy (default DropOldest).
+	Policy LagPolicy
+}
+
+// Subscription is one consumer's set of typed event streams from one
+// stack. Unlike the legacy fixed channels, each subscription has its
+// own buffer and an explicit lag policy, and can be closed
+// independently. Streams end (channels close) when the subscription or
+// the cluster is closed.
+type Subscription struct {
+	c     *Cluster
+	stack int
+	opts  SubscribeOptions
+
+	deliveries chan Delivery
+	switches   chan SwitchEvent
+	views      chan View
+	dropped    atomic.Uint64
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// Subscribe registers a new consumer of this stack's events. The
+// subscription observes events from the moment of the call; it does not
+// replay history.
+func (n *Node) Subscribe(opts SubscribeOptions) (*Subscription, error) {
+	if _, err := n.stack(); err != nil {
+		return nil, err
+	}
+	if opts.Buffer <= 0 {
+		opts.Buffer = 256
+	}
+	s := &Subscription{
+		c:          n.c,
+		stack:      n.id,
+		opts:       opts,
+		deliveries: make(chan Delivery, opts.Buffer),
+		switches:   make(chan SwitchEvent, opts.Buffer),
+		views:      make(chan View, opts.Buffer),
+		done:       make(chan struct{}),
+	}
+	// Excluded streams are closed up front: ranging over them ends
+	// immediately instead of blocking on a channel that never receives.
+	if !opts.Deliveries {
+		close(s.deliveries)
+	}
+	if !opts.Switches {
+		close(s.switches)
+	}
+	if !opts.Views {
+		close(s.views)
+	}
+	n.c.subLocks[n.id].Lock()
+	// Cluster.Close closes c.closed before it snapshots the registries,
+	// so a subscription registered after that snapshot would never be
+	// closed — refuse instead. Checked under the lock to make the two
+	// orderings ("append then snapshot" and "refuse") the only ones.
+	select {
+	case <-n.c.closed:
+		n.c.subLocks[n.id].Unlock()
+		return nil, ErrClosed
+	default:
+	}
+	n.c.subs[n.id] = append(n.c.subs[n.id], s)
+	n.c.subLocks[n.id].Unlock()
+	return s, nil
+}
+
+// Deliveries returns the totally-ordered message stream (closed
+// immediately when not selected in SubscribeOptions).
+func (s *Subscription) Deliveries() <-chan Delivery { return s.deliveries }
+
+// Switches returns the protocol-replacement event stream (closed
+// immediately when not selected in SubscribeOptions).
+func (s *Subscription) Switches() <-chan SwitchEvent { return s.switches }
+
+// Views returns the membership-view stream (closed immediately when not
+// selected in SubscribeOptions).
+func (s *Subscription) Views() <-chan View { return s.views }
+
+// Dropped reports how many events (across all selected streams) the
+// DropOldest policy has discarded because the consumer lagged. Always 0
+// under Block.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription and closes its channels. Safe to call
+// concurrently with event flow and more than once.
+//
+// Close must exclude the stack's publisher before closing the
+// channels, so while a Block-policy publish to a *sibling*
+// subscription on the same stack is parked on its stalled consumer,
+// Close (like Subscribe) waits until that publish completes or the
+// cluster closes. Closing this subscription's own parked publish never
+// waits. This is the same-stack corollary of Block's contract: a
+// stalled Block consumer stalls its stack.
+func (s *Subscription) Close() {
+	s.closeOnce.Do(func() {
+		close(s.done) // unblocks a Block-policy publisher mid-send
+		s.c.subLocks[s.stack].Lock()
+		list := s.c.subs[s.stack]
+		for i, x := range list {
+			if x == s {
+				s.c.subs[s.stack] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		s.c.subLocks[s.stack].Unlock()
+		// Publishers run under the stack's RLock, so after the removal
+		// above none can still hold this subscription: closing is safe.
+		if s.opts.Deliveries {
+			close(s.deliveries)
+		}
+		if s.opts.Switches {
+			close(s.switches)
+		}
+		if s.opts.Views {
+			close(s.views)
+		}
+	})
+}
+
+// lagPush delivers one event to one stream according to the
+// subscription's lag policy. It runs on the stack's executor.
+func lagPush[T any](s *Subscription, ch chan T, v T) {
+	if s.opts.Policy == Block {
+		select {
+		case ch <- v:
+		case <-s.done:
+		case <-s.c.closed:
+		}
+		return
+	}
+	for {
+		select {
+		case ch <- v:
+			return
+		default:
+		}
+		select {
+		case <-ch:
+			s.dropped.Add(1)
+		default:
+		}
+	}
+}
+
+func (c *Cluster) publishDelivery(stack int, d Delivery) {
+	c.subLocks[stack].RLock()
+	defer c.subLocks[stack].RUnlock()
+	for _, s := range c.subs[stack] {
+		if s.opts.Deliveries {
+			lagPush(s, s.deliveries, d)
+		}
+	}
+}
+
+func (c *Cluster) publishSwitch(stack int, ev SwitchEvent) {
+	c.subLocks[stack].RLock()
+	defer c.subLocks[stack].RUnlock()
+	for _, s := range c.subs[stack] {
+		if s.opts.Switches {
+			lagPush(s, s.switches, ev)
+		}
+	}
+}
+
+func (c *Cluster) publishView(stack int, v View) {
+	c.subLocks[stack].RLock()
+	defer c.subLocks[stack].RUnlock()
+	for _, s := range c.subs[stack] {
+		if s.opts.Views {
+			lagPush(s, s.views, v)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package dpu_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/dpu"
+)
+
+// TestSubscriptionDropOldest fills a 4-slot buffer with 10 deliveries
+// and asserts the drop-oldest policy: 6 counted drops, and the buffer
+// holds the newest 4 events in order.
+func TestSubscriptionDropOldest(t *testing.T) {
+	c, err := dpu.New(2, dpu.WithSeed(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n0, err := c.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := n0.Subscribe(dpu.SubscribeOptions{Deliveries: true, Buffer: 4, Policy: dpu.DropOldest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	n1, err := c.Node(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := n1.Broadcast(ctx, []byte(fmt.Sprintf("m-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The legacy channel is published after the subscription inside the
+	// same pump event, so once it has all 10 the subscription's
+	// bookkeeping for all 10 is complete.
+	drain(t, c, 0, 10)
+
+	if got := sub.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6", got)
+	}
+	for i := 6; i < 10; i++ {
+		select {
+		case d := <-sub.Deliveries():
+			if want := fmt.Sprintf("m-%d", i); string(d.Data) != want {
+				t.Errorf("buffered delivery = %q, want %q", d.Data, want)
+			}
+		case <-time.After(timeout):
+			t.Fatal("buffered delivery missing")
+		}
+	}
+	select {
+	case d := <-sub.Deliveries():
+		t.Errorf("unexpected extra delivery %q", d.Data)
+	default:
+	}
+}
+
+// TestSubscriptionBlock asserts the Block policy: nothing is dropped
+// and the stack stalls against the full buffer until the consumer
+// drains — then every event comes through in order.
+func TestSubscriptionBlock(t *testing.T) {
+	c, err := dpu.New(2, dpu.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n0, err := c.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := n0.Subscribe(dpu.SubscribeOptions{Deliveries: true, Buffer: 2, Policy: dpu.Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	n1, err := c.Node(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := n1.Broadcast(ctx, []byte(fmt.Sprintf("b-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The subscription publish precedes the legacy channel in stack 0's
+	// pump: events 0 and 1 pass through, event 2 blocks the executor,
+	// so the legacy stream sees exactly two deliveries and then stalls.
+	drain(t, c, 0, 2)
+	select {
+	case d := <-c.Deliveries(0):
+		t.Fatalf("legacy stream advanced past the blocked publish: %q", d.Data)
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	// Draining the subscription releases the stack; all five events
+	// arrive in order with zero drops.
+	for i := 0; i < 5; i++ {
+		select {
+		case d := <-sub.Deliveries():
+			if want := fmt.Sprintf("b-%d", i); string(d.Data) != want {
+				t.Errorf("delivery %d = %q, want %q", i, d.Data, want)
+			}
+		case <-time.After(timeout):
+			t.Fatalf("delivery %d missing", i)
+		}
+	}
+	if got := sub.Dropped(); got != 0 {
+		t.Errorf("Dropped = %d under Block", got)
+	}
+	drain(t, c, 0, 3) // legacy stream catches up too
+}
+
+// TestSubscriptionCloseUnblocksPublisher closes a subscription while
+// the stack is blocked publishing into it and checks the cluster keeps
+// working.
+func TestSubscriptionCloseUnblocksPublisher(t *testing.T) {
+	c, err := dpu.New(2, dpu.WithSeed(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n0, err := c.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := n0.Subscribe(dpu.SubscribeOptions{Deliveries: true, Buffer: 1, Policy: dpu.Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	n1, err := c.Node(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := n1.Broadcast(ctx, []byte(fmt.Sprintf("x-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain(t, c, 0, 1) // the publisher is now blocked on event 2
+	sub.Close()       // must unblock it
+	drain(t, c, 0, 2) // remaining events flow again
+	for range sub.Deliveries() {
+		// Buffered events stay readable; the loop must end on close.
+	}
+	// The stack still serves new traffic.
+	if err := n0.Broadcast(ctx, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, c, 0, 1)
+}
+
+// TestSubscriptionUnselectedStreamsClosed checks that a stream not
+// requested in SubscribeOptions is closed instead of nil, so ranging
+// over it ends instead of blocking forever.
+func TestSubscriptionUnselectedStreamsClosed(t *testing.T) {
+	c, err := dpu.New(2, dpu.WithSeed(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n0, err := c.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := n0.Subscribe(dpu.SubscribeOptions{Deliveries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if _, ok := <-sub.Switches(); ok {
+		t.Error("unselected Switches stream not closed")
+	}
+	if _, ok := <-sub.Views(); ok {
+		t.Error("unselected Views stream not closed")
+	}
+}
+
+// TestSubscriptionSwitchStream receives switch events through a
+// subscription.
+func TestSubscriptionSwitchStream(t *testing.T) {
+	c, err := dpu.New(3, dpu.WithSeed(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n2, err := c.Node(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := n2.Subscribe(dpu.SubscribeOptions{Switches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if _, err := c.ChangeProtocolAll(ctx, dpu.ProtocolSequencer); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-sub.Switches():
+		if ev.Stack != 2 || ev.Epoch != 1 || ev.Protocol != dpu.ProtocolSequencer {
+			t.Errorf("switch event = %+v", ev)
+		}
+	case <-time.After(timeout):
+		t.Fatal("no switch event on subscription")
+	}
+}
+
+// TestLegacyDroppedCounter fills the legacy per-stack delivery buffer
+// and checks the overflow is counted and the oldest entries are the
+// ones lost.
+func TestLegacyDroppedCounter(t *testing.T) {
+	c, err := dpu.New(2, dpu.WithSeed(46), dpu.WithDeliveryBuffer(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n1, err := c.Node(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A blocking observer tells us when all 6 have been ordered; the
+	// legacy channel of stack 0 is left unread so it overflows.
+	sub, err := n1.Subscribe(dpu.SubscribeOptions{Deliveries: true, Buffer: 16, Policy: dpu.Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	for i := 0; i < 6; i++ {
+		if err := n1.Broadcast(ctx, []byte(fmt.Sprintf("d-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		select {
+		case <-sub.Deliveries():
+		case <-time.After(timeout):
+			t.Fatal("stack 1 did not deliver")
+		}
+	}
+	// Stack 0's pump runs independently of stack 1's: poll briefly.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Dropped(0) != 4 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := c.Dropped(0); got != 4 {
+		t.Fatalf("Dropped(0) = %d, want 4", got)
+	}
+	// The two buffered survivors are the oldest not-yet-dropped ones —
+	// the legacy channel drops newest-on-overflow, keeping 0 and 1.
+	ds := drain(t, c, 0, 2)
+	if string(ds[0].Data) != "d-0" || string(ds[1].Data) != "d-1" {
+		t.Errorf("survivors = %q, %q", ds[0].Data, ds[1].Data)
+	}
+}

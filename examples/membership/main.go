@@ -2,12 +2,15 @@
 // paper's Figure 4 depends on the atomic-broadcast service and keeps
 // producing consistent views while the protocol underneath it is
 // replaced — the module is not even aware the update happened. This is
-// the paper's modularity claim, demonstrated end to end.
+// the paper's modularity claim, demonstrated end to end, with the
+// switch confirmed on every stack through the epoch barrier instead of
+// waiting on event channels.
 //
 //	go run ./examples/membership
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,16 +19,28 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cluster, err := dpu.New(4, dpu.WithSeed(31), dpu.WithMembership())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
 
+	nodes := make([]*dpu.Node, 4)
+	subs := make([]*dpu.Subscription, 4)
+	for i := range nodes {
+		if nodes[i], err = cluster.Node(i); err != nil {
+			log.Fatal(err)
+		}
+		if subs[i], err = nodes[i].Subscribe(dpu.SubscribeOptions{Views: true}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	show := func(what string) {
 		for i := 0; i < 4; i++ {
 			select {
-			case v := <-cluster.Views(i):
+			case v := <-subs[i].Views():
 				fmt.Printf("  stack %d: view %d = %v\n", i, v.ID, v.Members)
 			case <-time.After(20 * time.Second):
 				log.Fatalf("stack %d: no view after %s", i, what)
@@ -34,22 +49,28 @@ func main() {
 	}
 
 	fmt.Println("member 3 leaves (ordered through abcast/ct):")
-	if err := cluster.Leave(0, 3); err != nil {
+	if err := nodes[0].Leave(3); err != nil {
 		log.Fatal(err)
 	}
 	show("leave")
 
 	fmt.Println("\nreplacing the broadcast protocol under GM: ct -> sequencer")
-	if err := cluster.ChangeProtocol(2, dpu.ProtocolSequencer); err != nil {
+	sctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	ev, err := nodes[2].ChangeProtocol(sctx, dpu.ProtocolSequencer)
+	if err != nil {
 		log.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		ev := <-cluster.Switches(i)
-		fmt.Printf("  stack %d now on %s (epoch %d)\n", i, ev.Protocol, ev.Epoch)
+		st, err := cluster.WaitForEpoch(sctx, i, ev.Epoch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  stack %d now on %s (epoch %d)\n", i, st.Protocol, st.Epoch)
 	}
+	cancel()
 
 	fmt.Println("\nmember 3 rejoins (ordered through abcast/seq — GM never noticed the switch):")
-	if err := cluster.Join(1, 3); err != nil {
+	if err := nodes[1].Join(3); err != nil {
 		log.Fatal(err)
 	}
 	show("join")

@@ -1,14 +1,22 @@
 // Replicated key-value store: the paper's motivating use case for group
 // communication — state machine replication on atomic broadcast — with
-// a protocol upgrade performed under write load. Because every replica
-// applies the same totally-ordered command stream, replicas stay
-// byte-identical across the upgrade; the example proves it by hashing
-// each replica's state.
+// two protocol upgrades performed under write load. Because every
+// replica applies the same totally-ordered command stream, replicas
+// stay byte-identical across the upgrades; the example proves it by
+// hashing each replica's state.
+//
+// The writers are paced by the library itself: Node.Broadcast blocks
+// when the outstanding window fills (WithMaxOutstanding), and each
+// upgrade is a confirmed Node.ChangeProtocol — there is not a single
+// sleep in the write path. The replicas subscribe with the Block lag
+// policy: a state machine must apply every command, so backpressure is
+// the correct lag behavior, never dropping.
 //
 //	go run ./examples/replicated-kv
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -16,7 +24,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"repro/dpu"
 )
@@ -61,22 +68,37 @@ func (s *store) digest() (string, int) {
 func main() {
 	const n = 3
 	const writes = 300
-	cluster, err := dpu.New(n, dpu.WithSeed(11))
+	const window = 64
+	ctx := context.Background()
+	cluster, err := dpu.New(n, dpu.WithSeed(11), dpu.WithMaxOutstanding(window))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
 
+	nodes := make([]*dpu.Node, n)
+	for i := range nodes {
+		if nodes[i], err = cluster.Node(i); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	// One replica per stack, applying its stack's delivery stream.
 	replicas := make([]*store, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		sub, err := nodes[i].Subscribe(dpu.SubscribeOptions{
+			Deliveries: true, Buffer: 512, Policy: dpu.Block,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		replicas[i] = &store{data: make(map[string]string)}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			for replicas[i].applied < writes {
-				d, ok := <-cluster.Deliveries(i)
+				d, ok := <-sub.Deliveries()
 				if !ok {
 					return
 				}
@@ -85,8 +107,10 @@ func main() {
 		}(i)
 	}
 
-	// Writers on every stack; the protocol upgrade happens mid-stream.
-	fmt.Printf("writing %d commands across %d clients while upgrading the broadcast protocol...\n", writes, n)
+	// Writers on every stack; both protocol upgrades happen mid-stream
+	// and block only their own writer until confirmed locally.
+	fmt.Printf("writing %d commands across %d clients (outstanding window %d) while upgrading the broadcast protocol...\n",
+		writes, n, window)
 	for k := 0; k < writes; k++ {
 		var cmd string
 		switch {
@@ -95,18 +119,25 @@ func main() {
 		default:
 			cmd = fmt.Sprintf("set user-%d rev-%d", k%50, k)
 		}
-		if err := cluster.Broadcast(k%n, []byte(cmd)); err != nil {
+		if err := nodes[k%n].Broadcast(ctx, []byte(cmd)); err != nil {
 			log.Fatal(err)
 		}
 		if k == writes/3 {
-			fmt.Println("  -> live upgrade: abcast/ct -> abcast/token")
-			cluster.ChangeProtocol(1, dpu.ProtocolToken)
+			ev, err := nodes[1].ChangeProtocol(ctx, dpu.ProtocolToken)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  -> live upgrade confirmed: %s at epoch %d (%d reissued)\n",
+				ev.Protocol, ev.Epoch, ev.Reissued)
 		}
 		if k == 2*writes/3 {
-			fmt.Println("  -> live upgrade: abcast/token -> abcast/ct")
-			cluster.ChangeProtocol(2, dpu.ProtocolCT)
+			ev, err := nodes[2].ChangeProtocol(ctx, dpu.ProtocolCT)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  -> live upgrade confirmed: %s at epoch %d (%d reissued)\n",
+				ev.Protocol, ev.Epoch, ev.Reissued)
 		}
-		time.Sleep(time.Millisecond)
 	}
 	wg.Wait()
 
@@ -125,6 +156,9 @@ func main() {
 	if !consistent {
 		log.Fatal("replicas diverged — total order was violated")
 	}
-	st, _ := cluster.Status(0)
+	st, err := nodes[0].Status(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("all replicas identical; final protocol %s (epoch %d)\n", st.Protocol, st.Epoch)
 }

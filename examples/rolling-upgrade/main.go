@@ -2,12 +2,14 @@
 // constant broadcast load runs while the protocol is replaced; the
 // example prints the average latency per 100ms bucket so the
 // spike-and-recover shape around the replacement is visible in the
-// terminal.
+// terminal. The switch is confirmed through Node.ChangeProtocol and the
+// drain is counted exactly — no sleep-based synchronization.
 //
 //	go run ./examples/rolling-upgrade
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -26,11 +28,19 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	cluster, err := dpu.New(n, dpu.WithSeed(23))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
+
+	nodes := make([]*dpu.Node, n)
+	for i := range nodes {
+		if nodes[i], err = cluster.Node(i); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	type sample struct {
 		sentAt  time.Duration // offset from start
@@ -40,54 +50,79 @@ func main() {
 	var samples []sample
 	start := time.Now()
 
-	// Latency observers: the payload carries the send time.
+	// Latency observers: the payload carries the send time. Every
+	// delivery also ticks the progress channel so the main goroutine
+	// can count the drain down to zero instead of guessing with sleeps.
+	progress := make(chan struct{}, 16384)
 	var wg sync.WaitGroup
-	stop := make(chan struct{})
 	for i := 0; i < n; i++ {
+		sub, err := nodes[i].Subscribe(dpu.SubscribeOptions{
+			Deliveries: true, Buffer: 4096, Policy: dpu.Block,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				case d, ok := <-cluster.Deliveries(i):
-					if !ok {
-						return
-					}
-					var nanos int64
-					fmt.Sscanf(string(d.Data), "%d", &nanos)
-					sent := time.Unix(0, nanos)
-					mu.Lock()
-					samples = append(samples, sample{
-						sentAt:  sent.Sub(start),
-						latency: time.Since(sent),
-					})
-					mu.Unlock()
-				}
+			for d := range sub.Deliveries() {
+				var nanos int64
+				fmt.Sscanf(string(d.Data), "%d", &nanos)
+				sent := time.Unix(0, nanos)
+				mu.Lock()
+				samples = append(samples, sample{
+					sentAt:  sent.Sub(start),
+					latency: time.Since(sent),
+				})
+				mu.Unlock()
+				progress <- struct{}{}
 			}
-		}(i)
+		}()
 	}
 
-	// Constant load from every stack; one switch in the middle.
+	// Constant load from every stack; one switch in the middle,
+	// initiated concurrently so the load never pauses and confirmed the
+	// moment it completes on the initiating stack.
 	ticker := time.NewTicker(time.Second / rate)
 	defer ticker.Stop()
+	var switchWG sync.WaitGroup
 	switched := false
 	k := 0
 	for time.Since(start) < duration {
 		<-ticker.C
 		payload := fmt.Sprintf("%d", time.Now().UnixNano())
-		cluster.Broadcast(k%n, []byte(payload))
+		if err := nodes[k%n].Broadcast(ctx, []byte(payload)); err != nil {
+			log.Fatal(err)
+		}
 		k++
 		if !switched && time.Since(start) >= switchAt {
 			switched = true
 			fmt.Printf("t=%v: replacing abcast/ct by abcast/ct (the paper's experiment)\n",
 				time.Since(start).Round(time.Millisecond))
-			cluster.ChangeProtocol(0, dpu.ProtocolCT)
+			switchWG.Add(1)
+			go func() {
+				defer switchWG.Done()
+				ev, err := nodes[0].ChangeProtocol(ctx, dpu.ProtocolCT)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("t=%v: switch confirmed at epoch %d (%d messages reissued)\n",
+					time.Since(start).Round(time.Millisecond), ev.Epoch, ev.Reissued)
+			}()
 		}
 	}
-	time.Sleep(300 * time.Millisecond) // drain
-	close(stop)
+	switchWG.Wait()
+
+	// Drain: each of the k messages is delivered on all n stacks.
+	deadline := time.After(10 * time.Second)
+	for received := 0; received < n*k; received++ {
+		select {
+		case <-progress:
+		case <-deadline:
+			log.Fatalf("drain stalled at %d of %d deliveries", received, n*k)
+		}
+	}
+	cluster.Close() // ends the subscriptions
 	wg.Wait()
 
 	// Bucket by send time and draw a bar chart.

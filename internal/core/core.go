@@ -35,6 +35,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -42,6 +43,10 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/wire"
 )
+
+// ErrUnknownProtocol is returned (wrapped) through ChangeProtocol.Reply
+// when the requested implementation name is not in the registry.
+var ErrUnknownProtocol = errors.New("core: unknown abcast implementation")
 
 // Service is the public atomic-broadcast service provided by the
 // replacement module. Applications and dependent protocols call and
@@ -60,6 +65,36 @@ type Broadcast struct {
 // atomic-broadcast implementation, on every stack, by the named one.
 type ChangeProtocol struct {
 	Protocol string
+	// Reply, when non-nil, is invoked on the stack's executor once the
+	// replacement requested by THIS call completes locally (carrying the
+	// resulting Switched event) or fails. The request is validated
+	// against the implementation registry before it is broadcast, so an
+	// unknown name fails immediately with ErrUnknownProtocol. A request
+	// that loses the race against a concurrent change is transparently
+	// retried (Config.RetryLostChange) and replies when the retry wins;
+	// with retries disabled it replies with an error.
+	Reply func(ChangeReply)
+}
+
+// ChangeReply reports the outcome of a tracked ChangeProtocol request.
+type ChangeReply struct {
+	Ev  Switched
+	Err error
+}
+
+// EpochWaitReq parks until this stack's seqNumber reaches Epoch, then
+// replies with the stack's status on the executor. A request for an
+// already-reached epoch replies immediately. This is the observable
+// switch-completion barrier Algorithm 1 defines but the original API
+// hid: "the replacement completes on a machine when seqNumber
+// advances".
+type EpochWaitReq struct {
+	Epoch uint64
+	Reply func(Status)
+	// Done, when non-nil, marks the request as abandoned once closed
+	// (typically a context's Done channel): the parked waiter is pruned
+	// on later switch/wait activity instead of being retained forever.
+	Done <-chan struct{}
 }
 
 // Deliver is the rAdeliver indication: Data is delivered in the same
@@ -181,6 +216,26 @@ func (s *pendingSet) each(fn func(id msgID, data []byte)) {
 	}
 }
 
+// epochWaiter is one parked EpochWaitReq.
+type epochWaiter struct {
+	epoch uint64
+	reply func(Status)
+	done  <-chan struct{}
+}
+
+// abandoned reports whether the waiter's requester has given up.
+func (w epochWaiter) abandoned() bool {
+	if w.done == nil {
+		return false
+	}
+	select {
+	case <-w.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Repl is the replacement module (Algorithm 1).
 type Repl struct {
 	kernel.Base
@@ -191,6 +246,13 @@ type Repl struct {
 	undelivered *pendingSet
 	cur         kernel.Module
 	curName     string
+
+	// changeSeq numbers this stack's own change requests so a completed
+	// switch can be correlated back to the call that asked for it (the
+	// request id travels in the tagNew header, initiator-scoped).
+	changeSeq      uint64
+	pendingChanges map[uint64]func(ChangeReply)
+	epochWaiters   []epochWaiter
 }
 
 // Factory returns the kernel factory for the replacement module. The
@@ -204,9 +266,10 @@ func Factory(cfg Config) kernel.Factory {
 		Provides: []kernel.ServiceID{Service},
 		New: func(st *kernel.Stack) kernel.Module {
 			return &Repl{
-				Base:        kernel.NewBase(st, Protocol),
-				cfg:         cfg,
-				undelivered: newPendingSet(),
+				Base:           kernel.NewBase(st, Protocol),
+				cfg:            cfg,
+				undelivered:    newPendingSet(),
+				pendingChanges: make(map[uint64]func(ChangeReply)),
 			}
 		},
 	}
@@ -260,18 +323,55 @@ func (m *Repl) install(name string) error {
 }
 
 // HandleRequest processes Broadcast (rABcast), ChangeProtocol
-// (changeABcast) and StatusReq.
+// (changeABcast), StatusReq and EpochWaitReq.
 func (m *Repl) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
 	switch r := req.(type) {
 	case Broadcast:
 		m.rABcast(r.Data)
 	case ChangeProtocol:
-		m.changeABcast(r.Protocol)
+		m.requestChange(r)
 	case StatusReq:
 		if r.Reply != nil {
-			r.Reply(Status{Sn: m.sn, Protocol: m.curName, Undelivered: m.undelivered.len()})
+			r.Reply(m.status())
 		}
+	case EpochWaitReq:
+		if r.Reply == nil {
+			return
+		}
+		if m.sn >= r.Epoch {
+			r.Reply(m.status())
+			return
+		}
+		// Prune abandoned waiters before parking a new one, so a caller
+		// polling for an epoch that never comes cannot grow the slice
+		// without bound.
+		m.pruneEpochWaiters()
+		m.epochWaiters = append(m.epochWaiters, epochWaiter{epoch: r.Epoch, reply: r.Reply, done: r.Done})
 	}
+}
+
+func (m *Repl) status() Status {
+	return Status{Sn: m.sn, Protocol: m.curName, Undelivered: m.undelivered.len()}
+}
+
+// requestChange validates and tracks a local change request, then
+// broadcasts it (changeABcast). Unknown names fail before anything is
+// sent, so a typo can never circulate through the group.
+func (m *Repl) requestChange(r ChangeProtocol) {
+	if _, known := m.cfg.Impls.Lookup(r.Protocol); !known {
+		err := fmt.Errorf("%w %q", ErrUnknownProtocol, r.Protocol)
+		if r.Reply != nil {
+			r.Reply(ChangeReply{Err: err})
+		} else {
+			m.Stk.Logf("repl: %v", err)
+		}
+		return
+	}
+	m.changeSeq++
+	if r.Reply != nil {
+		m.pendingChanges[m.changeSeq] = r.Reply
+	}
+	m.changeABcast(r.Protocol, m.changeSeq)
 }
 
 // rABcast: lines 7-9 of Algorithm 1.
@@ -282,10 +382,12 @@ func (m *Repl) rABcast(data []byte) {
 	m.innerBroadcast(m.encodeNil(id, data))
 }
 
-// changeABcast: lines 5-6 of Algorithm 1.
-func (m *Repl) changeABcast(name string) {
-	w := wire.NewWriter(len(name) + 16)
-	w.Byte(tagNew).Uvarint(m.sn).Uvarint(uint64(m.Stk.Addr())).String(name)
+// changeABcast: lines 5-6 of Algorithm 1. reqID is the initiator-local
+// request number, echoed back in the delivered change so the completed
+// switch can be matched to the originating ChangeProtocol call.
+func (m *Repl) changeABcast(name string, reqID uint64) {
+	w := wire.NewWriter(len(name) + 24)
+	w.Byte(tagNew).Uvarint(m.sn).Uvarint(uint64(m.Stk.Addr())).Uvarint(reqID).String(name)
 	m.innerBroadcast(w.Bytes())
 }
 
@@ -315,11 +417,12 @@ func (m *Repl) HandleIndication(svc kernel.ServiceID, ind kernel.Indication) {
 	switch tag {
 	case tagNew:
 		initiator := kernel.Addr(r.Uvarint())
+		reqID := r.Uvarint()
 		name := r.String()
 		if r.Err() != nil {
 			return
 		}
-		m.onChange(sn, initiator, name)
+		m.onChange(sn, initiator, reqID, name)
 	case tagNil:
 		id := msgID{origin: kernel.Addr(r.Uvarint()), seq: r.Uvarint()}
 		data := r.Rest()
@@ -330,14 +433,68 @@ func (m *Repl) HandleIndication(svc kernel.ServiceID, ind kernel.Indication) {
 	}
 }
 
+// failChange resolves a tracked local change request with an error.
+func (m *Repl) failChange(reqID uint64, err error) {
+	reply, ok := m.pendingChanges[reqID]
+	if !ok {
+		return
+	}
+	delete(m.pendingChanges, reqID)
+	reply(ChangeReply{Err: err})
+}
+
+// pruneEpochWaiters drops waiters whose requester has abandoned them.
+func (m *Repl) pruneEpochWaiters() {
+	kept := m.epochWaiters[:0]
+	for _, w := range m.epochWaiters {
+		if !w.abandoned() {
+			kept = append(kept, w)
+		}
+	}
+	for i := len(kept); i < len(m.epochWaiters); i++ {
+		m.epochWaiters[i] = epochWaiter{} // release retained closures
+	}
+	m.epochWaiters = kept
+}
+
+// flushEpochWaiters releases every parked EpochWaitReq whose target
+// epoch has been reached and prunes abandoned ones.
+func (m *Repl) flushEpochWaiters() {
+	if len(m.epochWaiters) == 0 {
+		return
+	}
+	kept := m.epochWaiters[:0]
+	for _, w := range m.epochWaiters {
+		if w.abandoned() {
+			continue
+		}
+		if m.sn >= w.epoch {
+			w.reply(m.status())
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	for i := len(kept); i < len(m.epochWaiters); i++ {
+		m.epochWaiters[i] = epochWaiter{}
+	}
+	m.epochWaiters = kept
+}
+
 // onChange: lines 10-16 of Algorithm 1.
-func (m *Repl) onChange(sn uint64, initiator kernel.Addr, name string) {
+func (m *Repl) onChange(sn uint64, initiator kernel.Addr, reqID uint64, name string) {
+	mine := initiator == m.Stk.Addr()
 	if sn != m.sn {
 		// A change that lost the race against another change in the same
 		// epoch. Every stack discards it at the same point of the total
-		// order. If we initiated it, optionally retry in the new epoch.
-		if m.cfg.RetryLostChange && initiator == m.Stk.Addr() {
-			m.changeABcast(name)
+		// order. If we initiated it, optionally retry in the new epoch
+		// (keeping the request id, so the eventual win still resolves the
+		// originating call).
+		if mine {
+			if m.cfg.RetryLostChange {
+				m.changeABcast(name, reqID)
+			} else {
+				m.failChange(reqID, fmt.Errorf("core: change to %q lost the race in epoch %d", name, sn))
+			}
 		}
 		return
 	}
@@ -346,6 +503,9 @@ func (m *Repl) onChange(sn uint64, initiator kernel.Addr, name string) {
 	// across the group) without advancing the epoch.
 	if _, known := m.cfg.Impls.Lookup(name); !known {
 		m.Stk.Logf("repl: discarding change to unknown implementation %q", name)
+		if mine {
+			m.failChange(reqID, fmt.Errorf("%w %q", ErrUnknownProtocol, name))
+		}
 		return
 	}
 	// Line 11: seqNumber++.
@@ -366,6 +526,9 @@ func (m *Repl) onChange(sn uint64, initiator kernel.Addr, name string) {
 			}
 			m.cur = old
 		}
+		if mine {
+			m.failChange(reqID, fmt.Errorf("core: change to %q failed: %w", name, err))
+		}
 		return
 	}
 	// Lines 15-16: reissue undelivered messages through the new module.
@@ -379,7 +542,15 @@ func (m *Repl) onChange(sn uint64, initiator kernel.Addr, name string) {
 		oldID := old.ID()
 		m.Stk.After(m.cfg.Grace, func() { m.Stk.RemoveModule(oldID) })
 	}
-	m.Stk.Indicate(Service, Switched{Sn: m.sn, Protocol: name, At: time.Now(), Reissued: reissued})
+	ev := Switched{Sn: m.sn, Protocol: name, At: time.Now(), Reissued: reissued}
+	if mine {
+		if reply, ok := m.pendingChanges[reqID]; ok {
+			delete(m.pendingChanges, reqID)
+			reply(ChangeReply{Ev: ev})
+		}
+	}
+	m.flushEpochWaiters()
+	m.Stk.Indicate(Service, ev)
 }
 
 // onDeliver: lines 17-21 of Algorithm 1.

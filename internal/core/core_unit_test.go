@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -121,9 +122,9 @@ func encNil(sn uint64, origin kernel.Addr, seq uint64, data []byte) []byte {
 	return w.Bytes()
 }
 
-func encNew(sn uint64, initiator kernel.Addr, name string) []byte {
-	w := wire.NewWriter(len(name) + 16)
-	w.Byte(tagNew).Uvarint(sn).Uvarint(uint64(initiator)).String(name)
+func encNew(sn uint64, initiator kernel.Addr, reqID uint64, name string) []byte {
+	w := wire.NewWriter(len(name) + 24)
+	w.Byte(tagNew).Uvarint(sn).Uvarint(uint64(initiator)).Uvarint(reqID).String(name)
 	return w.Bytes()
 }
 
@@ -165,7 +166,7 @@ func TestStaleSnDeliveryDiscarded(t *testing.T) {
 	// Line 18 of Algorithm 1: a message with a stale sequence number is
 	// discarded.
 	r := newRig(t, Config{})
-	r.injectDeliver(encNew(0, 0, "mock2")) // switch: sn 0 -> 1
+	r.injectDeliver(encNew(0, 0, 1, "mock2")) // switch: sn 0 -> 1
 	r.sync(t)
 	r.injectDeliver(encNil(0, 0, 1, []byte("stale"))) // old-epoch delivery
 	r.sync(t)
@@ -182,7 +183,7 @@ func TestChangeSwitchesModuleAndReissuesUndelivered(t *testing.T) {
 	r.st.Call(Service, Broadcast{Data: []byte("b")})
 	r.sync(t)
 	oldMock := r.cur()
-	r.injectDeliver(encNew(0, 0, "mock2"))
+	r.injectDeliver(encNew(0, 0, 1, "mock2"))
 	r.sync(t)
 	r.st.DoSync(func() {
 		newMock := r.cur()
@@ -222,7 +223,7 @@ func TestOldModuleRetiredAfterGrace(t *testing.T) {
 	r := newRig(t, Config{Grace: 20 * time.Millisecond})
 	r.sync(t)
 	oldMock := r.cur()
-	r.injectDeliver(encNew(0, 0, "mock2"))
+	r.injectDeliver(encNew(0, 0, 1, "mock2"))
 	r.sync(t)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -251,7 +252,7 @@ func TestExactlyOnceAcrossSwitch(t *testing.T) {
 	r := newRig(t, Config{})
 	r.st.Call(Service, Broadcast{Data: []byte("caught")})
 	r.sync(t)
-	r.injectDeliver(encNew(0, 0, "mock2"))
+	r.injectDeliver(encNew(0, 0, 1, "mock2"))
 	r.sync(t)
 	// Old stream's late delivery with sn=0: filtered.
 	r.injectDeliver(encNil(0, 0, 1, []byte("caught")))
@@ -276,17 +277,17 @@ func TestRacingChangeDiscardedAndRetriedWhenMine(t *testing.T) {
 	r := newRig(t, Config{RetryLostChange: true})
 	r.sync(t)
 	// Two changes were issued concurrently in epoch 0; ours lost.
-	r.injectDeliver(encNew(0, 1, "mock2")) // the winner, initiated by stack 1
+	r.injectDeliver(encNew(0, 1, 1, "mock2")) // the winner, initiated by stack 1
 	r.sync(t)
 	mockAfterFirst := r.cur()
-	r.injectDeliver(encNew(0, 0, "mock")) // ours, now stale
+	r.injectDeliver(encNew(0, 0, 5, "mock")) // ours, now stale
 	r.sync(t)
 	r.st.DoSync(func() {
 		if r.repl.sn != 1 {
 			t.Errorf("sn = %d, want 1 (stale change must not switch)", r.repl.sn)
 		}
 		// The retry goes out through the *new* module with sn=1.
-		want := encNew(1, 0, "mock")
+		want := encNew(1, 0, 5, "mock")
 		found := false
 		for _, b := range mockAfterFirst.sent {
 			if bytes.Equal(b, want) {
@@ -302,11 +303,11 @@ func TestRacingChangeDiscardedAndRetriedWhenMine(t *testing.T) {
 func TestRacingChangeNotRetriedWhenDisabled(t *testing.T) {
 	r := newRig(t, Config{RetryLostChange: false})
 	r.sync(t)
-	r.injectDeliver(encNew(0, 1, "mock2"))
+	r.injectDeliver(encNew(0, 1, 1, "mock2"))
 	r.sync(t)
 	cur := r.cur()
 	before := len(cur.sent)
-	r.injectDeliver(encNew(0, 0, "mock"))
+	r.injectDeliver(encNew(0, 0, 2, "mock"))
 	r.sync(t)
 	r.st.DoSync(func() {
 		if len(cur.sent) != before {
@@ -321,7 +322,7 @@ func TestRacingChangeNotRetriedWhenDisabled(t *testing.T) {
 func TestChangeToUnknownProtocolDiscardedWithoutEpochBump(t *testing.T) {
 	r := newRig(t, Config{})
 	r.sync(t)
-	r.injectDeliver(encNew(0, 0, "no-such-impl"))
+	r.injectDeliver(encNew(0, 0, 1, "no-such-impl"))
 	r.sync(t)
 	r.st.DoSync(func() {
 		if r.repl.sn != 0 {
@@ -345,11 +346,11 @@ func TestChangeToUnknownProtocolDiscardedWithoutEpochBump(t *testing.T) {
 func TestBackToBackChanges(t *testing.T) {
 	r := newRig(t, Config{})
 	r.sync(t)
-	r.injectDeliver(encNew(0, 0, "mock2"))
+	r.injectDeliver(encNew(0, 0, 1, "mock2"))
 	r.sync(t)
-	r.injectDeliver(encNew(1, 0, "mock"))
+	r.injectDeliver(encNew(1, 0, 2, "mock"))
 	r.sync(t)
-	r.injectDeliver(encNew(2, 0, "mock2"))
+	r.injectDeliver(encNew(2, 0, 3, "mock2"))
 	r.sync(t)
 	r.st.DoSync(func() {
 		if r.repl.sn != 3 {
@@ -477,4 +478,182 @@ func TestGarbageFromInnerProtocolIgnored(t *testing.T) {
 			t.Errorf("sn changed on garbage")
 		}
 	})
+}
+
+func TestChangeReplyOnCompletion(t *testing.T) {
+	r := newRig(t, Config{})
+	r.sync(t)
+	got := make(chan ChangeReply, 1)
+	r.st.Call(Service, ChangeProtocol{Protocol: "mock2", Reply: func(c ChangeReply) { got <- c }})
+	r.sync(t)
+	// The tracked request went out through the inner protocol; feed it
+	// back as the total order would.
+	var sent []byte
+	r.st.DoSync(func() { sent = r.cur().sent[0] })
+	if want := encNew(0, 0, 1, "mock2"); !bytes.Equal(sent, want) {
+		t.Fatalf("change header = %v, want %v", sent, want)
+	}
+	r.injectDeliver(sent)
+	r.sync(t)
+	select {
+	case c := <-got:
+		if c.Err != nil {
+			t.Fatalf("reply error: %v", c.Err)
+		}
+		if c.Ev.Sn != 1 || c.Ev.Protocol != "mock2" {
+			t.Errorf("reply event = %+v", c.Ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no change reply")
+	}
+}
+
+func TestChangeReplyImmediateOnUnknownProtocol(t *testing.T) {
+	r := newRig(t, Config{})
+	r.sync(t)
+	got := make(chan ChangeReply, 1)
+	r.st.Call(Service, ChangeProtocol{Protocol: "no-such-impl", Reply: func(c ChangeReply) { got <- c }})
+	select {
+	case c := <-got:
+		if !errors.Is(c.Err, ErrUnknownProtocol) {
+			t.Fatalf("err = %v, want ErrUnknownProtocol", c.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply for unknown protocol")
+	}
+	// Nothing circulated through the group and the epoch is untouched.
+	r.st.DoSync(func() {
+		if len(r.cur().sent) != 0 {
+			t.Errorf("unknown change was broadcast: %v", r.cur().sent)
+		}
+		if r.repl.sn != 0 {
+			t.Errorf("sn = %d", r.repl.sn)
+		}
+	})
+}
+
+func TestEpochWaitParksUntilSwitch(t *testing.T) {
+	r := newRig(t, Config{})
+	r.sync(t)
+	now := make(chan Status, 1)
+	r.st.Call(Service, EpochWaitReq{Epoch: 0, Reply: func(s Status) { now <- s }})
+	select {
+	case s := <-now:
+		if s.Sn != 0 {
+			t.Fatalf("immediate wait status = %+v", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wait for reached epoch did not reply immediately")
+	}
+	later := make(chan Status, 1)
+	r.st.Call(Service, EpochWaitReq{Epoch: 1, Reply: func(s Status) { later <- s }})
+	r.sync(t)
+	select {
+	case s := <-later:
+		t.Fatalf("future-epoch wait replied early: %+v", s)
+	default:
+	}
+	r.injectDeliver(encNew(0, 0, 1, "mock2"))
+	r.sync(t)
+	select {
+	case s := <-later:
+		if s.Sn != 1 || s.Protocol != "mock2" {
+			t.Errorf("wait status = %+v", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("epoch waiter never released")
+	}
+}
+
+func TestChangeReplySurvivesLostRaceViaRetry(t *testing.T) {
+	r := newRig(t, Config{RetryLostChange: true})
+	r.sync(t)
+	got := make(chan ChangeReply, 1)
+	r.st.Call(Service, ChangeProtocol{Protocol: "mock2", Reply: func(c ChangeReply) { got <- c }})
+	r.sync(t)
+	// A remote change wins epoch 0 first; ours is delivered stale and
+	// retried with the same request id through the new module.
+	r.injectDeliver(encNew(0, 1, 1, "mock"))
+	r.sync(t)
+	retryCarrier := r.cur()
+	r.injectDeliver(encNew(0, 0, 1, "mock2")) // ours, stale, triggers retry
+	r.sync(t)
+	var retry []byte
+	r.st.DoSync(func() {
+		want := encNew(1, 0, 1, "mock2")
+		for _, b := range retryCarrier.sent {
+			if bytes.Equal(b, want) {
+				retry = b
+			}
+		}
+	})
+	if retry == nil {
+		t.Fatal("retry with original request id not rebroadcast")
+	}
+	select {
+	case c := <-got:
+		t.Fatalf("reply before retry completed: %+v", c)
+	default:
+	}
+	r.injectDeliver(retry)
+	r.sync(t)
+	select {
+	case c := <-got:
+		if c.Err != nil || c.Ev.Sn != 2 || c.Ev.Protocol != "mock2" {
+			t.Errorf("retried reply = %+v", c)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply after retry won")
+	}
+}
+
+func TestChangeReplyFailsOnLostRaceWithoutRetry(t *testing.T) {
+	r := newRig(t, Config{RetryLostChange: false})
+	r.sync(t)
+	got := make(chan ChangeReply, 1)
+	r.st.Call(Service, ChangeProtocol{Protocol: "mock2", Reply: func(c ChangeReply) { got <- c }})
+	r.sync(t)
+	r.injectDeliver(encNew(0, 1, 1, "mock"))  // remote winner
+	r.injectDeliver(encNew(0, 0, 1, "mock2")) // ours, stale
+	r.sync(t)
+	select {
+	case c := <-got:
+		if c.Err == nil {
+			t.Fatalf("lost race without retry must fail, got %+v", c)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply for lost race")
+	}
+}
+
+func TestAbandonedEpochWaitersPruned(t *testing.T) {
+	r := newRig(t, Config{})
+	r.sync(t)
+	// Park waiters whose requester immediately gives up, interleaved
+	// with fresh requests: the pre-park prune must keep the slice from
+	// accumulating dead entries.
+	closed := make(chan struct{})
+	close(closed)
+	for i := 0; i < 50; i++ {
+		r.st.Call(Service, EpochWaitReq{Epoch: 99, Reply: func(Status) {}, Done: closed})
+	}
+	live := make(chan Status, 1)
+	r.st.Call(Service, EpochWaitReq{Epoch: 1, Reply: func(s Status) { live <- s }})
+	r.sync(t)
+	r.st.DoSync(func() {
+		if got := len(r.repl.epochWaiters); got > 2 {
+			t.Errorf("epochWaiters retained %d entries, want <= 2", got)
+		}
+	})
+	// The live waiter still fires on the switch.
+	r.injectDeliver(encNew(0, 0, 1, "mock2"))
+	r.sync(t)
+	select {
+	case s := <-live:
+		if s.Sn != 1 {
+			t.Errorf("live waiter status = %+v", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live waiter lost during pruning")
+	}
 }

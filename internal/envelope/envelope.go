@@ -19,6 +19,11 @@ const (
 	KindConsRepl Kind = 2
 	// KindBench is benchmark/workload probe traffic.
 	KindBench Kind = 3
+	// KindAppPaced is application data issued through the dpu façade's
+	// outstanding-broadcast window (Node.Broadcast): its self-delivery
+	// releases a window slot, whereas KindApp (the unpaced legacy path)
+	// does not hold one.
+	KindAppPaced Kind = 4
 )
 
 // ErrEmpty is returned when unwrapping an empty payload.

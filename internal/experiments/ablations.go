@@ -41,6 +41,11 @@ func RunManagersComparison(n int, ratePerStack float64, seed int64) ([]ManagersR
 		gen.Start()
 		time.Sleep(400 * time.Millisecond)
 		trigger := cl.ChangeProtocol(0, abcast.ProtocolCT)
+		// Probe burst at the trigger instant: these messages are sent
+		// inside the switch window by construction, so the disruption
+		// measurement never depends on the generator's phase (a CT->CT
+		// switch can complete between two 60 msg/s ticks).
+		gen.Burst(0, 10)
 		doneAt, ok := cl.WaitSwitched(0, 15*time.Second)
 		if !ok {
 			gen.Stop()

@@ -93,6 +93,9 @@ type Cluster struct {
 	sinks    []*benchSink
 	switchMu sync.Mutex
 	switches []switchEvent
+	// switchNotify carries a (coalesced) wake-up per recorded switch so
+	// WaitSwitched blocks on progress instead of sleep-polling.
+	switchNotify chan struct{}
 }
 
 type switchEvent struct {
@@ -118,6 +121,10 @@ func (s *benchSink) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) 
 		s.cl.switchMu.Lock()
 		s.cl.switches = append(s.cl.switches, switchEvent{stack: s.stack, sn: v.Sn, at: v.At})
 		s.cl.switchMu.Unlock()
+		select {
+		case s.cl.switchNotify <- struct{}{}:
+		default:
+		}
 	}
 }
 
@@ -135,9 +142,10 @@ func (s *benchSink) record(data []byte) {
 func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	cl := &Cluster{
-		cfg:      cfg,
-		Net:      simnet.New(cfg.Net),
-		Recorder: metrics.NewRecorder(cfg.N),
+		cfg:          cfg,
+		Net:          simnet.New(cfg.Net),
+		Recorder:     metrics.NewRecorder(cfg.N),
+		switchNotify: make(chan struct{}, 1),
 	}
 	reg := kernel.NewRegistry()
 	reg.MustRegister(udp.Factory(transport.Sim(cl.Net)))
@@ -255,9 +263,11 @@ func (cl *Cluster) SwitchesSince(afterSn uint64) map[int]time.Time {
 
 // WaitSwitched blocks until every stack completed a switch with sn >
 // afterSn or the deadline passes; it returns the last completion time.
+// It wakes on switch progress (no polling).
 func (cl *Cluster) WaitSwitched(afterSn uint64, deadline time.Duration) (time.Time, bool) {
-	limit := time.Now().Add(deadline)
-	for time.Now().Before(limit) {
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	for {
 		got := cl.SwitchesSince(afterSn)
 		if len(got) == cl.cfg.N {
 			var last time.Time
@@ -268,9 +278,12 @@ func (cl *Cluster) WaitSwitched(afterSn uint64, deadline time.Duration) (time.Ti
 			}
 			return last, true
 		}
-		time.Sleep(time.Millisecond)
+		select {
+		case <-cl.switchNotify:
+		case <-timer.C:
+			return time.Time{}, false
+		}
 	}
-	return time.Time{}, false
 }
 
 // WaitQuiesce waits until every sent message has been delivered on all

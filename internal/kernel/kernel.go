@@ -301,6 +301,11 @@ func (st *Stack) DoSync(fn func()) error {
 // Crashed reports whether the stack has crashed.
 func (st *Stack) Crashed() bool { return st.crashed.Load() }
 
+// Done returns a channel that is closed once the stack's executor has
+// exited (after Crash or Close). It lets callers waiting on a reply
+// from the executor abandon the wait instead of hanging forever.
+func (st *Stack) Done() <-chan struct{} { return st.exec.done }
+
 // Running reports whether the executor still accepts events.
 func (st *Stack) Running() bool { return st.exec.running() }
 
