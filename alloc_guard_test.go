@@ -1,0 +1,57 @@
+// Allocation budgets for the hot paths the perf work pins down. These
+// are ordinary tests (not benchmarks) so CI fails loudly when a change
+// re-introduces per-event allocations the batch-drain executor and the
+// pooled codec removed.
+package repro_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/wire"
+)
+
+// TestKernelDispatchAllocBudget asserts the typed Call fast-path stays
+// closure-free: enqueueing and dispatching one pre-boxed request must
+// cost at most ~1 allocation amortized (queue growth), where the old
+// closure-per-event loop paid one closure plus queue growth.
+func TestKernelDispatchAllocBudget(t *testing.T) {
+	st := kernel.NewStack(kernel.Config{Addr: 0, Peers: []kernel.Addr{0}})
+	defer st.Close()
+	var handled atomic.Int64
+	if err := st.DoSync(func() {
+		m := &countingModule{Base: kernel.NewBase(st, "budget"), count: &handled}
+		st.AddModule(m)
+		st.Bind("svc", m)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var req kernel.Request = struct{}{} // pre-boxed: measures the kernel, not the caller
+	avg := testing.AllocsPerRun(20000, func() {
+		st.Call("svc", req)
+	})
+	st.DoSync(func() {})
+	if avg > 1.0 {
+		t.Errorf("kernel Call fast-path allocates %.2f allocs/op, budget 1.0", avg)
+	}
+	if handled.Load() == 0 {
+		t.Fatal("no requests dispatched")
+	}
+}
+
+// TestPooledWriterAllocBudget asserts the pooled codec writer is
+// allocation-free in steady state.
+func TestPooledWriterAllocBudget(t *testing.T) {
+	payload := make([]byte, 256)
+	avg := testing.AllocsPerRun(10000, func() {
+		w := wire.GetWriter(len(payload) + 32)
+		w.Byte(1).Uvarint(7).String("ch").Raw(payload)
+		w.Free()
+	})
+	// sync.Pool gives no hard guarantee (GC may empty it), so allow a
+	// small residue rather than asserting exactly zero.
+	if avg > 0.5 {
+		t.Errorf("pooled writer allocates %.2f allocs/op in steady state, budget 0.5", avg)
+	}
+}

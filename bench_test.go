@@ -225,6 +225,7 @@ func BenchmarkKernelDispatch(b *testing.B) {
 		st.AddModule(m)
 		st.Bind("svc", m)
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.Call("svc", i)
@@ -301,6 +302,7 @@ func BenchmarkRP2PThroughput(b *testing.B) {
 	}})
 	payload := make([]byte, 256)
 	b.SetBytes(256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.stacks[0].Call(rp2p.Service, rp2p.Send{To: 1, Channel: "bench", Data: payload})
@@ -328,6 +330,7 @@ func BenchmarkRBcastThroughput(b *testing.B) {
 	}
 	payload := make([]byte, 256)
 	b.SetBytes(256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.stacks[i%3].Call(rbcast.Service, rbcast.Broadcast{Channel: "bench", Data: payload})
@@ -358,6 +361,7 @@ func BenchmarkConsensusSequential(b *testing.B) {
 		}})
 	}
 	val := make([]byte, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id := consensus.InstanceID{Group: 0, Seq: uint64(i)}
@@ -372,22 +376,27 @@ func BenchmarkConsensusSequential(b *testing.B) {
 	}
 }
 
-// BenchmarkABcast measures end-to-end atomic broadcast latency and
-// throughput for each bundled implementation in a 3-stack group,
-// through the full replacement layer (the paper's deployed shape).
+// BenchmarkABcast measures end-to-end atomic broadcast throughput for
+// each bundled implementation in a 3-stack group, through the full
+// replacement layer (the paper's deployed shape), with sender-side
+// batching enabled — the deployed configuration for heavy traffic. The
+// unbatched per-message shape is covered by BenchmarkBroadcastLatency
+// and the Figure 5/6 benches, which run with batching off.
 func BenchmarkABcast(b *testing.B) {
 	for _, proto := range []string{dpu.ProtocolCT, dpu.ProtocolSequencer, dpu.ProtocolToken} {
 		b.Run(proto[7:], func(b *testing.B) {
 			// The drainer must never lose a delivery to backpressure, so
 			// size the channel for the whole run.
 			c, err := dpu.New(3, dpu.WithSeed(3), dpu.WithInitialProtocol(proto),
-				dpu.WithDeliveryBuffer(3*b.N+1024))
+				dpu.WithDeliveryBuffer(3*b.N+1024),
+				dpu.WithBatching(500*time.Microsecond, 32<<10))
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer c.Close()
 			payload := make([]byte, 256)
 			b.SetBytes(256)
+			b.ReportAllocs()
 			b.ResetTimer()
 			gotAll := make(chan struct{}, 1)
 			go func() {
@@ -420,6 +429,7 @@ func BenchmarkBroadcastLatency(b *testing.B) {
 	}
 	defer c.Close()
 	payload := make([]byte, 256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := c.Broadcast(0, payload); err != nil {

@@ -1,6 +1,9 @@
 // Command dpu-bench regenerates every figure of the paper's evaluation
 // (Section 6) and the ablations listed in DESIGN.md, printing the same
-// rows/series the paper plots.
+// rows/series the paper plots. With -json it additionally writes a
+// schema-stable BENCH_*.json file (see docs/PERFORMANCE.md for the
+// schema), so the repository's performance trajectory is recorded
+// run-over-run.
 //
 // Usage:
 //
@@ -9,27 +12,176 @@
 //	dpu-bench -fig ablation-managers # ours vs Maestro vs Graceful
 //	dpu-bench -fig ablation-reissue  # switch cost vs undelivered backlog
 //	dpu-bench -fig ablation-matrix   # cross-protocol switch matrix
+//	dpu-bench -fig throughput        # hot-path throughput probe (batched vs not)
 //	dpu-bench -fig all               # everything
+//	dpu-bench -quick -json           # fast smoke run + BENCH_results.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"repro/dpu"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
+// report is the JSON document -json emits. Field names are the schema;
+// additions are allowed, renames and removals are not (downstream
+// tooling diffs these files across commits).
+type report struct {
+	Schema    string `json:"schema"` // "dpu-bench/v1"
+	Generated string `json:"generated,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Quick     bool   `json:"quick"`
+	Seed      int64  `json:"seed"`
+
+	Figure5          *figure5JSON      `json:"figure5,omitempty"`
+	Figure6          []figure6JSON     `json:"figure6,omitempty"`
+	AblationManagers []managerJSON     `json:"ablation_managers,omitempty"`
+	AblationReissue  []reissueJSON     `json:"ablation_reissue,omitempty"`
+	AblationMatrix   []matrixJSON      `json:"ablation_matrix,omitempty"`
+	Throughput       *throughputJSON   `json:"throughput,omitempty"`
+	Counters         map[string]uint64 `json:"counters,omitempty"`
+}
+
+type figure5JSON struct {
+	N              int     `json:"n"`
+	RatePerStack   float64 `json:"rate_per_stack"`
+	PayloadBytes   int     `json:"payload_bytes"`
+	BaselineMs     float64 `json:"baseline_ms"`
+	DuringMs       float64 `json:"during_ms"`
+	AfterMs        float64 `json:"after_ms"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	SwitchWindowMs float64 `json:"switch_window_ms"`
+	Sent           int     `json:"sent"`
+	Complete       int     `json:"complete"`
+}
+
+type figure6JSON struct {
+	N                int     `json:"n"`
+	Load             float64 `json:"load"`
+	NoLayerMs        float64 `json:"no_layer_ms"`
+	WithLayerMs      float64 `json:"with_layer_ms"`
+	DuringMs         float64 `json:"during_ms"`
+	LayerOverheadPct float64 `json:"layer_overhead_pct"`
+}
+
+type managerJSON struct {
+	Manager    string  `json:"manager"`
+	SwitchMs   float64 `json:"switch_ms"`
+	BaselineMs float64 `json:"baseline_ms"`
+	DuringMs   float64 `json:"during_ms"`
+}
+
+type reissueJSON struct {
+	Backlog  int     `json:"backlog"`
+	SwitchMs float64 `json:"switch_ms"`
+	DrainMs  float64 `json:"drain_ms"`
+}
+
+type matrixJSON struct {
+	From       string  `json:"from"`
+	To         string  `json:"to"`
+	SwitchMs   float64 `json:"switch_ms"`
+	BaselineMs float64 `json:"baseline_ms"`
+	DuringMs   float64 `json:"during_ms"`
+}
+
+type throughputJSON struct {
+	N                   int     `json:"n"`
+	PayloadBytes        int     `json:"payload_bytes"`
+	Messages            int     `json:"messages"`
+	BatchMaxDelayUs     int64   `json:"batch_max_delay_us"`
+	BatchMaxBytes       int     `json:"batch_max_bytes"`
+	UnbatchedMsgsPerSec float64 `json:"unbatched_msgs_per_sec"`
+	BatchedMsgsPerSec   float64 `json:"batched_msgs_per_sec"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// throughputProbe floods msgs 256-byte broadcasts through a 3-stack
+// cluster and measures delivered messages/sec on one stack, with and
+// without sender-side batching — the headline hot-path number.
+func throughputProbe(msgs int, seed int64) (*throughputJSON, error) {
+	const payloadBytes = 256
+	const batchDelay = 500 * time.Microsecond
+	const batchBytes = 32 << 10
+	run := func(opts ...dpu.Option) (float64, error) {
+		opts = append(opts, dpu.WithSeed(seed), dpu.WithDeliveryBuffer(3*msgs+1024))
+		c, err := dpu.New(3, opts...)
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		payload := make([]byte, payloadBytes)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < msgs*3; i++ {
+				<-c.Deliveries(0)
+			}
+		}()
+		start := time.Now()
+		for i := 0; i < msgs*3; i++ {
+			if err := c.Broadcast(i%3, payload); err != nil {
+				return 0, err
+			}
+		}
+		select {
+		case <-done:
+		case <-time.After(120 * time.Second):
+			return 0, fmt.Errorf("throughput probe stalled")
+		}
+		return float64(msgs*3) / time.Since(start).Seconds(), nil
+	}
+	unbatched, err := run()
+	if err != nil {
+		return nil, err
+	}
+	batched, err := run(dpu.WithBatching(batchDelay, batchBytes))
+	if err != nil {
+		return nil, err
+	}
+	return &throughputJSON{
+		N: 3, PayloadBytes: payloadBytes, Messages: msgs * 3,
+		BatchMaxDelayUs: batchDelay.Microseconds(), BatchMaxBytes: batchBytes,
+		UnbatchedMsgsPerSec: unbatched, BatchedMsgsPerSec: batched,
+	}, nil
+}
+
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, ablation-managers, ablation-reissue, ablation-matrix, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, ablation-managers, ablation-reissue, ablation-matrix, throughput, all")
 	n := flag.Int("n", 7, "group size for Figure 5")
 	rate := flag.Float64("rate", 50, "per-stack message rate for Figure 5 [msg/s]")
 	payload := flag.Int("payload", 1024, "payload size for Figure 5 [bytes]")
 	duration := flag.Duration("duration", 4*time.Second, "Figure 5 experiment duration")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	quick := flag.Bool("quick", false, "shrink durations/sweeps for a fast smoke run")
+	jsonOut := flag.Bool("json", false, "also write the results as machine-readable JSON")
+	outPath := flag.String("out", "BENCH_results.json", "output path for -json")
+	stamp := flag.Bool("stamp", true, "record the generation time in the JSON (disable for reproducible diffs)")
 	flag.Parse()
+
+	rep := &report{
+		Schema:    "dpu-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     *quick,
+		Seed:      *seed,
+	}
+	if *stamp {
+		rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	}
 
 	run := func(name string, fn func() error) {
 		fmt.Printf("==> %s\n", name)
@@ -57,6 +209,14 @@ func main() {
 				return err
 			}
 			res.Print(os.Stdout)
+			rep.Figure5 = &figure5JSON{
+				N: res.Config.N, RatePerStack: res.Config.RatePerStack,
+				PayloadBytes: res.Config.PayloadSize,
+				BaselineMs:   ms(res.BaselineAvg), DuringMs: ms(res.DuringAvg),
+				AfterMs: ms(res.AfterAvg), OverheadPct: res.OverheadPct(),
+				SwitchWindowMs: ms(res.SwitchDone - res.SwitchStart),
+				Sent:           res.Sent, Complete: res.Complete,
+			}
 			return nil
 		})
 	}
@@ -73,6 +233,13 @@ func main() {
 				return err
 			}
 			experiments.PrintFigure6(os.Stdout, cfg, points)
+			for _, p := range points {
+				rep.Figure6 = append(rep.Figure6, figure6JSON{
+					N: p.N, Load: p.Load,
+					NoLayerMs: ms(p.NoLayer), WithLayerMs: ms(p.WithLayer),
+					DuringMs: ms(p.During), LayerOverheadPct: p.LayerOverheadPct(),
+				})
+			}
 			return nil
 		})
 	}
@@ -83,6 +250,13 @@ func main() {
 				return err
 			}
 			experiments.PrintManagersComparison(os.Stdout, 3, 60, rs)
+			for _, r := range rs {
+				rep.AblationManagers = append(rep.AblationManagers, managerJSON{
+					Manager:  string(r.Manager),
+					SwitchMs: ms(r.SwitchDuration), BaselineMs: ms(r.BaselineAvg),
+					DuringMs: ms(r.DuringAvg),
+				})
+			}
 			return nil
 		})
 	}
@@ -97,6 +271,11 @@ func main() {
 				return err
 			}
 			experiments.PrintReissueScaling(os.Stdout, rs)
+			for _, r := range rs {
+				rep.AblationReissue = append(rep.AblationReissue, reissueJSON{
+					Backlog: r.Backlog, SwitchMs: ms(r.SwitchDuration), DrainMs: ms(r.DrainTime),
+				})
+			}
 			return nil
 		})
 	}
@@ -107,7 +286,46 @@ func main() {
 				return err
 			}
 			experiments.PrintSwitchMatrix(os.Stdout, rs)
+			for _, r := range rs {
+				rep.AblationMatrix = append(rep.AblationMatrix, matrixJSON{
+					From: r.From, To: r.To, SwitchMs: ms(r.SwitchDuration),
+					BaselineMs: ms(r.BaselineAvg), DuringMs: ms(r.DuringAvg),
+				})
+			}
 			return nil
 		})
+	}
+	if want("throughput") {
+		run("Throughput probe (batched vs unbatched)", func() error {
+			msgs := 10000
+			if *quick {
+				msgs = 2000
+			}
+			tp, err := throughputProbe(msgs, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("n=%d payload=%dB messages=%d\n", tp.N, tp.PayloadBytes, tp.Messages)
+			fmt.Printf("%12s %14.0f msg/s\n", "unbatched", tp.UnbatchedMsgsPerSec)
+			fmt.Printf("%12s %14.0f msg/s  (WithBatching %dµs / %dB)\n",
+				"batched", tp.BatchedMsgsPerSec, tp.BatchMaxDelayUs, tp.BatchMaxBytes)
+			rep.Throughput = tp
+			return nil
+		})
+	}
+
+	if *jsonOut {
+		rep.Counters = metrics.Counters()
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
 	}
 }

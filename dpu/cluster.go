@@ -122,6 +122,8 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		Impls:           impls,
 		Grace:           o.grace,
 		RetryLostChange: true,
+		BatchDelay:      o.batchDelay,
+		BatchBytes:      o.batchBytes,
 	}))
 	if o.membership {
 		reg.MustRegister(gm.Factory())

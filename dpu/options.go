@@ -19,6 +19,8 @@ type options struct {
 	membership     bool
 	buffer         int
 	maxOutstanding int
+	batchDelay     time.Duration
+	batchBytes     int
 	extraImpls     []abcast.Impl
 	consVariants   []consensus.Config
 	tracer         kernel.Tracer
@@ -84,6 +86,25 @@ func WithDeliveryBuffer(n int) Option {
 // undelivered set. The legacy Cluster.Broadcast bypasses the window.
 func WithMaxOutstanding(n int) Option {
 	return func(o *options) { o.maxOutstanding = n }
+}
+
+// WithBatching enables sender-side broadcast batching: payloads handed
+// to Broadcast accumulate for at most maxDelay (or until their packed
+// size reaches maxBytes, whichever comes first) and are atomically
+// broadcast as ONE inner message, amortizing one dissemination, one
+// consensus slot and one ack cycle over the whole batch. Delivery
+// unpacks batches transparently, preserving exactly-once and total
+// order — including across a protocol switch, where a batch caught
+// undelivered is reissued exactly once through the new epoch.
+//
+// The tradeoff is latency: a lone broadcast waits up to maxDelay before
+// it leaves the sender. Batching is off by default. maxBytes <= 0
+// defaults to 32 KiB, and is capped at 48 KiB so a batch always fits
+// one real UDP datagram after framing; maxDelay <= 0 with maxBytes > 0
+// selects size-driven batching with a 1ms flush deadline. See
+// docs/PERFORMANCE.md for guidance.
+func WithBatching(maxDelay time.Duration, maxBytes int) Option {
+	return func(o *options) { o.batchDelay, o.batchBytes = maxDelay, maxBytes }
 }
 
 // WithProtocolImpl registers a custom atomic-broadcast implementation

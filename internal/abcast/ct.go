@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/rbcast"
 	"repro/internal/wire"
 )
@@ -19,19 +20,50 @@ import (
 // This is the implementation measured in the paper's experiments (the
 // ABcast module of Figure 4, on top of the CT consensus module). It is
 // uniform and tolerates any minority of crashes.
+//
+// Instances are pipelined: up to maxInflight consensus instances run
+// concurrently, each proposing a disjoint slice of the pending backlog.
+// Decisions are still processed strictly in instance order (out-of-order
+// arrivals buffer in decBuf), so the delivery order is unchanged; the
+// pipeline only overlaps the network round-trips of consecutive
+// instances, which is what keeps a loaded group throughput-bound instead
+// of latency-bound. Proposing the same message in two instances is
+// harmless (delivery dedups), but the in-flight set avoids it to keep
+// decisions lean.
 type ctModule struct {
 	kernel.Base
 	epoch   uint64
 	channel string           // rbcast dissemination channel, epoch-scoped
 	consSvc kernel.ServiceID // which consensus service orders batches
 
-	sendSeq   uint64
-	pending   map[msgID][]byte // received but not delivered
-	delivered map[msgID]bool
-	k         uint64 // next consensus instance in this epoch's group
-	running   bool   // a proposal for instance k is outstanding
-	decBuf    map[uint64][]byte
+	sendSeq    uint64
+	pending    map[msgID][]byte // received but not delivered
+	delivered  map[msgID]bool
+	k          uint64             // next consensus instance to process in this epoch's group
+	nextK      uint64             // next consensus instance to propose on (>= k)
+	running    int                // proposals outstanding in [k, nextK)
+	inFlight   map[msgID]bool     // ids carried by an outstanding proposal of ours
+	proposed   map[uint64][]msgID // instance -> ids our proposal carried
+	decBuf     map[uint64][]byte  // out-of-order decisions, bounded by maxDecBuf
+	decDropped map[uint64]bool    // decisions evicted from decBuf, to refetch at their turn
 }
+
+// maxInflight bounds how many consensus instances this stack proposes
+// concurrently. Depth 1 is the classic serial reduction; a modest
+// pipeline overlaps the instance round-trips without flooding the
+// substrate.
+const maxInflight = 4
+
+// maxDecBuf bounds the out-of-order decision buffer. A stack that falls
+// behind while decisions keep arriving would otherwise buffer them
+// without limit (each up to maxBatchBytes — the same rationale that
+// bounds proposal batches). Beyond the cap the furthest-ahead decision
+// is dropped and counted; it is refetched from the consensus module's
+// decision cache (consensus.Refetch) when its turn comes.
+const maxDecBuf = 256
+
+// decBufDrops counts decisions evicted from the bounded decBuf.
+var decBufDrops = metrics.NewCounter("abcast.ct.decbuf_drops")
 
 // CTImpl returns the implementation descriptor for abcast/ct, using the
 // default consensus service.
@@ -51,13 +83,16 @@ func CTImplOn(name string, consSvc kernel.ServiceID) Impl {
 		Requires: []kernel.ServiceID{rbcast.Service, consSvc},
 		New: func(st *kernel.Stack, epoch uint64) kernel.Module {
 			return &ctModule{
-				Base:      kernel.NewBase(st, name),
-				epoch:     epoch,
-				channel:   fmt.Sprintf("ab/%s/%d", name, epoch),
-				consSvc:   consSvc,
-				pending:   make(map[msgID][]byte),
-				delivered: make(map[msgID]bool),
-				decBuf:    make(map[uint64][]byte),
+				Base:       kernel.NewBase(st, name),
+				epoch:      epoch,
+				channel:    fmt.Sprintf("ab/%s/%d", name, epoch),
+				consSvc:    consSvc,
+				pending:    make(map[msgID][]byte),
+				delivered:  make(map[msgID]bool),
+				inFlight:   make(map[msgID]bool),
+				proposed:   make(map[uint64][]msgID),
+				decBuf:     make(map[uint64][]byte),
+				decDropped: make(map[uint64]bool),
 			}
 		},
 	}
@@ -117,40 +152,54 @@ const (
 	maxBatchBytes = 128 << 10
 )
 
-// maybePropose starts consensus instance k on the current batch of
-// undelivered messages. One instance runs at a time.
+// maybePropose starts consensus instances on the pending backlog, up to
+// the pipeline depth, each carrying ids no other outstanding proposal
+// of ours already covers.
 func (m *ctModule) maybePropose() {
-	if m.running || len(m.pending) == 0 {
-		return
+	if m.nextK < m.k {
+		m.nextK = m.k
 	}
-	ids := make([]msgID, 0, len(m.pending))
-	for id := range m.pending {
-		ids = append(ids, id)
-	}
-	sortIDs(ids)
-	if len(ids) > maxBatch {
-		ids = ids[:maxBatch]
-	}
-	w := wire.NewWriter(256)
-	count := 0
-	bytes := 0
-	for _, id := range ids {
-		bytes += len(m.pending[id])
-		count++
-		if bytes >= maxBatchBytes {
-			break
+	// No len(pending)-vs-len(inFlight) shortcut here: inFlight can hold
+	// ids another stack's decision already removed from pending, which
+	// would make such a comparison undercount proposable work.
+	for m.running < maxInflight && len(m.pending) > 0 {
+		ids := make([]msgID, 0, len(m.pending))
+		for id := range m.pending {
+			if !m.inFlight[id] {
+				ids = append(ids, id)
+			}
 		}
+		if len(ids) == 0 {
+			return
+		}
+		sortIDs(ids)
+		if len(ids) > maxBatch {
+			ids = ids[:maxBatch]
+		}
+		count := 0
+		bytes := 0
+		for _, id := range ids {
+			bytes += len(m.pending[id])
+			count++
+			if bytes >= maxBatchBytes {
+				break
+			}
+		}
+		ids = ids[:count]
+		w := wire.NewWriter(bytes + 16*count + 16)
+		w.Uvarint(uint64(len(ids)))
+		for _, id := range ids {
+			w.Uvarint(uint64(id.origin)).Uvarint(id.seq).BytesField(m.pending[id])
+			m.inFlight[id] = true
+		}
+		m.proposed[m.nextK] = ids
+		m.running++
+		m.Stk.Call(m.consSvc, consensus.Propose{
+			ID:    consensus.InstanceID{Group: m.epoch, Seq: m.nextK},
+			Value: w.Bytes(),
+		})
+		m.nextK++
 	}
-	ids = ids[:count]
-	w.Uvarint(uint64(len(ids)))
-	for _, id := range ids {
-		w.Uvarint(uint64(id.origin)).Uvarint(id.seq).BytesField(m.pending[id])
-	}
-	m.running = true
-	m.Stk.Call(m.consSvc, consensus.Propose{
-		ID:    consensus.InstanceID{Group: m.epoch, Seq: m.k},
-		Value: w.Bytes(),
-	})
 }
 
 func (m *ctModule) onDecide(d consensus.Decide) {
@@ -158,13 +207,22 @@ func (m *ctModule) onDecide(d consensus.Decide) {
 	case d.ID.Seq < m.k:
 		return // replayed or duplicate decision, already processed
 	case d.ID.Seq > m.k:
-		m.decBuf[d.ID.Seq] = d.Value // out of order: hold
+		m.bufferDecision(d.ID.Seq, d.Value)
 		return
 	}
 	m.processDecision(d.Value)
 	for {
 		val, ok := m.decBuf[m.k]
 		if !ok {
+			if m.decDropped[m.k] {
+				// This decision was evicted from the bounded buffer; pull
+				// it back from the consensus module's decision cache. The
+				// re-indication arrives through onDecide.
+				delete(m.decDropped, m.k)
+				m.Stk.Call(m.consSvc, consensus.Refetch{
+					ID: consensus.InstanceID{Group: m.epoch, Seq: m.k},
+				})
+			}
 			break
 		}
 		delete(m.decBuf, m.k)
@@ -173,8 +231,35 @@ func (m *ctModule) onDecide(d consensus.Decide) {
 	m.maybePropose()
 }
 
+// bufferDecision holds an out-of-order decision, evicting the
+// furthest-ahead one when the buffer is full. Evicted decisions are
+// recoverable: the consensus module caches every decision of the group
+// until Forget, so they are refetched when processing reaches them.
+func (m *ctModule) bufferDecision(seq uint64, val []byte) {
+	if _, dup := m.decBuf[seq]; dup {
+		return
+	}
+	if len(m.decBuf) >= maxDecBuf {
+		far := seq
+		for s := range m.decBuf {
+			if s > far {
+				far = s
+			}
+		}
+		decBufDrops.Add(1)
+		m.decDropped[far] = true
+		if far == seq {
+			return // the newcomer is the furthest ahead: don't store it
+		}
+		delete(m.decBuf, far)
+	}
+	m.decBuf[seq] = val
+}
+
 // processDecision delivers the decided batch in its (deterministic)
-// encoded order and advances to the next instance.
+// encoded order, advances to the next instance, and releases this
+// stack's outstanding proposal for it (ids whose value lost the
+// instance become proposable again).
 func (m *ctModule) processDecision(batch []byte) {
 	r := wire.NewReader(batch)
 	count := r.Uvarint()
@@ -191,6 +276,12 @@ func (m *ctModule) processDecision(batch []byte) {
 		delete(m.pending, id)
 		m.Stk.Indicate(ServiceImpl, Deliver{Origin: id.origin, Data: data})
 	}
+	if ids, ok := m.proposed[m.k]; ok {
+		delete(m.proposed, m.k)
+		m.running--
+		for _, id := range ids {
+			delete(m.inFlight, id)
+		}
+	}
 	m.k++
-	m.running = false
 }

@@ -69,11 +69,52 @@ func TestCTBatchCapLeavesOverflowPending(t *testing.T) {
 		// no consensus module is bound, so the call parks; we inspect
 		// the pending-call count instead and the running flag.
 		m.maybePropose()
-		if !m.running {
+		if m.running == 0 {
 			t.Error("no proposal issued")
+		}
+		if got := len(m.proposed[0]); got != maxBatch {
+			t.Errorf("first proposal carries %d ids, want %d", got, maxBatch)
 		}
 		if len(m.pending) != maxBatch+50 {
 			t.Error("pending mutated by proposing")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecBufBoundedAndEvictionsMarked(t *testing.T) {
+	// White-box: out-of-order decisions beyond the cap evict the
+	// furthest-ahead seq and mark it for refetch, so memory stays
+	// bounded however far the stack falls behind.
+	st := kernel.NewStack(kernel.Config{Addr: 0, Peers: []kernel.Addr{0}})
+	defer st.Close()
+	err := st.DoSync(func() {
+		im := CTImpl()
+		m := im.New(st, 0).(*ctModule)
+		const extra = 5
+		for seq := uint64(1); seq <= maxDecBuf+extra; seq++ {
+			m.bufferDecision(seq, []byte{byte(seq)})
+		}
+		if len(m.decBuf) > maxDecBuf {
+			t.Errorf("decBuf holds %d decisions, cap %d", len(m.decBuf), maxDecBuf)
+		}
+		if len(m.decDropped) != extra {
+			t.Errorf("%d seqs marked dropped, want %d", len(m.decDropped), extra)
+		}
+		// The furthest-ahead seqs are the evicted ones; the near ones
+		// (which unblock processing soonest) are retained.
+		for seq := uint64(1); seq <= maxDecBuf; seq++ {
+			if _, ok := m.decBuf[seq]; !ok {
+				t.Errorf("near decision %d evicted; eviction must prefer the furthest", seq)
+				break
+			}
+		}
+		for seq := uint64(maxDecBuf + 1); seq <= maxDecBuf+extra; seq++ {
+			if !m.decDropped[seq] {
+				t.Errorf("far decision %d not marked for refetch", seq)
+			}
 		}
 	})
 	if err != nil {

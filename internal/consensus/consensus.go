@@ -136,6 +136,14 @@ type Forget struct {
 	Group uint64
 }
 
+// Refetch re-indicates the cached decision of one instance to the
+// group's listener, if that instance has decided; otherwise it is a
+// no-op. It lets a user that bounds its own out-of-order decision
+// buffering recover an evicted decision from the module's cache.
+type Refetch struct {
+	ID InstanceID
+}
+
 // InspectReq asks for a diagnostic snapshot, delivered through Reply on
 // the executor.
 type InspectReq struct {
@@ -284,6 +292,10 @@ func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
 		}
 	case Unlisten:
 		delete(m.handlers, r.Group)
+	case Refetch:
+		if val, done := m.decisions[r.ID]; done {
+			m.indicate(Decide{ID: r.ID, Value: val})
+		}
 	case InspectReq:
 		if r.Reply != nil {
 			r.Reply(m.inspect())

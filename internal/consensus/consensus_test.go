@@ -324,3 +324,39 @@ func TestUniformIntegritySingleDecisionValue(t *testing.T) {
 		waitDecisionEverywhere(t, c, logs, consensus.InstanceID{Group: 0, Seq: seq}, nil)
 	}
 }
+
+// TestRefetchReindicatesCachedDecision: Refetch replays one cached
+// decision to the group's listener (the recovery path for users that
+// bound their own out-of-order decision buffers) and is a no-op for
+// undecided instances.
+func TestRefetchReindicatesCachedDecision(t *testing.T) {
+	c, logs := build(t, 3, simnet.Config{}, fastFD())
+	id := consensus.InstanceID{Group: 0, Seq: 0}
+	proposeAll(c, id, [][]byte{[]byte("v")})
+	want := waitDecisionEverywhere(t, c, logs, id, nil)
+
+	var mu sync.Mutex
+	var replayed []consensus.Decide
+	c.OnSync(0, func() {})
+	c.Stacks[0].Call(consensus.Service, consensus.Listen{Group: 0, Handler: func(d consensus.Decide) {
+		mu.Lock()
+		replayed = append(replayed, d)
+		mu.Unlock()
+	}})
+	c.OnSync(0, func() {}) // Listen replays the cache once
+	mu.Lock()
+	base := len(replayed)
+	mu.Unlock()
+	c.Stacks[0].Call(consensus.Service, consensus.Refetch{ID: id})
+	c.Stacks[0].Call(consensus.Service, consensus.Refetch{ID: consensus.InstanceID{Group: 0, Seq: 99}})
+	c.OnSync(0, func() {})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(replayed) != base+1 {
+		t.Fatalf("refetch replayed %d decisions, want exactly 1 (the decided instance)", len(replayed)-base)
+	}
+	got := replayed[len(replayed)-1]
+	if got.ID != id || !bytes.Equal(got.Value, want) {
+		t.Fatalf("refetch replayed %v/%q, want %v/%q", got.ID, got.Value, id, want)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/wire"
+)
+
+func encBatchFrame(sn uint64, origin kernel.Addr, seq uint64, records ...[]byte) []byte {
+	blob := wire.NewWriter(256)
+	for _, rec := range records {
+		blob.BytesField(rec)
+	}
+	w := wire.NewWriter(blob.Len() + 24)
+	w.Byte(tagBatch).Uvarint(sn).Uvarint(uint64(origin)).Uvarint(seq).Raw(blob.Bytes())
+	return w.Bytes()
+}
+
+// decodeBatchFrame splits an encoded tagBatch message into its header
+// and records.
+func decodeBatchFrame(t *testing.T, enc []byte) (sn uint64, id msgID, records [][]byte) {
+	t.Helper()
+	r := wire.NewReader(enc)
+	if tag := r.Byte(); tag != tagBatch {
+		t.Fatalf("tag = %d, want tagBatch", tag)
+	}
+	sn = r.Uvarint()
+	id = msgID{origin: kernel.Addr(r.Uvarint()), seq: r.Uvarint()}
+	for r.Err() == nil && r.Remaining() > 0 {
+		records = append(records, r.BytesField())
+	}
+	if r.Err() != nil {
+		t.Fatalf("decode: %v", r.Err())
+	}
+	return sn, id, records
+}
+
+// settle runs enough executor rounds for cascaded async calls (flush ->
+// inner broadcast -> mock) to drain, then runs the assertions on the
+// executor so the reads are synchronized with module state.
+func (r *rig) settle(t *testing.T, assert func()) {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		r.sync(t)
+	}
+	if err := r.st.DoSync(assert); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchFlushesOnBytes(t *testing.T) {
+	r := newRig(t, Config{BatchDelay: time.Hour, BatchBytes: 64})
+	r.st.Call(Service, Broadcast{Data: bytes.Repeat([]byte{1}, 30)})
+	r.settle(t, func() {
+		if got := len(r.cur().sent); got != 0 {
+			t.Errorf("batch flushed after 30 bytes, below the 64-byte threshold (sent=%d)", got)
+		}
+	})
+	r.st.Call(Service, Broadcast{Data: bytes.Repeat([]byte{2}, 40)})
+	r.settle(t, func() {
+		if got := len(r.cur().sent); got != 1 {
+			t.Fatalf("sent %d inner broadcasts, want 1 flushed batch", got)
+		}
+		_, _, records := decodeBatchFrame(t, r.cur().sent[0])
+		if len(records) != 2 || len(records[0]) != 30 || len(records[1]) != 40 {
+			t.Errorf("batch records = %d (%v), want the two payloads in order", len(records), records)
+		}
+	})
+}
+
+func TestBatchFlushesOnDelay(t *testing.T) {
+	r := newRig(t, Config{BatchDelay: 5 * time.Millisecond})
+	r.st.Call(Service, Broadcast{Data: []byte("solo")})
+	r.settle(t, func() {
+		if got := len(r.cur().sent); got != 0 {
+			t.Errorf("batch flushed immediately (sent=%d), want timer-driven flush", got)
+		}
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		flushed := false
+		r.settle(t, func() { flushed = len(r.cur().sent) == 1 })
+		if flushed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch never flushed on the delay timer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.settle(t, func() {
+		_, _, records := decodeBatchFrame(t, r.cur().sent[0])
+		if len(records) != 1 || string(records[0]) != "solo" {
+			t.Errorf("records = %q, want [solo]", records)
+		}
+	})
+}
+
+func TestBatchDeliveryUnpacksInOrderAndFilters(t *testing.T) {
+	r := newRig(t, Config{BatchDelay: time.Hour})
+	// A remote batch delivers each record, in packing order.
+	r.injectDeliver(encBatchFrame(0, 2, 1, []byte("a"), []byte("b"), []byte("c")))
+	r.settle(t, func() {
+		if len(r.sink.delivers) != 3 {
+			t.Fatalf("delivered %d records, want 3", len(r.sink.delivers))
+		}
+		for i, want := range []string{"a", "b", "c"} {
+			d := r.sink.delivers[i]
+			if string(d.Data) != want || d.Origin != 2 {
+				t.Errorf("deliver[%d] = %q from %d, want %q from 2", i, d.Data, d.Origin, want)
+			}
+		}
+	})
+	// A stale-epoch batch is discarded wholesale (Algorithm 1 line 18).
+	r.injectDeliver(encBatchFrame(7, 2, 2, []byte("stale")))
+	r.settle(t, func() {
+		if len(r.sink.delivers) != 3 {
+			t.Error("stale-epoch batch was not filtered")
+		}
+	})
+}
+
+// TestBatchCaughtAtSwitchReissuedExactlyOnce drives the exact scenario
+// the tentpole calls out: a batch is open (unflushed) when a change
+// message arrives. The switch must fold it into the undelivered set and
+// reissue it exactly once through the new epoch; stale-epoch copies are
+// sn-filtered on delivery.
+func TestBatchCaughtAtSwitchReissuedExactlyOnce(t *testing.T) {
+	r := newRig(t, Config{BatchDelay: time.Hour})
+	r.st.Call(Service, Broadcast{Data: []byte("x")})
+	r.st.Call(Service, Broadcast{Data: []byte("y")})
+	var oldMock *mockImpl
+	r.settle(t, func() {
+		oldMock = r.cur()
+		if len(oldMock.sent) != 0 {
+			t.Errorf("batch flushed early: %d", len(oldMock.sent))
+		}
+	})
+	// The change arrives through the old total order at epoch 0.
+	r.injectDeliver(encNew(0, 1, 1, "mock2"))
+	var reissue []byte
+	r.settle(t, func() {
+		newMock := r.cur()
+		if newMock == oldMock {
+			t.Fatal("switch did not install a new implementation")
+		}
+		// The open batch crossed the boundary without a wasted old-epoch
+		// broadcast: it was closed into the undelivered set and reissued
+		// exactly once through the new epoch (sn 1).
+		if len(oldMock.sent) != 0 {
+			t.Errorf("old impl sent %d messages, want 0 (batch reissued only through the new epoch)", len(oldMock.sent))
+		}
+		if len(newMock.sent) != 1 {
+			t.Fatalf("new impl sent %d messages, want exactly one reissue", len(newMock.sent))
+		}
+		reissue = newMock.sent[0]
+		newSn, _, newRecords := decodeBatchFrame(t, reissue)
+		if newSn != 1 {
+			t.Errorf("reissue sn=%d, want 1", newSn)
+		}
+		if len(newRecords) != 2 || string(newRecords[0]) != "x" || string(newRecords[1]) != "y" {
+			t.Errorf("reissued records %q, want [x y]", newRecords)
+		}
+	})
+	// A stale-epoch copy (as a crashed initiator's relay would produce)
+	// is filtered; the new-epoch copy delivers both payloads and clears
+	// the undelivered set.
+	r.injectDeliver(encBatchFrame(0, 0, 1, []byte("x"), []byte("y")))
+	r.settle(t, func() {
+		if len(r.sink.delivers) != 0 {
+			t.Error("stale-epoch batch delivered")
+		}
+	})
+	r.injectDeliver(reissue)
+	r.settle(t, func() {
+		if len(r.sink.delivers) != 2 {
+			t.Errorf("delivered %d, want 2", len(r.sink.delivers))
+		}
+		if und := r.repl.undelivered.len(); und != 0 {
+			t.Errorf("undelivered = %d after delivery, want 0", und)
+		}
+	})
+	// A second switch must not reissue the already-delivered batch.
+	r.injectDeliver(encNew(1, 1, 2, "mock"))
+	r.settle(t, func() {
+		if got := len(r.cur().sent); got != 0 {
+			t.Errorf("second switch reissued %d messages, want 0 (batch already delivered)", got)
+		}
+	})
+}

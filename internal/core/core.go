@@ -144,6 +144,19 @@ type Config struct {
 	// RetryLostChange re-issues this stack's own change request when it
 	// lost the race against a concurrent change in the same epoch.
 	RetryLostChange bool
+	// BatchDelay, when > 0, enables sender-side batching: Broadcast
+	// payloads accumulate for at most BatchDelay (or until BatchBytes)
+	// and go out as ONE inner atomic broadcast, so one dissemination,
+	// one consensus slot and one ack cycle amortize over many
+	// application messages. Delivery unpacks the batch in order, so the
+	// public stream is unchanged except for latency ≤ BatchDelay. All
+	// stacks of a group must agree on whether batching is enabled only
+	// in the sense that receivers always understand both framings; the
+	// knob is per-stack.
+	BatchDelay time.Duration
+	// BatchBytes flushes a batch early once its packed payloads reach
+	// this size (default 32 KiB when batching is enabled).
+	BatchBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -156,12 +169,29 @@ func (c Config) withDefaults() Config {
 	if c.Grace <= 0 {
 		c.Grace = 500 * time.Millisecond
 	}
+	if c.BatchBytes > 0 && c.BatchDelay <= 0 {
+		// Size-only batching still needs a flush deadline, or a lone
+		// trailing payload would sit in the open batch forever.
+		c.BatchDelay = time.Millisecond
+	}
+	if c.BatchDelay > 0 && c.BatchBytes <= 0 {
+		c.BatchBytes = 32 << 10
+	}
+	// Cap the batch so that, with the rbcast record and rp2p/udp/
+	// transport headers on top, one batch always fits a real UDP
+	// datagram (transport.MaxDatagram) — an oversized record would be
+	// silently unsendable over real sockets.
+	const maxBatchBytesCap = 48 << 10
+	if c.BatchBytes > maxBatchBytesCap {
+		c.BatchBytes = maxBatchBytesCap
+	}
 	return c
 }
 
 const (
-	tagNil byte = 0 // ordinary rABcast message
-	tagNew byte = 1 // replacement request
+	tagNil   byte = 0 // ordinary rABcast message
+	tagNew   byte = 1 // replacement request
+	tagBatch byte = 2 // packed batch of rABcast messages (sender-side batching)
 )
 
 type msgID struct {
@@ -253,6 +283,11 @@ type Repl struct {
 	changeSeq      uint64
 	pendingChanges map[uint64]func(ChangeReply)
 	epochWaiters   []epochWaiter
+
+	// Sender-side batching state (Config.BatchDelay > 0): payloads
+	// accumulate as length-prefixed records in batch until a flush.
+	batch      *wire.Writer
+	batchTimer *kernel.Timer
 }
 
 // Factory returns the kernel factory for the replacement module. The
@@ -286,6 +321,10 @@ func (m *Repl) Start() {
 
 // Stop retires the current implementation and detaches.
 func (m *Repl) Stop() {
+	if m.batchTimer != nil {
+		m.batchTimer.Stop()
+		m.batchTimer = nil
+	}
 	m.Stk.Unsubscribe(abcast.ServiceImpl, m)
 	if m.cur != nil {
 		cur := m.cur
@@ -374,12 +413,66 @@ func (m *Repl) requestChange(r ChangeProtocol) {
 	m.changeABcast(r.Protocol, m.changeSeq)
 }
 
-// rABcast: lines 7-9 of Algorithm 1.
+// rABcast: lines 7-9 of Algorithm 1. With batching enabled the payload
+// joins the open batch instead of going out on its own; the batch as a
+// whole then follows the exact same undelivered/reissue lifecycle as a
+// single message would.
 func (m *Repl) rABcast(data []byte) {
+	if m.cfg.BatchDelay > 0 {
+		m.batchAppend(data)
+		return
+	}
 	m.mseq++
 	id := msgID{origin: m.Stk.Addr(), seq: m.mseq}
 	m.undelivered.add(id, data)
 	m.innerBroadcast(m.encodeNil(id, data))
+}
+
+// batchAppend adds one payload to the open batch, opening it (and
+// arming the flush timer) if needed, and flushes on the size threshold.
+func (m *Repl) batchAppend(data []byte) {
+	if m.batch == nil {
+		m.batch = wire.NewWriter(m.cfg.BatchBytes + 256)
+		m.batchTimer = m.Stk.After(m.cfg.BatchDelay, m.onBatchTimer)
+	}
+	m.batch.BytesField(data)
+	if m.batch.Len() >= m.cfg.BatchBytes {
+		m.flushBatch()
+	}
+}
+
+func (m *Repl) onBatchTimer() { m.flushBatch() }
+
+// flushBatch closes the open batch: it becomes one undelivered message
+// (so a switch reissues it, once, through the new epoch) and goes out
+// as one inner broadcast.
+func (m *Repl) flushBatch() {
+	if id, blob, ok := m.closeBatch(); ok {
+		m.innerBroadcast(m.encodeBatch(id, blob))
+	}
+}
+
+// closeBatchForReissue closes the open batch into the undelivered set
+// without broadcasting it; the caller is about to reissue the whole
+// set.
+func (m *Repl) closeBatchForReissue() {
+	m.closeBatch()
+}
+
+func (m *Repl) closeBatch() (msgID, []byte, bool) {
+	if m.batch == nil {
+		return msgID{}, nil, false
+	}
+	if m.batchTimer != nil {
+		m.batchTimer.Stop()
+		m.batchTimer = nil
+	}
+	blob := m.batch.Bytes()
+	m.batch = nil
+	m.mseq++
+	id := msgID{origin: m.Stk.Addr(), seq: m.mseq}
+	m.undelivered.add(id, blob)
+	return id, blob, true
 }
 
 // changeABcast: lines 5-6 of Algorithm 1. reqID is the initiator-local
@@ -395,6 +488,24 @@ func (m *Repl) encodeNil(id msgID, data []byte) []byte {
 	w := wire.NewWriter(len(data) + 24)
 	w.Byte(tagNil).Uvarint(m.sn).Uvarint(uint64(id.origin)).Uvarint(id.seq).Raw(data)
 	return w.Bytes()
+}
+
+// encodeBatch frames a packed record blob; the records were encoded
+// once when appended, so the payloads cross this layer with one copy.
+func (m *Repl) encodeBatch(id msgID, blob []byte) []byte {
+	w := wire.NewWriter(len(blob) + 24)
+	w.Byte(tagBatch).Uvarint(m.sn).Uvarint(uint64(id.origin)).Uvarint(id.seq).Raw(blob)
+	return w.Bytes()
+}
+
+// encodePending encodes one undelivered entry for (re)broadcast. With
+// batching enabled every entry is a packed batch; without it, a plain
+// message.
+func (m *Repl) encodePending(id msgID, data []byte) []byte {
+	if m.cfg.BatchDelay > 0 {
+		return m.encodeBatch(id, data)
+	}
+	return m.encodeNil(id, data)
 }
 
 func (m *Repl) innerBroadcast(encoded []byte) {
@@ -430,6 +541,34 @@ func (m *Repl) HandleIndication(svc kernel.ServiceID, ind kernel.Indication) {
 			return
 		}
 		m.onDeliver(sn, id, data)
+	case tagBatch:
+		id := msgID{origin: kernel.Addr(r.Uvarint()), seq: r.Uvarint()}
+		blob := r.Rest()
+		if r.Err() != nil {
+			return
+		}
+		m.onDeliverBatch(sn, id, blob)
+	}
+}
+
+// onDeliverBatch is onDeliver for a packed batch: the batch follows
+// lines 17-21 of Algorithm 1 as ONE message (sn filter, undelivered
+// removal), then unpacks into per-payload rAdeliver indications in
+// packing order.
+func (m *Repl) onDeliverBatch(sn uint64, id msgID, blob []byte) {
+	if sn != m.sn {
+		return // stale protocol's delivery, discarded
+	}
+	if id.origin == m.Stk.Addr() {
+		m.undelivered.remove(id)
+	}
+	r := wire.NewReader(blob)
+	for r.Err() == nil && r.Remaining() > 0 {
+		rec := r.BytesField()
+		if r.Err() != nil {
+			return
+		}
+		m.Stk.Indicate(Service, Deliver{Origin: id.origin, Data: rec})
 	}
 }
 
@@ -531,10 +670,18 @@ func (m *Repl) onChange(sn uint64, initiator kernel.Addr, reqID uint64, name str
 		}
 		return
 	}
+	// A batch still open at the switch joins the undelivered set now —
+	// without a broadcast of its own, since the reissue below sends it —
+	// so it crosses the epoch boundary exactly once. (On the
+	// install-failure path above the batch stays open instead, and the
+	// normal delay/size flush sends it through the retained epoch.)
+	m.closeBatchForReissue()
 	// Lines 15-16: reissue undelivered messages through the new module.
+	// An undelivered batch is a single entry here: it is reissued
+	// exactly once, as a whole, through the new epoch.
 	reissued := 0
 	m.undelivered.each(func(id msgID, data []byte) {
-		m.innerBroadcast(m.encodeNil(id, data))
+		m.innerBroadcast(m.encodePending(id, data))
 		reissued++
 	})
 	// Retire the old module once its stream has had time to drain.

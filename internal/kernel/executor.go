@@ -1,22 +1,51 @@
 package kernel
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// task is one queued executor event. The hot paths (Call, Indicate)
+// enqueue a small typed struct instead of allocating a fresh closure
+// per event; generic events (Do, timers) still carry a closure.
+type task struct {
+	kind byte
+	svc  ServiceID
+	arg  any    // request or indication payload, pre-boxed by the caller
+	fn   func() // kindFn only
+}
+
+const (
+	kindFn byte = iota
+	kindCall
+	kindIndicate
+)
 
 // executor is the serial event loop of one stack: an unbounded FIFO of
-// closures drained by a single goroutine. Unboundedness matters: module
+// tasks drained by a single goroutine. Unboundedness matters: module
 // code enqueues follow-up events while the executor is busy, and a
 // bounded channel would deadlock the loop against itself.
+//
+// The loop drains in batches: it swaps the whole queue out under one
+// lock acquisition and runs the events from a local slice, so N queued
+// events cost one lock round-trip instead of N. After each drained
+// batch the stack's flushers run (see Stack.RegisterFlusher), which is
+// what lets modules coalesce the batch's outgoing traffic.
 type executor struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []func()
+	queue   []task
+	spare   []task // recycled batch storage, swapped back under the lock
 	stopped bool
 	drain   bool
+	killed  atomic.Bool // crash: discard remaining batch events too
 	done    chan struct{}
+	runTask func(*task)
+	flush   func()
 }
 
-func newExecutor() *executor {
-	e := &executor{done: make(chan struct{})}
+func newExecutor(runTask func(*task), flush func()) *executor {
+	e := &executor{done: make(chan struct{}), runTask: runTask, flush: flush}
 	e.cond = sync.NewCond(&e.mu)
 	go e.run()
 	return e
@@ -24,21 +53,33 @@ func newExecutor() *executor {
 
 // do enqueues fn; reports false when the executor no longer accepts work.
 func (e *executor) do(fn func()) bool {
+	return e.enqueue(task{kind: kindFn, fn: fn})
+}
+
+// enqueue appends a task; reports false when the executor has stopped.
+// The wake-up signal fires only on the empty->non-empty transition: the
+// loop re-checks the queue under the lock before waiting, so a signal
+// for an already-busy loop would be redundant.
+func (e *executor) enqueue(t task) bool {
 	e.mu.Lock()
 	if e.stopped {
 		e.mu.Unlock()
 		return false
 	}
-	e.queue = append(e.queue, fn)
+	e.queue = append(e.queue, t)
+	first := len(e.queue) == 1
 	e.mu.Unlock()
-	e.cond.Signal()
+	if first {
+		e.cond.Signal()
+	}
 	return true
 }
 
 // stop halts the loop and returns without waiting, so it is safe to
 // call from an event running on the executor itself. With drain=true,
-// already-queued events still run; with drain=false (crash) the queue
-// is discarded.
+// already-queued events still run; with drain=false (crash) the queue —
+// including the not-yet-run remainder of an in-flight batch — is
+// discarded.
 func (e *executor) stop(drain bool) {
 	e.mu.Lock()
 	if e.stopped {
@@ -48,6 +89,7 @@ func (e *executor) stop(drain bool) {
 	e.stopped = true
 	e.drain = drain
 	if !drain {
+		e.killed.Store(true)
 		e.queue = nil
 	}
 	e.mu.Unlock()
@@ -65,21 +107,39 @@ func (e *executor) running() bool {
 }
 
 func (e *executor) run() {
+	var batch []task
 	for {
 		e.mu.Lock()
+		// Return the previous batch's storage for reuse before waiting.
+		if batch != nil {
+			e.spare = batch[:0]
+			batch = nil
+		}
 		for len(e.queue) == 0 && !e.stopped {
 			e.cond.Wait()
 		}
 		if e.stopped && (!e.drain || len(e.queue) == 0) {
-			e.queue = nil
+			e.queue, e.spare = nil, nil
 			e.mu.Unlock()
 			close(e.done)
 			return
 		}
-		fn := e.queue[0]
-		e.queue[0] = nil
-		e.queue = e.queue[1:]
+		batch = e.queue
+		e.queue = e.spare
+		e.spare = nil
 		e.mu.Unlock()
-		fn()
+
+		for i := range batch {
+			if e.killed.Load() {
+				break
+			}
+			e.runTask(&batch[i])
+		}
+		// Release payload/closure references before the storage is
+		// recycled, whether the batch completed or a crash cut it short.
+		clear(batch)
+		if !e.killed.Load() {
+			e.flush()
+		}
 	}
 }

@@ -14,10 +14,10 @@
 // Concurrency contract:
 //
 //   - Call, Indicate, Do, After, Every are safe from any goroutine.
-//   - Bind, Unbind, Subscribe, Unsubscribe, AddModule, RemoveModule,
-//     CreateProtocol, EnsureService, Provider and the other structural
-//     accessors must run on the executor (module code, or a closure
-//     passed to Do/DoSync).
+//   - CallSync, RegisterFlusher, Bind, Unbind, Subscribe, Unsubscribe,
+//     AddModule, RemoveModule, CreateProtocol, EnsureService, Provider
+//     and the other structural accessors must run on the executor
+//     (module code, or a closure passed to Do/DoSync).
 package kernel
 
 import (
@@ -185,10 +185,12 @@ type Stack struct {
 	rng  *rand.Rand
 
 	// Executor-owned state below.
-	services map[ServiceID]*service
-	modules  map[ModuleID]Module
-	protoSeq map[string]int // per-protocol instance counter for module IDs
-	ensuring map[ServiceID]bool
+	services   map[ServiceID]*service
+	modules    map[ModuleID]Module
+	protoSeq   map[string]int // per-protocol instance counter for module IDs
+	ensuring   map[ServiceID]bool
+	flushers   []flusher
+	flusherSeq int
 
 	timerMu sync.Mutex
 	timers  map[*Timer]struct{}
@@ -217,7 +219,6 @@ func NewStack(cfg Config) *Stack {
 	}
 	st := &Stack{
 		cfg:      cfg,
-		exec:     newExecutor(),
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.Addr) << 32))),
 		services: make(map[ServiceID]*service),
 		modules:  make(map[ModuleID]Module),
@@ -225,6 +226,7 @@ func NewStack(cfg Config) *Stack {
 		ensuring: make(map[ServiceID]bool),
 		timers:   make(map[*Timer]struct{}),
 	}
+	st.exec = newExecutor(st.runTask, st.runFlushers)
 	return st
 }
 
@@ -265,6 +267,49 @@ func (st *Stack) Logf(format string, args ...any) {
 // stopped (crashed or closed) and the event was discarded.
 func (st *Stack) Do(fn func()) bool {
 	return st.exec.do(fn)
+}
+
+// runTask executes one queued event on the executor goroutine.
+func (st *Stack) runTask(t *task) {
+	switch t.kind {
+	case kindFn:
+		t.fn()
+	case kindCall:
+		st.dispatch(t.svc, t.arg)
+	case kindIndicate:
+		st.indicate(t.svc, t.arg)
+	}
+}
+
+// flusher is one registered post-batch hook.
+type flusher struct {
+	id int
+	fn func()
+}
+
+// RegisterFlusher registers fn to run on the executor after every
+// drained event batch (and before the executor sleeps), so a module can
+// coalesce the batch's outgoing traffic into fewer datagrams. The
+// returned handle unregisters it. Executor-only.
+func (st *Stack) RegisterFlusher(fn func()) (unregister func()) {
+	st.flusherSeq++
+	id := st.flusherSeq
+	st.flushers = append(st.flushers, flusher{id: id, fn: fn})
+	return func() {
+		for i, f := range st.flushers {
+			if f.id == id {
+				st.flushers = append(st.flushers[:i], st.flushers[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// runFlushers runs after each drained batch, on the executor goroutine.
+func (st *Stack) runFlushers() {
+	for _, f := range st.flushers {
+		f.fn()
+	}
 }
 
 // DoSync runs fn on the executor and waits for it to complete. It must
@@ -434,7 +479,18 @@ func (st *Stack) svc(id ServiceID) *service {
 // no module bound the call is parked until a bind (the paper's blocked
 // service call). Safe from any goroutine.
 func (st *Stack) Call(id ServiceID, req Request) {
-	st.Do(func() { st.dispatch(id, req) })
+	st.exec.enqueue(task{kind: kindCall, svc: id, arg: req})
+}
+
+// CallSync invokes the service synchronously, without a trip through
+// the event queue: the bound module's handler runs before CallSync
+// returns (an unbound service still parks the request, exactly like
+// Call). Executor-only — module code uses it on its hot data path to a
+// required lower service, where the queue round-trip (and the extended
+// buffer lifetime it implies) is pure overhead. Callers must tolerate
+// the handler running re-entrantly beneath them.
+func (st *Stack) CallSync(id ServiceID, req Request) {
+	st.dispatch(id, req)
 }
 
 // dispatch routes a request. Executor-only.
@@ -452,7 +508,7 @@ func (st *Stack) dispatch(id ServiceID, req Request) {
 // Indicate emits an indication on the service: every subscribed listener
 // receives it. Safe from any goroutine.
 func (st *Stack) Indicate(id ServiceID, ind Indication) {
-	st.Do(func() { st.indicate(id, ind) })
+	st.exec.enqueue(task{kind: kindIndicate, svc: id, arg: ind})
 }
 
 // indicate delivers an indication to the current listeners. Executor-only.
@@ -463,9 +519,11 @@ func (st *Stack) indicate(id ServiceID, ind Indication) {
 		return
 	}
 	st.trace(TraceEvent{Kind: TraceIndicate, Service: id})
-	// Snapshot: listeners may subscribe/unsubscribe while handling.
-	snapshot := append([]Module(nil), s.listeners...)
-	for _, m := range snapshot {
+	// The listener slice is copy-on-write (Subscribe/Unsubscribe replace
+	// it, never mutate it in place), so iterating the current header is
+	// safe even when a handler changes the subscriptions mid-indication
+	// — no per-indication snapshot copy.
+	for _, m := range s.listeners {
 		m.HandleIndication(id, ind)
 	}
 }
@@ -520,6 +578,9 @@ func (st *Stack) PendingCalls(id ServiceID) int {
 }
 
 // Subscribe registers m as a listener of the service's indications.
+// The listener slice is copy-on-write: mutation allocates a fresh slice
+// so that an indication iterating the old one mid-change stays valid
+// (subscriptions change rarely; indications are the hot path).
 // Executor-only.
 func (st *Stack) Subscribe(id ServiceID, m Module) {
 	s := st.svc(id)
@@ -528,16 +589,23 @@ func (st *Stack) Subscribe(id ServiceID, m Module) {
 			return
 		}
 	}
-	s.listeners = append(s.listeners, m)
+	next := make([]Module, len(s.listeners)+1)
+	copy(next, s.listeners)
+	next[len(next)-1] = m
+	s.listeners = next
 	st.trace(TraceEvent{Kind: TraceSubscribe, Service: id, Module: m.ID()})
 }
 
-// Unsubscribe removes m from the service's listeners. Executor-only.
+// Unsubscribe removes m from the service's listeners (copy-on-write,
+// see Subscribe). Executor-only.
 func (st *Stack) Unsubscribe(id ServiceID, m Module) {
 	s := st.svc(id)
 	for i, l := range s.listeners {
 		if l.ID() == m.ID() {
-			s.listeners = append(s.listeners[:i], s.listeners[i+1:]...)
+			next := make([]Module, 0, len(s.listeners)-1)
+			next = append(next, s.listeners[:i]...)
+			next = append(next, s.listeners[i+1:]...)
+			s.listeners = next
 			st.trace(TraceEvent{Kind: TraceUnsubscribe, Service: id, Module: m.ID()})
 			return
 		}

@@ -9,8 +9,51 @@ package metrics
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a named, monotonically increasing counter. Modules use
+// counters (instead of per-event log lines) to expose drop and overflow
+// events that may fire millions of times under load.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string { return c.name }
+
+var counterReg sync.Map // name -> *Counter
+
+// NewCounter returns the process-wide counter registered under name,
+// creating it on first use. Counters are cheap (one atomic) and safe
+// for concurrent use; repeated calls with the same name return the same
+// counter.
+func NewCounter(name string) *Counter {
+	if c, ok := counterReg.Load(name); ok {
+		return c.(*Counter)
+	}
+	c, _ := counterReg.LoadOrStore(name, &Counter{name: name})
+	return c.(*Counter)
+}
+
+// Counters returns a snapshot of every registered counter, keyed by
+// name.
+func Counters() map[string]uint64 {
+	out := make(map[string]uint64)
+	counterReg.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	return out
+}
 
 // MsgID identifies one workload message.
 type MsgID uint64

@@ -183,3 +183,23 @@ func TestQuickMeanWithinBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCountersRegisterOnceAndAccumulate(t *testing.T) {
+	a := NewCounter("test.metrics.counter_a")
+	b := NewCounter("test.metrics.counter_a")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Add(3)
+	b.Add(2)
+	if got := a.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	if a.Name() != "test.metrics.counter_a" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	snap := Counters()
+	if snap["test.metrics.counter_a"] != 5 {
+		t.Fatalf("snapshot = %v, want counter_a=5", snap)
+	}
+}

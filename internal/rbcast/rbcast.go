@@ -9,10 +9,23 @@
 // Like RP2P, deliveries are demultiplexed by named channels with
 // buffering of unclaimed channels, so messages addressed to a protocol
 // version that does not exist yet wait for its module.
+//
+// # Wire format and coalescing
+//
+// One RP2P datagram on the "rb" channel carries a frame of one or more
+// records (uvarint origin, uvarint seq, length-prefixed channel,
+// length-prefixed data). Outgoing traffic — initial sends and relays
+// alike — accumulates per destination during one executor pass and is
+// flushed as one frame per destination at the end of the pass (see
+// kernel.Stack.RegisterFlusher), so a burst of broadcasts costs one
+// datagram per peer instead of one per message per peer, and a relayed
+// record is copied straight from the incoming frame without
+// re-encoding.
 package rbcast
 
 import (
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/rp2p"
 	"repro/internal/wire"
 )
@@ -26,8 +39,23 @@ const Protocol = "rbcast"
 // rp2pChannel carries all rbcast traffic on the RP2P service.
 const rp2pChannel = "rb"
 
+// maxFrameBytes caps one coalesced frame so the resulting RP2P packet
+// (frame + rp2p/udp/transport headers) stays under the UDP datagram
+// ceiling (transport.MaxDatagram); a frame that would grow past the cap
+// is flushed and a fresh one started. A single record larger than the
+// cap still travels alone — coalescing never makes a datagram bigger
+// than that record needs by itself.
+const maxFrameBytes = 48 << 10
+
+// dropCounter counts deliveries discarded because an unclaimed
+// channel's buffer was full (see Config.BufferLimit). Exposed through
+// the process-wide metrics registry instead of a per-message log line.
+var dropCounter = metrics.NewCounter("rbcast.buffer_drops")
+
 // Broadcast requests a reliable broadcast to the whole group,
-// including the sender.
+// including the sender. Data is handed through to the local channel
+// handler (which may retain it) and copied into outgoing frames, so the
+// caller must not mutate it afterwards.
 type Broadcast struct {
 	Channel string
 	Data    []byte
@@ -87,12 +115,19 @@ func (s *seenSet) add(seq uint64) bool {
 // Module implements reliable broadcast.
 type Module struct {
 	kernel.Base
-	cfg       Config
-	seq       uint64
-	seen      map[kernel.Addr]*seenSet
-	handlers  map[string]func(Deliver)
-	unclaimed map[string][]Deliver
-	drops     uint64
+	cfg        Config
+	seq        uint64
+	seen       map[kernel.Addr]*seenSet
+	handlers   map[string]func(Deliver)
+	unclaimed  map[string][]Deliver
+	drops      uint64
+	dropLogged map[string]bool
+
+	// Outgoing frame accumulation, one pooled writer per destination,
+	// flushed at the end of every executor pass.
+	outq       map[kernel.Addr]*wire.Writer
+	outOrder   []kernel.Addr
+	unregister func()
 }
 
 // Factory returns the module factory.
@@ -104,23 +139,34 @@ func Factory(cfg Config) kernel.Factory {
 		Requires: []kernel.ServiceID{rp2p.Service},
 		New: func(st *kernel.Stack) kernel.Module {
 			return &Module{
-				Base:      kernel.NewBase(st, Protocol),
-				cfg:       cfg,
-				seen:      make(map[kernel.Addr]*seenSet),
-				handlers:  make(map[string]func(Deliver)),
-				unclaimed: make(map[string][]Deliver),
+				Base:       kernel.NewBase(st, Protocol),
+				cfg:        cfg,
+				seen:       make(map[kernel.Addr]*seenSet),
+				handlers:   make(map[string]func(Deliver)),
+				unclaimed:  make(map[string][]Deliver),
+				dropLogged: make(map[string]bool),
+				outq:       make(map[kernel.Addr]*wire.Writer),
 			}
 		},
 	}
 }
 
-// Start hooks into the RP2P channel.
+// Start hooks into the RP2P channel and registers the frame flusher.
 func (m *Module) Start() {
 	m.Stk.Call(rp2p.Service, rp2p.Listen{Channel: rp2pChannel, Handler: m.onRecv})
+	m.unregister = m.Stk.RegisterFlusher(m.flushFrames)
 }
 
-// Stop detaches from RP2P.
+// Stop detaches from RP2P and releases pending frame buffers.
 func (m *Module) Stop() {
+	if m.unregister != nil {
+		m.unregister()
+	}
+	for p, f := range m.outq {
+		f.Free()
+		delete(m.outq, p)
+	}
+	m.outOrder = m.outOrder[:0]
 	m.Stk.Call(rp2p.Service, rp2p.Unlisten{Channel: rp2pChannel})
 }
 
@@ -131,6 +177,7 @@ func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
 		m.broadcast(r)
 	case Listen:
 		m.handlers[r.Channel] = r.Handler
+		delete(m.dropLogged, r.Channel) // a fresh consumer re-arms the warning
 		if buf := m.unclaimed[r.Channel]; len(buf) > 0 {
 			delete(m.unclaimed, r.Channel)
 			for _, d := range buf {
@@ -145,14 +192,69 @@ func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
 func (m *Module) broadcast(b Broadcast) {
 	m.seq++
 	origin := m.Stk.Addr()
-	w := wire.NewWriter(len(b.Data) + len(b.Channel) + 20)
-	w.Uvarint(uint64(origin)).Uvarint(m.seq).String(b.Channel).Raw(b.Data)
-	encoded := w.Bytes()
+	// Encode the record once into a pooled scratch buffer, then append
+	// it to every destination's pending frame.
+	rec := wire.GetWriter(len(b.Data) + len(b.Channel) + 24)
+	rec.Uvarint(uint64(origin)).Uvarint(m.seq).String(b.Channel).BytesField(b.Data)
 	m.markSeen(origin, m.seq)
 	for _, p := range m.Stk.Others() {
-		m.Stk.Call(rp2p.Service, rp2p.Send{To: p, Channel: rp2pChannel, Data: encoded})
+		m.enqueueRecord(p, rec.Bytes())
 	}
+	rec.Free()
 	m.deliver(b.Channel, Deliver{Origin: origin, Data: b.Data})
+}
+
+// enqueueRecord appends one encoded record to the destination's pending
+// frame. A frame that would exceed the size cap is flushed BEFORE the
+// append, so coalescing never builds a datagram larger than one the
+// biggest single record would need on its own (an oversized record
+// still travels alone, exactly as it would without coalescing).
+func (m *Module) enqueueRecord(p kernel.Addr, rec []byte) {
+	f := m.outq[p]
+	if f == nil {
+		f = wire.GetWriter(len(rec) + 256)
+		m.outq[p] = f
+		m.outOrder = append(m.outOrder, p)
+	}
+	if f.Len() > 0 && f.Len()+len(rec) > maxFrameBytes {
+		if m.sendFrame(p, f) {
+			f.Reset()
+		} else {
+			f = wire.GetWriter(len(rec) + 256) // ownership passed to a parked call
+			m.outq[p] = f
+		}
+	}
+	f.Raw(rec)
+}
+
+// sendFrame hands one frame to RP2P. It reports whether the caller
+// still owns the writer: with RP2P bound (the normal case) the frame is
+// copied synchronously and the writer is reusable; with RP2P unbound
+// the request parks retaining the buffer, so ownership transfers and
+// the writer must be neither reused nor freed.
+func (m *Module) sendFrame(p kernel.Addr, f *wire.Writer) bool {
+	bound := m.Stk.Provider(rp2p.Service) != nil
+	m.Stk.CallSync(rp2p.Service, rp2p.Send{To: p, Channel: rp2pChannel, Data: f.Bytes()})
+	return bound
+}
+
+// flushFrames runs as a stack flusher after every drained event batch:
+// each destination's accumulated records go out as one RP2P datagram.
+func (m *Module) flushFrames() {
+	if len(m.outOrder) == 0 {
+		return
+	}
+	for _, p := range m.outOrder {
+		f := m.outq[p]
+		if f == nil {
+			continue
+		}
+		if f.Len() == 0 || m.sendFrame(p, f) {
+			f.Free()
+		}
+		delete(m.outq, p)
+	}
+	m.outOrder = m.outOrder[:0]
 }
 
 func (m *Module) markSeen(origin kernel.Addr, seq uint64) bool {
@@ -166,24 +268,30 @@ func (m *Module) markSeen(origin kernel.Addr, seq uint64) bool {
 
 func (m *Module) onRecv(rv rp2p.Recv) {
 	r := wire.NewReader(rv.Data)
-	origin := kernel.Addr(r.Uvarint())
-	seq := r.Uvarint()
-	channel := r.String()
-	data := r.Rest()
-	if r.Err() != nil {
-		return
-	}
-	if !m.markSeen(origin, seq) {
-		return // already relayed and delivered
-	}
-	// Relay before delivering: agreement despite sender crash.
-	for _, p := range m.Stk.Others() {
-		if p == origin || p == rv.From {
-			continue
+	for r.Err() == nil && r.Remaining() > 0 {
+		start := r.Pos()
+		origin := kernel.Addr(r.Uvarint())
+		seq := r.Uvarint()
+		channel := r.String()
+		data := r.BytesField()
+		if r.Err() != nil {
+			return // truncated frame: drop the unreadable tail
 		}
-		m.Stk.Call(rp2p.Service, rp2p.Send{To: p, Channel: rp2pChannel, Data: rv.Data})
+		rec := rv.Data[start:r.Pos()]
+		if !m.markSeen(origin, seq) {
+			continue // already relayed and delivered
+		}
+		// Relay before delivering: agreement despite sender crash. The
+		// record is appended to the relay frames verbatim — no
+		// re-encoding.
+		for _, p := range m.Stk.Others() {
+			if p == origin || p == rv.From {
+				continue
+			}
+			m.enqueueRecord(p, rec)
+		}
+		m.deliver(channel, Deliver{Origin: origin, Data: data})
 	}
-	m.deliver(channel, Deliver{Origin: origin, Data: data})
 }
 
 func (m *Module) deliver(channel string, d Deliver) {
@@ -194,8 +302,18 @@ func (m *Module) deliver(channel string, d Deliver) {
 	buf := m.unclaimed[channel]
 	if len(buf) >= m.cfg.BufferLimit {
 		m.drops++
-		m.Stk.Logf("rbcast: channel %q buffer full, dropping", channel)
+		dropCounter.Add(1)
+		if !m.dropLogged[channel] {
+			m.dropLogged[channel] = true
+			m.Stk.Logf("rbcast: channel %q buffer full, dropping (suppressing further logs; see metrics counter %q)",
+				channel, dropCounter.Name())
+		}
 		return
 	}
+	// A buffered record would otherwise alias the whole incoming
+	// coalesced frame (up to maxFrameBytes), pinning it for as long as
+	// the channel stays unclaimed; copy so buffering retains only the
+	// record itself.
+	d.Data = append([]byte(nil), d.Data...)
 	m.unclaimed[channel] = append(buf, d)
 }

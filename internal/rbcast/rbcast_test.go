@@ -2,14 +2,19 @@ package rbcast_test
 
 import (
 	"fmt"
+	"log"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/rbcast"
 	"repro/internal/rp2p"
 	"repro/internal/simnet"
 	"repro/internal/stacktest"
+	"repro/internal/transport"
 	"repro/internal/udp"
 )
 
@@ -151,5 +156,127 @@ func TestValidityLocalDeliveryIsImmediate(t *testing.T) {
 	c.Eventually(timeout, "self delivery", func() bool { return logs[0].count() == 1 })
 	if el := time.Since(start); el > 40*time.Millisecond {
 		t.Errorf("local delivery took %v; should not wait for the network", el)
+	}
+}
+
+// TestBurstCoalescesIntoFewDatagrams checks the per-destination frame
+// coalescing: a burst of broadcasts issued in one executor pass leaves
+// the sender as a handful of RP2P datagrams, not one per message per
+// peer.
+func TestBurstCoalescesIntoFewDatagrams(t *testing.T) {
+	c, logs := build(t, 3, simnet.Config{})
+	const burst = 100
+	// Issue the whole burst in one executor event, so it drains as one
+	// batch and the flusher coalesces the outgoing records.
+	c.OnSync(0, func() {
+		for i := 0; i < burst; i++ {
+			c.Stacks[0].CallSync(rbcast.Service, rbcast.Broadcast{Channel: "t", Data: []byte{byte(i)}})
+		}
+	})
+	c.Eventually(timeout, "burst delivered everywhere", func() bool {
+		for _, l := range logs {
+			if l.count() != burst {
+				return false
+			}
+		}
+		return true
+	})
+	var sent uint64
+	done := make(chan struct{})
+	c.Stacks[0].Call(rp2p.Service, rp2p.StatsReq{Reply: func(s rp2p.Stats) {
+		sent = s.Sent
+		close(done)
+	}})
+	<-done
+	// Without coalescing the burst costs burst*(n-1) = 200 rp2p sends.
+	// With per-pass frames it is a few datagrams per peer (the 100 tiny
+	// records fit one frame each).
+	if sent >= burst {
+		t.Fatalf("burst of %d broadcasts used %d rp2p sends; coalescing should use far fewer", burst, sent)
+	}
+	// FIFO within the frame: stack 0's own order must be the arrival
+	// order everywhere.
+	for i, l := range logs {
+		snap := l.snapshot()
+		for j, d := range snap {
+			if int(d.Data[0]) != j {
+				t.Fatalf("stack %d: record %d out of order (got %d)", i, j, d.Data[0])
+			}
+		}
+	}
+}
+
+// TestBufferFullLogsOnceAndCounts overflows an unclaimed channel and
+// checks the drop path: one log line per channel (not one per message)
+// and every drop counted.
+func TestBufferFullLogsOnceAndCounts(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	logger := log.New(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), "", 0)
+	reg := kernel.NewRegistry()
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	reg.MustRegister(udp.Factory(transport.Sim(net)))
+	reg.MustRegister(rp2p.Factory(rp2p.Config{}))
+	reg.MustRegister(rbcast.Factory(rbcast.Config{BufferLimit: 4}))
+	st2 := kernel.NewStack(kernel.Config{Addr: 0, Peers: []kernel.Addr{0}, Registry: reg, Logger: logger})
+	defer st2.Close()
+	if err := st2.DoSync(func() {
+		if _, err := st2.CreateProtocol(rbcast.Protocol); err != nil {
+			t.Errorf("create: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := metrics.NewCounter("rbcast.buffer_drops").Value()
+	const extra = 10
+	for i := 0; i < 4+extra; i++ {
+		st2.Call(rbcast.Service, rbcast.Broadcast{Channel: "unclaimed", Data: []byte{byte(i)}})
+	}
+	if err := st2.DoSync(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.NewCounter("rbcast.buffer_drops").Value() - before; got != extra {
+		t.Fatalf("drop counter advanced by %d, want %d", got, extra)
+	}
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	if n := strings.Count(logged, "buffer full"); n != 1 {
+		t.Fatalf("buffer-full logged %d times, want once per channel:\n%s", n, logged)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestFrameNeverGrowsPastCapWhenCoalescing: two records that together
+// exceed the frame cap must leave as two datagrams — coalescing must
+// never build a frame a real UDP socket cannot carry.
+func TestFrameNeverGrowsPastCapWhenCoalescing(t *testing.T) {
+	c, logs := build(t, 2, simnet.Config{})
+	big := make([]byte, 30<<10) // two of these exceed the 48 KiB cap
+	c.OnSync(0, func() {
+		c.Stacks[0].CallSync(rbcast.Service, rbcast.Broadcast{Channel: "t", Data: big})
+		c.Stacks[0].CallSync(rbcast.Service, rbcast.Broadcast{Channel: "t", Data: big})
+	})
+	c.Eventually(timeout, "both records delivered", func() bool {
+		return logs[1].count() == 2
+	})
+	var sent uint64
+	done := make(chan struct{})
+	c.Stacks[0].Call(rp2p.Service, rp2p.StatsReq{Reply: func(s rp2p.Stats) {
+		sent = s.Sent
+		close(done)
+	}})
+	<-done
+	// One peer, two records that cannot share a frame: exactly 2 sends.
+	if sent != 2 {
+		t.Fatalf("rp2p sends = %d, want 2 (one frame per over-cap record)", sent)
 	}
 }

@@ -34,6 +34,13 @@ const Service kernel.ServiceID = "net/rp2p"
 const Protocol = "net/rp2p"
 
 // Send requests a reliable FIFO transmission to one stack.
+//
+// For a remote destination, Data is copied into the packet buffer while
+// the request is handled, so a sender issuing the request with
+// Stack.CallSync may reuse or pool the buffer as soon as the call
+// returns. A self-addressed Send is delivered by handing Data straight
+// to the channel handler, which may retain it — do not pool buffers
+// sent to self.
 type Send struct {
 	To      kernel.Addr
 	Channel string
@@ -137,10 +144,15 @@ const (
 // RFC 7323): RTT samples stay clean even when cumulative acks are held
 // back by a head-of-line loss, the case where sampling "time until the
 // ack covered it" would wildly inflate the estimate.
+//
+// The encoding lives in a pooled wire.Writer (with one byte of leading
+// headroom for the UDP channel tag, so transmissions cross the framing
+// layer without a copy) that is released back to the pool once the
+// packet is acknowledged.
 type outPkt struct {
-	seq     uint64
-	encoded []byte // timestamp field starts at tsOffset
-	tsOff   int
+	seq   uint64
+	w     *wire.Writer // encoded packet; timestamp field starts at tsOff
+	tsOff int
 }
 
 type peer struct {
@@ -160,6 +172,7 @@ type peer struct {
 	expected uint64 // next in-order sequence wanted (starts at 1)
 	oob      map[uint64]Recv
 	echoTS   uint64 // transmit timestamp of the last data packet, echoed in acks
+	ackDue   bool   // a cumulative ack is owed at the end of this executor pass
 }
 
 // sampleRTT folds one round-trip measurement into the adaptive timeout
@@ -189,11 +202,13 @@ func (p *peer) sampleRTT(s time.Duration, minRTO, maxRTO time.Duration) {
 // Module implements the RP2P module.
 type Module struct {
 	kernel.Base
-	cfg       Config
-	peers     map[kernel.Addr]*peer
-	handlers  map[string]func(Recv)
-	unclaimed map[string][]Recv
-	stats     Stats
+	cfg        Config
+	peers      map[kernel.Addr]*peer
+	handlers   map[string]func(Recv)
+	unclaimed  map[string][]Recv
+	stats      Stats
+	ackQ       []*peer // peers owed a cumulative ack this executor pass
+	unregister func()
 }
 
 // Factory returns the module factory.
@@ -215,17 +230,32 @@ func Factory(cfg Config) kernel.Factory {
 	}
 }
 
-// Start subscribes to the UDP service.
+// Start subscribes to the UDP service and registers the end-of-pass
+// ack flusher: data packets arriving in one executor batch are answered
+// with one cumulative ack per peer instead of one ack per packet.
 func (m *Module) Start() {
 	m.Stk.Subscribe(udp.Service, m)
+	m.unregister = m.Stk.RegisterFlusher(m.flushAcks)
 }
 
-// Stop cancels retransmission timers.
+// Stop cancels retransmission timers and releases in-flight packet
+// buffers back to the pool.
 func (m *Module) Stop() {
 	for _, p := range m.peers {
 		if p.rtimer != nil {
 			p.rtimer.Stop()
 		}
+		for _, pkt := range p.unacked {
+			pkt.w.Free()
+		}
+		p.unacked = nil
+		for _, pkt := range p.sendQ {
+			pkt.w.Free()
+		}
+		p.sendQ = nil
+	}
+	if m.unregister != nil {
+		m.unregister()
 	}
 	m.Stk.Unsubscribe(udp.Service, m)
 }
@@ -271,12 +301,13 @@ func (m *Module) send(s Send) {
 		return
 	}
 	p := m.peerFor(s.To)
-	w := wire.NewWriter(len(s.Data) + len(s.Channel) + 24)
+	w := wire.GetWriter(len(s.Data) + len(s.Channel) + 25)
+	w.Byte(0) // headroom for the UDP channel tag (udp.Send{Headroom: true})
 	w.Byte(pktData).Uvarint(p.nextSeq)
 	tsOff := w.Len()
 	w.Uint64(0) // transmit timestamp, stamped per transmission
 	w.String(s.Channel).Raw(s.Data)
-	pkt := &outPkt{seq: p.nextSeq, encoded: w.Bytes(), tsOff: tsOff}
+	pkt := &outPkt{seq: p.nextSeq, w: w, tsOff: tsOff}
 	p.nextSeq++
 	if len(p.unacked) < m.cfg.Window {
 		p.unacked[pkt.seq] = pkt
@@ -288,8 +319,11 @@ func (m *Module) send(s Send) {
 }
 
 func (m *Module) transmit(p *peer, pkt *outPkt) {
-	binary.BigEndian.PutUint64(pkt.encoded[pkt.tsOff:], uint64(time.Now().UnixNano()))
-	m.Stk.Call(udp.Service, udp.Send{To: p.addr, Chan: udp.ChanRP2P, Data: pkt.encoded})
+	encoded := pkt.w.Bytes()
+	binary.BigEndian.PutUint64(encoded[pkt.tsOff:], uint64(time.Now().UnixNano()))
+	// Synchronous dispatch into the UDP module: no queue round-trip, and
+	// the headroom byte lets the frame go out without a copy.
+	m.Stk.CallSync(udp.Service, udp.Send{To: p.addr, Chan: udp.ChanRP2P, Data: encoded, Headroom: true})
 }
 
 func (m *Module) armRetransmit(p *peer) {
@@ -386,10 +420,31 @@ func (m *Module) onData(from kernel.Addr, seq uint64, ts uint64, channel string,
 	m.sendAck(p)
 }
 
+// sendAck schedules a cumulative ack to p at the end of the current
+// executor pass; n data packets drained in one batch cost one ack.
 func (m *Module) sendAck(p *peer) {
-	w := wire.NewWriter(20)
-	w.Byte(pktAck).Uvarint(p.expected).Uint64(p.echoTS)
-	m.Stk.Call(udp.Service, udp.Send{To: p.addr, Chan: udp.ChanRP2P, Data: w.Bytes()})
+	if p.ackDue {
+		return
+	}
+	p.ackDue = true
+	m.ackQ = append(m.ackQ, p)
+}
+
+// flushAcks runs as a stack flusher after every drained event batch.
+func (m *Module) flushAcks() {
+	if len(m.ackQ) == 0 {
+		return
+	}
+	for i, p := range m.ackQ {
+		m.ackQ[i] = nil
+		p.ackDue = false
+		w := wire.GetWriter(21)
+		w.Byte(0) // headroom for the UDP channel tag
+		w.Byte(pktAck).Uvarint(p.expected).Uint64(p.echoTS)
+		m.Stk.CallSync(udp.Service, udp.Send{To: p.addr, Chan: udp.ChanRP2P, Data: w.Bytes(), Headroom: true})
+		w.Free()
+	}
+	m.ackQ = m.ackQ[:0]
 }
 
 func (m *Module) onAck(from kernel.Addr, want uint64, echoTS uint64) {
@@ -403,9 +458,10 @@ func (m *Module) onAck(from kernel.Addr, want uint64, echoTS uint64) {
 		}
 	}
 	progressed := false
-	for s := range p.unacked {
+	for s, pkt := range p.unacked {
 		if s < want {
 			delete(p.unacked, s)
+			pkt.w.Free() // retransmission impossible; recycle the buffer
 			progressed = true
 		}
 	}

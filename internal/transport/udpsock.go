@@ -179,9 +179,11 @@ func (e *udpEndpoint) Send(to Addr, data []byte) {
 		t.logf("transport: drop send %d->%d: %s", e.addr, to, reason)
 		return
 	}
-	w := wire.NewWriter(len(data) + maxFrameHeader)
+	w := wire.GetWriter(len(data) + maxFrameHeader)
 	w.Byte(frameMagic).Byte(frameVersion).Uvarint(uint64(e.addr)).Raw(data)
-	if _, err := e.conn.WriteToUDP(w.Bytes(), dst); err != nil {
+	_, err := e.conn.WriteToUDP(w.Bytes(), dst)
+	w.Free() // the kernel has copied the datagram
+	if err != nil {
 		t.sendErrs.Add(1)
 		t.logf("transport: send %d->%d: %v", e.addr, to, err)
 		return

@@ -30,6 +30,7 @@ package udp
 import (
 	"repro/internal/kernel"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Service is the unreliable datagram service.
@@ -48,10 +49,21 @@ const (
 )
 
 // Send requests an unreliable datagram transmission.
+//
+// Data is never retained once the request has been handled: the module
+// frames it and the transport copies (or encodes) it before its Send
+// returns. A sender that issues the request with Stack.CallSync may
+// therefore reuse or pool the buffer as soon as the call returns.
+//
+// When Headroom is true, Data[0] is reserved headroom owned by this
+// module: it writes Chan into it and hands Data to the transport as-is,
+// so the payload crosses the framing layer without a copy. The sender
+// must have reserved that leading byte (its payload starts at Data[1]).
 type Send struct {
-	To   kernel.Addr
-	Chan byte
-	Data []byte
+	To       kernel.Addr
+	Chan     byte
+	Data     []byte
+	Headroom bool
 }
 
 // Recv is indicated for every received datagram, to all listeners of
@@ -114,10 +126,16 @@ func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
 	if !ok || m.ep == nil {
 		return
 	}
-	buf := make([]byte, 0, len(s.Data)+1)
-	buf = append(buf, s.Chan)
-	buf = append(buf, s.Data...)
-	m.ep.Send(transport.Addr(s.To), buf)
+	if s.Headroom && len(s.Data) > 0 {
+		// The sender reserved the tag byte: no framing copy at all.
+		s.Data[0] = s.Chan
+		m.ep.Send(transport.Addr(s.To), s.Data)
+		return
+	}
+	w := wire.GetWriter(len(s.Data) + 1)
+	w.Byte(s.Chan).Raw(s.Data)
+	m.ep.Send(transport.Addr(s.To), w.Bytes())
+	w.Free() // the transport has copied the frame
 }
 
 // receive runs on a transport goroutine (simnet timer or socket read

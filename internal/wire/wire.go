@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrTruncated is reported when a reader runs out of bytes.
@@ -26,6 +27,42 @@ type Writer struct {
 func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
 }
+
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// maxPooledCap bounds the buffers the pool retains: a writer that grew
+// beyond it is dropped on Free instead of pinning a jumbo buffer.
+const maxPooledCap = 64 << 10
+
+// GetWriter returns a pooled writer with at least the given capacity.
+// The caller owns it (and every slice obtained from Bytes) until Free.
+// Pooling amortizes the per-message buffer allocation on encode hot
+// paths; call sites whose encoded bytes outlive the send (anything a
+// downstream module may retain) must keep the writer un-freed or use
+// NewWriter instead.
+func GetWriter(capacity int) *Writer {
+	w := writerPool.Get().(*Writer)
+	if cap(w.buf) < capacity {
+		w.buf = make([]byte, 0, capacity)
+	} else {
+		w.buf = w.buf[:0]
+	}
+	return w
+}
+
+// Free resets the writer and returns it to the pool. The caller must
+// not touch the writer or any slice obtained from Bytes afterwards.
+func (w *Writer) Free() {
+	if cap(w.buf) > maxPooledCap {
+		w.buf = nil
+	} else {
+		w.buf = w.buf[:0]
+	}
+	writerPool.Put(w)
+}
+
+// Reset truncates the writer to empty, keeping its capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
 
 // Bytes returns the encoded bytes. The slice aliases the writer's
 // internal buffer; callers must not keep writing through the writer
@@ -100,6 +137,10 @@ func NewReader(b []byte) *Reader { return &Reader{buf: b} }
 
 // Err returns the first error encountered while decoding, if any.
 func (r *Reader) Err() error { return r.err }
+
+// Pos returns the current read offset into the buffer, letting framers
+// recover the raw bytes of a just-decoded record (for zero-copy relay).
+func (r *Reader) Pos() int { return r.off }
 
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int {
