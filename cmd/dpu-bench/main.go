@@ -13,11 +13,13 @@
 //	dpu-bench -fig ablation-reissue  # switch cost vs undelivered backlog
 //	dpu-bench -fig ablation-matrix   # cross-protocol switch matrix
 //	dpu-bench -fig throughput        # hot-path throughput probe (batched vs not)
+//	dpu-bench -fig membership        # view-change churn probe (runtime join/evict)
 //	dpu-bench -fig all               # everything
 //	dpu-bench -quick -json           # fast smoke run + BENCH_results.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,6 +51,7 @@ type report struct {
 	AblationReissue  []reissueJSON     `json:"ablation_reissue,omitempty"`
 	AblationMatrix   []matrixJSON      `json:"ablation_matrix,omitempty"`
 	Throughput       *throughputJSON   `json:"throughput,omitempty"`
+	Membership       *membershipJSON   `json:"membership,omitempty"`
 	Counters         map[string]uint64 `json:"counters,omitempty"`
 }
 
@@ -105,6 +108,15 @@ type throughputJSON struct {
 	BatchedMsgsPerSec   float64 `json:"batched_msgs_per_sec"`
 }
 
+type membershipJSON struct {
+	N           int     `json:"n"`
+	Joins       int     `json:"joins"`
+	Evictions   int     `json:"evictions"`
+	JoinMs      float64 `json:"join_ms"`  // mean confirmed AddNode latency
+	EvictMs     float64 `json:"evict_ms"` // mean confirmed Evict latency
+	FinalViewID uint64  `json:"final_view_id"`
+}
+
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // throughputProbe floods msgs 256-byte broadcasts through a 3-stack
@@ -157,8 +169,49 @@ func throughputProbe(msgs int, seed int64) (*throughputJSON, error) {
 	}, nil
 }
 
+// membershipProbe measures view-change churn: confirmed runtime joins
+// (AddNode) and evictions through a live cluster, which also populates
+// the membership.* counters the JSON report exports.
+func membershipProbe(rounds int, seed int64) (*membershipJSON, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	c, err := dpu.New(3, dpu.WithSeed(seed), dpu.WithMembership())
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	sponsor, err := c.Node(0)
+	if err != nil {
+		return nil, err
+	}
+	var joinTotal, evictTotal time.Duration
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		node, err := c.AddNode(ctx, "")
+		if err != nil {
+			return nil, fmt.Errorf("join round %d: %w", i, err)
+		}
+		joinTotal += time.Since(start)
+		start = time.Now()
+		if _, err := sponsor.Evict(ctx, node.Index()); err != nil {
+			return nil, fmt.Errorf("evict round %d: %w", i, err)
+		}
+		evictTotal += time.Since(start)
+	}
+	st, err := sponsor.Status(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &membershipJSON{
+		N: 3, Joins: rounds, Evictions: rounds,
+		JoinMs:      ms(joinTotal) / float64(rounds),
+		EvictMs:     ms(evictTotal) / float64(rounds),
+		FinalViewID: st.ViewID,
+	}, nil
+}
+
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, ablation-managers, ablation-reissue, ablation-matrix, throughput, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, ablation-managers, ablation-reissue, ablation-matrix, throughput, membership, all")
 	n := flag.Int("n", 7, "group size for Figure 5")
 	rate := flag.Float64("rate", 50, "per-stack message rate for Figure 5 [msg/s]")
 	payload := flag.Int("payload", 1024, "payload size for Figure 5 [bytes]")
@@ -310,6 +363,24 @@ func main() {
 			fmt.Printf("%12s %14.0f msg/s  (WithBatching %dµs / %dB)\n",
 				"batched", tp.BatchedMsgsPerSec, tp.BatchMaxDelayUs, tp.BatchMaxBytes)
 			rep.Throughput = tp
+			return nil
+		})
+	}
+
+	if want("membership") {
+		run("Membership churn probe (join/evict)", func() error {
+			rounds := 20
+			if *quick {
+				rounds = 5
+			}
+			mj, err := membershipProbe(rounds, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("n=%d joins=%d evictions=%d\n", mj.N, mj.Joins, mj.Evictions)
+			fmt.Printf("%12s %10.2f ms (confirmed AddNode)\n", "join", mj.JoinMs)
+			fmt.Printf("%12s %10.2f ms (confirmed Evict)\n", "evict", mj.EvictMs)
+			rep.Membership = mj
 			return nil
 		})
 	}

@@ -32,6 +32,7 @@ import (
 	"crypto/sha256"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"sync"
@@ -51,6 +52,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation / fault-injection seed")
 	listen := flag.String("listen", "", "this process's UDP address (enables multi-process mode)")
 	peers := flag.String("peers", "", "comma-separated address book of the whole group, in stack order (multi-process mode)")
+	joinsrv := flag.String("joinsrv", "", "TCP address to serve join handshakes on (multi-process mode; lets fresh processes -join)")
+	join := flag.String("join", "", "join a running cluster via this member's -joinsrv TCP address (requires -listen for this process's UDP socket)")
 	quiet := flag.Duration("quiet", 2*time.Second, "silence that ends delivery collection")
 	flag.Parse()
 
@@ -61,11 +64,57 @@ func main() {
 		}
 	}
 
+	if *join != "" {
+		runJoiner(*join, *listen, *quiet)
+		return
+	}
 	if *listen != "" {
-		runMulti(*listen, *peers, *msgs, *initial, chain, *loss, *seed, *quiet)
+		runMulti(*listen, *peers, *msgs, *initial, chain, *loss, *seed, *quiet, *joinsrv)
 		return
 	}
 	runSingle(*n, *msgs, *initial, chain, *loss, *crash, *seed, *quiet)
+}
+
+// runJoiner is the fresh-process path: handshake with a member over
+// TCP, boot the newly assigned stack over real UDP, print the view it
+// landed in, then observe the totally-ordered stream until it goes
+// quiet and report a digest of the observed suffix.
+func runJoiner(sponsor, listen string, quiet time.Duration) {
+	if listen == "" {
+		fatalf("-join requires -listen (this process's UDP address)")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c, node, err := dpu.Join(ctx, sponsor, listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer c.Close()
+	st, err := node.Status(ctx)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("joined as member %d at epoch %d (protocol %s)\n", node.Index(), st.Epoch, st.Protocol)
+	fmt.Printf("landed in view %d = %v\n", st.ViewID, st.Members)
+
+	sub, err := node.Subscribe(dpu.SubscribeOptions{Deliveries: true, Buffer: 8192, Policy: dpu.Block})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var sequence []string
+	for {
+		select {
+		case d, ok := <-sub.Deliveries():
+			if !ok {
+				fatalf("cluster closed")
+			}
+			sequence = append(sequence, fmt.Sprintf("%d:%s", d.Origin, d.Data))
+		case <-time.After(quiet):
+			fmt.Printf("observed %d totally-ordered deliveries since joining; suffix digest %s\n",
+				len(sequence), digest(sequence))
+			return
+		}
+	}
 }
 
 func fatalf(format string, args ...any) {
@@ -83,7 +132,7 @@ func digest(seq []string) string {
 }
 
 // runMulti hosts one stack of an n-process group over real UDP sockets.
-func runMulti(listen, peerList string, msgs int, initial string, chain []string, loss float64, seed int64, quiet time.Duration) {
+func runMulti(listen, peerList string, msgs int, initial string, chain []string, loss float64, seed int64, quiet time.Duration, joinsrv string) {
 	book := make(map[transport.Addr]string)
 	self := -1
 	var addrs []string
@@ -115,12 +164,27 @@ func runMulti(listen, peerList string, msgs int, initial string, chain []string,
 	if loss > 0 {
 		tr = transport.Faulty(udpTr, transport.FaultConfig{Seed: seed, LossRate: loss})
 	}
+	endpoints := make(map[int]string, len(book))
+	for a, ep := range book {
+		endpoints[int(a)] = ep
+	}
 	c, err := dpu.New(n, dpu.WithTransport(tr), dpu.WithLocalStacks(self),
-		dpu.WithInitialProtocol(initial), dpu.WithSeed(seed))
+		dpu.WithInitialProtocol(initial), dpu.WithSeed(seed),
+		dpu.WithMembership(), dpu.WithEndpoints(endpoints))
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer c.Close()
+	if joinsrv != "" {
+		ln, err := net.Listen("tcp", joinsrv)
+		if err != nil {
+			fatalf("joinsrv: %v", err)
+		}
+		if err := c.ServeJoin(ln); err != nil {
+			fatalf("joinsrv: %v", err)
+		}
+		fmt.Printf("serving join handshakes on %s\n", ln.Addr())
+	}
 	node, err := c.Node(self)
 	if err != nil {
 		fatalf("%v", err)

@@ -22,44 +22,60 @@ import (
 	"repro/internal/udp"
 )
 
-// Cluster is a running group of n stacks — all hosted by this process
+// stackSlot is the per-stack state of one locally hosted member: the
+// kernel stack plus the event-stream plumbing. Slots are allocated once
+// and referenced by pointer, so the cluster's id space can grow at
+// runtime (AddNode) without invalidating publishers already running.
+type stackSlot struct {
+	id int
+	st *kernel.Stack
+
+	// Legacy fixed streams (see Deliveries/Switches/Views).
+	deliveries chan Delivery
+	switches   chan SwitchEvent
+	views      chan View
+	dropped    atomic.Uint64
+
+	// Backpressure window for Node.Broadcast: one token per own
+	// broadcast still undelivered locally.
+	outstanding chan struct{}
+
+	// Subscription registry. The lock is per slot so a Block-policy
+	// publisher parked on one stack's slow consumer cannot stall
+	// Subscribe/Close traffic on other stacks.
+	subMu sync.RWMutex
+	subs  []*Subscription
+
+	// retired flips once when the member is evicted from the view (or
+	// crashed by the test harness) and the slot's stack is halted.
+	retired atomic.Bool
+}
+
+// Cluster is a running group of stacks — all hosted by this process
 // (the default), or just the subset selected with WithLocalStacks when
-// the group spans several processes over a shared transport.
+// the group spans several processes over a shared transport. With
+// membership enabled the group is elastic: AddNode admits new members
+// at runtime and Node.Evict (or the auto-evictor) removes them, with
+// every layer of every stack reconfigured by the installed view.
 type Cluster struct {
-	n          int
 	net        *simnet.Network // nil when running over an external transport
 	tr         transport.Transport
-	stacks     []*kernel.Stack // indexed by stack id; nil for remote stacks
 	impls      *abcast.Registry
 	membership bool
+	opts       *options
 
-	// Legacy fixed per-stack streams (see Deliveries/Switches/Views).
-	deliveries []chan Delivery
-	switches   []chan SwitchEvent
-	views      []chan View
-	dropped    []atomic.Uint64
-
-	// Per-stack backpressure windows for Node.Broadcast: one token per
-	// own broadcast still undelivered locally.
-	outstanding []chan struct{}
-
-	// Per-stack subscription registries. The locks are per stack so a
-	// Block-policy publisher parked on one stack's slow consumer cannot
-	// stall Subscribe/Close traffic on other stacks.
-	subLocks []sync.RWMutex
-	subs     [][]*Subscription
+	// mu guards the slot table (the id space), which grows on AddNode.
+	mu    sync.RWMutex
+	slots []*stackSlot // indexed by stack id; nil for remote stacks
 
 	closed    chan struct{}
 	closeOnce sync.Once
 	faultWarn sync.Once
 }
 
-// New assembles and starts a cluster of n stacks.
-func New(n int, opts ...Option) (*Cluster, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("dpu: cluster size %d < 1", n)
-	}
-	o := &options{
+// defaultOptions returns the option block New and Join start from.
+func defaultOptions() *options {
+	return &options{
 		protocol: ProtocolCT,
 		net: simnet.Config{
 			BaseLatency:  100 * time.Microsecond,
@@ -70,6 +86,26 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		buffer:         8192,
 		maxOutstanding: 1024,
 	}
+}
+
+// buildImpls assembles the atomic-broadcast implementation registry
+// (the bundled three plus registered extras).
+func buildImpls(o *options) (*abcast.Registry, error) {
+	impls := abcast.StandardRegistry()
+	for _, im := range o.extraImpls {
+		if err := impls.Register(im); err != nil {
+			return nil, err
+		}
+	}
+	return impls, nil
+}
+
+// New assembles and starts a cluster of n stacks.
+func New(n int, opts ...Option) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dpu: cluster size %d < 1", n)
+	}
+	o := defaultOptions()
 	for _, opt := range opts {
 		opt(o)
 	}
@@ -92,11 +128,9 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		}
 		local[id] = true
 	}
-	impls := abcast.StandardRegistry()
-	for _, im := range o.extraImpls {
-		if err := impls.Register(im); err != nil {
-			return nil, err
-		}
+	impls, err := buildImpls(o)
+	if err != nil {
+		return nil, err
 	}
 
 	var (
@@ -108,43 +142,20 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		tr = transport.Sim(net)
 	}
 
-	reg := kernel.NewRegistry()
-	reg.MustRegister(udp.Factory(tr))
-	reg.MustRegister(rp2p.Factory(rp2p.Config{}))
-	reg.MustRegister(rbcast.Factory(rbcast.Config{}))
-	reg.MustRegister(fd.Factory(fd.Config{}))
-	reg.MustRegister(consensus.Factory())
-	for _, cv := range o.consVariants {
-		reg.MustRegister(consensus.FactoryWith(cv))
-	}
-	reg.MustRegister(core.Factory(core.Config{
-		InitialProtocol: o.protocol,
-		Impls:           impls,
-		Grace:           o.grace,
-		RetryLostChange: true,
-		BatchDelay:      o.batchDelay,
-		BatchBytes:      o.batchBytes,
-	}))
-	if o.membership {
-		reg.MustRegister(gm.Factory())
-	}
-
 	c := &Cluster{
-		n:           n,
-		net:         net,
-		tr:          tr,
-		stacks:      make([]*kernel.Stack, n),
-		impls:       impls,
-		membership:  o.membership,
-		deliveries:  make([]chan Delivery, n),
-		switches:    make([]chan SwitchEvent, n),
-		views:       make([]chan View, n),
-		dropped:     make([]atomic.Uint64, n),
-		outstanding: make([]chan struct{}, n),
-		subLocks:    make([]sync.RWMutex, n),
-		subs:        make([][]*Subscription, n),
-		closed:      make(chan struct{}),
+		net:        net,
+		tr:         tr,
+		impls:      impls,
+		membership: o.membership,
+		opts:       o,
+		slots:      make([]*stackSlot, n),
+		closed:     make(chan struct{}),
 	}
+	endpoints := make(map[kernel.Addr]string, len(o.endpoints))
+	for id, ep := range o.endpoints {
+		endpoints[kernel.Addr(id)] = ep
+	}
+	reg := c.newRegistry(bootCut{protocol: o.protocol, endpoints: endpoints})
 	peers := make([]kernel.Addr, n)
 	for i := range peers {
 		peers[i] = kernel.Addr(i)
@@ -153,126 +164,275 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		if !local[i] {
 			continue
 		}
-		st := kernel.NewStack(kernel.Config{
-			Addr: kernel.Addr(i), Peers: peers, Registry: reg,
-			Seed: o.net.Seed + int64(i), Tracer: o.tracer,
-		})
-		c.stacks[i] = st
-		c.deliveries[i] = make(chan Delivery, o.buffer)
-		c.switches[i] = make(chan SwitchEvent, 64)
-		c.views[i] = make(chan View, 64)
-		c.outstanding[i] = make(chan struct{}, o.maxOutstanding)
-		i := i
-		var buildErr error
-		err := st.DoSync(func() {
-			if _, e := st.CreateProtocol(core.Protocol); e != nil {
-				buildErr = e
-				return
-			}
-			// A transport bind failure inside the build (real sockets:
-			// port conflict, bad address) can only be recorded by the
-			// udp module; surface it instead of returning a cluster
-			// that silently drops all traffic.
-			if um, ok := st.Provider(udp.Service).(*udp.Module); ok {
-				if e := um.OpenErr(); e != nil {
-					buildErr = e
-					return
-				}
-			}
-			if o.membership {
-				if _, e := st.CreateProtocol(gm.Protocol); e != nil {
-					buildErr = e
-					return
-				}
-			}
-			pump := &pumpModule{Base: kernel.NewBase(st, "dpu/pump"), c: c, stack: i}
-			st.AddModule(pump)
-			st.Subscribe(core.Service, pump)
-			if o.membership {
-				st.Subscribe(gm.Service, pump)
-			}
-		})
-		if err != nil {
+		if _, err := c.buildStack(i, peers, reg); err != nil {
 			c.Close()
 			return nil, err
-		}
-		if buildErr != nil {
-			c.Close()
-			return nil, buildErr
 		}
 	}
 	return c, nil
 }
 
-// pumpModule forwards public-service indications into the cluster's
-// subscriptions and legacy channels, and completes the backpressure
-// window for the stack's own deliveries.
+// bootCut is the coherent cut a stack boots from: founders start at the
+// zero cut; a joiner starts at the cut its join committed in, served by
+// the sponsor (see AddNode and Join).
+type bootCut struct {
+	protocol  string
+	epoch     uint64
+	viewID    uint64
+	nextID    kernel.Addr
+	endpoints map[kernel.Addr]string
+}
+
+// newRegistry assembles the kernel factory registry for one boot cut.
+// Founders share a single registry; each joiner gets its own, because
+// the replacement module's initial epoch is part of the factory
+// configuration.
+func (c *Cluster) newRegistry(cut bootCut) *kernel.Registry {
+	o := c.opts
+	reg := kernel.NewRegistry()
+	reg.MustRegister(udp.Factory(c.tr))
+	reg.MustRegister(rp2p.Factory(rp2p.Config{}))
+	reg.MustRegister(rbcast.Factory(rbcast.Config{}))
+	reg.MustRegister(fd.Factory(fd.Config{}))
+	reg.MustRegister(consensus.Factory())
+	for _, cv := range o.consVariants {
+		reg.MustRegister(consensus.FactoryWith(cv))
+	}
+	reg.MustRegister(core.Factory(core.Config{
+		InitialProtocol: cut.protocol,
+		InitialEpoch:    cut.epoch,
+		InitialViewID:   cut.viewID,
+		InitialNextID:   cut.nextID,
+		Endpoints:       cut.endpoints,
+		Impls:           c.impls,
+		Grace:           o.grace,
+		RetryLostChange: true,
+		BatchDelay:      o.batchDelay,
+		BatchBytes:      o.batchBytes,
+	}))
+	if o.membership {
+		reg.MustRegister(gm.FactoryWith(gm.Config{
+			AutoEvict:     o.autoEvict,
+			InitialViewID: cut.viewID,
+		}))
+	}
+	return reg
+}
+
+// buildStack creates, wires and starts one locally hosted stack and
+// installs its slot. id may lie beyond the current slot table (a
+// joiner), in which case the table grows.
+func (c *Cluster) buildStack(id int, peers []kernel.Addr, reg *kernel.Registry) (*stackSlot, error) {
+	o := c.opts
+	st := kernel.NewStack(kernel.Config{
+		Addr: kernel.Addr(id), Peers: peers, Registry: reg,
+		Seed: o.net.Seed + int64(id), Tracer: o.tracer,
+	})
+	s := &stackSlot{
+		id:          id,
+		st:          st,
+		deliveries:  make(chan Delivery, o.buffer),
+		switches:    make(chan SwitchEvent, 64),
+		views:       make(chan View, 64),
+		outstanding: make(chan struct{}, o.maxOutstanding),
+	}
+	var buildErr error
+	err := st.DoSync(func() {
+		if _, e := st.CreateProtocol(core.Protocol); e != nil {
+			buildErr = e
+			return
+		}
+		// A transport bind failure inside the build (real sockets: port
+		// conflict, bad address) can only be recorded by the udp module;
+		// surface it instead of returning a stack that silently drops
+		// all traffic.
+		if um, ok := st.Provider(udp.Service).(*udp.Module); ok {
+			if e := um.OpenErr(); e != nil {
+				buildErr = e
+				return
+			}
+		}
+		if c.membership {
+			if _, e := st.CreateProtocol(gm.Protocol); e != nil {
+				buildErr = e
+				return
+			}
+		}
+		pump := &pumpModule{Base: kernel.NewBase(st, "dpu/pump"), c: c, slot: s}
+		st.AddModule(pump)
+		st.Subscribe(core.Service, pump)
+		if c.membership {
+			st.Subscribe(gm.Service, pump)
+		}
+	})
+	if err == nil {
+		err = buildErr
+	}
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	c.mu.Lock()
+	for len(c.slots) <= id {
+		c.slots = append(c.slots, nil)
+	}
+	c.slots[id] = s
+	c.mu.Unlock()
+	return s, nil
+}
+
+// pumpModule forwards public-service indications into the slot's
+// subscriptions and legacy channels, completes the backpressure window
+// for the stack's own deliveries, and retires the slot when the member
+// is evicted from the view.
 type pumpModule struct {
 	kernel.Base
-	c     *Cluster
-	stack int
+	c    *Cluster
+	slot *stackSlot
 }
 
 func (p *pumpModule) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
+	s := p.slot
 	switch v := ind.(type) {
 	case core.Deliver:
 		kind, body, err := envelope.Unwrap(v.Data)
 		if err != nil || (kind != envelope.KindApp && kind != envelope.KindAppPaced) {
 			return
 		}
-		if kind == envelope.KindAppPaced && v.Origin == kernel.Addr(p.stack) {
+		if kind == envelope.KindAppPaced && v.Origin == kernel.Addr(s.id) {
 			// One of this stack's own paced broadcasts completed the
 			// loop: free the window slot it acquired in Node.Broadcast.
 			select {
-			case <-p.c.outstanding[p.stack]:
+			case <-s.outstanding:
 			default:
 			}
 		}
-		d := Delivery{Stack: p.stack, Origin: int(v.Origin), Data: body, At: time.Now()}
-		p.c.publishDelivery(p.stack, d)
+		d := Delivery{Stack: s.id, Origin: int(v.Origin), Data: body, At: time.Now()}
+		s.publishDelivery(p.c, d)
 		select {
-		case p.c.deliveries[p.stack] <- d:
+		case s.deliveries <- d:
 		default:
-			p.c.dropped[p.stack].Add(1)
+			s.dropped.Add(1)
 		}
 	case core.Switched:
-		ev := SwitchEvent{Stack: p.stack, Epoch: v.Sn, Protocol: v.Protocol, At: v.At, Reissued: v.Reissued}
-		p.c.publishSwitch(p.stack, ev)
+		ev := SwitchEvent{Stack: s.id, Epoch: v.Sn, Protocol: v.Protocol, At: v.At, Reissued: v.Reissued}
+		s.publishSwitch(p.c, ev)
 		select {
-		case p.c.switches[p.stack] <- ev:
+		case s.switches <- ev:
 		default:
 		}
 	case gm.NewView:
 		members := make([]int, len(v.View.Members))
+		selfIn := false
 		for i, m := range v.View.Members {
 			members[i] = int(m)
+			if int(m) == s.id {
+				selfIn = true
+			}
 		}
 		view := View{ID: v.View.ID, Members: members}
-		p.c.publishView(p.stack, view)
+		s.publishView(p.c, view)
 		select {
-		case p.c.views[p.stack] <- view:
+		case s.views <- view:
 		default:
 		}
+		if !selfIn {
+			// This member was evicted: the view above is the last event it
+			// publishes; halt the stack so handles fail with ErrNotRunning
+			// instead of hanging on a group that no longer talks to it.
+			p.c.retire(s)
+		}
+		// A view installed: transport routes for members gone from every
+		// local stack's view can now be retired.
+		p.c.pruneRoutes()
 	}
+}
+
+// pruneRoutes retires transport routes for addresses that no locally
+// hosted stack still lists as a peer. Views install on each stack's
+// executor independently, so the LAST local stack to apply an eviction
+// performs the removal — earlier installs see the member still present
+// in a sibling's peer set and leave the route alone (see the udp
+// module's route-ownership note).
+func (c *Cluster) pruneRoutes() {
+	router, ok := c.tr.(transport.Router)
+	if !ok {
+		return
+	}
+	slots := c.localSlots()
+	needed := make(map[int]bool)
+	for _, s := range slots {
+		needed[s.id] = true
+		for _, p := range s.st.Peers() {
+			needed[int(p)] = true
+		}
+	}
+	for id := 0; id < c.N(); id++ {
+		if !needed[id] {
+			router.RemoveRoute(transport.Addr(id))
+		}
+	}
+}
+
+// retire halts an evicted (or crashed) member's stack, once.
+func (c *Cluster) retire(s *stackSlot) {
+	if !s.retired.CompareAndSwap(false, true) {
+		return
+	}
+	if c.net != nil {
+		c.net.SetDown(simnet.Addr(s.id), true)
+	}
+	s.st.Crash()
+}
+
+// slot validates a stack index: ErrOutOfRange outside the current id
+// space, ErrRemoteStack for a stack hosted by another process,
+// ErrNotRunning for a crashed, evicted or closed stack.
+func (c *Cluster) slot(stack int) (*stackSlot, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if stack < 0 || stack >= len(c.slots) {
+		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrOutOfRange, stack, len(c.slots))
+	}
+	s := c.slots[stack]
+	if s == nil {
+		return nil, fmt.Errorf("%w: stack %d", ErrRemoteStack, stack)
+	}
+	if !s.st.Running() {
+		return nil, fmt.Errorf("%w: stack %d", ErrNotRunning, stack)
+	}
+	return s, nil
+}
+
+// localSlots snapshots the currently hosted slots, in id order.
+func (c *Cluster) localSlots() []*stackSlot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*stackSlot, 0, len(c.slots))
+	for _, s := range c.slots {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // check validates that the stack index is in range, hosted by this
 // process, and still running.
 func (c *Cluster) check(stack int) error {
-	if stack < 0 || stack >= c.n {
-		return fmt.Errorf("%w: %d not in [0,%d)", ErrOutOfRange, stack, c.n)
-	}
-	if c.stacks[stack] == nil {
-		return fmt.Errorf("%w: stack %d", ErrRemoteStack, stack)
-	}
-	if !c.stacks[stack].Running() {
-		return fmt.Errorf("%w: stack %d", ErrNotRunning, stack)
-	}
-	return nil
+	_, err := c.slot(stack)
+	return err
 }
 
-// N returns the cluster size.
-func (c *Cluster) N() int { return c.n }
+// N returns the size of the cluster's id space: the founding size plus
+// every member ever admitted with AddNode. Member ids are never reused,
+// so evicted members leave gaps; the current membership is the view
+// (Node.Subscribe with Views, or Status.Members via Node.Status).
+func (c *Cluster) N() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.slots)
+}
 
 // ChangeProtocolAll replaces the atomic-broadcast protocol on every
 // stack and blocks until every stack hosted by this process has
@@ -280,10 +440,11 @@ func (c *Cluster) N() int { return c.n }
 // WaitForEpoch). The change is initiated by the lowest-indexed local
 // running stack; the returned SwitchEvent is the initiator's.
 func (c *Cluster) ChangeProtocolAll(ctx context.Context, protocol string) (SwitchEvent, error) {
+	slots := c.localSlots()
 	var initiator *Node
-	for i := 0; i < c.n; i++ {
-		if n, err := c.Node(i); err == nil {
-			initiator = n
+	for _, s := range slots {
+		if s.st.Running() {
+			initiator = &Node{c: c, id: s.id}
 			break
 		}
 	}
@@ -294,16 +455,13 @@ func (c *Cluster) ChangeProtocolAll(ctx context.Context, protocol string) (Switc
 	if err != nil {
 		return SwitchEvent{}, err
 	}
-	for i := 0; i < c.n; i++ {
-		if i == initiator.id {
+	for _, s := range slots {
+		if s.id == initiator.id || !s.st.Running() {
 			continue
 		}
-		n, err := c.Node(i)
-		if err != nil {
-			continue // remote or stopped stacks cannot be awaited here
-		}
+		n := &Node{c: c, id: s.id}
 		if _, err := n.WaitForEpoch(ctx, ev.Epoch); err != nil {
-			return ev, fmt.Errorf("dpu: waiting for stack %d: %w", i, err)
+			return ev, fmt.Errorf("dpu: waiting for stack %d: %w", s.id, err)
 		}
 	}
 	return ev, nil
@@ -313,7 +471,8 @@ func (c *Cluster) ChangeProtocolAll(ctx context.Context, protocol string) (Switc
 // reached the given epoch (seqNumber ≥ epoch) and returns its status.
 // This is the deterministic switch barrier for observers that did not
 // initiate a change — e.g. the non-initiating processes of a
-// multi-process group.
+// multi-process group. Membership changes advance the epoch too, so the
+// same barrier covers view installation.
 func (c *Cluster) WaitForEpoch(ctx context.Context, stack int, epoch uint64) (Status, error) {
 	n, err := c.Node(stack)
 	if err != nil {
@@ -328,10 +487,11 @@ func (c *Cluster) WaitForEpoch(ctx context.Context, stack int, epoch uint64) (St
 // Deprecated: use Node.Broadcast, which applies backpressure against
 // the outstanding-broadcast window and honors a context.
 func (c *Cluster) Broadcast(stack int, data []byte) error {
-	if err := c.check(stack); err != nil {
+	s, err := c.slot(stack)
+	if err != nil {
 		return err
 	}
-	c.stacks[stack].Call(core.Service, core.Broadcast{Data: envelope.Wrap(envelope.KindApp, data)})
+	s.st.Call(core.Service, core.Broadcast{Data: envelope.Wrap(envelope.KindApp, data)})
 	return nil
 }
 
@@ -343,13 +503,14 @@ func (c *Cluster) Broadcast(stack int, data []byte) error {
 // Deprecated: use Node.ChangeProtocol, which blocks until the local
 // switch completes and returns the resulting SwitchEvent.
 func (c *Cluster) ChangeProtocol(stack int, protocol string) error {
-	if err := c.check(stack); err != nil {
+	s, err := c.slot(stack)
+	if err != nil {
 		return err
 	}
 	if _, ok := c.impls.Lookup(protocol); !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownProtocol, protocol)
 	}
-	c.stacks[stack].Call(core.Service, core.ChangeProtocol{Protocol: protocol})
+	s.st.Call(core.Service, core.ChangeProtocol{Protocol: protocol})
 	return nil
 }
 
@@ -360,10 +521,10 @@ func (c *Cluster) ChangeProtocol(stack int, protocol string) error {
 // Deprecated: use Node.Subscribe, which returns typed streams with an
 // explicit buffer and lag policy, and surfaces bad indexes as errors.
 func (c *Cluster) Deliveries(stack int) <-chan Delivery {
-	if stack < 0 || stack >= c.n {
-		return nil
+	if s := c.peek(stack); s != nil {
+		return s.deliveries
 	}
-	return c.deliveries[stack]
+	return nil
 }
 
 // Switches returns the stack's protocol-replacement events (nil for an
@@ -372,10 +533,10 @@ func (c *Cluster) Deliveries(stack int) <-chan Delivery {
 // Deprecated: use Node.Subscribe or the SwitchEvent returned by
 // Node.ChangeProtocol.
 func (c *Cluster) Switches(stack int) <-chan SwitchEvent {
-	if stack < 0 || stack >= c.n {
-		return nil
+	if s := c.peek(stack); s != nil {
+		return s.switches
 	}
-	return c.switches[stack]
+	return nil
 }
 
 // Views returns the stack's membership views (requires WithMembership;
@@ -383,20 +544,32 @@ func (c *Cluster) Switches(stack int) <-chan SwitchEvent {
 //
 // Deprecated: use Node.Subscribe.
 func (c *Cluster) Views(stack int) <-chan View {
-	if stack < 0 || stack >= c.n {
+	if s := c.peek(stack); s != nil {
+		return s.views
+	}
+	return nil
+}
+
+// peek returns the slot regardless of liveness (the legacy channel
+// accessors keep working on crashed/evicted stacks so buffered events
+// remain drainable).
+func (c *Cluster) peek(stack int) *stackSlot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if stack < 0 || stack >= len(c.slots) {
 		return nil
 	}
-	return c.views[stack]
+	return c.slots[stack]
 }
 
 // Dropped reports deliveries discarded because the consumer of
 // Deliveries(stack) lagged behind the buffer (0 for an out-of-range
 // index). Subscriptions count their own drops (Subscription.Dropped).
 func (c *Cluster) Dropped(stack int) uint64 {
-	if stack < 0 || stack >= c.n {
-		return 0
+	if s := c.peek(stack); s != nil {
+		return s.dropped.Load()
 	}
-	return c.dropped[stack].Load()
+	return 0
 }
 
 // Status returns a snapshot of the stack's replacement layer.
@@ -413,7 +586,9 @@ func (c *Cluster) Status(stack int) (Status, error) {
 	return n.Status(ctx)
 }
 
-// Join adds a member to the logical group view (requires WithMembership).
+// Join re-admits a member id to the group view (requires
+// WithMembership; ErrNoMembership otherwise). To admit a brand-new node
+// with a fresh id and a running stack, use AddNode.
 func (c *Cluster) Join(stack, member int) error {
 	n, err := c.Node(stack)
 	if err != nil {
@@ -422,7 +597,8 @@ func (c *Cluster) Join(stack, member int) error {
 	return n.Join(member)
 }
 
-// Leave removes a member from the logical group view.
+// Leave removes a member from the group view (requires WithMembership;
+// ErrNoMembership otherwise). See Node.Evict for the confirmed variant.
 func (c *Cluster) Leave(stack, member int) error {
 	n, err := c.Node(stack)
 	if err != nil {
@@ -436,16 +612,17 @@ func (c *Cluster) Leave(stack, member int) error {
 // can be crashed; over an external transport the network isolation is
 // skipped (the halted stack simply goes silent).
 func (c *Cluster) Crash(stack int) error {
-	if stack < 0 || stack >= c.n {
-		return fmt.Errorf("%w: %d not in [0,%d)", ErrOutOfRange, stack, c.n)
-	}
-	if c.stacks[stack] == nil {
+	s := c.peek(stack)
+	if s == nil {
+		c.mu.RLock()
+		size := len(c.slots)
+		c.mu.RUnlock()
+		if stack < 0 || stack >= size {
+			return fmt.Errorf("%w: %d not in [0,%d)", ErrOutOfRange, stack, size)
+		}
 		return fmt.Errorf("%w: stack %d", ErrRemoteStack, stack)
 	}
-	if c.net != nil {
-		c.net.SetDown(simnet.Addr(stack), true)
-	}
-	c.stacks[stack].Crash()
+	c.retire(s)
 	return nil
 }
 
@@ -472,8 +649,9 @@ func (c *Cluster) HealLink(a, b int) error {
 }
 
 func (c *Cluster) checkLink(a, b int) error {
-	if a < 0 || a >= c.n || b < 0 || b >= c.n {
-		return fmt.Errorf("%w: link %d-%d not in [0,%d)", ErrOutOfRange, a, b, c.n)
+	size := c.N()
+	if a < 0 || a >= size || b < 0 || b >= size {
+		return fmt.Errorf("%w: link %d-%d not in [0,%d)", ErrOutOfRange, a, b, size)
 	}
 	if c.net == nil {
 		return fmt.Errorf("%w: link faults need the built-in simulated network", ErrUnsupported)
@@ -518,10 +696,10 @@ func (c *Cluster) warnFaultNoop() {
 // out-of-range index or a stack not hosted by this process. See
 // internal/kernel's concurrency contract.
 func (c *Cluster) Stack(stack int) *kernel.Stack {
-	if stack < 0 || stack >= c.n {
-		return nil
+	if s := c.peek(stack); s != nil {
+		return s.st
 	}
-	return c.stacks[stack]
+	return nil
 }
 
 // Close shuts the cluster down — including the transport, whether
@@ -532,30 +710,27 @@ func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
 		close(c.closed) // unblocks Node waits and Block-policy publishers
 		c.tr.Close()
+		slots := c.localSlots()
 		// Close every local stack, including crashed ones: Crash stops
 		// the executor asynchronously, and Close waits for it to exit,
 		// which guarantees no pump event is still mid-publish when the
 		// channels below are closed.
-		for _, st := range c.stacks {
-			if st != nil {
-				st.Close()
-			}
+		for _, s := range slots {
+			s.st.Close()
 		}
 		var subs []*Subscription
-		for i := range c.subs {
-			c.subLocks[i].Lock()
-			subs = append(subs, c.subs[i]...)
-			c.subLocks[i].Unlock()
+		for _, s := range slots {
+			s.subMu.Lock()
+			subs = append(subs, s.subs...)
+			s.subMu.Unlock()
 		}
-		for _, s := range subs {
-			s.Close()
+		for _, sub := range subs {
+			sub.Close()
 		}
-		for i := range c.deliveries {
-			if c.deliveries[i] != nil {
-				close(c.deliveries[i])
-				close(c.switches[i])
-				close(c.views[i])
-			}
+		for _, s := range slots {
+			close(s.deliveries)
+			close(s.switches)
+			close(s.views)
 		}
 	})
 }

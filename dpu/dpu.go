@@ -31,6 +31,15 @@
 // group. Messages broadcast before, during and after a replacement are
 // delivered exactly once, in the same total order, on every stack.
 //
+// With WithMembership the cluster is elastic: GM views drive the peer
+// set of every layer, so members can be added and evicted at runtime.
+// Cluster.AddNode admits a new node whose stack boots on the coherent
+// cut its ordered join created (delivering the same totally-ordered
+// suffix as the founders), Node.Evict removes a member with commit
+// confirmation, WithAutoEvict turns failure-detector suspicions into
+// ordered evictions, and ServeJoin/Join extend the same handshake
+// across OS processes over real UDP.
+//
 // The index-based Cluster methods (Broadcast, ChangeProtocol,
 // Deliveries, ...) survive as thin deprecated wrappers around the Node
 // API; see the migration table in the README.
@@ -86,4 +95,8 @@ type Status struct {
 	Epoch       uint64
 	Protocol    string
 	Undelivered int
+	// ViewID and Members describe the installed membership view (the
+	// founding view until a membership change commits).
+	ViewID  uint64
+	Members []int
 }

@@ -2,6 +2,8 @@ package dpu_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -133,8 +135,11 @@ func TestMembershipViewsAcrossSwitch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
+	ctx := context.Background()
 	// A membership change, then a protocol switch, then another change:
-	// GM must keep working, unaware of the replacement.
+	// GM must keep working, unaware of the replacement — and since views
+	// now drive the stack, the evicted member halts and a NEW node joins
+	// at runtime instead of a stale id resurrecting.
 	if err := c.Leave(0, 2); err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +153,31 @@ func TestMembershipViewsAcrossSwitch(t *testing.T) {
 			t.Fatalf("stack %d: no view", i)
 		}
 	}
-	c.ChangeProtocol(0, dpu.ProtocolSequencer)
-	if err := c.Join(1, 2); err != nil {
+	// The evicted stack halts once it publishes the view it was removed
+	// in; its handle reports ErrNotRunning.
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, err := c.Node(2); errors.Is(err, dpu.ErrNotRunning) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("evicted stack 2 still accepts operations")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	if _, err := c.ChangeProtocolAll(sctx, dpu.ProtocolSequencer); err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 3; i++ {
+	node, err := c.AddNode(sctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Index() != 3 {
+		t.Errorf("assigned member id %d, want 3", node.Index())
+	}
+	for _, i := range []int{0, 1} {
 		select {
 		case v := <-c.Views(i):
 			if v.ID != 2 || len(v.Members) != 3 {
@@ -161,6 +186,13 @@ func TestMembershipViewsAcrossSwitch(t *testing.T) {
 		case <-time.After(timeout):
 			t.Fatalf("stack %d: no view after switch", i)
 		}
+	}
+	st, err := node.Status(sctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Protocol != dpu.ProtocolSequencer || st.ViewID != 2 || len(st.Members) != 3 {
+		t.Errorf("joiner status %+v", st)
 	}
 }
 

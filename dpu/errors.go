@@ -18,9 +18,12 @@ var (
 	// before anything is broadcast to the group.
 	ErrUnknownProtocol = errors.New("dpu: unknown protocol")
 	// ErrUnsupported reports an operation the cluster's configuration
-	// cannot honor — e.g. link faults over an external transport, or
-	// membership operations without WithMembership.
+	// cannot honor — e.g. link faults over an external transport.
 	ErrUnsupported = errors.New("dpu: operation not supported by this cluster configuration")
+	// ErrNoMembership reports a membership operation (Join, Leave,
+	// Evict, AddNode, ServeJoin) on a cluster built without the
+	// group-membership module. Enable it with WithMembership.
+	ErrNoMembership = errors.New("dpu: membership module not enabled")
 	// ErrClosed reports an operation on a closed cluster.
 	ErrClosed = errors.New("dpu: cluster closed")
 )

@@ -1,0 +1,295 @@
+package dpu
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/gm"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// joinSyncsCounter counts joiner sync cuts served by this process
+// (AddNode commits and ServeJoin handshakes).
+var joinSyncsCounter = metrics.NewCounter("membership.join_syncs_served")
+
+// AddNode admits a brand-new member to a running cluster and hosts its
+// stack in this process: a fresh id is assigned at the commit point of
+// the ordered join, every member installs the view admitting it, and
+// the new stack boots on the coherent cut the join created — the epoch
+// boundary where every layer (rbcast destinations, rp2p peers, fd
+// monitors, consensus quorums, transport routes) already includes it.
+// From that epoch on the newcomer delivers the exact totally-ordered
+// suffix the founders deliver.
+//
+// endpoint is the new node's transport endpoint ("host:port" over a
+// real-socket transport; "" over the built-in simulated LAN). Requires
+// WithMembership (ErrNoMembership otherwise).
+func (c *Cluster) AddNode(ctx context.Context, endpoint string) (*Node, error) {
+	res, err := c.sponsorJoin(ctx, endpoint)
+	if err != nil {
+		return nil, err
+	}
+	id := int(res.Member)
+	boot := func() error {
+		// The sponsor's commit admits the route on its own executor pass
+		// asynchronously; admit it here too so the joiner's socket can
+		// open before that pass runs.
+		if endpoint != "" {
+			if r, ok := c.tr.(transport.Router); ok {
+				if err := r.AddRoute(transport.Addr(id), endpoint); err != nil {
+					return err
+				}
+			}
+		}
+		reg := c.newRegistry(bootCut{
+			protocol:  res.Protocol,
+			epoch:     res.Epoch,
+			viewID:    res.View.ID,
+			nextID:    res.NextID,
+			endpoints: res.Endpoints,
+		})
+		_, err := c.buildStack(id, res.View.Members, reg)
+		return err
+	}
+	if err := boot(); err != nil {
+		// The join already committed: every member's view, quorum and
+		// monitor set now count a stack that never started. Evict the
+		// phantom so the group's fault tolerance is not silently reduced.
+		ectx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if _, eerr := c.compensateEvict(ectx, id); eerr != nil {
+			return nil, fmt.Errorf("dpu: joiner stack %d failed (%w); compensating eviction also failed: %v", id, err, eerr)
+		}
+		return nil, fmt.Errorf("dpu: joiner stack %d failed and was evicted again: %w", id, err)
+	}
+	return &Node{c: c, id: id}, nil
+}
+
+// compensateEvict orders the removal of a member through any local
+// running stack (used when a committed join could not be followed by a
+// working stack).
+func (c *Cluster) compensateEvict(ctx context.Context, member int) (View, error) {
+	for _, s := range c.localSlots() {
+		if s.st.Running() && s.id != member {
+			return (&Node{c: c, id: s.id}).Evict(ctx, member)
+		}
+	}
+	return View{}, fmt.Errorf("%w: no local running stack", ErrNotRunning)
+}
+
+// sponsorJoin orders an Assign-join through the lowest-indexed local
+// running stack and waits for its commit, returning the sync cut a
+// joiner boots from.
+func (c *Cluster) sponsorJoin(ctx context.Context, endpoint string) (gm.Result, error) {
+	if !c.membership {
+		return gm.Result{}, fmt.Errorf("%w: enable it with WithMembership", ErrNoMembership)
+	}
+	var sponsor *stackSlot
+	for _, s := range c.localSlots() {
+		if s.st.Running() {
+			sponsor = s
+			break
+		}
+	}
+	if sponsor == nil {
+		return gm.Result{}, fmt.Errorf("%w: no local running stack to sponsor the join", ErrNotRunning)
+	}
+	reply := make(chan gm.Result, 1)
+	sponsor.st.Call(gm.Service, gm.Join{
+		Assign:   true,
+		Endpoint: endpoint,
+		Reply:    func(r gm.Result) { reply <- r },
+	})
+	select {
+	case r := <-reply:
+		if r.Err != nil {
+			return gm.Result{}, r.Err
+		}
+		joinSyncsCounter.Add(1)
+		return r, nil
+	case <-ctx.Done():
+		return gm.Result{}, ctx.Err()
+	case <-sponsor.st.Done():
+		return gm.Result{}, fmt.Errorf("%w: stack %d", ErrNotRunning, sponsor.id)
+	case <-c.closed:
+		return gm.Result{}, ErrClosed
+	}
+}
+
+// joinRequest and joinResponse are the JSON handshake between a joining
+// process (Join) and a member process (ServeJoin): one request line,
+// one response line, over TCP.
+type joinRequest struct {
+	Endpoint string `json:"endpoint"`
+}
+
+type joinResponse struct {
+	Error     string         `json:"error,omitempty"`
+	Member    int            `json:"member"`
+	Epoch     uint64         `json:"epoch"`
+	ViewID    uint64         `json:"view_id"`
+	NextID    int            `json:"next_id"`
+	Protocol  string         `json:"protocol"`
+	Members   []int          `json:"members"`
+	Endpoints map[int]string `json:"endpoints"`
+}
+
+// ServeJoin accepts join handshakes on the listener: each connection
+// carries one joinRequest, is ordered through this cluster as an
+// Assign-join, and is answered with the committed sync cut. The
+// listener is closed when the cluster closes. Requires WithMembership
+// and, for the joiner to be reachable, a real-socket transport with
+// endpoints configured (WithEndpoints).
+func (c *Cluster) ServeJoin(l net.Listener) error {
+	if !c.membership {
+		return fmt.Errorf("%w: enable it with WithMembership", ErrNoMembership)
+	}
+	go func() {
+		<-c.closed
+		l.Close()
+	}()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go c.serveJoinConn(conn)
+		}
+	}()
+	return nil
+}
+
+func (c *Cluster) serveJoinConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(60 * time.Second))
+	var req joinRequest
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
+		return
+	}
+	enc := json.NewEncoder(conn)
+	ctx, cancel := context.WithTimeout(context.Background(), 45*time.Second)
+	defer cancel()
+	res, err := c.sponsorJoin(ctx, req.Endpoint)
+	if err != nil {
+		enc.Encode(joinResponse{Error: err.Error()})
+		return
+	}
+	resp := joinResponse{
+		Member:    int(res.Member),
+		Epoch:     res.Epoch,
+		ViewID:    res.View.ID,
+		NextID:    int(res.NextID),
+		Protocol:  res.Protocol,
+		Members:   make([]int, len(res.View.Members)),
+		Endpoints: make(map[int]string, len(res.Endpoints)),
+	}
+	for i, m := range res.View.Members {
+		resp.Members[i] = int(m)
+	}
+	for p, ep := range res.Endpoints {
+		resp.Endpoints[int(p)] = ep
+	}
+	enc.Encode(resp)
+}
+
+// Join connects a fresh OS process to a running multi-process cluster:
+// it performs the ServeJoin handshake against a member at sponsorAddr
+// (TCP), then boots a single-stack cluster over real UDP sockets on the
+// committed cut — this process's stack is the newly admitted member,
+// listening on selfEndpoint. The returned Node delivers the same
+// totally-ordered suffix as every founding member, from its join epoch
+// on.
+//
+// Functional options are honored where they make sense for a joiner
+// (WithGrace, WithBatching, WithMaxOutstanding, WithDeliveryBuffer,
+// WithSeed, consensus variants and extra protocol implementations —
+// which must match the founders' registries); the initial protocol,
+// epoch and membership come from the handshake.
+func Join(ctx context.Context, sponsorAddr, selfEndpoint string, opts ...Option) (*Cluster, *Node, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", sponsorAddr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dpu: join handshake: %w", err)
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	} else {
+		conn.SetDeadline(time.Now().Add(60 * time.Second))
+	}
+	if err := json.NewEncoder(conn).Encode(joinRequest{Endpoint: selfEndpoint}); err != nil {
+		return nil, nil, fmt.Errorf("dpu: join handshake: %w", err)
+	}
+	var resp joinResponse
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return nil, nil, fmt.Errorf("dpu: join handshake: %w", err)
+	}
+	if resp.Error != "" {
+		return nil, nil, fmt.Errorf("dpu: join refused: %s", resp.Error)
+	}
+
+	book := make(map[transport.Addr]string, len(resp.Endpoints)+1)
+	endpoints := make(map[kernel.Addr]string, len(resp.Endpoints)+1)
+	for id, ep := range resp.Endpoints {
+		book[transport.Addr(id)] = ep
+		endpoints[kernel.Addr(id)] = ep
+	}
+	book[transport.Addr(resp.Member)] = selfEndpoint
+	endpoints[kernel.Addr(resp.Member)] = selfEndpoint
+	tr, err := transport.NewUDP(transport.UDPConfig{Book: book})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(o)
+	}
+	o.membership = true
+	o.transport = tr
+	impls, err := buildImpls(o)
+	if err != nil {
+		tr.Close()
+		return nil, nil, err
+	}
+	size := resp.NextID
+	if resp.Member >= size {
+		size = resp.Member + 1
+	}
+	c := &Cluster{
+		tr:         tr,
+		impls:      impls,
+		membership: true,
+		opts:       o,
+		slots:      make([]*stackSlot, size),
+		closed:     make(chan struct{}),
+	}
+	reg := c.newRegistry(bootCut{
+		protocol:  resp.Protocol,
+		epoch:     resp.Epoch,
+		viewID:    resp.ViewID,
+		nextID:    kernel.Addr(resp.NextID),
+		endpoints: endpoints,
+	})
+	peers := make([]kernel.Addr, len(resp.Members))
+	for i, m := range resp.Members {
+		peers[i] = kernel.Addr(m)
+	}
+	if _, err := c.buildStack(resp.Member, peers, reg); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	node, err := c.Node(resp.Member)
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	return c, node, nil
+}

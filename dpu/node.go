@@ -41,10 +41,11 @@ func (n *Node) Index() int { return n.id }
 
 // stack re-validates the handle and returns the underlying stack.
 func (n *Node) stack() (*kernel.Stack, error) {
-	if err := n.c.check(n.id); err != nil {
+	s, err := n.c.slot(n.id)
+	if err != nil {
 		return nil, err
 	}
-	return n.c.stacks[n.id], nil
+	return s.st, nil
 }
 
 // Broadcast atomically broadcasts data from this stack: it will be
@@ -54,15 +55,15 @@ func (n *Node) stack() (*kernel.Stack, error) {
 // stack's own broadcasts are still undelivered, the call blocks until
 // the total order catches up, the context is done, or the stack stops.
 func (n *Node) Broadcast(ctx context.Context, data []byte) error {
-	st, err := n.stack()
+	s, err := n.c.slot(n.id)
 	if err != nil {
 		return err
 	}
 	select {
-	case n.c.outstanding[n.id] <- struct{}{}:
+	case s.outstanding <- struct{}{}:
 	case <-ctx.Done():
 		return ctx.Err()
-	case <-st.Done():
+	case <-s.st.Done():
 		return fmt.Errorf("%w: stack %d", ErrNotRunning, n.id)
 	case <-n.c.closed:
 		return ErrClosed
@@ -70,7 +71,7 @@ func (n *Node) Broadcast(ctx context.Context, data []byte) error {
 	// KindAppPaced marks the message as holding a window slot, so the
 	// pump only releases slots for deliveries that acquired one —
 	// legacy KindApp broadcasts can never shrink the window.
-	st.Call(core.Service, core.Broadcast{Data: envelope.Wrap(envelope.KindAppPaced, data)})
+	s.st.Call(core.Service, core.Broadcast{Data: envelope.Wrap(envelope.KindAppPaced, data)})
 	return nil
 }
 
@@ -137,7 +138,14 @@ func (n *Node) WaitForEpoch(ctx context.Context, epoch uint64) (Status, error) {
 	})
 	select {
 	case s := <-reply:
-		return Status{Epoch: s.Sn, Protocol: s.Protocol, Undelivered: s.Undelivered}, nil
+		members := make([]int, len(s.Members))
+		for i, m := range s.Members {
+			members[i] = int(m)
+		}
+		return Status{
+			Epoch: s.Sn, Protocol: s.Protocol, Undelivered: s.Undelivered,
+			ViewID: s.ViewID, Members: members,
+		}, nil
 	case <-ctx.Done():
 		return Status{}, ctx.Err()
 	case <-st.Done():
@@ -152,16 +160,57 @@ func (n *Node) Status(ctx context.Context) (Status, error) {
 	return n.WaitForEpoch(ctx, 0)
 }
 
-// Join adds a member to the logical group view. Requires
-// WithMembership (ErrUnsupported otherwise).
+// Join re-admits a member id to the group view, fire-and-forget.
+// Requires WithMembership (ErrNoMembership otherwise). The view change
+// is totally ordered; it commits as a no-op if the id is already a
+// member. To admit a brand-new node with a fresh id and a running
+// stack, use Cluster.AddNode.
 func (n *Node) Join(member int) error {
 	return n.gmCall(member, func(p kernel.Addr) kernel.Request { return gm.Join{P: p} })
 }
 
-// Leave removes a member from the logical group view. Requires
-// WithMembership (ErrUnsupported otherwise).
+// Leave removes a member from the group view, fire-and-forget. Requires
+// WithMembership (ErrNoMembership otherwise). See Evict for the variant
+// that blocks until the view change commits.
 func (n *Node) Leave(member int) error {
 	return n.gmCall(member, func(p kernel.Addr) kernel.Request { return gm.Leave{P: p} })
+}
+
+// Evict removes a member from the group view and blocks until the
+// change commits on this stack, returning the installed view. Every
+// surviving member installs the identical view at the same point of the
+// total order; the evicted member, if alive and locally hosted, is
+// halted after publishing the view it was removed in. Requires
+// WithMembership (ErrNoMembership otherwise).
+func (n *Node) Evict(ctx context.Context, member int) (View, error) {
+	st, err := n.stack()
+	if err != nil {
+		return View{}, err
+	}
+	if !n.c.membership {
+		return View{}, fmt.Errorf("%w: enable it with WithMembership", ErrNoMembership)
+	}
+	if member < 0 {
+		return View{}, fmt.Errorf("%w: member %d", ErrOutOfRange, member)
+	}
+	reply := make(chan gm.Result, 1)
+	st.Call(gm.Service, gm.Leave{
+		P:     kernel.Addr(member),
+		Reply: func(r gm.Result) { reply <- r },
+	})
+	select {
+	case r := <-reply:
+		if r.Err != nil {
+			return View{}, r.Err
+		}
+		return publicView(r.View), nil
+	case <-ctx.Done():
+		return View{}, ctx.Err()
+	case <-st.Done():
+		return View{}, fmt.Errorf("%w: stack %d", ErrNotRunning, n.id)
+	case <-n.c.closed:
+		return View{}, ErrClosed
+	}
 }
 
 func (n *Node) gmCall(member int, req func(kernel.Addr) kernel.Request) error {
@@ -170,13 +219,22 @@ func (n *Node) gmCall(member int, req func(kernel.Addr) kernel.Request) error {
 		return err
 	}
 	if !n.c.membership {
-		return fmt.Errorf("%w: membership module not enabled (WithMembership)", ErrUnsupported)
+		return fmt.Errorf("%w: enable it with WithMembership", ErrNoMembership)
 	}
-	if member < 0 || member >= n.c.n {
-		return fmt.Errorf("%w: member %d not in [0,%d)", ErrOutOfRange, member, n.c.n)
+	if member < 0 {
+		return fmt.Errorf("%w: member %d", ErrOutOfRange, member)
 	}
 	st.Call(gm.Service, req(kernel.Addr(member)))
 	return nil
+}
+
+// publicView converts a gm.View into the public View type.
+func publicView(v gm.View) View {
+	members := make([]int, len(v.Members))
+	for i, m := range v.Members {
+		members[i] = int(m)
+	}
+	return View{ID: v.ID, Members: members}
 }
 
 // Crash kills this stack abruptly, modelling a machine crash. The

@@ -350,11 +350,18 @@ func TestNodeMembershipRequiresOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n0.Join(1); !errors.Is(err, dpu.ErrUnsupported) {
-		t.Errorf("Join without WithMembership = %v, want ErrUnsupported", err)
+	if err := n0.Join(1); !errors.Is(err, dpu.ErrNoMembership) {
+		t.Errorf("Join without WithMembership = %v, want ErrNoMembership", err)
 	}
-	if err := n0.Leave(1); !errors.Is(err, dpu.ErrUnsupported) {
-		t.Errorf("Leave without WithMembership = %v, want ErrUnsupported", err)
+	if err := n0.Leave(1); !errors.Is(err, dpu.ErrNoMembership) {
+		t.Errorf("Leave without WithMembership = %v, want ErrNoMembership", err)
+	}
+	ctx := context.Background()
+	if _, err := n0.Evict(ctx, 1); !errors.Is(err, dpu.ErrNoMembership) {
+		t.Errorf("Evict without WithMembership = %v, want ErrNoMembership", err)
+	}
+	if _, err := c.AddNode(ctx, ""); !errors.Is(err, dpu.ErrNoMembership) {
+		t.Errorf("AddNode without WithMembership = %v, want ErrNoMembership", err)
 	}
 }
 

@@ -17,6 +17,8 @@ type options struct {
 	local          []int
 	grace          time.Duration
 	membership     bool
+	autoEvict      bool
+	endpoints      map[int]string
 	buffer         int
 	maxOutstanding int
 	batchDelay     time.Duration
@@ -63,9 +65,38 @@ func WithGrace(d time.Duration) Option {
 }
 
 // WithMembership adds the group-membership module (GM in Figure 4) on
-// top of the replaceable atomic broadcast.
+// top of the replaceable atomic broadcast. With it enabled, GM views
+// drive every layer: a committed view change reconfigures rbcast
+// destinations, rp2p peer state, fd monitors, consensus quorums and
+// transport routes, and the cluster becomes elastic (AddNode,
+// Node.Evict, ServeJoin/Join across processes).
 func WithMembership() Option {
 	return func(o *options) { o.membership = true }
+}
+
+// WithAutoEvict makes GM propose an eviction whenever the failure
+// detector suspects a member. The proposal is ordered through the
+// public atomic broadcast, so every survivor installs the identical
+// view; duplicate proposals from several survivors commit as no-ops.
+// Requires WithMembership.
+func WithAutoEvict() Option {
+	return func(o *options) { o.autoEvict = true }
+}
+
+// WithEndpoints records the transport endpoint ("host:port") of each
+// founding member, so the membership layer can serve joiners a complete
+// address book and admit/retire routes as views change. Typically used
+// together with WithTransport over real UDP sockets; superfluous over
+// the built-in simulated LAN, whose routing is implicit.
+func WithEndpoints(eps map[int]string) Option {
+	return func(o *options) {
+		if o.endpoints == nil {
+			o.endpoints = make(map[int]string, len(eps))
+		}
+		for id, ep := range eps {
+			o.endpoints[id] = ep
+		}
+	}
 }
 
 // WithDeliveryBuffer sets the per-stack delivery channel capacity of

@@ -46,9 +46,9 @@ type SubscribeOptions struct {
 // independently. Streams end (channels close) when the subscription or
 // the cluster is closed.
 type Subscription struct {
-	c     *Cluster
-	stack int
-	opts  SubscribeOptions
+	c    *Cluster
+	slot *stackSlot
+	opts SubscribeOptions
 
 	deliveries chan Delivery
 	switches   chan SwitchEvent
@@ -63,7 +63,8 @@ type Subscription struct {
 // subscription observes events from the moment of the call; it does not
 // replay history.
 func (n *Node) Subscribe(opts SubscribeOptions) (*Subscription, error) {
-	if _, err := n.stack(); err != nil {
+	slot, err := n.c.slot(n.id)
+	if err != nil {
 		return nil, err
 	}
 	if opts.Buffer <= 0 {
@@ -71,7 +72,7 @@ func (n *Node) Subscribe(opts SubscribeOptions) (*Subscription, error) {
 	}
 	s := &Subscription{
 		c:          n.c,
-		stack:      n.id,
+		slot:       slot,
 		opts:       opts,
 		deliveries: make(chan Delivery, opts.Buffer),
 		switches:   make(chan SwitchEvent, opts.Buffer),
@@ -89,19 +90,19 @@ func (n *Node) Subscribe(opts SubscribeOptions) (*Subscription, error) {
 	if !opts.Views {
 		close(s.views)
 	}
-	n.c.subLocks[n.id].Lock()
+	slot.subMu.Lock()
 	// Cluster.Close closes c.closed before it snapshots the registries,
 	// so a subscription registered after that snapshot would never be
 	// closed — refuse instead. Checked under the lock to make the two
 	// orderings ("append then snapshot" and "refuse") the only ones.
 	select {
 	case <-n.c.closed:
-		n.c.subLocks[n.id].Unlock()
+		slot.subMu.Unlock()
 		return nil, ErrClosed
 	default:
 	}
-	n.c.subs[n.id] = append(n.c.subs[n.id], s)
-	n.c.subLocks[n.id].Unlock()
+	slot.subs = append(slot.subs, s)
+	slot.subMu.Unlock()
 	return s, nil
 }
 
@@ -135,16 +136,16 @@ func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 func (s *Subscription) Close() {
 	s.closeOnce.Do(func() {
 		close(s.done) // unblocks a Block-policy publisher mid-send
-		s.c.subLocks[s.stack].Lock()
-		list := s.c.subs[s.stack]
+		s.slot.subMu.Lock()
+		list := s.slot.subs
 		for i, x := range list {
 			if x == s {
-				s.c.subs[s.stack] = append(list[:i], list[i+1:]...)
+				s.slot.subs = append(list[:i], list[i+1:]...)
 				break
 			}
 		}
-		s.c.subLocks[s.stack].Unlock()
-		// Publishers run under the stack's RLock, so after the removal
+		s.slot.subMu.Unlock()
+		// Publishers run under the slot's RLock, so after the removal
 		// above none can still hold this subscription: closing is safe.
 		if s.opts.Deliveries {
 			close(s.deliveries)
@@ -183,30 +184,30 @@ func lagPush[T any](s *Subscription, ch chan T, v T) {
 	}
 }
 
-func (c *Cluster) publishDelivery(stack int, d Delivery) {
-	c.subLocks[stack].RLock()
-	defer c.subLocks[stack].RUnlock()
-	for _, s := range c.subs[stack] {
+func (slot *stackSlot) publishDelivery(c *Cluster, d Delivery) {
+	slot.subMu.RLock()
+	defer slot.subMu.RUnlock()
+	for _, s := range slot.subs {
 		if s.opts.Deliveries {
 			lagPush(s, s.deliveries, d)
 		}
 	}
 }
 
-func (c *Cluster) publishSwitch(stack int, ev SwitchEvent) {
-	c.subLocks[stack].RLock()
-	defer c.subLocks[stack].RUnlock()
-	for _, s := range c.subs[stack] {
+func (slot *stackSlot) publishSwitch(c *Cluster, ev SwitchEvent) {
+	slot.subMu.RLock()
+	defer slot.subMu.RUnlock()
+	for _, s := range slot.subs {
 		if s.opts.Switches {
 			lagPush(s, s.switches, ev)
 		}
 	}
 }
 
-func (c *Cluster) publishView(stack int, v View) {
-	c.subLocks[stack].RLock()
-	defer c.subLocks[stack].RUnlock()
-	for _, s := range c.subs[stack] {
+func (slot *stackSlot) publishView(c *Cluster, v View) {
+	slot.subMu.RLock()
+	defer slot.subMu.RUnlock()
+	for _, s := range slot.subs {
 		if s.opts.Views {
 			lagPush(s, s.views, v)
 		}

@@ -250,11 +250,14 @@ func FactoryWith(cfg Config) kernel.Factory {
 	}
 }
 
-// Start wires the module to RP2P, RBcast and the failure detector.
+// Start wires the module to RP2P, RBcast, the failure detector and the
+// kernel's membership indications (the participant set follows the
+// installed view).
 func (m *Module) Start() {
 	m.Stk.Call(rp2p.Service, rp2p.Listen{Channel: m.cfg.Channel, Handler: m.onRecv})
 	m.Stk.Call(rbcast.Service, rbcast.Listen{Channel: m.cfg.DecChannel, Handler: m.onDecision})
 	m.Stk.Subscribe(fd.Service, m)
+	m.Stk.Subscribe(kernel.PeerService, m)
 }
 
 // Stop detaches from the substrate services.
@@ -262,6 +265,7 @@ func (m *Module) Stop() {
 	m.Stk.Call(rp2p.Service, rp2p.Unlisten{Channel: m.cfg.Channel})
 	m.Stk.Call(rbcast.Service, rbcast.Unlisten{Channel: m.cfg.DecChannel})
 	m.Stk.Unsubscribe(fd.Service, m)
+	m.Stk.Unsubscribe(kernel.PeerService, m)
 }
 
 func (m *Module) majority() int { return len(m.peers)/2 + 1 }
@@ -333,13 +337,24 @@ func (m *Module) inspect() Inspect {
 	return out
 }
 
-// HandleIndication tracks the failure detector's suspect set.
+// HandleIndication tracks the failure detector's suspect set and
+// membership views: the participant set (quorums, coordinator
+// rotation) is the currently installed view. A view change is ordered
+// through the public atomic broadcast, so every surviving stack applies
+// the same participant set at the same point of the total order;
+// decisions of instances still draining under the old set propagate via
+// the reliable decision broadcast regardless.
 func (m *Module) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
 	switch v := ind.(type) {
 	case fd.Suspect:
 		m.suspects[v.P] = true
 	case fd.Restore:
 		delete(m.suspects, v.P)
+	case kernel.PeersChanged:
+		m.peers = append(m.peers[:0:0], v.Peers...) // already sorted
+		for _, p := range v.Removed {
+			delete(m.suspects, p)
+		}
 	default:
 		return
 	}

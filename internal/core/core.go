@@ -129,12 +129,33 @@ type Status struct {
 	Sn          uint64
 	Protocol    string
 	Undelivered int
+	// ViewID and Members describe the installed membership view; the
+	// EpochWaitReq barrier therefore doubles as a view barrier (a view
+	// change advances Sn).
+	ViewID  uint64
+	Members []kernel.Addr
 }
 
 // Config configures the replacement module.
 type Config struct {
-	// InitialProtocol names the implementation installed at epoch 0.
+	// InitialProtocol names the implementation installed at boot (epoch
+	// InitialEpoch).
 	InitialProtocol string
+	// InitialEpoch is the replacement layer's seqNumber at boot. Founders
+	// start at 0; a node joining a running group boots at the epoch its
+	// join committed in, so its first implementation instance plugs
+	// straight into the post-join epoch's traffic.
+	InitialEpoch uint64
+	// InitialViewID is the installed-view count at boot (see ViewChange).
+	InitialViewID uint64
+	// InitialNextID seeds the deterministic member-id allocator; it is
+	// raised to max(peer)+1 automatically. Joiners receive the group's
+	// current value through the join handshake.
+	InitialNextID kernel.Addr
+	// Endpoints maps the boot membership to transport endpoints, where
+	// known; view changes keep it current and feed it to the transport's
+	// routing state.
+	Endpoints map[kernel.Addr]string
 	// Impls resolves implementation names (abcast.StandardRegistry plus
 	// any custom protocols).
 	Impls *abcast.Registry
@@ -192,6 +213,7 @@ const (
 	tagNil   byte = 0 // ordinary rABcast message
 	tagNew   byte = 1 // replacement request
 	tagBatch byte = 2 // packed batch of rABcast messages (sender-side batching)
+	tagView  byte = 3 // membership change (view-driven epoch bump; see view.go)
 )
 
 type msgID struct {
@@ -279,10 +301,14 @@ type Repl struct {
 
 	// changeSeq numbers this stack's own change requests so a completed
 	// switch can be correlated back to the call that asked for it (the
-	// request id travels in the tagNew header, initiator-scoped).
+	// request id travels in the tagNew/tagView header, initiator-scoped).
 	changeSeq      uint64
 	pendingChanges map[uint64]func(ChangeReply)
+	pendingViews   map[uint64]func(ViewReply)
 	epochWaiters   []epochWaiter
+
+	// view is the ordered membership state (see view.go).
+	view viewState
 
 	// Sender-side batching state (Config.BatchDelay > 0): payloads
 	// accumulate as length-prefixed records in batch until a flush.
@@ -300,12 +326,16 @@ func Factory(cfg Config) kernel.Factory {
 		Protocol: Protocol,
 		Provides: []kernel.ServiceID{Service},
 		New: func(st *kernel.Stack) kernel.Module {
-			return &Repl{
+			m := &Repl{
 				Base:           kernel.NewBase(st, Protocol),
 				cfg:            cfg,
+				sn:             cfg.InitialEpoch,
 				undelivered:    newPendingSet(),
 				pendingChanges: make(map[uint64]func(ChangeReply)),
+				pendingViews:   make(map[uint64]func(ViewReply)),
 			}
+			m.initViewState()
+			return m
 		},
 	}
 }
@@ -369,6 +399,8 @@ func (m *Repl) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
 		m.rABcast(r.Data)
 	case ChangeProtocol:
 		m.requestChange(r)
+	case ChangeView:
+		m.requestView(r)
 	case StatusReq:
 		if r.Reply != nil {
 			r.Reply(m.status())
@@ -390,7 +422,10 @@ func (m *Repl) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
 }
 
 func (m *Repl) status() Status {
-	return Status{Sn: m.sn, Protocol: m.curName, Undelivered: m.undelivered.len()}
+	return Status{
+		Sn: m.sn, Protocol: m.curName, Undelivered: m.undelivered.len(),
+		ViewID: m.view.seq, Members: m.snapshotMembers(),
+	}
 }
 
 // requestChange validates and tracks a local change request, then
@@ -548,6 +583,17 @@ func (m *Repl) HandleIndication(svc kernel.ServiceID, ind kernel.Indication) {
 			return
 		}
 		m.onDeliverBatch(sn, id, blob)
+	case tagView:
+		initiator := kernel.Addr(r.Uvarint())
+		reqID := r.Uvarint()
+		op := ViewOp(r.Byte())
+		assign := r.Byte() != 0
+		member := kernel.Addr(r.Uvarint())
+		endpoint := r.String()
+		if r.Err() != nil {
+			return
+		}
+		m.onView(sn, initiator, reqID, op, assign, member, endpoint)
 	}
 }
 

@@ -341,7 +341,9 @@ func TestConcurrentChangesResolveConsistently(t *testing.T) {
 		s := <-got
 		if i == 0 {
 			refStatus = s
-		} else if s != refStatus {
+		} else if s.Sn != refStatus.Sn || s.Protocol != refStatus.Protocol ||
+			s.Undelivered != refStatus.Undelivered || s.ViewID != refStatus.ViewID ||
+			fmt.Sprint(s.Members) != fmt.Sprint(refStatus.Members) {
 			t.Errorf("stack %d status %+v != stack 0 status %+v", i, s, refStatus)
 		}
 	}

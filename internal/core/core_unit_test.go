@@ -38,6 +38,7 @@ type pubSink struct {
 	kernel.Base
 	delivers []Deliver
 	switches []Switched
+	views    []ViewChange
 }
 
 func (s *pubSink) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
@@ -46,6 +47,8 @@ func (s *pubSink) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
 		s.delivers = append(s.delivers, v)
 	case Switched:
 		s.switches = append(s.switches, v)
+	case ViewChange:
+		s.views = append(s.views, v)
 	}
 }
 

@@ -13,7 +13,10 @@ type Kind byte
 const (
 	// KindApp is application data (the dpu façade).
 	KindApp Kind = 0
-	// KindGM is group membership traffic.
+	// KindGM is reserved for group membership traffic. Since the
+	// view-driven membership refactor GM operations travel as a core
+	// wire tag (tagView) instead of enveloped app payloads; the value
+	// stays reserved so old captures decode unambiguously.
 	KindGM Kind = 1
 	// KindConsRepl is the consensus-replacement extension.
 	KindConsRepl Kind = 2

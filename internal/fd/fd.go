@@ -17,8 +17,13 @@ import (
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/udp"
 )
+
+// suspectCounter counts Suspect indications across all fd modules of
+// the process; exported through the metrics registry (dpu-bench -json).
+var suspectCounter = metrics.NewCounter("fd.suspect_events")
 
 // Service is the failure-detection service.
 const Service kernel.ServiceID = "fd"
@@ -112,13 +117,15 @@ func Factory(cfg Config) kernel.Factory {
 	}
 }
 
-// Start begins monitoring all other stacks of the group.
+// Start begins monitoring the other members of the current view and
+// subscribes to view changes so the monitor set tracks the membership.
 func (m *Module) Start() {
 	now := time.Now()
 	for _, p := range m.Stk.Others() {
 		m.peers[p] = &monitored{lastHeard: now, timeout: m.cfg.Timeout}
 	}
 	m.Stk.Subscribe(udp.Service, m)
+	m.Stk.Subscribe(kernel.PeerService, m)
 	m.tick = m.Stk.Every(m.cfg.Interval, m.onTick)
 }
 
@@ -128,6 +135,26 @@ func (m *Module) Stop() {
 		m.tick.Stop()
 	}
 	m.Stk.Unsubscribe(udp.Service, m)
+	m.Stk.Unsubscribe(kernel.PeerService, m)
+}
+
+// onPeersChanged reconciles the monitor set with a new membership view:
+// added members start monitored (heard "now", base timeout) so a fresh
+// joiner gets its startup grace; removed members are forgotten without
+// a Suspect, eviction is not a failure.
+func (m *Module) onPeersChanged(pc kernel.PeersChanged) {
+	now := time.Now()
+	for _, p := range pc.Added {
+		if p == m.Stk.Addr() {
+			continue
+		}
+		if _, ok := m.peers[p]; !ok {
+			m.peers[p] = &monitored{lastHeard: now, timeout: m.cfg.Timeout}
+		}
+	}
+	for _, p := range pc.Removed {
+		delete(m.peers, p)
+	}
 }
 
 func (m *Module) onTick() {
@@ -138,13 +165,20 @@ func (m *Module) onTick() {
 	for p, st := range m.peers {
 		if !st.suspected && now.Sub(st.lastHeard) > st.timeout {
 			st.suspected = true
+			suspectCounter.Add(1)
 			m.Stk.Indicate(Service, Suspect{P: p})
 		}
 	}
 }
 
-// HandleIndication processes heartbeat receptions.
-func (m *Module) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
+// HandleIndication processes heartbeat receptions and membership views.
+func (m *Module) HandleIndication(svc kernel.ServiceID, ind kernel.Indication) {
+	if svc == kernel.PeerService {
+		if pc, ok := ind.(kernel.PeersChanged); ok {
+			m.onPeersChanged(pc)
+		}
+		return
+	}
 	rv, ok := ind.(udp.Recv)
 	if !ok || rv.Chan != udp.ChanFD {
 		return

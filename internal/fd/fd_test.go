@@ -151,3 +151,40 @@ func TestSuspectsQuery(t *testing.T) {
 		t.Fatal("no reply")
 	}
 }
+
+func TestMonitorSetFollowsView(t *testing.T) {
+	// The monitor set is view-driven: a member removed by SetPeers is
+	// forgotten (no Suspect for eviction), and a freshly admitted member
+	// is monitored from "now" with the base timeout.
+	c, logs := build(t, 3, simnet.Config{},
+		fd.Config{Interval: 5 * time.Millisecond, Timeout: 40 * time.Millisecond})
+	// Remove 2 from stack 0's view; 2 keeps running, but even if it went
+	// silent, stack 0 must not suspect a non-member.
+	c.OnSync(0, func() { c.Stacks[0].SetPeers([]kernel.Addr{0, 1}, nil) })
+	c.Net.SetDown(2, true)
+	c.Eventually(timeout, "stack 1 suspects 2", func() bool { return logs[1].suspected(2) })
+	if logs[0].suspected(2) {
+		t.Error("stack 0 suspects evicted member 2")
+	}
+	// Re-admit 2 (still down): now stack 0 must suspect it again.
+	c.OnSync(0, func() { c.Stacks[0].SetPeers([]kernel.Addr{0, 1, 2}, nil) })
+	c.Eventually(timeout, "stack 0 suspects re-admitted 2", func() bool { return logs[0].suspected(2) })
+}
+
+func TestSuspectsReqAfterViewChange(t *testing.T) {
+	c, logs := build(t, 2, simnet.Config{},
+		fd.Config{Interval: 5 * time.Millisecond, Timeout: 40 * time.Millisecond})
+	c.Net.SetDown(1, true)
+	c.Eventually(timeout, "suspicion", func() bool { return logs[0].suspected(1) })
+	c.OnSync(0, func() { c.Stacks[0].SetPeers([]kernel.Addr{0}, nil) })
+	got := make(chan []kernel.Addr, 1)
+	c.Stacks[0].Call(fd.Service, fd.SuspectsReq{Reply: func(s []kernel.Addr) { got <- s }})
+	select {
+	case s := <-got:
+		if len(s) != 0 {
+			t.Errorf("suspects after eviction = %v, want none", s)
+		}
+	case <-time.After(timeout):
+		t.Fatal("no SuspectsReq reply")
+	}
+}

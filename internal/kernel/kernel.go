@@ -177,12 +177,43 @@ type Config struct {
 	Logger *log.Logger
 }
 
+// PeerService is the kernel-provided membership service: SetPeers
+// indicates PeersChanged on it, so protocol modules whose state is
+// keyed by the peer set (rp2p connections, fd monitors, consensus
+// quorums, transport routes) can reconfigure at runtime instead of
+// freezing the group at construction. The service has no provider —
+// only indications flow.
+const PeerService ServiceID = "kernel/peers"
+
+// PeersChanged is indicated on PeerService after every SetPeers that
+// altered the peer set. Slices and the map are shared snapshots:
+// listeners must not mutate them.
+type PeersChanged struct {
+	// Peers is the new peer set (sorted, including this stack when it
+	// is still a member).
+	Peers []Addr
+	// Added and Removed are the deltas relative to the previous set.
+	Added   []Addr
+	Removed []Addr
+	// Endpoints maps peers to transport endpoint strings, when known
+	// (empty for fabrics with implicit routing, e.g. simnet).
+	Endpoints map[Addr]string
+}
+
+// peerSet is the stack's current view of the group, swapped atomically
+// so Peers/Others/N stay safe from any goroutine.
+type peerSet struct {
+	peers     []Addr
+	endpoints map[Addr]string
+}
+
 // Stack is the set of modules located on one machine, together with the
 // service bindings and the serial executor that runs them.
 type Stack struct {
-	cfg  Config
-	exec *executor
-	rng  *rand.Rand
+	cfg   Config
+	exec  *executor
+	rng   *rand.Rand
+	peers atomic.Pointer[peerSet]
 
 	// Executor-owned state below.
 	services   map[ServiceID]*service
@@ -226,6 +257,9 @@ func NewStack(cfg Config) *Stack {
 		ensuring: make(map[ServiceID]bool),
 		timers:   make(map[*Timer]struct{}),
 	}
+	initial := append([]Addr(nil), cfg.Peers...)
+	sort.Slice(initial, func(i, j int) bool { return initial[i] < initial[j] })
+	st.peers.Store(&peerSet{peers: initial})
 	st.exec = newExecutor(st.runTask, st.runFlushers)
 	return st
 }
@@ -233,21 +267,65 @@ func NewStack(cfg Config) *Stack {
 // Addr returns this stack's address.
 func (st *Stack) Addr() Addr { return st.cfg.Addr }
 
-// Peers returns the group membership (including this stack).
-func (st *Stack) Peers() []Addr { return st.cfg.Peers }
+// Peers returns the current group membership (including this stack
+// while it remains a member). The slice is a shared snapshot — callers
+// must not mutate it. The set is seeded from Config.Peers and evolves
+// through SetPeers as GM views are installed.
+func (st *Stack) Peers() []Addr { return st.peers.Load().peers }
 
-// N returns the group size.
-func (st *Stack) N() int { return len(st.cfg.Peers) }
+// Endpoint returns the transport endpoint recorded for a peer by the
+// last SetPeers ("" when unknown or for implicit-routing fabrics).
+func (st *Stack) Endpoint(p Addr) string { return st.peers.Load().endpoints[p] }
 
-// Others returns all peers except this stack.
+// N returns the current group size.
+func (st *Stack) N() int { return len(st.Peers()) }
+
+// Others returns all current peers except this stack.
 func (st *Stack) Others() []Addr {
-	out := make([]Addr, 0, len(st.cfg.Peers)-1)
-	for _, p := range st.cfg.Peers {
+	peers := st.Peers()
+	out := make([]Addr, 0, len(peers)-1)
+	for _, p := range peers {
 		if p != st.cfg.Addr {
 			out = append(out, p)
 		}
 	}
 	return out
+}
+
+// SetPeers installs a new peer set (a membership view), returning the
+// deltas against the previous one. When anything changed, PeersChanged
+// is indicated on PeerService so every peer-keyed layer reconfigures.
+// endpoints (may be nil) maps peers to transport endpoint strings; it is
+// retained as a shared snapshot. Executor-only.
+func (st *Stack) SetPeers(peers []Addr, endpoints map[Addr]string) (added, removed []Addr) {
+	next := append([]Addr(nil), peers...)
+	sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+	prev := st.peers.Load()
+	in := func(set []Addr, p Addr) bool {
+		for _, q := range set {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range next {
+		if !in(prev.peers, p) {
+			added = append(added, p)
+		}
+	}
+	for _, p := range prev.peers {
+		if !in(next, p) {
+			removed = append(removed, p)
+		}
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		return nil, nil
+	}
+	st.peers.Store(&peerSet{peers: next, endpoints: endpoints})
+	st.trace(TraceEvent{Kind: TracePeersChanged})
+	st.Indicate(PeerService, PeersChanged{Peers: next, Added: added, Removed: removed, Endpoints: endpoints})
+	return added, removed
 }
 
 // Registry returns the factory registry used for create_module recursion.

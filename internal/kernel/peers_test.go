@@ -1,0 +1,104 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// peerLog records PeersChanged indications.
+type peerLog struct {
+	Base
+	events []PeersChanged
+}
+
+func (l *peerLog) HandleIndication(_ ServiceID, ind Indication) {
+	if pc, ok := ind.(PeersChanged); ok {
+		l.events = append(l.events, pc)
+	}
+}
+
+func TestSetPeersDiffsAndIndicates(t *testing.T) {
+	st := NewStack(Config{Addr: 0, Peers: []Addr{0, 1, 2}})
+	defer st.Close()
+	var l *peerLog
+	st.DoSync(func() {
+		l = &peerLog{Base: NewBase(st, "peer-log")}
+		st.AddModule(l)
+		st.Subscribe(PeerService, l)
+	})
+
+	var added, removed []Addr
+	st.DoSync(func() {
+		added, removed = st.SetPeers([]Addr{0, 2, 5}, map[Addr]string{5: "host:5"})
+	})
+	if fmt.Sprint(added) != "[5]" || fmt.Sprint(removed) != "[1]" {
+		t.Fatalf("diff added=%v removed=%v", added, removed)
+	}
+	if got := fmt.Sprint(st.Peers()); got != "[0 2 5]" {
+		t.Fatalf("Peers() = %s", got)
+	}
+	if st.N() != 3 {
+		t.Fatalf("N() = %d", st.N())
+	}
+	if got := fmt.Sprint(st.Others()); got != "[2 5]" {
+		t.Fatalf("Others() = %s", got)
+	}
+	if st.Endpoint(5) != "host:5" || st.Endpoint(0) != "" {
+		t.Fatalf("endpoints: %q %q", st.Endpoint(5), st.Endpoint(0))
+	}
+
+	var events []PeersChanged
+	st.DoSync(func() { events = append([]PeersChanged(nil), l.events...) })
+	if len(events) != 1 {
+		t.Fatalf("got %d PeersChanged, want 1", len(events))
+	}
+	ev := events[0]
+	if fmt.Sprint(ev.Peers) != "[0 2 5]" || fmt.Sprint(ev.Added) != "[5]" || fmt.Sprint(ev.Removed) != "[1]" {
+		t.Fatalf("event %+v", ev)
+	}
+	if ev.Endpoints[5] != "host:5" {
+		t.Fatalf("event endpoints %v", ev.Endpoints)
+	}
+}
+
+func TestSetPeersNoChangeNoIndication(t *testing.T) {
+	st := NewStack(Config{Addr: 0, Peers: []Addr{0, 1}})
+	defer st.Close()
+	var l *peerLog
+	st.DoSync(func() {
+		l = &peerLog{Base: NewBase(st, "peer-log")}
+		st.AddModule(l)
+		st.Subscribe(PeerService, l)
+	})
+	var added, removed []Addr
+	st.DoSync(func() {
+		added, removed = st.SetPeers([]Addr{1, 0}, nil) // same set, different order
+	})
+	if added != nil || removed != nil {
+		t.Fatalf("diff on identical set: %v / %v", added, removed)
+	}
+	var count int
+	st.DoSync(func() { count = len(l.events) })
+	if count != 0 {
+		t.Fatalf("identical set indicated %d times", count)
+	}
+}
+
+func TestPeersSafeFromAnyGoroutine(t *testing.T) {
+	st := NewStack(Config{Addr: 0, Peers: []Addr{0, 1}})
+	defer st.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			_ = st.Peers()
+			_ = st.Others()
+			_ = st.N()
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		n := i
+		st.DoSync(func() { st.SetPeers([]Addr{0, 1, Addr(2 + n%3)}, nil) })
+	}
+	<-done
+}

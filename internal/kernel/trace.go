@@ -33,12 +33,14 @@ const (
 	TraceModuleRemove
 	// TraceCrash: the stack crashed.
 	TraceCrash
+	// TracePeersChanged: SetPeers installed a new membership view.
+	TracePeersChanged
 )
 
 var traceKindNames = [...]string{
 	"call", "call-blocked", "call-unblocked", "bind", "unbind",
 	"subscribe", "unsubscribe", "indicate", "indication-dropped",
-	"module-add", "module-remove", "crash",
+	"module-add", "module-remove", "crash", "peers-changed",
 }
 
 // String returns a short name for the kind.

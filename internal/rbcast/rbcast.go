@@ -95,12 +95,40 @@ func (c Config) withDefaults() Config {
 // seenSet tracks which sequence numbers of one origin were received,
 // compacting the contiguous prefix so memory stays bounded under FIFO
 // arrival.
+//
+// The first record observed from an origin sets a baseline: a receiver
+// that joined the group mid-stream (view-driven membership) first hears
+// an origin at some seq far above 1, and without the baseline the
+// sparse set would wait forever for a prefix that was never addressed
+// to it. Records below the baseline — in-flight at join time, arriving
+// late via relays — are still accepted exactly once through a small
+// side set that only ever holds seqs actually received.
 type seenSet struct {
 	maxContig uint64
 	sparse    map[uint64]bool
+	based     bool
+	base      uint64          // adopted baseline: seqs <= base tracked in below
+	below     map[uint64]bool // below-baseline seqs received individually
 }
 
 func (s *seenSet) add(seq uint64) bool {
+	if !s.based {
+		s.based = true
+		if seq > 1 {
+			s.base = seq - 1
+			s.maxContig = s.base
+		}
+	}
+	if seq <= s.base {
+		if s.below[seq] {
+			return false
+		}
+		if s.below == nil {
+			s.below = make(map[uint64]bool)
+		}
+		s.below[seq] = true
+		return true
+	}
 	if seq <= s.maxContig || s.sparse[seq] {
 		return false
 	}

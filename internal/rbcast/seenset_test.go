@@ -67,3 +67,40 @@ func TestQuickSeenSetMatchesReferenceSet(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSeenSetMidStreamBaseline(t *testing.T) {
+	// A receiver that first hears an origin mid-stream (a node admitted
+	// by a view change) adopts a baseline: memory stays bounded, and
+	// in-flight records below the baseline are still accepted exactly
+	// once.
+	s := &seenSet{sparse: make(map[uint64]bool)}
+	if !s.add(500) {
+		t.Fatal("first mid-stream record rejected")
+	}
+	if s.add(500) {
+		t.Fatal("duplicate accepted")
+	}
+	if s.maxContig != 500 {
+		t.Fatalf("maxContig = %d, want 500 (baseline adopted)", s.maxContig)
+	}
+	// The contiguous stream continues without sparse growth.
+	for seq := uint64(501); seq <= 600; seq++ {
+		if !s.add(seq) {
+			t.Fatalf("seq %d rejected", seq)
+		}
+	}
+	if len(s.sparse) != 0 {
+		t.Fatalf("sparse grew to %d under FIFO arrival", len(s.sparse))
+	}
+	// Late below-baseline records (relayed in-flight at join time) are
+	// delivered exactly once.
+	if !s.add(480) || s.add(480) {
+		t.Fatal("below-baseline record not exactly-once")
+	}
+	if !s.add(479) {
+		t.Fatal("second below-baseline record rejected")
+	}
+	if len(s.below) != 2 {
+		t.Fatalf("below set %d, want 2", len(s.below))
+	}
+}

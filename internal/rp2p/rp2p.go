@@ -232,9 +232,12 @@ func Factory(cfg Config) kernel.Factory {
 
 // Start subscribes to the UDP service and registers the end-of-pass
 // ack flusher: data packets arriving in one executor batch are answered
-// with one cumulative ack per peer instead of one ack per packet.
+// with one cumulative ack per peer instead of one ack per packet. It
+// also subscribes to membership views so per-peer reliability state is
+// garbage-collected when a member is evicted.
 func (m *Module) Start() {
 	m.Stk.Subscribe(udp.Service, m)
+	m.Stk.Subscribe(kernel.PeerService, m)
 	m.unregister = m.Stk.RegisterFlusher(m.flushAcks)
 }
 
@@ -258,6 +261,35 @@ func (m *Module) Stop() {
 		m.unregister()
 	}
 	m.Stk.Unsubscribe(udp.Service, m)
+	m.Stk.Unsubscribe(kernel.PeerService, m)
+}
+
+// dropPeer releases all reliability state held for a peer that left the
+// view: the retransmission timer (which would otherwise keep firing at
+// MaxRTO forever, the packets unackable), pooled in-flight buffers and
+// the backlog. Out-of-order receive buffers go with it; a straggler
+// datagram from the gone peer would lazily recreate clean state, which
+// the next view change collects again.
+func (m *Module) dropPeer(a kernel.Addr) {
+	p, ok := m.peers[a]
+	if !ok {
+		return
+	}
+	if p.rtimer != nil {
+		p.rtimer.Stop()
+		p.rtimer = nil
+	}
+	p.rtGen++ // invalidate any queued retransmit event
+	for _, pkt := range p.unacked {
+		pkt.w.Free()
+	}
+	p.unacked = nil
+	for _, pkt := range p.sendQ {
+		pkt.w.Free()
+	}
+	p.sendQ = nil
+	p.oob = nil
+	delete(m.peers, a)
 }
 
 func (m *Module) peerFor(a kernel.Addr) *peer {
@@ -361,8 +393,17 @@ func (m *Module) retransmit(p *peer, gen uint64) {
 	m.armRetransmit(p)
 }
 
-// HandleIndication processes UDP receptions tagged for RP2P.
-func (m *Module) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
+// HandleIndication processes UDP receptions tagged for RP2P and
+// membership views (evicted members' state is released).
+func (m *Module) HandleIndication(svc kernel.ServiceID, ind kernel.Indication) {
+	if svc == kernel.PeerService {
+		if pc, ok := ind.(kernel.PeersChanged); ok {
+			for _, p := range pc.Removed {
+				m.dropPeer(p)
+			}
+		}
+		return
+	}
 	rv, ok := ind.(udp.Recv)
 	if !ok || rv.Chan != udp.ChanRP2P {
 		return

@@ -59,6 +59,23 @@ func (t *FaultyTransport) Open(addr Addr, recv RecvFunc) (Endpoint, error) {
 // Close closes the inner transport.
 func (t *FaultyTransport) Close() { t.inner.Close() }
 
+// AddRoute forwards to the inner transport when it supports routing;
+// a no-op over implicit-routing fabrics, so the decorator is always a
+// Router and view-driven route updates pass through it transparently.
+func (t *FaultyTransport) AddRoute(addr Addr, endpoint string) error {
+	if r, ok := t.inner.(Router); ok {
+		return r.AddRoute(addr, endpoint)
+	}
+	return nil
+}
+
+// RemoveRoute forwards to the inner transport when it supports routing.
+func (t *FaultyTransport) RemoveRoute(addr Addr) {
+	if r, ok := t.inner.(Router); ok {
+		r.RemoveRoute(addr)
+	}
+}
+
 // Stats returns a snapshot of the decorator's counters.
 func (t *FaultyTransport) Stats() FaultStats {
 	t.mu.Lock()

@@ -52,6 +52,19 @@ type Endpoint interface {
 	Close()
 }
 
+// Router is an optional Transport extension for fabrics with explicit
+// routing state (the real-socket address book): membership views admit
+// and retire endpoints at runtime through it. Fabrics with implicit
+// routing (simnet reaches any address) simply do not implement it.
+type Router interface {
+	// AddRoute maps a group address to a transport endpoint ("host:port"
+	// for UDP). Re-adding an existing address overwrites its entry.
+	AddRoute(addr Addr, endpoint string) error
+	// RemoveRoute forgets the address; subsequent sends to it are
+	// dropped as loss.
+	RemoveRoute(addr Addr)
+}
+
 // Transport is a factory of endpoints over one fabric.
 type Transport interface {
 	// Open attaches an endpoint at addr. recv is invoked for every

@@ -386,3 +386,93 @@ func TestFaultySeededLoss(t *testing.T) {
 		t.Fatalf("fates not reproducible:\n%v\n%v", a, b)
 	}
 }
+
+func TestUDPRuntimeRoutes(t *testing.T) {
+	// The address book is mutable at runtime: AddRoute admits a joiner's
+	// endpoint, RemoveRoute retires an evicted member's.
+	addrs := transporttest.ReserveAddrs(t, 3)
+	tr, err := NewUDP(UDPConfig{Book: map[Addr]string{0: addrs[0], 1: addrs[1]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	recv := make(chan string, 16)
+	ep0, err := tr.Open(0, func(from Addr, data []byte) {
+		recv <- fmt.Sprintf("%d:%s", from, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Address 2 is not in the book yet: the send is dropped as loss.
+	ep0.Send(2, []byte("early"))
+	if got := tr.Stats().SendErrs; got != 1 {
+		t.Fatalf("send to unrouted address: SendErrs = %d, want 1", got)
+	}
+
+	// Admit 2 at runtime and exchange traffic both ways.
+	if err := tr.AddRoute(2, addrs[2]); err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := tr.Open(2, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ep2
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ep0.Send(2, []byte("hi")) // UDP: retry until the socket is up
+		ep2.Send(0, []byte("yo"))
+		select {
+		case got := <-recv:
+			if got != "2:yo" {
+				t.Fatalf("received %q", got)
+			}
+			goto routed
+		case <-time.After(10 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no traffic over runtime route")
+		}
+	}
+routed:
+	// Retire the route: sends drop again.
+	tr.RemoveRoute(2)
+	base := tr.Stats().SendErrs
+	ep0.Send(2, []byte("late"))
+	if got := tr.Stats().SendErrs; got != base+1 {
+		t.Fatalf("send after RemoveRoute: SendErrs = %d, want %d", got, base+1)
+	}
+
+	// AddRoute validates the endpoint.
+	if err := tr.AddRoute(5, "not a hostport::"); err == nil {
+		t.Fatal("bad endpoint accepted")
+	}
+}
+
+func TestFaultyForwardsRoutes(t *testing.T) {
+	addrs := transporttest.ReserveAddrs(t, 2)
+	inner, err := NewUDP(UDPConfig{Book: map[Addr]string{0: addrs[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Faulty(inner, FaultConfig{})
+	defer f.Close()
+	var r Router = f // the decorator is always a Router
+	if err := r.AddRoute(1, addrs[1]); err != nil {
+		t.Fatal(err)
+	}
+	inner.bookMu.RLock()
+	_, ok := inner.book[1]
+	inner.bookMu.RUnlock()
+	if !ok {
+		t.Fatal("route not forwarded to inner transport")
+	}
+	r.RemoveRoute(1)
+	inner.bookMu.RLock()
+	_, ok = inner.book[1]
+	inner.bookMu.RUnlock()
+	if ok {
+		t.Fatal("route removal not forwarded")
+	}
+}

@@ -57,8 +57,12 @@ type UDPStats struct {
 // socket and starts a read-loop goroutine that decodes frames and hands
 // them to the endpoint's RecvFunc.
 type UDPTransport struct {
-	cfg  UDPConfig
-	book map[Addr]*net.UDPAddr
+	cfg UDPConfig
+
+	// The address book is mutable at runtime (see AddRoute/RemoveRoute,
+	// driven by membership views); bookMu is read-locked on every Send.
+	bookMu sync.RWMutex
+	book   map[Addr]*net.UDPAddr
 
 	mu     sync.Mutex
 	eps    map[Addr]*udpEndpoint
@@ -106,7 +110,9 @@ func (t *UDPTransport) Open(addr Addr, recv RecvFunc) (Endpoint, error) {
 	if _, dup := t.eps[addr]; dup {
 		return nil, fmt.Errorf("transport: endpoint %d already open", addr)
 	}
+	t.bookMu.RLock()
 	ua, ok := t.book[addr]
+	t.bookMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: address %d not in book", addr)
 	}
@@ -119,6 +125,28 @@ func (t *UDPTransport) Open(addr Addr, recv RecvFunc) (Endpoint, error) {
 	ep.wg.Add(1)
 	go ep.readLoop()
 	return ep, nil
+}
+
+// AddRoute maps a group address to a "host:port" endpoint at runtime,
+// resolving it immediately. Membership views use it to admit a joining
+// node's socket into the address book on every running process.
+func (t *UDPTransport) AddRoute(addr Addr, endpoint string) error {
+	ua, err := net.ResolveUDPAddr("udp", endpoint)
+	if err != nil {
+		return fmt.Errorf("transport: route %d (%q): %w", addr, endpoint, err)
+	}
+	t.bookMu.Lock()
+	t.book[addr] = ua
+	t.bookMu.Unlock()
+	return nil
+}
+
+// RemoveRoute retires an address from the book; subsequent sends to it
+// are dropped as loss. Used when a member is evicted from the view.
+func (t *UDPTransport) RemoveRoute(addr Addr) {
+	t.bookMu.Lock()
+	delete(t.book, addr)
+	t.bookMu.Unlock()
 }
 
 // Stats returns a snapshot of socket counters.
@@ -169,7 +197,9 @@ func (e *udpEndpoint) Addr() Addr { return e.addr }
 // datagram, as network loss would; RP2P's retransmission recovers.
 func (e *udpEndpoint) Send(to Addr, data []byte) {
 	t := e.tr
+	t.bookMu.RLock()
 	dst, ok := t.book[to]
+	t.bookMu.RUnlock()
 	if !ok || len(data) > t.cfg.MaxPacket-maxFrameHeader {
 		reason := "address not in book"
 		if ok {

@@ -93,11 +93,13 @@ func Factory(tr transport.Transport) kernel.Factory {
 	}
 }
 
-// Start opens the endpoint at the stack's address. Module.Start cannot
-// return an error, so a failure (e.g. a real-socket bind conflict) is
-// recorded for OpenErr and the module stays up with no endpoint,
-// dropping all traffic.
+// Start opens the endpoint at the stack's address and subscribes to
+// membership views so the transport's routing state follows the view.
+// Module.Start cannot return an error, so a failure (e.g. a real-socket
+// bind conflict) is recorded for OpenErr and the module stays up with
+// no endpoint, dropping all traffic.
 func (m *Module) Start() {
+	m.Stk.Subscribe(kernel.PeerService, m)
 	ep, err := m.tr.Open(transport.Addr(m.Stk.Addr()), m.receive)
 	if err != nil {
 		m.openErr = err
@@ -114,9 +116,45 @@ func (m *Module) OpenErr() error { return m.openErr }
 
 // Stop releases the endpoint.
 func (m *Module) Stop() {
+	m.Stk.Unsubscribe(kernel.PeerService, m)
 	if m.ep != nil {
 		m.ep.Close()
 		m.ep = nil
+	}
+}
+
+// HandleIndication admits transport routes as membership views change,
+// when the transport has explicit routing state (real sockets).
+// Implicit-routing fabrics (simnet) need no updates.
+//
+// Routes are only ADDED here. The transport — and its address book —
+// is shared by every stack this process hosts, while a view installs
+// on each stack's executor independently: removing a route as soon as
+// ONE stack drops the peer would sever co-hosted stacks that have not
+// installed the view yet (including retransmissions still carrying the
+// eviction commit toward the evicted member). Retirement is therefore
+// a process-level decision, taken by whoever owns the process's stack
+// set (the dpu layer prunes once no local stack lists the peer).
+func (m *Module) HandleIndication(svc kernel.ServiceID, ind kernel.Indication) {
+	if svc != kernel.PeerService {
+		return
+	}
+	pc, ok := ind.(kernel.PeersChanged)
+	if !ok {
+		return
+	}
+	router, ok := m.tr.(transport.Router)
+	if !ok {
+		return
+	}
+	for _, p := range pc.Added {
+		ep := pc.Endpoints[p]
+		if ep == "" {
+			continue // endpoint unknown: leave the book alone
+		}
+		if err := router.AddRoute(transport.Addr(p), ep); err != nil {
+			m.Stk.Logf("udp: admitting route %d -> %q: %v", p, ep, err)
+		}
 	}
 }
 
