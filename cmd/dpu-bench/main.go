@@ -16,6 +16,15 @@
 //	dpu-bench -fig membership        # view-change churn probe (runtime join/evict)
 //	dpu-bench -fig all               # everything
 //	dpu-bench -quick -json           # fast smoke run + BENCH_results.json
+//
+// Adaptive environment scenarios (see docs/ADAPTIVE.md) run a live
+// WithAdaptive cluster through a scripted network timeline and verify
+// the controller converges to the right protocol per phase:
+//
+//	dpu-bench -scenario loss-ramp      # clean -> 30% loss -> recovered
+//	dpu-bench -scenario latency-step   # 100µs -> 5ms -> back
+//	dpu-bench -scenario partition-flap # link flaps; hysteresis/cooldown hold
+//	dpu-bench -scenario all -json      # all three + policy.* counters in JSON
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/dpu"
@@ -52,6 +62,7 @@ type report struct {
 	AblationMatrix   []matrixJSON      `json:"ablation_matrix,omitempty"`
 	Throughput       *throughputJSON   `json:"throughput,omitempty"`
 	Membership       *membershipJSON   `json:"membership,omitempty"`
+	Scenarios        []scenarioJSON    `json:"scenarios,omitempty"`
 	Counters         map[string]uint64 `json:"counters,omitempty"`
 }
 
@@ -115,6 +126,38 @@ type membershipJSON struct {
 	JoinMs      float64 `json:"join_ms"`  // mean confirmed AddNode latency
 	EvictMs     float64 `json:"evict_ms"` // mean confirmed Evict latency
 	FinalViewID uint64  `json:"final_view_id"`
+}
+
+// scenarioJSON records one adaptive environment timeline: the scripted
+// phases, whether the controller converged to the expected protocol in
+// each, and every switch it performed. The policy.* counters land in
+// the top-level counter section.
+type scenarioJSON struct {
+	Name         string              `json:"name"`
+	N            int                 `json:"n"`
+	Policy       string              `json:"policy"`
+	InitialProto string              `json:"initial_protocol"`
+	Phases       []scenarioPhaseJSON `json:"phases"`
+	Switches     []scenarioEventJSON `json:"switches"`
+	AdviceEvents int                 `json:"advice_events"`
+}
+
+type scenarioPhaseJSON struct {
+	Name         string  `json:"name"`
+	LossPct      float64 `json:"loss_pct"`
+	DelayUs      int64   `json:"delay_us"`
+	DurationMs   float64 `json:"duration_ms"`
+	WantProtocol string  `json:"want_protocol,omitempty"`
+	EndProtocol  string  `json:"end_protocol"`
+	Converged    bool    `json:"converged"`
+	ConvergeMs   float64 `json:"converge_ms,omitempty"`
+	Switches     int     `json:"switches"`
+}
+
+type scenarioEventJSON struct {
+	AtMs     float64 `json:"at_ms"` // relative to scenario start
+	Protocol string  `json:"protocol"`
+	Epoch    uint64  `json:"epoch"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -212,6 +255,7 @@ func membershipProbe(rounds int, seed int64) (*membershipJSON, error) {
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, ablation-managers, ablation-reissue, ablation-matrix, throughput, membership, all")
+	scenario := flag.String("scenario", "", "adaptive environment timeline(s) to run instead of figures: loss-ramp, latency-step, partition-flap, all (comma-separated)")
 	n := flag.Int("n", 7, "group size for Figure 5")
 	rate := flag.Float64("rate", 50, "per-stack message rate for Figure 5 [msg/s]")
 	payload := flag.Int("payload", 1024, "payload size for Figure 5 [bytes]")
@@ -246,7 +290,10 @@ func main() {
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	want := func(name string) bool { return *fig == "all" || *fig == name }
+	// -scenario selects the adaptive timelines and skips the figures; the
+	// two probe different things and a CI job typically wants one or the
+	// other.
+	want := func(name string) bool { return *scenario == "" && (*fig == "all" || *fig == name) }
 
 	if want("5") {
 		run("Figure 5", func() error {
@@ -383,6 +430,35 @@ func main() {
 			rep.Membership = mj
 			return nil
 		})
+	}
+
+	if *scenario != "" {
+		defs := scenarioDefs(*quick)
+		names := []string{"loss-ramp", "latency-step", "partition-flap"}
+		if *scenario != "all" {
+			names = nil
+			for _, s := range strings.Split(*scenario, ",") {
+				if s = strings.TrimSpace(s); s == "" {
+					continue
+				}
+				if _, ok := defs[s]; !ok {
+					fmt.Fprintf(os.Stderr, "unknown scenario %q (have loss-ramp, latency-step, partition-flap)\n", s)
+					os.Exit(2)
+				}
+				names = append(names, s)
+			}
+		}
+		for _, name := range names {
+			def := defs[name]
+			run(fmt.Sprintf("Scenario %s (%s policy, initial %s)", def.name, def.pname, def.initial), func() error {
+				sj, err := runScenario(os.Stdout, def, *seed, *quick)
+				if err != nil {
+					return err
+				}
+				rep.Scenarios = append(rep.Scenarios, *sj)
+				return nil
+			})
+		}
 	}
 
 	if *jsonOut {

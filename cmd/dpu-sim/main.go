@@ -94,8 +94,7 @@ func runJoiner(sponsor, listen string, quiet time.Duration) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("joined as member %d at epoch %d (protocol %s)\n", node.Index(), st.Epoch, st.Protocol)
-	fmt.Printf("landed in view %d = %v\n", st.ViewID, st.Members)
+	fmt.Printf("joined as member %d: %s\n", node.Index(), st)
 
 	sub, err := node.Subscribe(dpu.SubscribeOptions{Deliveries: true, Buffer: 8192, Policy: dpu.Block})
 	if err != nil {
@@ -322,8 +321,8 @@ collect:
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("OK: stack %d delivered %d messages exactly once; final protocol %s (epoch %d)\n",
-		self, len(sequence), st.Protocol, st.Epoch)
+	fmt.Printf("OK: stack %d delivered %d messages exactly once; final status %s\n",
+		self, len(sequence), st)
 	fmt.Printf("sequence digest %s (must match every peer)\n", digest(sequence))
 }
 
@@ -468,6 +467,6 @@ func runSingle(n, msgs int, initial string, chain []string, loss float64, crash 
 		}
 	}
 	st, _ := nodes[aliveProbe].Status(ctx)
-	fmt.Printf("OK: %d of %d sent messages delivered in identical total order on all live stacks; final protocol %s (epoch %d)\n",
-		len(sequences[ref]), sent, st.Protocol, st.Epoch)
+	fmt.Printf("OK: %d of %d sent messages delivered in identical total order on all live stacks; final status %s\n",
+		len(sequences[ref]), sent, st)
 }

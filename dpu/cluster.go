@@ -15,6 +15,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/gm"
 	"repro/internal/kernel"
+	"repro/internal/policy"
 	"repro/internal/rbcast"
 	"repro/internal/rp2p"
 	"repro/internal/simnet"
@@ -67,6 +68,10 @@ type Cluster struct {
 	// mu guards the slot table (the id space), which grows on AddNode.
 	mu    sync.RWMutex
 	slots []*stackSlot // indexed by stack id; nil for remote stacks
+
+	// engine is the adaptation loop started by WithAdaptive (nil
+	// otherwise); see adaptive.go.
+	engine *policy.Engine
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -128,6 +133,9 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		}
 		local[id] = true
 	}
+	if o.adaptive != nil && o.adaptive.policy == nil {
+		return nil, fmt.Errorf("dpu: WithAdaptive requires a policy (e.g. dpu.LossSensitivePolicy)")
+	}
 	impls, err := buildImpls(o)
 	if err != nil {
 		return nil, err
@@ -168,6 +176,9 @@ func New(n int, opts ...Option) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
+	}
+	if o.adaptive != nil {
+		c.startAdaptive(o.adaptive)
 	}
 	return c, nil
 }
@@ -709,6 +720,11 @@ func (c *Cluster) Stack(stack int) *kernel.Stack {
 func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
 		close(c.closed) // unblocks Node waits and Block-policy publishers
+		if c.engine != nil {
+			// An in-flight engine switch unblocks via c.closed; Stop then
+			// joins the sampling loop before the stacks go away.
+			c.engine.Stop()
+		}
 		c.tr.Close()
 		slots := c.localSlots()
 		// Close every local stack, including crashed ones: Crash stops

@@ -1,51 +1,7 @@
-// Package dpu is the public API of the dynamic-protocol-update library:
-// a reproduction of "Structural and Algorithmic Issues of Dynamic
-// Protocol Update" (Rütti, Wojciechowski, Schiper — IPDPS 2006).
-//
-// A Cluster assembles n protocol stacks (the paper's machines) over a
-// simulated LAN — or, with WithTransport, over real UDP sockets
-// spanning OS processes and hosts — each running the Figure-4
-// group-communication stack — UDP, reliable point-to-point, failure
-// detector, Chandra–Toueg consensus, atomic broadcast — topped by the
-// replacement module that makes the atomic-broadcast protocol
-// hot-swappable.
-//
-// Interaction goes through per-stack Node handles, which are validated
-// once (sentinel errors ErrOutOfRange, ErrRemoteStack, ErrNotRunning)
-// and take a context on every blocking operation:
-//
-//	c, _ := dpu.New(3)
-//	defer c.Close()
-//	node, _ := c.Node(0)
-//	sub, _ := node.Subscribe(dpu.SubscribeOptions{Deliveries: true})
-//	node.Broadcast(ctx, []byte("hello"))           // backpressured
-//	ev, _ := node.ChangeProtocol(ctx, dpu.ProtocolSequencer)
-//	// ev is the completed switch: the paper's "seqNumber advanced"
-//	for d := range sub.Deliveries() { ... }        // totally ordered
-//
-// ChangeProtocol blocks until the replacement completes locally — the
-// well-defined moment of Algorithm 1 where seqNumber advances and
-// undelivered messages are reissued — and returns the resulting
-// SwitchEvent. WaitForEpoch gives the same barrier to observers that
-// did not initiate the change; ChangeProtocolAll drives a whole local
-// group. Messages broadcast before, during and after a replacement are
-// delivered exactly once, in the same total order, on every stack.
-//
-// With WithMembership the cluster is elastic: GM views drive the peer
-// set of every layer, so members can be added and evicted at runtime.
-// Cluster.AddNode admits a new node whose stack boots on the coherent
-// cut its ordered join created (delivering the same totally-ordered
-// suffix as the founders), Node.Evict removes a member with commit
-// confirmation, WithAutoEvict turns failure-detector suspicions into
-// ordered evictions, and ServeJoin/Join extend the same handshake
-// across OS processes over real UDP.
-//
-// The index-based Cluster methods (Broadcast, ChangeProtocol,
-// Deliveries, ...) survive as thin deprecated wrappers around the Node
-// API; see the migration table in the README.
 package dpu
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/abcast"
@@ -99,4 +55,13 @@ type Status struct {
 	// founding view until a membership change commits).
 	ViewID  uint64
 	Members []int
+}
+
+// String renders the snapshot in one operator-readable line. The
+// active protocol is always included alongside the view, so an
+// adaptive switch (WithAdaptive) is observable wherever a status is
+// printed — cmd/dpu-sim uses exactly this format.
+func (s Status) String() string {
+	return fmt.Sprintf("epoch=%d protocol=%s view=%d members=%v undelivered=%d",
+		s.Epoch, s.Protocol, s.ViewID, s.Members, s.Undelivered)
 }

@@ -24,6 +24,10 @@ var (
 	// Evict, AddNode, ServeJoin) on a cluster built without the
 	// group-membership module. Enable it with WithMembership.
 	ErrNoMembership = errors.New("dpu: membership module not enabled")
+	// ErrNoAdaptive reports an adaptation operation (Node.Advise,
+	// Subscribe with Advice) on a cluster built without the adaptation
+	// engine. Enable it with WithAdaptive.
+	ErrNoAdaptive = errors.New("dpu: adaptive engine not enabled")
 	// ErrClosed reports an operation on a closed cluster.
 	ErrClosed = errors.New("dpu: cluster closed")
 )

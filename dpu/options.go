@@ -26,6 +26,7 @@ type options struct {
 	extraImpls     []abcast.Impl
 	consVariants   []consensus.Config
 	tracer         kernel.Tracer
+	adaptive       *adaptiveOptions
 }
 
 // Option configures New.

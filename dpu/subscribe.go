@@ -1,6 +1,7 @@
 package dpu
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -34,6 +35,9 @@ type SubscribeOptions struct {
 	Switches bool
 	// Views selects membership views (requires WithMembership).
 	Views bool
+	// Advice selects adaptation decisions (requires WithAdaptive;
+	// Subscribe fails with ErrNoAdaptive otherwise).
+	Advice bool
 	// Buffer is the per-stream channel capacity (default 256).
 	Buffer int
 	// Policy is the lag policy (default DropOldest).
@@ -53,6 +57,7 @@ type Subscription struct {
 	deliveries chan Delivery
 	switches   chan SwitchEvent
 	views      chan View
+	advice     chan Advice
 	dropped    atomic.Uint64
 
 	done      chan struct{}
@@ -67,6 +72,9 @@ func (n *Node) Subscribe(opts SubscribeOptions) (*Subscription, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Advice && n.c.engine == nil {
+		return nil, fmt.Errorf("%w: enable it with WithAdaptive", ErrNoAdaptive)
+	}
 	if opts.Buffer <= 0 {
 		opts.Buffer = 256
 	}
@@ -77,6 +85,7 @@ func (n *Node) Subscribe(opts SubscribeOptions) (*Subscription, error) {
 		deliveries: make(chan Delivery, opts.Buffer),
 		switches:   make(chan SwitchEvent, opts.Buffer),
 		views:      make(chan View, opts.Buffer),
+		advice:     make(chan Advice, opts.Buffer),
 		done:       make(chan struct{}),
 	}
 	// Excluded streams are closed up front: ranging over them ends
@@ -89,6 +98,9 @@ func (n *Node) Subscribe(opts SubscribeOptions) (*Subscription, error) {
 	}
 	if !opts.Views {
 		close(s.views)
+	}
+	if !opts.Advice {
+		close(s.advice)
 	}
 	slot.subMu.Lock()
 	// Cluster.Close closes c.closed before it snapshots the registries,
@@ -117,6 +129,10 @@ func (s *Subscription) Switches() <-chan SwitchEvent { return s.switches }
 // Views returns the membership-view stream (closed immediately when not
 // selected in SubscribeOptions).
 func (s *Subscription) Views() <-chan View { return s.views }
+
+// Advice returns the adaptation-decision stream (closed immediately
+// when not selected in SubscribeOptions).
+func (s *Subscription) Advice() <-chan Advice { return s.advice }
 
 // Dropped reports how many events (across all selected streams) the
 // DropOldest policy has discarded because the consumer lagged. Always 0
@@ -155,6 +171,9 @@ func (s *Subscription) Close() {
 		}
 		if s.opts.Views {
 			close(s.views)
+		}
+		if s.opts.Advice {
+			close(s.advice)
 		}
 	})
 }
@@ -210,6 +229,19 @@ func (slot *stackSlot) publishView(c *Cluster, v View) {
 	for _, s := range slot.subs {
 		if s.opts.Views {
 			lagPush(s, s.views, v)
+		}
+	}
+}
+
+// publishAdvice runs on the adaptation engine's goroutine (not the
+// stack executor); lagPush's policies hold regardless — a Block-policy
+// consumer backpressures the engine instead of the stack.
+func (slot *stackSlot) publishAdvice(c *Cluster, a Advice) {
+	slot.subMu.RLock()
+	defer slot.subMu.RUnlock()
+	for _, s := range slot.subs {
+		if s.opts.Advice {
+			lagPush(s, s.advice, a)
 		}
 	}
 }

@@ -1,0 +1,112 @@
+// Adaptive: the cluster decides for itself. A loss-sensitive
+// controller (dpu.WithAdaptive) samples the stack's own runtime
+// signals — the RP2P retransmit ratio as a loss estimate — and drives
+// ChangeProtocolAll when the environment changes: the network turns
+// lossy, the controller moves the group onto the loss-tolerant
+// consensus protocol; the network recovers, it moves back to the lean
+// sequencer. Every decision is observable as an Advice event.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/dpu"
+)
+
+func main() {
+	// Three stacks on the simulated LAN, starting on the fixed-sequencer
+	// protocol (fast on a clean path, fragile under loss). The adaptive
+	// engine samples every 20ms, needs 2 agreeing samples before acting
+	// (hysteresis) and then holds for 250ms (cooldown).
+	cluster, err := dpu.New(3,
+		dpu.WithSeed(42),
+		dpu.WithInitialProtocol(dpu.ProtocolSequencer),
+		dpu.WithAdaptive(dpu.LossSensitivePolicy(0, 0),
+			dpu.AdaptiveInterval(20*time.Millisecond),
+			dpu.AdaptiveConfirm(2),
+			dpu.AdaptiveCooldown(250*time.Millisecond)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	node, err := cluster.Node(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := node.Subscribe(dpu.SubscribeOptions{Advice: true, Buffer: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Background workload: the controller can only estimate loss from
+	// traffic, so keep some flowing.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		sender, err := cluster.Node(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			for ctx.Err() == nil {
+				if err := sender.Broadcast(ctx, []byte("workload")); err != nil {
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	status := func(tag string) {
+		st, err := node.Status(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %s\n", tag, st)
+	}
+	waitAdvice := func() dpu.Advice {
+		select {
+		case a := <-sub.Advice():
+			return a
+		case <-time.After(30 * time.Second):
+			log.Fatal("controller made no decision")
+			return dpu.Advice{}
+		}
+	}
+
+	status("initial:")
+
+	// Degrade the network to 30% packet loss, live.
+	fmt.Println("\ninjecting 30% packet loss...")
+	if err := cluster.SetLoss(0.30); err != nil {
+		log.Fatal(err)
+	}
+	a := waitAdvice()
+	fmt.Printf("controller: %s -> %s because %s (loss estimate %.2f)\n",
+		a.Current, a.Target, a.Reason, a.Loss)
+	status("under loss:")
+
+	// Heal it.
+	fmt.Println("\nhealing the network...")
+	if err := cluster.SetLoss(0); err != nil {
+		log.Fatal(err)
+	}
+	a = waitAdvice()
+	fmt.Printf("controller: %s -> %s because %s (loss estimate %.2f)\n",
+		a.Current, a.Target, a.Reason, a.Loss)
+	status("recovered:")
+
+	// The last decision is always queryable.
+	last, err := node.Advise()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlast decision: policy=%s target=%s acted=%v\n", last.Policy, last.Target, last.Acted)
+}

@@ -2,6 +2,7 @@ package abcast
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/consensus"
 	"repro/internal/kernel"
@@ -44,8 +45,9 @@ type ctModule struct {
 	running    int                // proposals outstanding in [k, nextK)
 	inFlight   map[msgID]bool     // ids carried by an outstanding proposal of ours
 	proposed   map[uint64][]msgID // instance -> ids our proposal carried
-	decBuf     map[uint64][]byte  // out-of-order decisions, bounded by maxDecBuf
-	decDropped map[uint64]bool    // decisions evicted from decBuf, to refetch at their turn
+	proposedAt map[uint64]time.Time
+	decBuf     map[uint64][]byte // out-of-order decisions, bounded by maxDecBuf
+	decDropped map[uint64]bool   // decisions evicted from decBuf, to refetch at their turn
 }
 
 // maxInflight bounds how many consensus instances this stack proposes
@@ -64,6 +66,15 @@ const maxDecBuf = 256
 
 // decBufDrops counts decisions evicted from the bounded decBuf.
 var decBufDrops = metrics.NewCounter("abcast.ct.decbuf_drops")
+
+// Adaptation signals: decided instances and the smoothed
+// propose-to-decide latency of the instances this stack proposed. The
+// latency gauge is what internal/policy samples to tell whether the
+// consensus path is keeping up with the environment.
+var (
+	decisionCounter  = metrics.NewCounter("abcast.decisions")
+	consLatencyGauge = metrics.NewGauge("abcast.consensus_latency_us")
+)
 
 // CTImpl returns the implementation descriptor for abcast/ct, using the
 // default consensus service.
@@ -91,6 +102,7 @@ func CTImplOn(name string, consSvc kernel.ServiceID) Impl {
 				delivered:  make(map[msgID]bool),
 				inFlight:   make(map[msgID]bool),
 				proposed:   make(map[uint64][]msgID),
+				proposedAt: make(map[uint64]time.Time),
 				decBuf:     make(map[uint64][]byte),
 				decDropped: make(map[uint64]bool),
 			}
@@ -193,6 +205,7 @@ func (m *ctModule) maybePropose() {
 			m.inFlight[id] = true
 		}
 		m.proposed[m.nextK] = ids
+		m.proposedAt[m.nextK] = time.Now()
 		m.running++
 		m.Stk.Call(m.consSvc, consensus.Propose{
 			ID:    consensus.InstanceID{Group: m.epoch, Seq: m.nextK},
@@ -276,11 +289,16 @@ func (m *ctModule) processDecision(batch []byte) {
 		delete(m.pending, id)
 		m.Stk.Indicate(ServiceImpl, Deliver{Origin: id.origin, Data: data})
 	}
+	decisionCounter.Add(1)
 	if ids, ok := m.proposed[m.k]; ok {
 		delete(m.proposed, m.k)
 		m.running--
 		for _, id := range ids {
 			delete(m.inFlight, id)
+		}
+		if at, ok := m.proposedAt[m.k]; ok {
+			delete(m.proposedAt, m.k)
+			consLatencyGauge.Observe(time.Since(at).Microseconds())
 		}
 	}
 	m.k++

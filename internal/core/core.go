@@ -41,8 +41,14 @@ import (
 
 	"repro/internal/abcast"
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
+
+// deliveryCounter counts totally-ordered deliveries indicated by the
+// replacement layer (batch payloads counted individually). Its
+// windowed rate is the throughput signal the adaptation layer samples.
+var deliveryCounter = metrics.NewCounter("core.deliveries")
 
 // ErrUnknownProtocol is returned (wrapped) through ChangeProtocol.Reply
 // when the requested implementation name is not in the registry.
@@ -614,6 +620,7 @@ func (m *Repl) onDeliverBatch(sn uint64, id msgID, blob []byte) {
 		if r.Err() != nil {
 			return
 		}
+		deliveryCounter.Add(1)
 		m.Stk.Indicate(Service, Deliver{Origin: id.origin, Data: rec})
 	}
 }
@@ -754,5 +761,6 @@ func (m *Repl) onDeliver(sn uint64, id msgID, data []byte) {
 	if id.origin == m.Stk.Addr() {
 		m.undelivered.remove(id) // lines 19-20
 	}
+	deliveryCounter.Add(1)
 	m.Stk.Indicate(Service, Deliver{Origin: id.origin, Data: data}) // line 21
 }

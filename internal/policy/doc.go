@@ -1,0 +1,33 @@
+// Package policy closes the adaptation loop of the dynamic protocol
+// update stack: it turns the runtime signals already latent in the
+// protocol modules into automatic (or advisory) protocol switches.
+//
+// The paper's premise is that no single atomic-broadcast protocol is
+// best in every environment — that is why the replacement layer exists.
+// This package supplies the missing decision maker. An Engine
+// periodically samples Signals (loss estimated from RP2P
+// retransmissions, smoothed ack round-trip time, consensus decision
+// latency, relay fan-out, delivery throughput), hands them to a
+// pluggable Policy, and — once the policy's verdict survives hysteresis
+// and cooldown — either performs the switch (active mode) or emits an
+// Advice event describing what it would do (advisory mode).
+//
+// # Hysteresis and cooldown
+//
+// Adaptation is not free: a protocol switch reissues the undelivered
+// backlog and perturbs latency for everyone ("On the Complexity of
+// Weight-Dynamic Network Algorithms" makes the general point that
+// frequent adaptation has its own cost, and "The Augmentation-Speed
+// Tradeoff for Consistent Network Updates" studies when an update is
+// worth its disruption). The engine therefore never reacts to a single
+// sample. A candidate switch must be confirmed by Confirm consecutive
+// samples (hysteresis — an oscillating signal straddling a threshold
+// never wins), and after any switch the engine refuses further
+// switches for Cooldown (a flapping environment costs at most one
+// switch per cooldown window, not one per flap). The built-in policies
+// add their own signal-level hysteresis: separate enter and exit
+// thresholds with a dead band between them in which they vote to stay.
+//
+// The dpu layer wires an Engine per node with dpu.WithAdaptive; see
+// docs/ADAPTIVE.md for the operator-level picture.
+package policy

@@ -1,0 +1,130 @@
+package policy
+
+import (
+	"fmt"
+	"time"
+)
+
+// LossSensitive prefers a loss-tolerant protocol when the estimated
+// loss (RP2P retransmit ratio) is high and a lean, loss-sensitive one
+// when the path is clean. The canonical pairing in this stack:
+// consensus-based abcast/ct rides out loss (decisions carry payloads,
+// any stack can drive progress), while abcast/seq is faster on a clean
+// path but stalls behind every retransmission to or from the
+// sequencer.
+//
+// EnterRatio and ExitRatio form a dead band: between them the policy
+// votes to stay, whichever protocol is installed, so a loss estimate
+// hovering near one threshold cannot flap the group.
+type LossSensitive struct {
+	// LossyProtocol is installed when RetransmitRatio >= EnterRatio.
+	LossyProtocol string
+	// CleanProtocol is installed when RetransmitRatio <= ExitRatio.
+	CleanProtocol string
+	// EnterRatio (default 0.05) and ExitRatio (default 0.01).
+	EnterRatio float64
+	ExitRatio  float64
+}
+
+// NewLossSensitive returns a LossSensitive policy with the default
+// thresholds.
+func NewLossSensitive(lossy, clean string) LossSensitive {
+	return LossSensitive{LossyProtocol: lossy, CleanProtocol: clean}
+}
+
+func (p LossSensitive) withDefaults() LossSensitive {
+	if p.EnterRatio <= 0 {
+		p.EnterRatio = 0.05
+	}
+	if p.ExitRatio <= 0 {
+		p.ExitRatio = 0.01
+	}
+	return p
+}
+
+// Name implements Policy.
+func (LossSensitive) Name() string { return "loss-sensitive" }
+
+// Evaluate implements Policy.
+func (p LossSensitive) Evaluate(s Signals) Decision {
+	p = p.withDefaults()
+	switch {
+	case s.PacketsSent <= 0:
+		// An idle window measures nothing: a zero ratio here means "no
+		// traffic", not "clean path" — hold position.
+		return Decision{Target: s.Protocol, Reason: "no traffic in window (loss unmeasured)"}
+	case s.RetransmitRatio >= p.EnterRatio:
+		return Decision{
+			Target: p.LossyProtocol,
+			Reason: fmt.Sprintf("retransmit ratio %.3f >= %.3f", s.RetransmitRatio, p.EnterRatio),
+		}
+	case s.RetransmitRatio <= p.ExitRatio:
+		return Decision{
+			Target: p.CleanProtocol,
+			Reason: fmt.Sprintf("retransmit ratio %.3f <= %.3f", s.RetransmitRatio, p.ExitRatio),
+		}
+	default:
+		return Decision{Target: s.Protocol, Reason: "loss estimate in dead band"}
+	}
+}
+
+// LatencySensitive prefers a protocol with fewer communication steps
+// when the path round-trip time is high. On a fast LAN the
+// consensus-based abcast/ct buys uniformity for a small premium; when
+// the RTT grows, each consensus instance pays several round-trips per
+// batch and the fixed-sequencer abcast/seq (one hop to the sequencer,
+// one ordered fan-out) wins.
+//
+// Like LossSensitive, the enter/exit thresholds form a dead band. The
+// defaults are calibrated against the *loaded* ack RTT, not the wire
+// latency: cumulative acks ride at the end of executor passes, so even
+// a ~100µs LAN measures 1-3ms of smoothed ack RTT under load. The
+// thresholds must sit above that floor or the policy would react to
+// its own queueing.
+type LatencySensitive struct {
+	// SlowPathProtocol is installed when AckRTT >= EnterRTT.
+	SlowPathProtocol string
+	// FastPathProtocol is installed when AckRTT <= ExitRTT.
+	FastPathProtocol string
+	// EnterRTT (default 8ms) and ExitRTT (default 4ms).
+	EnterRTT time.Duration
+	ExitRTT  time.Duration
+}
+
+// NewLatencySensitive returns a LatencySensitive policy with the
+// default thresholds.
+func NewLatencySensitive(slowPath, fastPath string) LatencySensitive {
+	return LatencySensitive{SlowPathProtocol: slowPath, FastPathProtocol: fastPath}
+}
+
+func (p LatencySensitive) withDefaults() LatencySensitive {
+	if p.EnterRTT <= 0 {
+		p.EnterRTT = 8 * time.Millisecond
+	}
+	if p.ExitRTT <= 0 {
+		p.ExitRTT = 4 * time.Millisecond
+	}
+	return p
+}
+
+// Name implements Policy.
+func (LatencySensitive) Name() string { return "latency-sensitive" }
+
+// Evaluate implements Policy.
+func (p LatencySensitive) Evaluate(s Signals) Decision {
+	p = p.withDefaults()
+	switch {
+	case s.AckRTT >= p.EnterRTT:
+		return Decision{
+			Target: p.SlowPathProtocol,
+			Reason: fmt.Sprintf("ack RTT %v >= %v", s.AckRTT, p.EnterRTT),
+		}
+	case s.AckRTT > 0 && s.AckRTT <= p.ExitRTT:
+		return Decision{
+			Target: p.FastPathProtocol,
+			Reason: fmt.Sprintf("ack RTT %v <= %v", s.AckRTT, p.ExitRTT),
+		}
+	default:
+		return Decision{Target: s.Protocol, Reason: "RTT in dead band (or unmeasured)"}
+	}
+}

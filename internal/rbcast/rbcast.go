@@ -52,6 +52,15 @@ const maxFrameBytes = 48 << 10
 // the process-wide metrics registry instead of a per-message log line.
 var dropCounter = metrics.NewCounter("rbcast.buffer_drops")
 
+// Adaptation signals: received records and the relays they trigger.
+// Their windowed ratio is the relay amplification (fan-out) the
+// adaptation layer samples — it grows with the group size and with
+// redundant relay traffic under churn.
+var (
+	recvCounter  = metrics.NewCounter("rbcast.records_received")
+	relayCounter = metrics.NewCounter("rbcast.records_relayed")
+)
+
 // Broadcast requests a reliable broadcast to the whole group,
 // including the sender. Data is handed through to the local channel
 // handler (which may retain it) and copied into outgoing frames, so the
@@ -309,6 +318,7 @@ func (m *Module) onRecv(rv rp2p.Recv) {
 		if !m.markSeen(origin, seq) {
 			continue // already relayed and delivered
 		}
+		recvCounter.Add(1)
 		// Relay before delivering: agreement despite sender crash. The
 		// record is appended to the relay frames verbatim — no
 		// re-encoding.
@@ -317,6 +327,7 @@ func (m *Module) onRecv(rv rp2p.Recv) {
 				continue
 			}
 			m.enqueueRecord(p, rec)
+			relayCounter.Add(1)
 		}
 		m.deliver(channel, Deliver{Origin: origin, Data: data})
 	}

@@ -23,8 +23,20 @@ import (
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/udp"
 	"repro/internal/wire"
+)
+
+// Adaptation signals exported through the process-wide metrics
+// registry: every data-packet transmission and retransmission is
+// counted, and the smoothed ack round-trip time is published as a
+// gauge. The ratio of the two counters over a sampling window is the
+// loss estimate internal/policy's LossSensitive policy switches on.
+var (
+	sentCounter    = metrics.NewCounter("rp2p.packets_sent")
+	retransCounter = metrics.NewCounter("rp2p.retransmits")
+	ackRTTGauge    = metrics.NewGauge("rp2p.ack_rtt_us")
 )
 
 // Service is the reliable point-to-point service.
@@ -351,6 +363,7 @@ func (m *Module) send(s Send) {
 }
 
 func (m *Module) transmit(p *peer, pkt *outPkt) {
+	sentCounter.Add(1)
 	encoded := pkt.w.Bytes()
 	binary.BigEndian.PutUint64(encoded[pkt.tsOff:], uint64(time.Now().UnixNano()))
 	// Synchronous dispatch into the UDP module: no queue round-trip, and
@@ -388,6 +401,7 @@ func (m *Module) retransmit(p *peer, gen uint64) {
 	for _, s := range seqs {
 		m.transmit(p, p.unacked[s])
 		m.stats.Retransmits++
+		retransCounter.Add(1)
 	}
 	p.rto = min(p.rto*2, m.cfg.MaxRTO)
 	m.armRetransmit(p)
@@ -496,6 +510,7 @@ func (m *Module) onAck(from kernel.Addr, want uint64, echoTS uint64) {
 	if echoTS > 0 {
 		if sample := time.Since(time.Unix(0, int64(echoTS))); sample > 0 && sample < 10*m.cfg.MaxRTO {
 			p.sampleRTT(sample, m.cfg.RTO, m.cfg.MaxRTO)
+			ackRTTGauge.Observe(p.srtt.Microseconds())
 		}
 	}
 	progressed := false

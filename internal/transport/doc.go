@@ -1,0 +1,39 @@
+// Package transport abstracts the unreliable datagram fabric under the
+// group-communication stack (the wire below Figure 4's UDP module), so
+// the same protocol code runs over an in-process simulated LAN or over
+// real UDP sockets spanning OS processes and hosts.
+//
+// A Transport hands out Endpoints: one per stack, identified by a small
+// integer Addr that doubles as the stack's group address. Endpoints
+// send best-effort datagrams — loss, duplication and reordering are all
+// permitted, exactly the service the paper's stack assumes at the
+// bottom and repairs above (RP2P adds reliability and FIFO order, the
+// protocols above add agreement).
+//
+// Two backends are provided:
+//
+//   - Sim wraps internal/simnet, preserving the deterministic,
+//     fault-parameterised in-memory fabric used by the test suites and
+//     benchmark figures.
+//   - NewUDP binds real net.UDPConn sockets with a static address book
+//     mapping Addr to host:port, for multi-process and multi-host
+//     deployments (see cmd/dpu-sim's -listen/-peers mode).
+//
+// Two optional interfaces extend a backend:
+//
+//   - Router exposes explicit routing state (the real-socket address
+//     book): membership views admit and retire endpoints at runtime
+//     through AddRoute/RemoveRoute. Fabrics with implicit routing
+//     (simnet reaches any address) simply do not implement it.
+//   - Shaper exposes runtime-mutable traffic shaping (SetLoss,
+//     SetDelay, SetJitter): the adaptation scenarios reshape a live
+//     network through it (see docs/ADAPTIVE.md).
+//
+// The Faulty decorator layers simnet-style probabilistic loss,
+// duplication and delay over any backend — deterministically, from one
+// seeded RNG — so fault-injection tests and adaptive-controller
+// scenarios written against the simnet model also run over real
+// sockets. It forwards Router calls to the inner transport and
+// implements Shaper, so every fate parameter is mutable while traffic
+// flows.
+package transport

@@ -3,13 +3,19 @@ package transport
 import (
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // FaultConfig parameterises the Faulty decorator with simnet's loss and
 // duplication semantics: every non-loopback send is independently lost
 // with probability LossRate, and (when it survives) duplicated with
-// probability DupRate. Loopback (self-addressed) sends are never
-// dropped, matching simnet.
+// probability DupRate, then delayed by Delay plus a uniform random
+// jitter in [0, Jitter). Loopback (self-addressed) sends are never
+// dropped or delayed, matching simnet.
+//
+// All rates are runtime-mutable (SetLoss, SetDup, SetDelay, SetJitter),
+// so a scenario can reshape a live link — the environment timelines of
+// cmd/dpu-bench -scenario run on exactly this.
 type FaultConfig struct {
 	// Seed makes packet fates reproducible.
 	Seed int64
@@ -17,6 +23,10 @@ type FaultConfig struct {
 	LossRate float64
 	// DupRate is the probability a datagram is sent twice, in [0, 1].
 	DupRate float64
+	// Delay postpones every surviving non-loopback datagram.
+	Delay time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter).
+	Jitter time.Duration
 }
 
 // FaultStats counts the decorator's interventions.
@@ -24,27 +34,47 @@ type FaultStats struct {
 	Passed     uint64
 	Dropped    uint64
 	Duplicated uint64
+	Delayed    uint64
 }
 
-// Faulty layers probabilistic loss and duplication over any transport,
-// so fault-injection tests written against the simnet model also run
-// over real sockets. Closing the decorator closes the inner transport.
+// Shaper is the runtime-mutable traffic-shaping surface shared by the
+// Faulty decorator and (via Cluster.SetLoss and friends) the built-in
+// simulated network: loss, fixed delay and jitter can be changed while
+// traffic flows. The adaptation scenarios drive their environment
+// timelines through this interface.
+type Shaper interface {
+	SetLoss(p float64)
+	SetDelay(d time.Duration)
+	SetJitter(j time.Duration)
+}
+
+// Faulty layers probabilistic loss, duplication and delay over any
+// transport, so fault-injection tests written against the simnet model
+// also run over real sockets. Closing the decorator closes the inner
+// transport and discards datagrams still held back by delay.
 func Faulty(inner Transport, cfg FaultConfig) *FaultyTransport {
 	return &FaultyTransport{
-		inner: inner,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		inner:  inner,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		timers: make(map[*time.Timer]struct{}),
 	}
 }
 
-// FaultyTransport is the decorator returned by Faulty.
+// FaultyTransport is the decorator returned by Faulty. All fate rolls
+// (loss, duplication, jitter) consume one shared seeded RNG under one
+// mutex, so a given send sequence reproduces the same fates run after
+// run; concurrent senders serialise on the mutex instead of racing the
+// RNG state.
 type FaultyTransport struct {
 	inner Transport
-	cfg   FaultConfig
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	stats FaultStats
+	mu     sync.Mutex
+	cfg    FaultConfig
+	rng    *rand.Rand
+	stats  FaultStats
+	timers map[*time.Timer]struct{}
+	closed bool
 }
 
 // Open opens the inner endpoint and wraps its sender.
@@ -56,8 +86,18 @@ func (t *FaultyTransport) Open(addr Addr, recv RecvFunc) (Endpoint, error) {
 	return faultyEndpoint{t: t, ep: ep}, nil
 }
 
-// Close closes the inner transport.
-func (t *FaultyTransport) Close() { t.inner.Close() }
+// Close closes the inner transport and cancels delayed datagrams still
+// in flight.
+func (t *FaultyTransport) Close() {
+	t.mu.Lock()
+	t.closed = true
+	for tm := range t.timers {
+		tm.Stop()
+	}
+	t.timers = make(map[*time.Timer]struct{})
+	t.mu.Unlock()
+	t.inner.Close()
+}
 
 // AddRoute forwards to the inner transport when it supports routing;
 // a no-op over implicit-routing fabrics, so the decorator is always a
@@ -76,6 +116,34 @@ func (t *FaultyTransport) RemoveRoute(addr Addr) {
 	}
 }
 
+// SetLoss changes the loss probability for subsequent sends.
+func (t *FaultyTransport) SetLoss(p float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.LossRate = p
+}
+
+// SetDup changes the duplication probability for subsequent sends.
+func (t *FaultyTransport) SetDup(p float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.DupRate = p
+}
+
+// SetDelay changes the fixed delay for subsequent sends.
+func (t *FaultyTransport) SetDelay(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.Delay = d
+}
+
+// SetJitter changes the jitter bound for subsequent sends.
+func (t *FaultyTransport) SetJitter(j time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.Jitter = j
+}
+
 // Stats returns a snapshot of the decorator's counters.
 func (t *FaultyTransport) Stats() FaultStats {
 	t.mu.Lock()
@@ -84,21 +152,52 @@ func (t *FaultyTransport) Stats() FaultStats {
 }
 
 // fate rolls the dice for one send; n.b. a dropped datagram cannot also
-// be duplicated, as in simnet.
-func (t *FaultyTransport) fate(loopback bool) (drop, dup bool) {
+// be duplicated, as in simnet. Jitter is only rolled when configured,
+// so enabling and later disabling delay restores the exact fate
+// sequence loss/dup tests recorded without it.
+func (t *FaultyTransport) fate(loopback bool) (drop, dup bool, delay time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if !loopback && t.cfg.LossRate > 0 && t.rng.Float64() < t.cfg.LossRate {
 		t.stats.Dropped++
-		return true, false
+		return true, false, 0
 	}
 	if !loopback && t.cfg.DupRate > 0 && t.rng.Float64() < t.cfg.DupRate {
 		t.stats.Duplicated++
-		t.stats.Passed++
-		return false, true
+		dup = true
+	}
+	if !loopback {
+		delay = t.cfg.Delay
+		if t.cfg.Jitter > 0 {
+			delay += time.Duration(t.rng.Int63n(int64(t.cfg.Jitter)))
+		}
 	}
 	t.stats.Passed++
-	return false, false
+	if delay > 0 {
+		t.stats.Delayed++
+	}
+	return false, dup, delay
+}
+
+// after schedules a delayed transmission, tracked so Close can cancel
+// it. The data has already been copied by the caller.
+func (t *FaultyTransport) after(delay time.Duration, send func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(delay, func() {
+		t.mu.Lock()
+		delete(t.timers, tm)
+		closed := t.closed
+		t.mu.Unlock()
+		if !closed {
+			send()
+		}
+	})
+	t.timers[tm] = struct{}{}
 }
 
 type faultyEndpoint struct {
@@ -109,14 +208,26 @@ type faultyEndpoint struct {
 func (e faultyEndpoint) Addr() Addr { return e.ep.Addr() }
 
 func (e faultyEndpoint) Send(to Addr, data []byte) {
-	drop, dup := e.t.fate(to == e.ep.Addr())
+	drop, dup, delay := e.t.fate(to == e.ep.Addr())
 	if drop {
 		return
 	}
-	e.ep.Send(to, data)
-	if dup {
+	if delay <= 0 {
 		e.ep.Send(to, data)
+		if dup {
+			e.ep.Send(to, data)
+		}
+		return
 	}
+	// The transport contract lets the caller reuse data once Send
+	// returns; a held-back datagram must carry its own copy.
+	buf := append([]byte(nil), data...)
+	e.t.after(delay, func() {
+		e.ep.Send(to, buf)
+		if dup {
+			e.ep.Send(to, buf)
+		}
+	})
 }
 
 func (e faultyEndpoint) Close() { e.ep.Close() }

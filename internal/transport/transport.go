@@ -1,27 +1,3 @@
-// Package transport abstracts the unreliable datagram fabric under the
-// group-communication stack (the wire below Figure 4's UDP module), so
-// the same protocol code runs over an in-process simulated LAN or over
-// real UDP sockets spanning OS processes and hosts.
-//
-// A Transport hands out Endpoints: one per stack, identified by a small
-// integer Addr that doubles as the stack's group address. Endpoints
-// send best-effort datagrams — loss, duplication and reordering are all
-// permitted, exactly the service the paper's stack assumes at the
-// bottom and repairs above (RP2P adds reliability and FIFO order, the
-// protocols above add agreement).
-//
-// Two backends are provided:
-//
-//   - Sim wraps internal/simnet, preserving the deterministic,
-//     fault-parameterised in-memory fabric used by the test suites and
-//     benchmark figures.
-//   - NewUDP binds real net.UDPConn sockets with a static address book
-//     mapping Addr to host:port, for multi-process and multi-host
-//     deployments (see cmd/dpu-sim's -listen/-peers mode).
-//
-// The Faulty decorator layers simnet-style probabilistic loss and
-// duplication over any backend, so fault-injection tests can run
-// against real sockets too.
 package transport
 
 import "errors"

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -474,5 +475,137 @@ func TestFaultyForwardsRoutes(t *testing.T) {
 	inner.bookMu.RUnlock()
 	if ok {
 		t.Fatal("route removal not forwarded")
+	}
+}
+
+// TestFaultyRuntimeMutable reshapes a live decorator: loss 1 → nothing
+// flows; SetLoss(0) → everything flows again, no reconstruction.
+func TestFaultyRuntimeMutable(t *testing.T) {
+	inner := Sim(simnet.New(simnet.Config{Seed: 5}))
+	tr := Faulty(inner, FaultConfig{Seed: 5, LossRate: 1})
+	defer tr.Close()
+	recv1, ch1 := collector(64)
+	ep0, err := tr.Open(0, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Open(1, recv1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ep0.Send(1, []byte("doomed"))
+	}
+	expectQuiet(t, ch1, 50*time.Millisecond)
+	tr.SetLoss(0)
+	ep0.Send(1, []byte("alive"))
+	expectPacket(t, ch1, packet{0, "alive"})
+	if st := tr.Stats(); st.Dropped != 10 || st.Passed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestFaultyDelayAndJitter holds datagrams back: with a 30ms delay a
+// send is not delivered promptly, but arrives once the delay elapses
+// (and the caller's buffer, reused immediately after Send, must not
+// corrupt the held-back copy).
+func TestFaultyDelayAndJitter(t *testing.T) {
+	inner := Sim(simnet.New(simnet.Config{Seed: 11}))
+	tr := Faulty(inner, FaultConfig{Seed: 11, Delay: 30 * time.Millisecond, Jitter: 5 * time.Millisecond})
+	defer tr.Close()
+	recv1, ch1 := collector(8)
+	ep0, err := tr.Open(0, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Open(1, recv1); err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("delayed")
+	start := time.Now()
+	ep0.Send(1, buf)
+	copy(buf, "clobber") // the decorator must have copied
+	select {
+	case p := <-ch1:
+		t.Fatalf("delivered %q after only %v", p.data, time.Since(start))
+	case <-time.After(10 * time.Millisecond):
+	}
+	expectPacket(t, ch1, packet{0, "delayed"})
+	if since := time.Since(start); since < 25*time.Millisecond {
+		t.Fatalf("arrived after %v, want >= ~30ms", since)
+	}
+	if st := tr.Stats(); st.Delayed != 1 || st.Passed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// SetDelay(0)+SetJitter(0) restores prompt delivery.
+	tr.SetDelay(0)
+	tr.SetJitter(0)
+	ep0.Send(1, []byte("prompt"))
+	expectPacket(t, ch1, packet{0, "prompt"})
+}
+
+// TestFaultyConcurrentSendDeterminism is the regression test for the
+// mutable decorator's RNG: fates must come from one mutex-guarded
+// seeded stream (not a racy snapshot taken at construction), so (a)
+// concurrent senders pass the race detector and conserve the packet
+// count, and (b) a sequential send sequence reproduces the identical
+// fate sequence run after run, even after runtime Set* calls.
+func TestFaultyConcurrentSendDeterminism(t *testing.T) {
+	const senders, perSender = 8, 200
+	concurrent := func() FaultStats {
+		inner := Sim(simnet.New(simnet.Config{Seed: 1}))
+		tr := Faulty(inner, FaultConfig{Seed: 21, LossRate: 0.3, DupRate: 0.1})
+		defer tr.Close()
+		ep0, err := tr.Open(0, func(Addr, []byte) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Open(1, func(Addr, []byte) {}); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for s := 0; s < senders; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perSender; i++ {
+					ep0.Send(1, []byte("m"))
+				}
+			}()
+		}
+		wg.Wait()
+		return tr.Stats()
+	}
+	st := concurrent()
+	if st.Passed+st.Dropped != senders*perSender {
+		t.Fatalf("lost fate rolls under concurrency: %+v", st)
+	}
+
+	sequential := func() FaultStats {
+		inner := Sim(simnet.New(simnet.Config{Seed: 1}))
+		tr := Faulty(inner, FaultConfig{Seed: 21, LossRate: 0.3, DupRate: 0.1})
+		defer tr.Close()
+		ep0, err := tr.Open(0, func(Addr, []byte) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Open(1, func(Addr, []byte) {}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			ep0.Send(1, []byte("m"))
+		}
+		tr.SetLoss(0.8) // runtime mutation must not fork the RNG stream
+		for i := 0; i < 100; i++ {
+			ep0.Send(1, []byte("m"))
+		}
+		return tr.Stats()
+	}
+	a, b := sequential(), sequential()
+	if a != b {
+		t.Fatalf("sequential fates not reproducible:\n%+v\n%+v", a, b)
+	}
+	if a.Dropped == 0 || a.Duplicated == 0 {
+		t.Fatalf("expected mixed fates, got %+v", a)
 	}
 }

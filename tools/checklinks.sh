@@ -1,0 +1,29 @@
+#!/bin/sh
+# checklinks.sh — fail on dead relative links in the repo's *.md files.
+#
+# Checks every markdown inline link target that is not an absolute URL
+# or an in-page anchor: the referenced path must exist relative to the
+# file containing the link (anchors on existing files are not
+# validated — only the file's existence is).
+#
+# Usage: sh tools/checklinks.sh   (from the repository root)
+set -eu
+
+status=0
+for f in $(git ls-files '*.md'); do
+    dir=$(dirname "$f")
+    # Inline links: capture the (...) target of ](...), strip any #anchor.
+    for link in $(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//' -e 's/#.*$//'); do
+        case "$link" in
+        '' | http://* | https://* | mailto:*) continue ;;
+        esac
+        if [ ! -e "$dir/$link" ]; then
+            echo "$f: dead relative link: $link"
+            status=1
+        fi
+    done
+done
+if [ "$status" -ne 0 ]; then
+    echo "dead links found (paths are resolved relative to the linking file)"
+fi
+exit $status
