@@ -17,14 +17,15 @@
 //	dpu-bench -fig all               # everything
 //	dpu-bench -quick -json           # fast smoke run + BENCH_results.json
 //
-// Adaptive environment scenarios (see docs/ADAPTIVE.md) run a live
-// WithAdaptive cluster through a scripted network timeline and verify
-// the controller converges to the right protocol per phase:
+// Declarative scenarios (see docs/SCENARIOS.md) run a cluster through
+// a scripted environment/membership timeline under virtual time with
+// the invariant checkers on, and verify the per-phase and end-state
+// expectations written in the scenario file:
 //
-//	dpu-bench -scenario loss-ramp      # clean -> 30% loss -> recovered
-//	dpu-bench -scenario latency-step   # 100µs -> 5ms -> back
-//	dpu-bench -scenario partition-flap # link flaps; hysteresis/cooldown hold
-//	dpu-bench -scenario all -json      # all three + policy.* counters in JSON
+//	dpu-bench -scenario loss-ramp            # corpus entry by name
+//	dpu-bench -scenario all -json            # whole scenarios/ corpus
+//	dpu-bench -scenario file:my.dpu.yaml     # any scenario file on disk
+//	dpu-bench -scenario large-50 -seed 9     # override the committed seed
 package main
 
 import (
@@ -34,7 +35,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"repro/dpu"
@@ -128,10 +128,12 @@ type membershipJSON struct {
 	FinalViewID uint64  `json:"final_view_id"`
 }
 
-// scenarioJSON records one adaptive environment timeline: the scripted
-// phases, whether the controller converged to the expected protocol in
-// each, and every switch it performed. The policy.* counters land in
-// the top-level counter section.
+// scenarioJSON records one scenario timeline: the scripted phases,
+// whether each converged to its expected protocol, and every switch
+// performed. The policy.* counters land in the top-level counter
+// section. Scenarios run under virtual time since the engine moved to
+// internal/scenario; the added fields record the run's determinism
+// witness (seed + digest) and the virtual/wall time split.
 type scenarioJSON struct {
 	Name         string              `json:"name"`
 	N            int                 `json:"n"`
@@ -140,6 +142,12 @@ type scenarioJSON struct {
 	Phases       []scenarioPhaseJSON `json:"phases"`
 	Switches     []scenarioEventJSON `json:"switches"`
 	AdviceEvents int                 `json:"advice_events"`
+	Seed         int64               `json:"scenario_seed,omitempty"`
+	Deliveries   int                 `json:"deliveries,omitempty"`
+	Views        int                 `json:"views,omitempty"`
+	Digest       string              `json:"digest,omitempty"`
+	VirtualMs    float64             `json:"virtual_ms,omitempty"`
+	WallMs       float64             `json:"wall_ms,omitempty"`
 }
 
 type scenarioPhaseJSON struct {
@@ -255,7 +263,7 @@ func membershipProbe(rounds int, seed int64) (*membershipJSON, error) {
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, ablation-managers, ablation-reissue, ablation-matrix, throughput, membership, all")
-	scenario := flag.String("scenario", "", "adaptive environment timeline(s) to run instead of figures: loss-ramp, latency-step, partition-flap, all (comma-separated)")
+	scenario := flag.String("scenario", "", "scenario(s) to run instead of figures: a corpus name, file:<path>, or all (comma-separated; see docs/SCENARIOS.md)")
 	n := flag.Int("n", 7, "group size for Figure 5")
 	rate := flag.Float64("rate", 50, "per-stack message rate for Figure 5 [msg/s]")
 	payload := flag.Int("payload", 1024, "payload size for Figure 5 [bytes]")
@@ -433,25 +441,27 @@ func main() {
 	}
 
 	if *scenario != "" {
-		defs := scenarioDefs(*quick)
-		names := []string{"loss-ramp", "latency-step", "partition-flap"}
-		if *scenario != "all" {
-			names = nil
-			for _, s := range strings.Split(*scenario, ",") {
-				if s = strings.TrimSpace(s); s == "" {
-					continue
-				}
-				if _, ok := defs[s]; !ok {
-					fmt.Fprintf(os.Stderr, "unknown scenario %q (have loss-ramp, latency-step, partition-flap)\n", s)
-					os.Exit(2)
-				}
-				names = append(names, s)
-			}
+		scs, err := resolveScenarios(*scenario)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
 		}
-		for _, name := range names {
-			def := defs[name]
-			run(fmt.Sprintf("Scenario %s (%s policy, initial %s)", def.name, def.pname, def.initial), func() error {
-				sj, err := runScenario(os.Stdout, def, *seed, *quick)
+		// The corpus files commit their own seeds; -seed overrides only
+		// when set explicitly on the command line.
+		var seedOverride *int64
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedOverride = seed
+			}
+		})
+		for _, sc := range scs {
+			sc := sc
+			policy := "manual"
+			if sc.Adaptive != nil {
+				policy = sc.Adaptive.Policy + " policy"
+			}
+			run(fmt.Sprintf("Scenario %s (%s, initial %s, %d nodes)", sc.Name, policy, sc.Initial, sc.Nodes), func() error {
+				sj, err := runScenario(os.Stdout, sc, seedOverride)
 				if err != nil {
 					return err
 				}

@@ -1,274 +1,116 @@
 package main
 
 import (
-	"context"
 	"fmt"
 	"io"
-	"sync"
-	"sync/atomic"
+	"strings"
 	"time"
 
-	"repro/dpu"
+	"repro/internal/scenario"
 )
 
-// A scenario is a scripted environment timeline run against a live
-// adaptive cluster over the simulated LAN: each phase reshapes the
-// network at runtime (Cluster.SetLoss/SetDelay, link flaps) and then
-// waits for the controller to converge to the protocol that fits —
-// demonstrating, per phase, that the adaptation loop closes.
-type scenarioPhase struct {
-	name   string
-	loss   float64
-	delay  time.Duration
-	want   string        // protocol the controller should converge to ("" = none expected)
-	hold   time.Duration // dwell after convergence (or total phase time without want)
-	flapMs int           // when > 0, flap the 0-1 link with this half-period
-}
+// Scenarios run through internal/scenario: declarative YAML timelines
+// (scenarios/*.dpu.yaml, or any file via -scenario file:<path>)
+// executed under virtual time with the invariant checkers on. The old
+// wall-clock Go timelines this file used to hold are ported to the
+// corpus 1:1 (see scenarios/ and TestParity); what used to take tens of
+// wall seconds per timeline now takes well under a second.
 
-type scenarioDef struct {
-	name    string
-	initial string
-	policy  dpu.AdaptivePolicy
-	pname   string
-	phases  []scenarioPhase
-}
-
-// scenarioDefs returns the bundled timelines. Delays/losses are chosen
-// so the built-in policy thresholds are crossed decisively in both
-// directions — the controller's convergence, not threshold tuning, is
-// what the scenario measures.
-func scenarioDefs(quick bool) map[string]scenarioDef {
-	hold := 600 * time.Millisecond
-	flapFor := 3 * time.Second
-	if quick {
-		hold = 300 * time.Millisecond
-		flapFor = 1500 * time.Millisecond
+// resolveScenarios expands the -scenario argument into parsed
+// scenarios: "all" is the whole embedded corpus, "file:<path>" loads
+// from disk, anything else is a corpus name; comma-separation mixes
+// them.
+func resolveScenarios(arg string) ([]*scenario.Scenario, error) {
+	if arg == "all" {
+		return scenario.Corpus()
 	}
-	return map[string]scenarioDef{
-		// A clean path degrades to 30% loss and recovers: the
-		// loss-sensitive controller must ride out the lossy phase on the
-		// consensus protocol and return to the lean sequencer after.
-		"loss-ramp": {
-			name: "loss-ramp", initial: dpu.ProtocolSequencer,
-			policy: dpu.LossSensitivePolicy(0, 0), pname: "loss-sensitive",
-			phases: []scenarioPhase{
-				{name: "clean", loss: 0, want: dpu.ProtocolSequencer, hold: hold},
-				{name: "lossy", loss: 0.30, want: dpu.ProtocolCT, hold: hold},
-				{name: "recovered", loss: 0, want: dpu.ProtocolSequencer, hold: hold},
-			},
-		},
-		// The path latency steps from LAN-like 100µs to 5ms and back:
-		// the latency-sensitive controller must trade consensus
-		// round-trips for the sequencer's short path, then trade back.
-		"latency-step": {
-			name: "latency-step", initial: dpu.ProtocolCT,
-			policy: dpu.LatencySensitivePolicy(0, 0), pname: "latency-sensitive",
-			phases: []scenarioPhase{
-				{name: "lan", delay: 100 * time.Microsecond, want: dpu.ProtocolCT, hold: hold},
-				{name: "wan-step", delay: 5 * time.Millisecond, want: dpu.ProtocolSequencer, hold: hold},
-				{name: "back", delay: 100 * time.Microsecond, want: dpu.ProtocolCT, hold: hold},
-			},
-		},
-		// The 0-1 link flaps faster than any sensible reaction time:
-		// hysteresis and cooldown must bound the controller to at most
-		// one switch per cooldown window instead of one per flap (the
-		// suppression counters in the JSON tell the story).
-		"partition-flap": {
-			name: "partition-flap", initial: dpu.ProtocolSequencer,
-			policy: dpu.LossSensitivePolicy(0, 0), pname: "loss-sensitive",
-			phases: []scenarioPhase{
-				{name: "calm", loss: 0, want: dpu.ProtocolSequencer, hold: hold},
-				{name: "flapping", flapMs: 150, hold: flapFor},
-				{name: "healed", loss: 0, want: dpu.ProtocolSequencer, hold: hold},
-			},
-		},
-	}
-}
-
-// runScenario executes one timeline and reports the per-phase record.
-func runScenario(w io.Writer, def scenarioDef, seed int64, quick bool) (*scenarioJSON, error) {
-	const n = 3
-	cooldown := 300 * time.Millisecond
-	c, err := dpu.New(n,
-		dpu.WithSeed(seed),
-		dpu.WithInitialProtocol(def.initial),
-		dpu.WithAdaptive(def.policy,
-			dpu.AdaptiveInterval(25*time.Millisecond),
-			dpu.AdaptiveConfirm(2),
-			dpu.AdaptiveCooldown(cooldown)),
-	)
-	if err != nil {
-		return nil, err
-	}
-	defer c.Close()
-	node, err := c.Node(0)
-	if err != nil {
-		return nil, err
-	}
-	sub, err := node.Subscribe(dpu.SubscribeOptions{Switches: true, Advice: true, Buffer: 256})
-	if err != nil {
-		return nil, err
-	}
-
-	// Continuous workload so the controller has signals to sample.
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		sender, err := c.Node(i)
+	var out []*scenario.Scenario
+	for _, tok := range strings.Split(arg, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		var (
+			sc  *scenario.Scenario
+			err error
+		)
+		if path, ok := strings.CutPrefix(tok, "file:"); ok {
+			sc, err = scenario.LoadFile(path)
+		} else {
+			sc, err = scenario.ByName(tok)
+		}
 		if err != nil {
 			return nil, err
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ctx, cancel := context.WithCancel(context.Background())
-			defer cancel()
-			go func() { <-stop; cancel() }()
-			payload := []byte("scenario-workload-payload")
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				if err := sender.Broadcast(ctx, payload); err != nil {
-					return
-				}
-				time.Sleep(2 * time.Millisecond)
-			}
-		}()
+		out = append(out, sc)
 	}
-	defer func() { close(stop); wg.Wait() }()
-
-	// Event collectors.
-	start := time.Now()
-	var (
-		evMu     sync.Mutex
-		switches []scenarioEventJSON
-		advice   atomic.Int64
-	)
-	var collectorWG sync.WaitGroup
-	collectorWG.Add(2)
-	go func() {
-		defer collectorWG.Done()
-		for ev := range sub.Switches() {
-			evMu.Lock()
-			switches = append(switches, scenarioEventJSON{
-				AtMs: ms(ev.At.Sub(start)), Protocol: ev.Protocol, Epoch: ev.Epoch,
-			})
-			evMu.Unlock()
-		}
-	}()
-	go func() {
-		defer collectorWG.Done()
-		for range sub.Advice() {
-			advice.Add(1)
-		}
-	}()
-	switchCount := func() int {
-		evMu.Lock()
-		defer evMu.Unlock()
-		return len(switches)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scenario %q selects nothing", arg)
 	}
-
-	out := &scenarioJSON{
-		Name: def.name, N: n, Policy: def.pname, InitialProto: def.initial,
-	}
-	convergeTimeout := 20 * time.Second
-	if quick {
-		convergeTimeout = 10 * time.Second
-	}
-	for _, ph := range def.phases {
-		phaseStart := time.Now()
-		before := switchCount()
-		if ph.flapMs == 0 {
-			if err := c.SetLoss(ph.loss); err != nil {
-				return nil, err
-			}
-		}
-		if ph.delay > 0 {
-			if err := c.SetDelay(ph.delay); err != nil {
-				return nil, err
-			}
-		}
-
-		rec := scenarioPhaseJSON{
-			Name: ph.name, LossPct: ph.loss * 100, DelayUs: ph.delay.Microseconds(),
-			WantProtocol: ph.want,
-		}
-		status := func() (dpu.Status, error) {
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer cancel()
-			return node.Status(ctx)
-		}
-		switch {
-		case ph.flapMs > 0:
-			// Flap the link for the whole phase dwell.
-			half := time.Duration(ph.flapMs) * time.Millisecond
-			for end := time.Now().Add(ph.hold); time.Now().Before(end); {
-				if err := c.PartitionLink(0, 1); err != nil {
-					return nil, err
-				}
-				time.Sleep(half)
-				if err := c.HealLink(0, 1); err != nil {
-					return nil, err
-				}
-				time.Sleep(half)
-			}
-			rec.Converged = true // nothing demanded; record reality below
-		case ph.want != "":
-			deadline := time.Now().Add(convergeTimeout)
-			for {
-				st, err := status()
-				if err != nil {
-					return nil, err
-				}
-				if st.Protocol == ph.want {
-					rec.Converged = true
-					rec.ConvergeMs = ms(time.Since(phaseStart))
-					break
-				}
-				if time.Now().After(deadline) {
-					break
-				}
-				time.Sleep(25 * time.Millisecond)
-			}
-			time.Sleep(ph.hold) // dwell so the next phase starts from a settled state
-		default:
-			time.Sleep(ph.hold)
-		}
-
-		st, err := status()
-		if err != nil {
-			return nil, err
-		}
-		rec.EndProtocol = st.Protocol
-		rec.DurationMs = ms(time.Since(phaseStart))
-		rec.Switches = switchCount() - before
-		out.Phases = append(out.Phases, rec)
-		fmt.Fprintf(w, "  phase %-10s loss=%4.0f%% delay=%6s  ->  %-12s (%d switches, %s)\n",
-			ph.name, ph.loss*100, ph.delay, st.Protocol, rec.Switches, conv(rec))
-		if ph.want != "" && !rec.Converged {
-			return nil, fmt.Errorf("scenario %s: phase %s never converged to %s (at %s)",
-				def.name, ph.name, ph.want, st.Protocol)
-		}
-	}
-
-	sub.Close()
-	collectorWG.Wait()
-	evMu.Lock()
-	out.Switches = append([]scenarioEventJSON(nil), switches...)
-	evMu.Unlock()
-	out.AdviceEvents = int(advice.Load())
 	return out, nil
 }
 
-func conv(rec scenarioPhaseJSON) string {
-	if rec.WantProtocol == "" {
-		return "free-running"
+// runScenario executes one scenario under virtual time and renders the
+// schema-stable record. seed overrides the scenario's committed seed
+// when non-nil (the -seed flag, only when set explicitly).
+func runScenario(w io.Writer, sc *scenario.Scenario, seed *int64) (*scenarioJSON, error) {
+	res, err := scenario.Run(sc, scenario.Options{Seed: seed})
+	if err != nil {
+		return nil, err
 	}
-	if rec.Converged {
-		return fmt.Sprintf("converged in %.0fms", rec.ConvergeMs)
+
+	policy := "manual"
+	if sc.Adaptive != nil {
+		policy = sc.Adaptive.Policy
 	}
-	return "NOT CONVERGED"
+	out := &scenarioJSON{
+		Name: res.Name, N: res.Nodes, Policy: policy, InitialProto: sc.Initial,
+		Seed:         res.Seed,
+		Deliveries:   res.Counts.Deliveries,
+		Views:        res.Counts.Views,
+		AdviceEvents: res.Counts.Advice,
+		Digest:       fmt.Sprintf("%016x", res.Digest),
+		VirtualMs:    ms(res.VirtualTime),
+		WallMs:       ms(res.WallTime),
+	}
+	for i, ph := range res.Phases {
+		def := sc.Phases[i]
+		rec := scenarioPhaseJSON{
+			Name:         ph.Name,
+			DurationMs:   ms(ph.End - ph.Start),
+			WantProtocol: def.Expect.Protocol,
+			EndProtocol:  ph.EndProtocol,
+			Switches:     ph.Switches,
+			// Run returns an error on a missed phase expectation, so a
+			// demanded protocol that we got here with did converge.
+			Converged: true,
+		}
+		if def.Env != nil {
+			if def.Env.Loss != nil {
+				rec.LossPct = *def.Env.Loss * 100
+			}
+			if def.Env.Latency != nil {
+				rec.DelayUs = def.Env.Latency.Microseconds()
+			}
+		}
+		out.Phases = append(out.Phases, rec)
+		fmt.Fprintf(w, "  phase %-12s %6s virtual  ->  %-12s (%d switches%s)\n",
+			ph.Name, ph.End-ph.Start, ph.EndProtocol, ph.Switches, wantNote(def.Expect.Protocol))
+	}
+	for _, sw := range res.Switches {
+		out.Switches = append(out.Switches, scenarioEventJSON{
+			AtMs: ms(sw.At), Protocol: sw.Protocol, Epoch: sw.Epoch,
+		})
+	}
+	fmt.Fprintf(w, "  %d deliveries, %d views, digest %s — %s virtual in %s wall, invariants clean\n",
+		out.Deliveries, out.Views, out.Digest,
+		res.VirtualTime, res.WallTime.Round(time.Millisecond))
+	return out, nil
+}
+
+func wantNote(want string) string {
+	if want == "" {
+		return ""
+	}
+	return ", converged to " + want
 }

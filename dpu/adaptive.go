@@ -9,6 +9,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/simnet"
 	"repro/internal/transport"
+	"repro/internal/vclock"
 )
 
 // AdaptivePolicy decides, from sampled runtime signals, which
@@ -163,19 +164,43 @@ func (n *Node) Advise() (Advice, error) {
 // startAdaptive wires and starts the adaptation engine. Called at the
 // end of New, once every local stack runs.
 func (c *Cluster) startAdaptive(a *adaptiveOptions) {
+	act := func(target, reason string) error {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_, err := c.ChangeProtocolAll(ctx, target)
+		return err
+	}
+	if vclock.IsVirtual(c.clock) {
+		// Under a virtual clock the engine ticks on the clock owner's
+		// goroutine, and a blocking ChangeProtocolAll would deadlock: the
+		// switch cannot complete until the clock steps again. Initiate
+		// asynchronously instead — the switch propagates through the
+		// following virtual-time events exactly like a manual
+		// Cluster.ChangeProtocol.
+		act = func(target, reason string) error {
+			var initiator int
+			found := false
+			for _, s := range c.localSlots() {
+				if s.st.Running() {
+					initiator, found = s.id, true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("%w: no local running stack", ErrNotRunning)
+			}
+			return c.ChangeProtocol(initiator, target)
+		}
+	}
 	cfg := policy.Config{
 		Policy:   a.policy,
 		Interval: a.interval,
 		Confirm:  a.confirm,
 		Cooldown: a.cooldown,
 		Advisory: a.advisory,
+		Clock:    c.clock,
 		Sample:   c.sampleSignals(),
-		Act: func(target, reason string) error {
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			defer cancel()
-			_, err := c.ChangeProtocolAll(ctx, target)
-			return err
-		},
+		Act:      act,
 		OnAdvice: func(adv policy.Advice) { c.publishAdvice(publicAdvice(adv)) },
 	}
 	c.engine = policy.New(cfg)
@@ -211,7 +236,7 @@ func (c *Cluster) sampleSignals() func() (policy.Signals, bool) {
 			return policy.Signals{}, false
 		}
 		cur := metrics.Counters()
-		now := time.Now()
+		now := c.clock.Now()
 		defer func() { prev, prevAt = cur, now }()
 		if prev == nil {
 			return policy.Signals{}, false // first round establishes the baseline

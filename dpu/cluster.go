@@ -21,6 +21,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/transport"
 	"repro/internal/udp"
+	"repro/internal/vclock"
 )
 
 // stackSlot is the per-stack state of one locally hosted member: the
@@ -64,6 +65,7 @@ type Cluster struct {
 	impls      *abcast.Registry
 	membership bool
 	opts       *options
+	clock      vclock.Clock
 
 	// mu guards the slot table (the id space), which grows on AddNode.
 	mu    sync.RWMutex
@@ -140,12 +142,18 @@ func New(n int, opts ...Option) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.clock == nil {
+		o.clock = vclock.Wall
+	} else if o.transport != nil && vclock.IsVirtual(o.clock) {
+		return nil, fmt.Errorf("%w: WithClock(virtual) requires the built-in simulated network", ErrUnsupported)
+	}
 
 	var (
 		net *simnet.Network
 		tr  = o.transport
 	)
 	if tr == nil {
+		o.net.Clock = o.clock
 		net = simnet.New(o.net)
 		tr = transport.Sim(net)
 	}
@@ -156,6 +164,7 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		impls:      impls,
 		membership: o.membership,
 		opts:       o,
+		clock:      o.clock,
 		slots:      make([]*stackSlot, n),
 		closed:     make(chan struct{}),
 	}
@@ -204,7 +213,7 @@ func (c *Cluster) newRegistry(cut bootCut) *kernel.Registry {
 	reg.MustRegister(udp.Factory(c.tr))
 	reg.MustRegister(rp2p.Factory(rp2p.Config{}))
 	reg.MustRegister(rbcast.Factory(rbcast.Config{}))
-	reg.MustRegister(fd.Factory(fd.Config{}))
+	reg.MustRegister(fd.Factory(o.fd))
 	reg.MustRegister(consensus.Factory())
 	for _, cv := range o.consVariants {
 		reg.MustRegister(consensus.FactoryWith(cv))
@@ -237,8 +246,13 @@ func (c *Cluster) buildStack(id int, peers []kernel.Addr, reg *kernel.Registry) 
 	o := c.opts
 	st := kernel.NewStack(kernel.Config{
 		Addr: kernel.Addr(id), Peers: peers, Registry: reg,
-		Seed: o.net.Seed + int64(id), Tracer: o.tracer,
+		Seed: o.net.Seed + int64(id), Tracer: o.tracer, Clock: c.clock,
 	})
+	// A virtual clock must observe the stack's executor for quiescence;
+	// registering here covers founders and runtime joiners alike.
+	if vr, ok := c.clock.(vclock.Registrar); ok {
+		vr.Register(st)
+	}
 	s := &stackSlot{
 		id:          id,
 		st:          st,
@@ -318,7 +332,7 @@ func (p *pumpModule) HandleIndication(_ kernel.ServiceID, ind kernel.Indication)
 			default:
 			}
 		}
-		d := Delivery{Stack: s.id, Origin: int(v.Origin), Data: body, At: time.Now()}
+		d := Delivery{Stack: s.id, Origin: int(v.Origin), Data: body, At: p.Stk.Now()}
 		s.publishDelivery(p.c, d)
 		select {
 		case s.deliveries <- d:

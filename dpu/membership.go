@@ -12,6 +12,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/transport"
+	"repro/internal/vclock"
 )
 
 // joinSyncsCounter counts joiner sync cuts served by this process
@@ -69,6 +70,65 @@ func (c *Cluster) AddNode(ctx context.Context, endpoint string) (*Node, error) {
 		return nil, fmt.Errorf("dpu: joiner stack %d failed and was evicted again: %w", id, err)
 	}
 	return &Node{c: c, id: id}, nil
+}
+
+// AddNodeAsync is the non-blocking variant of AddNode for callers that
+// must not wait on cluster progress — the virtual-time scenario driver,
+// whose clock goroutine IS what makes the commit happen. The Assign-join
+// is ordered through a sponsor; when it commits, the joiner's stack is
+// booted inline on the sponsor's executor and done is invoked there with
+// the new node (or the boot error, after a compensating eviction is
+// ordered). done must not block. The error returned by AddNodeAsync
+// itself only covers submission (no membership, no running sponsor).
+func (c *Cluster) AddNodeAsync(endpoint string, done func(*Node, error)) error {
+	if !c.membership {
+		return fmt.Errorf("%w: enable it with WithMembership", ErrNoMembership)
+	}
+	var sponsor *stackSlot
+	for _, s := range c.localSlots() {
+		if s.st.Running() {
+			sponsor = s
+			break
+		}
+	}
+	if sponsor == nil {
+		return fmt.Errorf("%w: no local running stack to sponsor the join", ErrNotRunning)
+	}
+	sponsor.st.Call(gm.Service, gm.Join{
+		Assign:   true,
+		Endpoint: endpoint,
+		Reply: func(r gm.Result) {
+			if r.Err != nil {
+				done(nil, r.Err)
+				return
+			}
+			joinSyncsCounter.Add(1)
+			id := int(r.Member)
+			if endpoint != "" {
+				if router, ok := c.tr.(transport.Router); ok {
+					if err := router.AddRoute(transport.Addr(id), endpoint); err != nil {
+						c.Leave(sponsor.id, id) //nolint:errcheck // compensating, best effort
+						done(nil, err)
+						return
+					}
+				}
+			}
+			reg := c.newRegistry(bootCut{
+				protocol:  r.Protocol,
+				epoch:     r.Epoch,
+				viewID:    r.View.ID,
+				nextID:    r.NextID,
+				endpoints: r.Endpoints,
+			})
+			if _, err := c.buildStack(id, r.View.Members, reg); err != nil {
+				c.Leave(sponsor.id, id) //nolint:errcheck // compensating, best effort
+				done(nil, err)
+				return
+			}
+			done(&Node{c: c, id: id}, nil)
+		},
+	})
+	return nil
 }
 
 // compensateEvict orders the removal of a member through any local
@@ -268,6 +328,7 @@ func Join(ctx context.Context, sponsorAddr, selfEndpoint string, opts ...Option)
 		impls:      impls,
 		membership: true,
 		opts:       o,
+		clock:      vclock.Wall, // joiners run over real sockets: wall time only
 		slots:      make([]*stackSlot, size),
 		closed:     make(chan struct{}),
 	}

@@ -5,9 +5,11 @@ import (
 
 	"repro/internal/abcast"
 	"repro/internal/consensus"
+	"repro/internal/fd"
 	"repro/internal/kernel"
 	"repro/internal/simnet"
 	"repro/internal/transport"
+	"repro/internal/vclock"
 )
 
 type options struct {
@@ -27,6 +29,8 @@ type options struct {
 	consVariants   []consensus.Config
 	tracer         kernel.Tracer
 	adaptive       *adaptiveOptions
+	clock          vclock.Clock
+	fd             fd.Config
 }
 
 // Option configures New.
@@ -195,4 +199,25 @@ func WithLocalStacks(ids ...int) Option {
 // every stack.
 func WithTracer(t kernel.Tracer) Option {
 	return func(o *options) { o.tracer = t }
+}
+
+// WithClock injects a time source shared by every layer of the cluster
+// — kernel timers, simulated-network delivery, failure-detector
+// heartbeats, the adaptation engine's sampling ticks and event
+// timestamps. The default is the wall clock. Passing a
+// vclock.NewVirtual() puts the whole cluster on discrete-event virtual
+// time: nothing advances until the owner of the virtual clock steps it,
+// which is how internal/scenario runs large groups and long timelines
+// deterministically in milliseconds of real time. Requires the built-in
+// simulated network (the clock cannot slow down real sockets).
+func WithClock(c vclock.Clock) Option {
+	return func(o *options) { o.clock = c }
+}
+
+// WithFailureDetector tunes the heartbeat failure detector: interval is
+// the heartbeat/check period, timeout the silence threshold before
+// suspicion (zero keeps each default). Large simulated groups raise the
+// interval so heartbeat traffic does not dominate the event schedule.
+func WithFailureDetector(interval, timeout time.Duration) Option {
+	return func(o *options) { o.fd.Interval, o.fd.Timeout = interval, timeout }
 }

@@ -38,10 +38,41 @@ type SubscribeOptions struct {
 	// Advice selects adaptation decisions (requires WithAdaptive;
 	// Subscribe fails with ErrNoAdaptive otherwise).
 	Advice bool
+	// Events selects the unified stream: deliveries, switches, views and
+	// advice interleaved into one channel in the order the stack
+	// publishes them. Invariant checkers use this — the relative order
+	// of a delivery against a switch or view on the same stack is
+	// exactly the commit order, which the separate typed streams lose.
+	// Advice appears only when the cluster runs WithAdaptive.
+	Events bool
 	// Buffer is the per-stream channel capacity (default 256).
 	Buffer int
 	// Policy is the lag policy (default DropOldest).
 	Policy LagPolicy
+}
+
+// EventKind discriminates the variants of a unified Event.
+type EventKind int
+
+const (
+	// EventDelivery tags a totally-ordered message delivery.
+	EventDelivery EventKind = iota
+	// EventSwitch tags a protocol-replacement completion.
+	EventSwitch
+	// EventView tags a membership-view installation.
+	EventView
+	// EventAdvice tags an adaptation decision.
+	EventAdvice
+)
+
+// Event is one entry of the unified stream: Kind selects which field is
+// set.
+type Event struct {
+	Kind     EventKind
+	Delivery Delivery
+	Switch   SwitchEvent
+	View     View
+	Advice   Advice
 }
 
 // Subscription is one consumer's set of typed event streams from one
@@ -58,6 +89,7 @@ type Subscription struct {
 	switches   chan SwitchEvent
 	views      chan View
 	advice     chan Advice
+	events     chan Event
 	dropped    atomic.Uint64
 
 	done      chan struct{}
@@ -86,6 +118,7 @@ func (n *Node) Subscribe(opts SubscribeOptions) (*Subscription, error) {
 		switches:   make(chan SwitchEvent, opts.Buffer),
 		views:      make(chan View, opts.Buffer),
 		advice:     make(chan Advice, opts.Buffer),
+		events:     make(chan Event, opts.Buffer),
 		done:       make(chan struct{}),
 	}
 	// Excluded streams are closed up front: ranging over them ends
@@ -101,6 +134,9 @@ func (n *Node) Subscribe(opts SubscribeOptions) (*Subscription, error) {
 	}
 	if !opts.Advice {
 		close(s.advice)
+	}
+	if !opts.Events {
+		close(s.events)
 	}
 	slot.subMu.Lock()
 	// Cluster.Close closes c.closed before it snapshots the registries,
@@ -133,6 +169,10 @@ func (s *Subscription) Views() <-chan View { return s.views }
 // Advice returns the adaptation-decision stream (closed immediately
 // when not selected in SubscribeOptions).
 func (s *Subscription) Advice() <-chan Advice { return s.advice }
+
+// Events returns the unified interleaved stream (closed immediately
+// when not selected in SubscribeOptions).
+func (s *Subscription) Events() <-chan Event { return s.events }
 
 // Dropped reports how many events (across all selected streams) the
 // DropOldest policy has discarded because the consumer lagged. Always 0
@@ -175,6 +215,9 @@ func (s *Subscription) Close() {
 		if s.opts.Advice {
 			close(s.advice)
 		}
+		if s.opts.Events {
+			close(s.events)
+		}
 	})
 }
 
@@ -210,6 +253,9 @@ func (slot *stackSlot) publishDelivery(c *Cluster, d Delivery) {
 		if s.opts.Deliveries {
 			lagPush(s, s.deliveries, d)
 		}
+		if s.opts.Events {
+			lagPush(s, s.events, Event{Kind: EventDelivery, Delivery: d})
+		}
 	}
 }
 
@@ -220,6 +266,9 @@ func (slot *stackSlot) publishSwitch(c *Cluster, ev SwitchEvent) {
 		if s.opts.Switches {
 			lagPush(s, s.switches, ev)
 		}
+		if s.opts.Events {
+			lagPush(s, s.events, Event{Kind: EventSwitch, Switch: ev})
+		}
 	}
 }
 
@@ -229,6 +278,9 @@ func (slot *stackSlot) publishView(c *Cluster, v View) {
 	for _, s := range slot.subs {
 		if s.opts.Views {
 			lagPush(s, s.views, v)
+		}
+		if s.opts.Events {
+			lagPush(s, s.events, Event{Kind: EventView, View: v})
 		}
 	}
 }
@@ -242,6 +294,9 @@ func (slot *stackSlot) publishAdvice(c *Cluster, a Advice) {
 	for _, s := range slot.subs {
 		if s.opts.Advice {
 			lagPush(s, s.advice, a)
+		}
+		if s.opts.Events {
+			lagPush(s, s.events, Event{Kind: EventAdvice, Advice: a})
 		}
 	}
 }

@@ -205,7 +205,7 @@ func (m *ctModule) maybePropose() {
 			m.inFlight[id] = true
 		}
 		m.proposed[m.nextK] = ids
-		m.proposedAt[m.nextK] = time.Now()
+		m.proposedAt[m.nextK] = m.Stk.Now()
 		m.running++
 		m.Stk.Call(m.consSvc, consensus.Propose{
 			ID:    consensus.InstanceID{Group: m.epoch, Seq: m.nextK},
@@ -298,7 +298,7 @@ func (m *ctModule) processDecision(batch []byte) {
 		}
 		if at, ok := m.proposedAt[m.k]; ok {
 			delete(m.proposedAt, m.k)
-			consLatencyGauge.Observe(time.Since(at).Microseconds())
+			consLatencyGauge.Observe(m.Stk.Now().Sub(at).Microseconds())
 		}
 	}
 	m.k++

@@ -358,9 +358,22 @@ func (m *Module) HandleIndication(_ kernel.ServiceID, ind kernel.Indication) {
 	default:
 		return
 	}
-	// Suspicions unblock processes waiting for a coordinator.
-	for _, inst := range m.instances {
-		if inst.started && !inst.decided {
+	// Suspicions unblock processes waiting for a coordinator. Advance
+	// in instance-ID order: advancing sends messages, and map-order
+	// iteration would consume the simulated network's fault RNG in a
+	// different order on every run with the same seed.
+	ids := make([]InstanceID, 0, len(m.instances))
+	for id := range m.instances {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Group != ids[j].Group {
+			return ids[i].Group < ids[j].Group
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+	for _, id := range ids {
+		if inst := m.instances[id]; inst.started && !inst.decided {
 			m.advance(inst)
 		}
 	}
@@ -441,10 +454,20 @@ func (m *Module) coordPhase2(inst *instance, round uint64) {
 		return
 	}
 	inst.proposed[round] = true
+	// Pick the most recently adopted estimate; ties (everyone still at
+	// ts 0 in round 0 is the common case) break by lowest sender
+	// address. Iterating the map directly would let Go's randomized
+	// map order pick the winner, and the decided batch — though still
+	// a valid consensus outcome — would differ between seeded runs.
+	senders := make([]kernel.Addr, 0, len(inst.ests[round]))
+	for a := range inst.ests[round] {
+		senders = append(senders, a)
+	}
+	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
 	best := estimate{}
 	first := true
-	for _, e := range inst.ests[round] {
-		if first || e.ts > best.ts {
+	for _, a := range senders {
+		if e := inst.ests[round][a]; first || e.ts > best.ts {
 			best = e
 			first = false
 		}

@@ -742,7 +742,7 @@ func (m *Repl) onChange(sn uint64, initiator kernel.Addr, reqID uint64, name str
 		oldID := old.ID()
 		m.Stk.After(m.cfg.Grace, func() { m.Stk.RemoveModule(oldID) })
 	}
-	ev := Switched{Sn: m.sn, Protocol: name, At: time.Now(), Reissued: reissued}
+	ev := Switched{Sn: m.sn, Protocol: name, At: m.Stk.Now(), Reissued: reissued}
 	if mine {
 		if reply, ok := m.pendingChanges[reqID]; ok {
 			delete(m.pendingChanges, reqID)

@@ -209,7 +209,7 @@ func (m *Repl) viewChangeEvent(op ViewOp, member kernel.Addr, noOp bool) ViewCha
 		Protocol:  m.curName,
 		NextID:    m.view.nextID,
 		NoOp:      noOp,
-		At:        time.Now(),
+		At:        m.Stk.Now(),
 	}
 }
 

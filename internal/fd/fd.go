@@ -120,7 +120,7 @@ func Factory(cfg Config) kernel.Factory {
 // Start begins monitoring the other members of the current view and
 // subscribes to view changes so the monitor set tracks the membership.
 func (m *Module) Start() {
-	now := time.Now()
+	now := m.Stk.Now()
 	for _, p := range m.Stk.Others() {
 		m.peers[p] = &monitored{lastHeard: now, timeout: m.cfg.Timeout}
 	}
@@ -143,7 +143,7 @@ func (m *Module) Stop() {
 // joiner gets its startup grace; removed members are forgotten without
 // a Suspect, eviction is not a failure.
 func (m *Module) onPeersChanged(pc kernel.PeersChanged) {
-	now := time.Now()
+	now := m.Stk.Now()
 	for _, p := range pc.Added {
 		if p == m.Stk.Addr() {
 			continue
@@ -158,11 +158,20 @@ func (m *Module) onPeersChanged(pc kernel.PeersChanged) {
 }
 
 func (m *Module) onTick() {
+	// Iterate in sorted order: heartbeat sends consume the shared simnet
+	// fault RNG, so map-order iteration would make packet fates differ
+	// between runs with the same seed.
+	peers := make([]kernel.Addr, 0, len(m.peers))
 	for p := range m.peers {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, p := range peers {
 		m.Stk.Call(udp.Service, udp.Send{To: p, Chan: udp.ChanFD})
 	}
-	now := time.Now()
-	for p, st := range m.peers {
+	now := m.Stk.Now()
+	for _, p := range peers {
+		st := m.peers[p]
 		if !st.suspected && now.Sub(st.lastHeard) > st.timeout {
 			st.suspected = true
 			suspectCounter.Add(1)
@@ -187,7 +196,7 @@ func (m *Module) HandleIndication(svc kernel.ServiceID, ind kernel.Indication) {
 	if !ok {
 		return
 	}
-	st.lastHeard = time.Now()
+	st.lastHeard = m.Stk.Now()
 	if st.suspected {
 		st.suspected = false
 		st.timeout = min(st.timeout+m.cfg.AdaptStep, m.cfg.MaxTimeout)

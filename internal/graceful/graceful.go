@@ -264,7 +264,7 @@ func (m *Module) onCtrl(d rbcast.Deliver) {
 			m.Stk.After(m.cfg.Grace, func() { m.Stk.RemoveModule(oldID) })
 		}
 		m.Stk.Indicate(core.Service, core.Switched{
-			Sn: m.epoch, Protocol: m.curName, At: time.Now(), Reissued: len(buffered),
+			Sn: m.epoch, Protocol: m.curName, At: m.Stk.Now(), Reissued: len(buffered),
 		})
 	}
 }

@@ -32,16 +32,18 @@ const (
 // batch the stack's flushers run (see Stack.RegisterFlusher), which is
 // what lets modules coalesce the batch's outgoing traffic.
 type executor struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []task
-	spare   []task // recycled batch storage, swapped back under the lock
-	stopped bool
-	drain   bool
-	killed  atomic.Bool // crash: discard remaining batch events too
-	done    chan struct{}
-	runTask func(*task)
-	flush   func()
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []task
+	spare    []task // recycled batch storage, swapped back under the lock
+	accepted uint64 // monotonic count of enqueued tasks (quiescence detection)
+	busy     bool   // a batch is being drained or flushed
+	stopped  bool
+	drain    bool
+	killed   atomic.Bool // crash: discard remaining batch events too
+	done     chan struct{}
+	runTask  func(*task)
+	flush    func()
 }
 
 func newExecutor(runTask func(*task), flush func()) *executor {
@@ -67,6 +69,7 @@ func (e *executor) enqueue(t task) bool {
 		return false
 	}
 	e.queue = append(e.queue, t)
+	e.accepted++
 	first := len(e.queue) == 1
 	e.mu.Unlock()
 	if first {
@@ -106,6 +109,16 @@ func (e *executor) running() bool {
 	return !e.stopped
 }
 
+// queueState reports the monotonic count of tasks ever accepted and
+// whether the loop is idle (nothing queued, no batch in flight). A
+// stopped executor reports idle once its final batch drains, so virtual
+// clocks never wait on dead stacks.
+func (e *executor) queueState() (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.accepted, len(e.queue) == 0 && !e.busy
+}
+
 func (e *executor) run() {
 	var batch []task
 	for {
@@ -115,6 +128,7 @@ func (e *executor) run() {
 			e.spare = batch[:0]
 			batch = nil
 		}
+		e.busy = false
 		for len(e.queue) == 0 && !e.stopped {
 			e.cond.Wait()
 		}
@@ -127,6 +141,7 @@ func (e *executor) run() {
 		batch = e.queue
 		e.queue = e.spare
 		e.spare = nil
+		e.busy = true
 		e.mu.Unlock()
 
 		for i := range batch {

@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 // Addr identifies a stack (a machine in the paper's model).
@@ -175,6 +177,10 @@ type Config struct {
 	Seed int64
 	// Logger, when non-nil, receives diagnostic messages.
 	Logger *log.Logger
+	// Clock supplies time to the stack (timers, timestamps). Nil means
+	// the wall clock; simulations inject a vclock.Virtual so whole
+	// clusters run under discrete-event virtual time.
+	Clock vclock.Clock
 }
 
 // PeerService is the kernel-provided membership service: SetPeers
@@ -211,6 +217,7 @@ type peerSet struct {
 // service bindings and the serial executor that runs them.
 type Stack struct {
 	cfg   Config
+	clock vclock.Clock
 	exec  *executor
 	rng   *rand.Rand
 	peers atomic.Pointer[peerSet]
@@ -248,8 +255,13 @@ func NewStack(cfg Config) *Stack {
 	if cfg.Registry == nil {
 		cfg.Registry = NewRegistry()
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = vclock.Wall
+	}
 	st := &Stack{
 		cfg:      cfg,
+		clock:    clock,
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.Addr) << 32))),
 		services: make(map[ServiceID]*service),
 		modules:  make(map[ModuleID]Module),
@@ -266,6 +278,19 @@ func NewStack(cfg Config) *Stack {
 
 // Addr returns this stack's address.
 func (st *Stack) Addr() Addr { return st.cfg.Addr }
+
+// Clock returns the stack's time source (the wall clock unless one was
+// injected through Config.Clock).
+func (st *Stack) Clock() vclock.Clock { return st.clock }
+
+// Now returns the current instant on the stack's clock. Modules must
+// use this (or Clock()) instead of time.Now so simulated runs stay on
+// virtual time.
+func (st *Stack) Now() time.Time { return st.clock.Now() }
+
+// QueueState exposes the executor's accepted-work counter and idleness
+// so a virtual clock can detect quiescence (vclock.Source).
+func (st *Stack) QueueState() (uint64, bool) { return st.exec.queueState() }
 
 // Peers returns the current group membership (including this stack
 // while it remains a member). The slice is a shared snapshot — callers
@@ -471,7 +496,7 @@ type Timer struct {
 	st *Stack
 
 	mu      sync.Mutex
-	t       *time.Timer
+	t       vclock.Timer
 	stopped bool
 }
 
@@ -508,7 +533,7 @@ func (t *Timer) arm(d time.Duration, onFire func()) bool {
 		t.mu.Unlock()
 		return false
 	}
-	t.t = time.AfterFunc(d, func() {
+	t.t = st.clock.AfterFunc(d, func() {
 		st.timerMu.Lock()
 		delete(st.timers, t)
 		st.timerMu.Unlock()
@@ -575,7 +600,7 @@ func (st *Stack) CallSync(id ServiceID, req Request) {
 func (st *Stack) dispatch(id ServiceID, req Request) {
 	s := st.svc(id)
 	if s.provider == nil {
-		s.pending = append(s.pending, pendingCall{req: req, at: time.Now()})
+		s.pending = append(s.pending, pendingCall{req: req, at: st.clock.Now()})
 		st.trace(TraceEvent{Kind: TraceCallBlocked, Service: id})
 		return
 	}
@@ -619,7 +644,7 @@ func (st *Stack) Bind(id ServiceID, m Module) error {
 	if len(s.pending) > 0 {
 		parked := s.pending
 		s.pending = nil
-		now := time.Now()
+		now := st.clock.Now()
 		for _, pc := range parked {
 			st.trace(TraceEvent{
 				Kind: TraceCallUnblocked, Service: id, Module: m.ID(),
@@ -813,7 +838,7 @@ func (st *Stack) trace(ev TraceEvent) {
 	}
 	ev.Stack = st.cfg.Addr
 	if ev.Time.IsZero() {
-		ev.Time = time.Now()
+		ev.Time = st.clock.Now()
 	}
 	st.cfg.Tracer.Trace(ev)
 }

@@ -243,7 +243,7 @@ func (m *Module) doSwitch(name string) {
 		m.Stk.Call(abcast.ServiceImpl, abcast.Broadcast{Data: data})
 	}
 	m.Stk.Indicate(core.Service, core.Switched{
-		Sn: m.epoch, Protocol: name, At: time.Now(), Reissued: len(queued),
+		Sn: m.epoch, Protocol: name, At: m.Stk.Now(), Reissued: len(queued),
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/vclock"
 )
 
 // Signals is one sample of the stack's runtime condition, assembled by
@@ -103,6 +104,10 @@ type Config struct {
 	// OnAdvice, when non-nil, receives every emitted Advice (in both
 	// modes), on the engine goroutine.
 	OnAdvice func(Advice)
+	// Clock schedules the sampling ticks and timestamps decisions. Nil
+	// means the wall clock; a vclock.Virtual makes the adaptation loop
+	// deterministic under simulated time.
+	Clock vclock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Cooldown <= 0 {
 		c.Cooldown = 20 * c.Interval
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Wall
 	}
 	return c
 }
@@ -130,12 +138,14 @@ var (
 )
 
 // Engine is the adaptation loop: sample → evaluate → confirm → act (or
-// advise). One engine runs per node; Start spawns the sampling
-// goroutine and Stop joins it.
+// advise). One engine runs per node. The loop is a self-rearming timer
+// chain on Config.Clock rather than a dedicated goroutine, so under a
+// virtual clock the ticks become ordinary scheduled events and the whole
+// adaptation trajectory is deterministic.
 type Engine struct {
 	cfg Config
 
-	// Decision state, touched only on the engine goroutine (or by
+	// Decision state, touched only under runMu (tick callbacks, or
 	// tests driving step directly).
 	pendingTarget string
 	pendingCount  int
@@ -146,10 +156,11 @@ type Engine struct {
 	last Advice
 	seq  uint64
 
-	startOnce sync.Once
-	stopOnce  sync.Once
-	stop      chan struct{}
-	done      chan struct{}
+	runMu   sync.Mutex // serializes ticks against each other and Stop
+	timerMu sync.Mutex
+	timer   vclock.Timer
+	started bool
+	stopped bool
 }
 
 // New validates the configuration and returns an unstarted engine.
@@ -164,20 +175,36 @@ func New(cfg Config) *Engine {
 	if cfg.Act == nil && !cfg.Advisory {
 		panic("policy: Config.Act is required in active mode")
 	}
-	return &Engine{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	return &Engine{cfg: cfg}
 }
 
-// Start launches the sampling loop. Safe to call once.
+// Start arms the sampling loop. Safe to call once.
 func (e *Engine) Start() {
-	e.startOnce.Do(func() { go e.run() })
+	e.timerMu.Lock()
+	defer e.timerMu.Unlock()
+	if e.started || e.stopped {
+		return
+	}
+	e.started = true
+	e.timer = e.cfg.Clock.AfterFunc(e.cfg.Interval, e.tick)
 }
 
-// Stop halts the loop and waits for it to exit. Safe to call more than
-// once and before Start.
+// Stop halts the loop and waits for any in-flight tick to finish. Safe
+// to call more than once and before Start.
 func (e *Engine) Stop() {
-	e.stopOnce.Do(func() { close(e.stop) })
-	e.startOnce.Do(func() { close(e.done) }) // never started: nothing to join
-	<-e.done
+	e.timerMu.Lock()
+	if e.stopped {
+		e.timerMu.Unlock()
+		return
+	}
+	e.stopped = true
+	if e.timer != nil {
+		e.timer.Stop()
+	}
+	e.timerMu.Unlock()
+	// An already-running tick holds runMu; taking it drains the tick.
+	e.runMu.Lock()
+	e.runMu.Unlock() //nolint:staticcheck // empty section is the join
 }
 
 // Last returns the most recently emitted advice; ok is false before
@@ -188,22 +215,23 @@ func (e *Engine) Last() (Advice, bool) {
 	return e.last, e.last.Seq > 0
 }
 
-func (e *Engine) run() {
-	defer close(e.done)
-	tick := time.NewTicker(e.cfg.Interval)
-	defer tick.Stop()
-	for {
-		select {
-		case <-e.stop:
-			return
-		case now := <-tick.C:
-			s, ok := e.cfg.Sample()
-			if !ok {
-				continue
-			}
-			e.step(now, s)
+// tick runs one sampling round and rearms the timer.
+func (e *Engine) tick() {
+	e.runMu.Lock()
+	e.timerMu.Lock()
+	stopped := e.stopped
+	e.timerMu.Unlock()
+	if !stopped {
+		if s, ok := e.cfg.Sample(); ok {
+			e.step(e.cfg.Clock.Now(), s)
 		}
 	}
+	e.runMu.Unlock()
+	e.timerMu.Lock()
+	if !e.stopped {
+		e.timer = e.cfg.Clock.AfterFunc(e.cfg.Interval, e.tick)
+	}
+	e.timerMu.Unlock()
 }
 
 // step runs one evaluation round. Split from run so the unit suite can

@@ -365,7 +365,7 @@ func (m *Module) send(s Send) {
 func (m *Module) transmit(p *peer, pkt *outPkt) {
 	sentCounter.Add(1)
 	encoded := pkt.w.Bytes()
-	binary.BigEndian.PutUint64(encoded[pkt.tsOff:], uint64(time.Now().UnixNano()))
+	binary.BigEndian.PutUint64(encoded[pkt.tsOff:], uint64(m.Stk.Now().UnixNano()))
 	// Synchronous dispatch into the UDP module: no queue round-trip, and
 	// the headroom byte lets the frame go out without a copy.
 	m.Stk.CallSync(udp.Service, udp.Send{To: p.addr, Chan: udp.ChanRP2P, Data: encoded, Headroom: true})
@@ -508,7 +508,7 @@ func (m *Module) onAck(from kernel.Addr, want uint64, echoTS uint64) {
 	// triggered it, valid even for retransmissions and held-back
 	// cumulative acks.
 	if echoTS > 0 {
-		if sample := time.Since(time.Unix(0, int64(echoTS))); sample > 0 && sample < 10*m.cfg.MaxRTO {
+		if sample := m.Stk.Now().Sub(time.Unix(0, int64(echoTS))); sample > 0 && sample < 10*m.cfg.MaxRTO {
 			p.sampleRTT(sample, m.cfg.RTO, m.cfg.MaxRTO)
 			ackRTTGauge.Observe(p.srtt.Microseconds())
 		}

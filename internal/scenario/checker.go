@@ -1,0 +1,391 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/dpu"
+)
+
+// Checker audits the per-stack unified event logs of one run against
+// the protocol's safety invariants. It is deliberately decoupled from
+// the driver: logs in, violations out — which is also what makes the
+// checkers themselves testable against synthetic streams (see
+// checker_test.go).
+type Checker struct {
+	// Enabled selects the invariants to enforce (nil/empty = all; see
+	// knownInvariants).
+	Enabled []string
+	// Founders are the stacks subscribed from the first delivery on;
+	// their logs anchor at position 0 of the total order. Non-founder
+	// (joiner) logs anchor where their first delivery appears in the
+	// reference order.
+	Founders map[int]bool
+	// ExemptOrigins are senders whose broadcast stream may end in a
+	// ragged tail (crashed or evicted mid-run): the gap-freeness check
+	// skips them, the ordering checks still apply.
+	ExemptOrigins map[int]bool
+}
+
+// Counts are the deterministic per-run checker totals: a seeded virtual
+// run must reproduce them bit-identically.
+type Counts struct {
+	Deliveries int
+	Switches   int
+	Views      int
+	Advice     int
+}
+
+// Report is the checker's verdict over one run's logs.
+type Report struct {
+	Counts Counts
+	// Digest is an FNV-1a hash over every stack's canonical event
+	// stream — the strongest cheap determinism witness: two runs with
+	// the same seed must produce the same digest.
+	Digest uint64
+	// Violations lists every invariant breach found, most fundamental
+	// first. Empty means the run is clean.
+	Violations []string
+}
+
+// Err folds the violations into one error (nil when clean).
+func (r *Report) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("invariant violations (%d): %s", len(r.Violations), strings.Join(r.Violations, "; "))
+}
+
+func (c *Checker) enabled(name string) bool {
+	if len(c.Enabled) == 0 {
+		return true
+	}
+	for _, e := range c.Enabled {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// deliveryKey identifies one broadcast uniquely: the origin stack plus
+// the payload (workload payloads embed origin and sequence, so they
+// never collide).
+func deliveryKey(d dpu.Delivery) string {
+	return strconv.Itoa(d.Origin) + "\x00" + string(d.Data)
+}
+
+// workloadSeq parses a driver workload payload `w:<origin>:<seq>[:pad]`
+// and reports (origin, seq, true); other payloads report false.
+func workloadSeq(data []byte) (int, uint64, bool) {
+	s := string(data)
+	if !strings.HasPrefix(s, "w:") {
+		return 0, 0, false
+	}
+	rest := s[2:]
+	i := strings.IndexByte(rest, ':')
+	if i < 0 {
+		return 0, 0, false
+	}
+	origin, err := strconv.Atoi(rest[:i])
+	if err != nil {
+		return 0, 0, false
+	}
+	seqPart := rest[i+1:]
+	if j := strings.IndexByte(seqPart, ':'); j >= 0 {
+		seqPart = seqPart[:j]
+	}
+	seq, err := strconv.ParseUint(seqPart, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return origin, seq, true
+}
+
+// Check audits the logs. Keys of logs are stack ids; each log is that
+// stack's unified event stream in publish order.
+func (c *Checker) Check(logs map[int][]dpu.Event) *Report {
+	rep := &Report{}
+	ids := make([]int, 0, len(logs))
+	for id := range logs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	// Canonical per-stack delivery sequences, counts and digest.
+	h := fnv.New64a()
+	deliveries := make(map[int][]dpu.Delivery, len(ids))
+	for _, id := range ids {
+		fmt.Fprintf(h, "stack %d\n", id)
+		for _, ev := range logs[id] {
+			switch ev.Kind {
+			case dpu.EventDelivery:
+				rep.Counts.Deliveries++
+				deliveries[id] = append(deliveries[id], ev.Delivery)
+				fmt.Fprintf(h, "d %d %q %d\n", ev.Delivery.Origin, ev.Delivery.Data, ev.Delivery.At.UnixNano())
+			case dpu.EventSwitch:
+				rep.Counts.Switches++
+				fmt.Fprintf(h, "s %d %s\n", ev.Switch.Epoch, ev.Switch.Protocol)
+			case dpu.EventView:
+				rep.Counts.Views++
+				fmt.Fprintf(h, "v %d %v\n", ev.View.ID, ev.View.Members)
+			case dpu.EventAdvice:
+				rep.Counts.Advice++
+				// Advice carries engine-side floats; counted but not
+				// digested, so the digest stays a pure protocol witness.
+			}
+		}
+	}
+	rep.Digest = h.Sum64()
+
+	if c.enabled("exactly-once") {
+		c.checkExactlyOnce(ids, deliveries, rep)
+	}
+	ref, refStack := c.reference(ids, deliveries)
+	offsets := map[int]int{}
+	if c.enabled("total-order") || c.enabled("no-gaps") || c.enabled("view-agreement") {
+		offsets = c.checkTotalOrder(ids, deliveries, ref, refStack, rep)
+	}
+	if c.enabled("no-gaps") {
+		c.checkGaps(ref, refStack, rep)
+	}
+	if c.enabled("view-agreement") {
+		c.checkViews(ids, logs, offsets, rep)
+	}
+	if c.enabled("switch-agreement") {
+		c.checkSwitches(ids, logs, rep)
+	}
+	return rep
+}
+
+// reference picks the longest founder delivery log as the canonical
+// total order every other log is audited against (falling back to the
+// longest log of all when no founder delivered anything).
+func (c *Checker) reference(ids []int, deliveries map[int][]dpu.Delivery) ([]dpu.Delivery, int) {
+	best, bestStack := []dpu.Delivery(nil), -1
+	for _, id := range ids {
+		if len(c.Founders) > 0 && !c.Founders[id] {
+			continue
+		}
+		if len(deliveries[id]) > len(best) {
+			best, bestStack = deliveries[id], id
+		}
+	}
+	if bestStack == -1 {
+		for _, id := range ids {
+			if len(deliveries[id]) > len(best) {
+				best, bestStack = deliveries[id], id
+			}
+		}
+	}
+	return best, bestStack
+}
+
+func (c *Checker) checkExactlyOnce(ids []int, deliveries map[int][]dpu.Delivery, rep *Report) {
+	for _, id := range ids {
+		seen := make(map[string]int, len(deliveries[id]))
+		for i, d := range deliveries[id] {
+			k := deliveryKey(d)
+			if prev, dup := seen[k]; dup {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"exactly-once: stack %d delivered %q from %d twice (positions %d and %d)",
+					id, d.Data, d.Origin, prev, i))
+				continue
+			}
+			seen[k] = i
+		}
+	}
+}
+
+// checkTotalOrder verifies every stack's delivery sequence is one
+// contiguous window of the reference order: founders anchored at 0, a
+// joiner anchored where its first delivery appears in the reference. A
+// log shorter than its window (a crashed or evicted stack) is a legal
+// prefix; a mismatch inside the window is a total-order violation.
+// Returns each stack's anchor offset for the view-cut check.
+func (c *Checker) checkTotalOrder(ids []int, deliveries map[int][]dpu.Delivery, ref []dpu.Delivery, refStack int, rep *Report) map[int]int {
+	refIndex := make(map[string]int, len(ref))
+	for i, d := range ref {
+		refIndex[deliveryKey(d)] = i
+	}
+	offsets := make(map[int]int, len(ids))
+	for _, id := range ids {
+		log := deliveries[id]
+		offsets[id] = 0
+		if id == refStack || len(log) == 0 {
+			continue
+		}
+		start := 0
+		if len(c.Founders) > 0 && !c.Founders[id] {
+			pos, ok := refIndex[deliveryKey(log[0])]
+			if !ok {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"total-order: joiner %d starts with %q from %d, absent from the reference order (stack %d)",
+					id, log[0].Data, log[0].Origin, refStack))
+				continue
+			}
+			start = pos
+			offsets[id] = pos
+		}
+		for i, d := range log {
+			rpos := start + i
+			if rpos >= len(ref) {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"total-order: stack %d delivered %d events beyond the reference order's end (first extra: %q from %d)",
+					id, len(log)-i, d.Data, d.Origin))
+				break
+			}
+			if deliveryKey(d) != deliveryKey(ref[rpos]) {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"total-order: stack %d position %d delivered %q from %d, reference stack %d has %q from %d",
+					id, rpos, d.Data, d.Origin, refStack, ref[rpos].Data, ref[rpos].Origin))
+				break
+			}
+		}
+	}
+	return offsets
+}
+
+// checkGaps verifies the reference order delivers every workload
+// sender's sequence numbers contiguously from 0 — a hole in the middle
+// of a sender's stream means a message was lost across a switch, an
+// epoch boundary or a view change. Only the tail may be missing, and
+// only exempt (crashed/evicted) senders may stop short at all.
+func (c *Checker) checkGaps(ref []dpu.Delivery, refStack int, rep *Report) {
+	maxSeq := map[int]uint64{}
+	got := map[int]map[uint64]bool{}
+	for _, d := range ref {
+		origin, seq, ok := workloadSeq(d.Data)
+		if !ok {
+			continue
+		}
+		if got[origin] == nil {
+			got[origin] = map[uint64]bool{}
+		}
+		got[origin][seq] = true
+		if seq > maxSeq[origin] {
+			maxSeq[origin] = seq
+		}
+	}
+	origins := make([]int, 0, len(got))
+	for o := range got {
+		origins = append(origins, o)
+	}
+	sort.Ints(origins)
+	for _, o := range origins {
+		if c.ExemptOrigins[o] {
+			continue
+		}
+		var missing []uint64
+		for s := uint64(0); s <= maxSeq[o]; s++ {
+			if !got[o][s] {
+				missing = append(missing, s)
+			}
+		}
+		if len(missing) > 0 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"no-gaps: reference stack %d delivered sender %d up to seq %d but is missing %d seq(s), first %d",
+				refStack, o, maxSeq[o], len(missing), missing[0]))
+		}
+	}
+}
+
+// checkViews verifies view agreement: every stack that installs view V
+// sees the identical member set, and — where the stack's position in
+// the total order is anchored — installs it at the identical commit
+// cut (the count of deliveries preceding it).
+func (c *Checker) checkViews(ids []int, logs map[int][]dpu.Event, offsets map[int]int, rep *Report) {
+	type viewAt struct {
+		stack   int
+		members string
+		cut     int // absolute position in the reference order; -1 unknown
+	}
+	byID := map[uint64][]viewAt{}
+	viewIDs := []uint64{}
+	for _, id := range ids {
+		ndel := 0
+		anchored := len(c.Founders) == 0 || c.Founders[id]
+		for _, ev := range logs[id] {
+			switch ev.Kind {
+			case dpu.EventDelivery:
+				ndel++
+				anchored = true // a joiner anchors at its first delivery
+			case dpu.EventView:
+				cut := -1
+				if anchored {
+					cut = offsets[id] + ndel
+				}
+				if _, seen := byID[ev.View.ID]; !seen {
+					viewIDs = append(viewIDs, ev.View.ID)
+				}
+				byID[ev.View.ID] = append(byID[ev.View.ID], viewAt{
+					stack: id, members: fmt.Sprint(ev.View.Members), cut: cut,
+				})
+			}
+		}
+	}
+	sort.Slice(viewIDs, func(i, j int) bool { return viewIDs[i] < viewIDs[j] })
+	for _, vid := range viewIDs {
+		installs := byID[vid]
+		for _, v := range installs[1:] {
+			if v.members != installs[0].members {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"view-agreement: view %d members differ: stack %d has %s, stack %d has %s",
+					vid, installs[0].stack, installs[0].members, v.stack, v.members))
+				break
+			}
+		}
+		cut := -1
+		for _, v := range installs {
+			if v.cut < 0 {
+				continue
+			}
+			if cut < 0 {
+				cut = v.cut
+				continue
+			}
+			if v.cut != cut {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"view-agreement: view %d commits at different cuts: stack %d at %d deliveries, stack %d at %d",
+					vid, installs[0].stack, cut, v.stack, v.cut))
+				break
+			}
+		}
+	}
+}
+
+// checkSwitches verifies switch agreement: every stack that completes
+// the switch to epoch E reports the identical protocol, and each
+// stack's switch epochs are strictly increasing.
+func (c *Checker) checkSwitches(ids []int, logs map[int][]dpu.Event, rep *Report) {
+	protoByEpoch := map[uint64]string{}
+	stackByEpoch := map[uint64]int{}
+	for _, id := range ids {
+		last := uint64(0)
+		haveLast := false
+		for _, ev := range logs[id] {
+			if ev.Kind != dpu.EventSwitch {
+				continue
+			}
+			sw := ev.Switch
+			if haveLast && sw.Epoch <= last {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"switch-agreement: stack %d switch epochs not increasing (%d after %d)", id, sw.Epoch, last))
+			}
+			last, haveLast = sw.Epoch, true
+			if p, seen := protoByEpoch[sw.Epoch]; seen {
+				if p != sw.Protocol {
+					rep.Violations = append(rep.Violations, fmt.Sprintf(
+						"switch-agreement: epoch %d runs %s on stack %d but %s on stack %d",
+						sw.Epoch, p, stackByEpoch[sw.Epoch], sw.Protocol, id))
+				}
+			} else {
+				protoByEpoch[sw.Epoch] = sw.Protocol
+				stackByEpoch[sw.Epoch] = id
+			}
+		}
+	}
+}

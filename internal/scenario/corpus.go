@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/scenarios"
+)
+
+// Corpus parses every embedded corpus scenario and returns them sorted
+// by name. A file that fails to parse fails the whole load: the corpus
+// gate in CI runs exactly this.
+func Corpus() ([]*Scenario, error) {
+	entries, err := scenarios.FS.ReadDir(".")
+	if err != nil {
+		return nil, err
+	}
+	var out []*Scenario
+	seen := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".dpu.yaml") {
+			continue
+		}
+		data, err := scenarios.FS.ReadFile(e.Name())
+		if err != nil {
+			return nil, err
+		}
+		sc, err := Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if prev, dup := seen[sc.Name]; dup {
+			return nil, fmt.Errorf("%s: duplicate scenario name %q (also in %s)", e.Name(), sc.Name, prev)
+		}
+		seen[sc.Name] = e.Name()
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario corpus is empty")
+	}
+	return out, nil
+}
+
+// ByName returns the embedded corpus scenario with the given name.
+func ByName(name string) (*Scenario, error) {
+	corpus, err := Corpus()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, sc := range corpus {
+		if sc.Name == name {
+			return sc, nil
+		}
+		names = append(names, sc.Name)
+	}
+	return nil, fmt.Errorf("unknown scenario %q (corpus: %s)", name, strings.Join(names, ", "))
+}
+
+// LoadFile parses a scenario from a file on disk.
+func LoadFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,627 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/dpu"
+	"repro/internal/vclock"
+)
+
+// Options tunes one Run.
+type Options struct {
+	// Seed overrides the scenario's seed when non-nil (seed sweeps).
+	Seed *int64
+	// Log, when set, receives one line per phase (progress narration
+	// for CLI drivers; tests leave it nil).
+	Log func(format string, args ...any)
+}
+
+// PhaseResult records one executed phase.
+type PhaseResult struct {
+	Name        string
+	Start, End  time.Duration // virtual offsets from the run start
+	EndProtocol string        // installed protocol at the phase boundary
+	Switches    int           // completed switches on the reference stack within the phase
+}
+
+// SwitchRecord is one completed protocol replacement on the reference
+// stack.
+type SwitchRecord struct {
+	At       time.Duration // virtual offset from the run start
+	Epoch    uint64
+	Protocol string
+	Reissued int
+}
+
+// Result is the outcome of one scenario run that passed every
+// invariant and expectation.
+type Result struct {
+	Name          string
+	Seed          int64
+	Nodes         int // stacks alive at the end
+	Phases        []PhaseResult
+	Switches      []SwitchRecord
+	Counts        Counts
+	Digest        uint64
+	FinalProtocol string
+	FinalMembers  []int
+	VirtualTime   time.Duration // simulated time covered
+	WallTime      time.Duration // real time spent
+}
+
+// Run executes one scenario under virtual time and audits it. The
+// returned error carries the first expectation failure or invariant
+// violation; the Result is returned even then (when the run got far
+// enough to produce one) so callers can report partial evidence.
+func Run(sc *Scenario, opts Options) (*Result, error) {
+	seed := sc.Seed
+	if opts.Seed != nil {
+		seed = *opts.Seed
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	wallStart := time.Now()
+
+	vc := vclock.NewVirtual()
+	dopts := []dpu.Option{
+		dpu.WithClock(vc),
+		dpu.WithSeed(seed),
+		dpu.WithInitialProtocol(sc.Initial),
+	}
+	// The simulated LAN's defaults (100µs ± 50µs) apply unless the
+	// scenario shapes the founding environment explicitly.
+	if sc.Env.Latency != nil {
+		jitter := *sc.Env.Latency / 2
+		if sc.Env.Jitter != nil {
+			jitter = *sc.Env.Jitter
+		}
+		dopts = append(dopts, dpu.WithLatency(*sc.Env.Latency, jitter))
+	}
+	if sc.Env.Loss != nil {
+		dopts = append(dopts, dpu.WithLoss(*sc.Env.Loss))
+	}
+	if sc.Env.Bandwidth != nil {
+		dopts = append(dopts, dpu.WithBandwidth(*sc.Env.Bandwidth))
+	}
+	if sc.Membership {
+		dopts = append(dopts, dpu.WithMembership())
+	}
+	if sc.AutoEvict {
+		dopts = append(dopts, dpu.WithAutoEvict())
+	}
+	if sc.Grace > 0 {
+		dopts = append(dopts, dpu.WithGrace(sc.Grace))
+	}
+	if sc.FD.Interval > 0 || sc.FD.Timeout > 0 {
+		dopts = append(dopts, dpu.WithFailureDetector(sc.FD.Interval, sc.FD.Timeout))
+	}
+	if a := sc.Adaptive; a != nil {
+		var p dpu.AdaptivePolicy
+		switch a.Policy {
+		case "loss-sensitive":
+			p = dpu.LossSensitivePolicy(0, 0)
+		case "latency-sensitive":
+			p = dpu.LatencySensitivePolicy(0, 0)
+		default:
+			return nil, fmt.Errorf("scenario %s: unknown adaptive policy %q", sc.Name, a.Policy)
+		}
+		aopts := []dpu.AdaptiveOption{
+			dpu.AdaptiveInterval(a.Interval),
+			dpu.AdaptiveConfirm(a.Confirm),
+			dpu.AdaptiveCooldown(a.Cooldown),
+		}
+		if a.Advisory {
+			aopts = append(aopts, dpu.Advisory())
+		}
+		dopts = append(dopts, dpu.WithAdaptive(p, aopts...))
+	}
+
+	c, err := dpu.New(sc.Nodes, dopts...)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	defer c.Close()
+
+	d := &driver{sc: sc, c: c, vc: vc, logf: logf,
+		logs:    map[int][]dpu.Event{},
+		founder: map[int]bool{},
+		exempt:  map[int]bool{},
+		retired: map[int]bool{},
+	}
+	for i := 0; i < sc.Nodes; i++ {
+		d.founder[i] = true
+		if err := d.subscribe(i); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+	}
+	d.startWorkload()
+
+	var phases []PhaseResult
+	var expectFailure error
+	for _, ph := range sc.Phases {
+		pr, err := d.runPhase(ph)
+		phases = append(phases, pr)
+		if err != nil {
+			expectFailure = fmt.Errorf("scenario %s: %w", sc.Name, err)
+			break
+		}
+	}
+
+	// Drain: workload off, the backlog settles, in-flight switches and
+	// view changes complete.
+	d.stopWorkload()
+	vc.RunFor(sc.Drain)
+
+	finalProto, finalMembers := d.finalStatus()
+	virtual := vc.Elapsed()
+
+	// Tear down before auditing: Close ends every subscription stream,
+	// which is what lets the drain goroutines finish and the logs
+	// freeze.
+	c.Close()
+	d.wg.Wait()
+
+	res := &Result{
+		Name:          sc.Name,
+		Seed:          seed,
+		Phases:        phases,
+		FinalProtocol: finalProto,
+		FinalMembers:  finalMembers,
+		VirtualTime:   virtual,
+		WallTime:      time.Since(wallStart),
+	}
+	d.mu.Lock()
+	logs := d.logs
+	aliveStacks := 0
+	for id := range logs {
+		if !d.retired[id] {
+			aliveStacks++
+		}
+	}
+	d.mu.Unlock()
+	res.Nodes = aliveStacks
+
+	ck := &Checker{Enabled: sc.Invariants, Founders: d.founder, ExemptOrigins: d.exempt}
+	rep := ck.Check(logs)
+	res.Counts = rep.Counts
+	res.Digest = rep.Digest
+	res.Switches = d.referenceSwitches(logs)
+	for i := range res.Phases {
+		res.Phases[i].Switches = countSwitchesIn(res.Switches, res.Phases[i].Start, res.Phases[i].End)
+	}
+	if err := rep.Err(); err != nil {
+		return res, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	if expectFailure != nil {
+		return res, expectFailure
+	}
+	if err := d.checkFinalExpectations(res); err != nil {
+		return res, err
+	}
+	logf("scenario %s: %d deliveries, %d switches, %d views over %s virtual in %s wall",
+		sc.Name, res.Counts.Deliveries, res.Counts.Switches, res.Counts.Views,
+		res.VirtualTime, res.WallTime.Round(time.Millisecond))
+	return res, nil
+}
+
+// driver is the mutable state of one run. Fields written by clock
+// callbacks are only touched on the clock-owner goroutine (the one
+// inside Run); logs and retirement flags are also written from stack
+// executors and drain goroutines, hence the mutex.
+type driver struct {
+	sc   *Scenario
+	c    *dpu.Cluster
+	vc   *vclock.Virtual
+	logf func(string, ...any)
+
+	mu      sync.Mutex
+	logs    map[int][]dpu.Event
+	founder map[int]bool // immutable after Run's setup
+	exempt  map[int]bool // senders with a legitimate ragged tail
+	retired map[int]bool // crashed or evicted stacks
+	wg      sync.WaitGroup
+
+	workloadStopped bool
+	flapGen         int
+}
+
+// subscribe attaches an Events-stream subscription to the stack and
+// drains it into the per-stack log. Block policy: the checkers must see
+// every event, and the drain goroutine always consumes.
+func (d *driver) subscribe(id int) error {
+	n, err := d.c.Node(id)
+	if err != nil {
+		return err
+	}
+	sub, err := n.Subscribe(dpu.SubscribeOptions{Events: true, Buffer: 8192, Policy: dpu.Block})
+	if err != nil {
+		return err
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for ev := range sub.Events() {
+			d.mu.Lock()
+			d.logs[id] = append(d.logs[id], ev)
+			d.mu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// startWorkload schedules one self-rearming broadcast chain per sender.
+// Each tick runs as a virtual-clock event, so the whole load is part of
+// the deterministic schedule. The legacy Cluster.Broadcast is the right
+// call here: it hands the payload to the stack without blocking on the
+// outstanding window (blocking would deadlock the clock goroutine).
+func (d *driver) startWorkload() {
+	w := d.sc.Workload
+	if w.Rate <= 0 {
+		return
+	}
+	senders := w.Senders
+	if senders <= 0 || senders > d.sc.Nodes {
+		senders = d.sc.Nodes
+	}
+	period := time.Duration(float64(time.Second) / w.Rate)
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	for s := 0; s < senders; s++ {
+		s := s
+		seq := uint64(0)
+		var tick func()
+		tick = func() {
+			if d.workloadStopped || d.isRetired(s) {
+				return
+			}
+			if err := d.c.Broadcast(s, workloadPayload(s, seq, w.Payload)); err != nil {
+				// The stack crashed or was evicted mid-run: its stream ends
+				// here, legitimately ragged.
+				d.markExempt(s)
+				return
+			}
+			seq++
+			d.vc.AfterFunc(period, tick)
+		}
+		// Stagger the chains so senders do not all fire on the same
+		// virtual instant.
+		d.vc.AfterFunc(time.Duration(s+1)*period/time.Duration(senders+1), tick)
+	}
+}
+
+func (d *driver) stopWorkload() { d.workloadStopped = true }
+
+func (d *driver) isRetired(id int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.retired[id]
+}
+
+func (d *driver) markExempt(id int) {
+	d.mu.Lock()
+	d.exempt[id] = true
+	d.mu.Unlock()
+}
+
+func (d *driver) markRetired(id int) {
+	d.mu.Lock()
+	d.exempt[id] = true
+	d.retired[id] = true
+	d.mu.Unlock()
+}
+
+// workloadPayload builds `w:<origin>:<seq>` padded to size bytes.
+func workloadPayload(origin int, seq uint64, size int) []byte {
+	p := fmt.Sprintf("w:%d:%d", origin, seq)
+	if len(p) < size {
+		b := make([]byte, size)
+		copy(b, p)
+		b[len(p)] = ':'
+		for i := len(p) + 1; i < size; i++ {
+			b[i] = 'x'
+		}
+		return b
+	}
+	return []byte(p)
+}
+
+// runPhase applies the phase's environment, schedules its actions and
+// flap as clock events, advances virtual time by the phase duration,
+// and checks the phase expectation at the (quiescent) boundary.
+func (d *driver) runPhase(ph Phase) (PhaseResult, error) {
+	pr := PhaseResult{Name: ph.Name, Start: d.vc.Elapsed()}
+	if env := ph.Env; env != nil {
+		if env.Loss != nil {
+			if err := d.c.SetLoss(*env.Loss); err != nil {
+				return pr, fmt.Errorf("phase %s: %w", ph.Name, err)
+			}
+		}
+		if env.Latency != nil {
+			if err := d.c.SetDelay(*env.Latency); err != nil {
+				return pr, fmt.Errorf("phase %s: %w", ph.Name, err)
+			}
+		}
+		if env.Jitter != nil {
+			if err := d.c.SetJitter(*env.Jitter); err != nil {
+				return pr, fmt.Errorf("phase %s: %w", ph.Name, err)
+			}
+		}
+	}
+	var actErr error
+	fail := func(format string, args ...any) {
+		if actErr == nil {
+			actErr = fmt.Errorf("phase %s: %s", ph.Name, fmt.Sprintf(format, args...))
+		}
+	}
+	for _, a := range ph.Actions {
+		a := a
+		d.vc.AfterFunc(a.At, func() { d.runAction(ph.Name, a, fail) })
+	}
+	if f := ph.Flap; f != nil {
+		d.startFlap(*f, ph.Duration, fail)
+	}
+	d.vc.RunFor(ph.Duration)
+	d.flapGen++ // any flap chain of this phase stops rearming
+	if actErr != nil {
+		return pr, actErr
+	}
+	pr.End = d.vc.Elapsed()
+	proto, _ := d.status()
+	pr.EndProtocol = proto
+	d.logf("phase %-18s %8s..%8s  protocol=%s",
+		ph.Name, pr.Start.Truncate(time.Millisecond), pr.End.Truncate(time.Millisecond), proto)
+	if want := ph.Expect.Protocol; want != "" && proto != want {
+		return pr, fmt.Errorf("phase %s: expected convergence to %s, still on %s after %s",
+			ph.Name, want, proto, ph.Duration)
+	}
+	return pr, nil
+}
+
+// runAction executes one scheduled intervention on the clock goroutine.
+// Every branch is non-blocking: a blocking wait here would deadlock the
+// virtual clock against the progress it is waiting for.
+func (d *driver) runAction(phase string, a Action, fail func(string, ...any)) {
+	switch a.Action {
+	case "add-node":
+		err := d.c.AddNodeAsync("", func(n *dpu.Node, err error) {
+			if err != nil {
+				fail("add-node: %v", err)
+				return
+			}
+			// The callback runs on the sponsor's executor at the commit:
+			// subscribing here catches the joiner's stream from its first
+			// event.
+			if err := d.subscribe(n.Index()); err != nil {
+				fail("add-node: subscribe joiner %d: %v", n.Index(), err)
+			}
+		})
+		if err != nil {
+			fail("add-node: %v", err)
+		}
+	case "evict":
+		victim := a.Node
+		if victim < 0 {
+			fail("evict: `node:` is required")
+			return
+		}
+		sponsor, ok := d.lowestRunning(victim)
+		if !ok {
+			fail("evict %d: no other running stack to order the eviction", victim)
+			return
+		}
+		// The victim's stream legitimately ends at the eviction commit.
+		d.markRetired(victim)
+		if err := d.c.Leave(sponsor, victim); err != nil {
+			fail("evict %d: %v", victim, err)
+		}
+	case "crash":
+		if a.Node < 0 {
+			fail("crash: `node:` is required")
+			return
+		}
+		d.markRetired(a.Node)
+		if err := d.c.Crash(a.Node); err != nil {
+			fail("crash %d: %v", a.Node, err)
+		}
+	case "switch":
+		initiator := a.Node
+		if initiator < 0 {
+			var ok bool
+			initiator, ok = d.lowestRunning(-1)
+			if !ok {
+				fail("switch: no running stack")
+				return
+			}
+		}
+		if err := d.c.ChangeProtocol(initiator, a.To); err != nil {
+			fail("switch to %s: %v", a.To, err)
+		}
+	case "partition":
+		if err := d.c.PartitionLink(a.A, a.B); err != nil {
+			fail("partition %d-%d: %v", a.A, a.B, err)
+		}
+	case "heal":
+		if err := d.c.HealLink(a.A, a.B); err != nil {
+			fail("heal %d-%d: %v", a.A, a.B, err)
+		}
+	case "set-loss":
+		if err := d.c.SetLoss(a.Loss); err != nil {
+			fail("set-loss: %v", err)
+		}
+	case "set-delay":
+		if err := d.c.SetDelay(a.Delay); err != nil {
+			fail("set-delay: %v", err)
+		}
+	case "set-jitter":
+		if err := d.c.SetJitter(a.Jitter); err != nil {
+			fail("set-jitter: %v", err)
+		}
+	}
+}
+
+// startFlap breaks and heals one link every half period until the
+// phase ends (the generation counter invalidates the chain at the
+// boundary, so a flap never leaks into the next phase).
+func (d *driver) startFlap(f Flap, duration time.Duration, fail func(string, ...any)) {
+	gen := d.flapGen
+	half := f.Period / 2
+	if half <= 0 {
+		half = 50 * time.Millisecond
+	}
+	cut := true
+	var toggle func()
+	toggle = func() {
+		if d.flapGen != gen {
+			// The phase ended mid-flap: leave the link healed.
+			if err := d.c.HealLink(f.A, f.B); err != nil {
+				fail("flap heal %d-%d: %v", f.A, f.B, err)
+			}
+			return
+		}
+		var err error
+		if cut {
+			err = d.c.PartitionLink(f.A, f.B)
+		} else {
+			err = d.c.HealLink(f.A, f.B)
+		}
+		if err != nil {
+			fail("flap %d-%d: %v", f.A, f.B, err)
+			return
+		}
+		cut = !cut
+		d.vc.AfterFunc(half, toggle)
+	}
+	d.vc.AfterFunc(0, toggle)
+}
+
+// lowestRunning returns the lowest-indexed running stack, skipping
+// `skip` (pass -1 to skip none).
+func (d *driver) lowestRunning(skip int) (int, bool) {
+	for id := 0; id < d.c.N(); id++ {
+		if id == skip || d.isRetired(id) {
+			continue
+		}
+		if _, err := d.c.Status(id); err == nil {
+			return id, true
+		}
+	}
+	return -1, false
+}
+
+// status snapshots the reference stack's protocol and members. Safe on
+// the driver goroutine between RunFor calls: the cluster is quiescent,
+// and the stack's executor serves the request promptly.
+func (d *driver) status() (string, []int) {
+	id, ok := d.lowestRunning(-1)
+	if !ok {
+		return "", nil
+	}
+	st, err := d.c.Status(id)
+	if err != nil {
+		return "", nil
+	}
+	return st.Protocol, st.Members
+}
+
+func (d *driver) finalStatus() (string, []int) { return d.status() }
+
+// referenceSwitches extracts the switch sequence of the lowest-indexed
+// founder that observed the most switches (the reference trail the
+// scenario's switch expectations are checked against). View changes
+// make the core re-install the current protocol under a fresh epoch;
+// those reinstalls carry the same protocol as the one already running
+// and are dropped here so the trail only records real transitions.
+func (d *driver) referenceSwitches(logs map[int][]dpu.Event) []SwitchRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	base := d.vc.Base()
+	var best []SwitchRecord
+	for id := 0; id < d.sc.Nodes; id++ {
+		cur := d.sc.Initial
+		var recs []SwitchRecord
+		for _, ev := range logs[id] {
+			if ev.Kind != dpu.EventSwitch {
+				continue
+			}
+			if ev.Switch.Protocol == cur {
+				continue // view-change reinstall, not a transition
+			}
+			cur = ev.Switch.Protocol
+			recs = append(recs, SwitchRecord{
+				At:       ev.Switch.At.Sub(base),
+				Epoch:    ev.Switch.Epoch,
+				Protocol: ev.Switch.Protocol,
+				Reissued: ev.Switch.Reissued,
+			})
+		}
+		if len(recs) > len(best) {
+			best = recs
+		}
+	}
+	return best
+}
+
+func countSwitchesIn(switches []SwitchRecord, start, end time.Duration) int {
+	n := 0
+	for _, s := range switches {
+		if s.At > start && s.At <= end {
+			n++
+		}
+	}
+	return n
+}
+
+// checkFinalExpectations audits the scenario's end-state demands.
+func (d *driver) checkFinalExpectations(res *Result) error {
+	ex := d.sc.Expect
+	if ex.FinalProtocol != "" && res.FinalProtocol != ex.FinalProtocol {
+		return fmt.Errorf("scenario %s: final protocol %s, want %s", d.sc.Name, res.FinalProtocol, ex.FinalProtocol)
+	}
+	if ex.SwitchSequence != nil {
+		var got []string
+		for _, s := range res.Switches {
+			got = append(got, s.Protocol)
+		}
+		if len(got) != len(ex.SwitchSequence) {
+			return fmt.Errorf("scenario %s: switch sequence %v, want %v", d.sc.Name, got, ex.SwitchSequence)
+		}
+		for i := range got {
+			if got[i] != ex.SwitchSequence[i] {
+				return fmt.Errorf("scenario %s: switch sequence %v, want %v", d.sc.Name, got, ex.SwitchSequence)
+			}
+		}
+	}
+	if ex.MinSwitches >= 0 && len(res.Switches) < ex.MinSwitches {
+		return fmt.Errorf("scenario %s: %d switches, want at least %d", d.sc.Name, len(res.Switches), ex.MinSwitches)
+	}
+	if ex.MaxSwitches >= 0 && len(res.Switches) > ex.MaxSwitches {
+		return fmt.Errorf("scenario %s: %d switches, want at most %d (flap suppression failed)", d.sc.Name, len(res.Switches), ex.MaxSwitches)
+	}
+	if ex.MinViews >= 0 {
+		// Views are counted per stack; the per-stack maximum is the
+		// number of commits the longest-lived member observed.
+		maxViews := 0
+		d.mu.Lock()
+		for _, log := range d.logs {
+			n := 0
+			for _, ev := range log {
+				if ev.Kind == dpu.EventView {
+					n++
+				}
+			}
+			if n > maxViews {
+				maxViews = n
+			}
+		}
+		d.mu.Unlock()
+		if maxViews < ex.MinViews {
+			return fmt.Errorf("scenario %s: %d committed views observed, want at least %d", d.sc.Name, maxViews, ex.MinViews)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParse throws arbitrary bytes at the YAML-subset parser and the
+// schema decoder: neither may panic, and a scenario that parses must
+// validate deterministically (parse twice, agree twice).
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(minimal))
+	f.Add([]byte("name: x\nphases:\n  - name: p\n    duration: 1s\n"))
+	f.Add([]byte("a: [1, {b: 2}, 'c']\n"))
+	f.Add([]byte("xs:\n  - k: 1\n    l: [a, b]\n"))
+	f.Add([]byte("\t"))
+	f.Add([]byte("a: \"unterminated"))
+	f.Add([]byte("phases: []\n"))
+	corpus, err := Corpus()
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = corpus
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(data)
+		sc2, err2 := Parse(data)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("parse nondeterministic: %v vs %v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if sc.Name != sc2.Name || len(sc.Phases) != len(sc2.Phases) {
+			t.Fatalf("parse nondeterministic: %+v vs %+v", sc, sc2)
+		}
+	})
+}
+
+// FuzzScenario drives the full virtual-time engine with fuzzed seeds:
+// every seed must run the minimal scenario to completion with all
+// invariant checkers passing, because the checkers assert protocol
+// safety properties that hold for any fault schedule. A failing seed is
+// the reproduction recipe and is reported verbatim.
+func FuzzScenario(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	sc, err := Parse([]byte(minimal))
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Strip the convergence expectations: under adversarial seeds only
+	// the safety invariants are guaranteed, not the exact switch trail.
+	sc.Expect = Expect{MinSwitches: -1, MaxSwitches: -1, MinViews: -1}
+	for i := range sc.Phases {
+		sc.Phases[i].Expect = PhaseExpect{}
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		res, err := Run(sc, Options{Seed: &seed})
+		if err != nil {
+			t.Fatalf("FAILING SEED %d: %v\nreproduce: go test ./internal/scenario -run FuzzScenario -fuzz=^$ with Options{Seed: &seed} at seed=%d",
+				seed, err, seed)
+		}
+		if res.WallTime > 30*time.Second {
+			t.Fatalf("seed %d: run took %s wall", seed, res.WallTime)
+		}
+	})
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package scenario
+
+// raceEnabled reports whether the race detector is compiled in. Large
+// corpus entries are skipped under -race: the detector multiplies both
+// memory and CPU several-fold, and the 50-node flood schedule is
+// already the most expensive thing in the suite.
+const raceEnabled = false

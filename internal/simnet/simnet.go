@@ -22,6 +22,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 // Addr identifies an endpoint (one per stack).
@@ -57,6 +59,10 @@ type Config struct {
 	DupRate float64
 	// LoopbackLatency is the delay for self-addressed packets.
 	LoopbackLatency time.Duration
+	// Clock supplies delivery timers and the egress-queue timebase. Nil
+	// means the wall clock; a vclock.Virtual runs the whole fabric under
+	// deterministic virtual time. Fixed at New; Update cannot change it.
+	Clock vclock.Clock
 }
 
 // Stats counts fabric activity. Retrieve a snapshot with Network.Stats.
@@ -86,28 +92,34 @@ func mkLink(a, b Addr) link {
 type Network struct {
 	mu      sync.Mutex
 	cfg     Config
+	clock   vclock.Clock
 	rng     *rand.Rand
 	eps     map[Addr]*Endpoint
 	cuts    map[link]bool
 	down    map[Addr]bool
 	latency map[link]time.Duration // per-link override
 	egress  map[Addr]time.Time     // per-NIC transmit queue tail
-	timers  map[*time.Timer]struct{}
+	timers  map[vclock.Timer]struct{}
 	stats   Stats
 	closed  bool
 }
 
 // New creates a network with the given configuration.
 func New(cfg Config) *Network {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = vclock.Wall
+	}
 	return &Network{
 		cfg:     cfg,
+		clock:   clock,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		eps:     make(map[Addr]*Endpoint),
 		cuts:    make(map[link]bool),
 		down:    make(map[Addr]bool),
 		latency: make(map[link]time.Duration),
 		egress:  make(map[Addr]time.Time),
-		timers:  make(map[*time.Timer]struct{}),
+		timers:  make(map[vclock.Timer]struct{}),
 	}
 }
 
@@ -216,7 +228,7 @@ func (n *Network) delayLocked(from, to Addr, size int) (time.Duration, bool) {
 			if limit <= 0 {
 				limit = 50 * time.Millisecond
 			}
-			now := time.Now()
+			now := n.clock.Now()
 			tail := n.egress[from]
 			if tail.Before(now) {
 				tail = now
@@ -239,8 +251,8 @@ func (n *Network) delayLocked(from, to Addr, size int) (time.Duration, bool) {
 
 // scheduleLocked arms the delivery timer; n.mu must be held.
 func (n *Network) scheduleLocked(delay time.Duration, from, to Addr, data []byte) {
-	var tm *time.Timer
-	tm = time.AfterFunc(delay, func() {
+	var tm vclock.Timer
+	tm = n.clock.AfterFunc(delay, func() {
 		n.mu.Lock()
 		delete(n.timers, tm)
 		if n.closed || n.down[to] || n.cuts[mkLink(from, to)] {
@@ -329,5 +341,5 @@ func (n *Network) Close() {
 	for tm := range n.timers {
 		tm.Stop()
 	}
-	n.timers = make(map[*time.Timer]struct{})
+	n.timers = make(map[vclock.Timer]struct{})
 }

@@ -1,0 +1,315 @@
+// Package vclock abstracts time for the stack so whole clusters can run
+// under discrete-event virtual time. Production code uses the Wall
+// clock, which delegates to the runtime; simulations use Virtual, a
+// deterministic event scheduler that advances time only when every
+// registered event source (kernel executors) is quiescent.
+//
+// # Determinism
+//
+// The virtual clock guarantees a reproducible execution provided three
+// properties hold, all of which the stack satisfies:
+//
+//  1. Every timer callback is registered through one Clock, so firing
+//     order is the heap order (deadline, then registration sequence) —
+//     there is no racing set of runtime timers.
+//  2. The clock fires at most one event at a time and waits for full
+//     quiescence (all executors idle, no queued work anywhere) before
+//     firing the next, so the event cascade triggered by one firing is
+//     serialized: shared randomness (the simnet fault RNG) is consumed
+//     in a reproducible order.
+//  3. Event sources do no wall-clock-dependent work of their own.
+//
+// Quiescence is detected with a double poll over a monotonic
+// accepted-work counter: if every source reports idle and the total
+// count is identical across two consecutive polls, no work was in
+// flight between them (counters never decrease, so the check cannot be
+// fooled by work that starts and finishes between polls).
+package vclock
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Timer is a cancellable pending callback, the clock-agnostic subset of
+// *time.Timer. Stop reports whether it prevented the callback from
+// firing.
+type Timer interface {
+	Stop() bool
+}
+
+// Clock supplies the two time operations the stack uses: reading the
+// current instant and scheduling a callback.
+type Clock interface {
+	Now() time.Time
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Wall is the real-time clock backed by the runtime.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return wallTimer{time.AfterFunc(d, fn)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) Stop() bool { return w.t.Stop() }
+
+// Source is an event consumer whose activity the virtual clock must
+// observe to detect quiescence. QueueState returns a monotonic count of
+// work items ever accepted and whether the source is currently idle
+// (empty queue, no task running).
+type Source interface {
+	QueueState() (accepted uint64, idle bool)
+}
+
+// Registrar is implemented by clocks that track event sources. Code
+// that builds stacks registers each one with the cluster's clock when
+// the clock cares (the virtual clock does, the wall clock does not).
+type Registrar interface {
+	Register(Source)
+}
+
+// IsVirtual reports whether c is a virtual clock, letting callers pick
+// non-blocking code paths that are safe to run on the clock goroutine.
+func IsVirtual(c Clock) bool {
+	_, ok := c.(*Virtual)
+	return ok
+}
+
+// Virtual is a discrete-event clock. Timer callbacks run inline on the
+// goroutine calling Step or RunFor (the driver), one at a time, each
+// only after the previous event's cascade has fully drained.
+//
+// Step and RunFor must be called from a single goroutine; Now,
+// AfterFunc, Stop and Register are safe from any goroutine.
+type Virtual struct {
+	mu     sync.Mutex
+	base   time.Time
+	now    int64 // nanoseconds since base
+	events eventHeap
+	seq    uint64
+
+	srcMu sync.Mutex
+	srcs  []Source
+}
+
+// NewVirtual creates a virtual clock. Time starts at a fixed arbitrary
+// epoch so timestamps look plausible in traces but carry no relation to
+// the host clock.
+func NewVirtual() *Virtual {
+	return &Virtual{base: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Base returns the clock's epoch: the instant Now reported before any
+// time was stepped. Subtracting it from an event timestamp yields the
+// event's virtual offset into the run.
+func (v *Virtual) Base() time.Time { return v.base }
+
+type vevent struct {
+	at      int64
+	seq     uint64
+	fn      func()
+	stopped bool
+	fired   bool
+	index   int
+}
+
+type eventHeap []*vevent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*vevent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Now returns the current virtual instant.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.base.Add(time.Duration(v.now))
+}
+
+// Elapsed returns how much virtual time has passed since creation.
+func (v *Virtual) Elapsed() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return time.Duration(v.now)
+}
+
+// AfterFunc schedules fn to run after d of virtual time. The callback
+// runs inline on the driver goroutine during Step or RunFor.
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.seq++
+	ev := &vevent{at: v.now + int64(d), seq: v.seq, fn: fn}
+	heap.Push(&v.events, ev)
+	return &virtualTimer{v: v, ev: ev}
+}
+
+type virtualTimer struct {
+	v  *Virtual
+	ev *vevent
+}
+
+func (t *virtualTimer) Stop() bool {
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	if t.ev.stopped || t.ev.fired {
+		return false
+	}
+	t.ev.stopped = true
+	if t.ev.index >= 0 {
+		heap.Remove(&t.v.events, t.ev.index)
+		t.ev.index = -1
+	}
+	return true
+}
+
+// Register adds an event source to the quiescence poll set. Sources are
+// never removed: a stopped executor permanently reports idle.
+func (v *Virtual) Register(s Source) {
+	v.srcMu.Lock()
+	defer v.srcMu.Unlock()
+	v.srcs = append(v.srcs, s)
+}
+
+// pollSources returns the total accepted count and whether every source
+// reports idle.
+func (v *Virtual) pollSources() (uint64, bool) {
+	v.srcMu.Lock()
+	srcs := v.srcs
+	v.srcMu.Unlock()
+	var total uint64
+	idle := true
+	for _, s := range srcs {
+		a, i := s.QueueState()
+		total += a
+		if !i {
+			idle = false
+		}
+	}
+	return total, idle
+}
+
+// quiesce blocks until every registered source is idle and no work was
+// accepted between two consecutive polls.
+func (v *Virtual) quiesce() {
+	for spin := 0; ; spin++ {
+		before, idle := v.pollSources()
+		if idle {
+			after, idleAgain := v.pollSources()
+			if idleAgain && before == after {
+				return
+			}
+		}
+		if spin < 256 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// popNext removes and returns the earliest runnable event with deadline
+// <= limit, advancing virtual time to it. A negative limit means no
+// bound. Returns nil when no such event exists.
+func (v *Virtual) popNext(limit int64) func() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for v.events.Len() > 0 {
+		ev := v.events[0]
+		if limit >= 0 && ev.at > limit {
+			return nil
+		}
+		heap.Pop(&v.events)
+		ev.index = -1
+		if ev.stopped {
+			continue
+		}
+		ev.fired = true
+		if ev.at > v.now {
+			v.now = ev.at
+		}
+		return ev.fn
+	}
+	return nil
+}
+
+// Step waits for quiescence, then fires the earliest pending event.
+// It reports false when no events remain.
+func (v *Virtual) Step() bool {
+	v.quiesce()
+	fn := v.popNext(-1)
+	if fn == nil {
+		return false
+	}
+	fn()
+	return true
+}
+
+// RunFor advances virtual time by d, firing every event that falls due,
+// and returns with all sources quiescent and the clock exactly d later.
+func (v *Virtual) RunFor(d time.Duration) {
+	v.mu.Lock()
+	end := v.now + int64(d)
+	v.mu.Unlock()
+	for {
+		v.quiesce()
+		fn := v.popNext(end)
+		if fn == nil {
+			break
+		}
+		fn()
+	}
+	v.mu.Lock()
+	if v.now < end {
+		v.now = end
+	}
+	v.mu.Unlock()
+}
+
+// PendingEvents returns the number of scheduled, unfired, unstopped
+// events (for tests and diagnostics).
+func (v *Virtual) PendingEvents() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, ev := range v.events {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}

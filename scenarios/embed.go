@@ -1,0 +1,12 @@
+// Package scenarios embeds the in-tree scenario corpus: the *.dpu.yaml
+// timelines swept by `go test ./internal/scenario -run TestCorpus` and
+// runnable individually with `dpu-bench -scenario <name>`. See
+// docs/SCENARIOS.md for the DSL and for how to add a corpus entry.
+package scenarios
+
+import "embed"
+
+// FS holds every corpus scenario file.
+//
+//go:embed *.dpu.yaml
+var FS embed.FS
