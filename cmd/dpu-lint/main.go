@@ -1,0 +1,271 @@
+// Command dpu-lint runs the project's custom static analyzers (see
+// docs/LINTING.md): clocktime, maporder, poolfree and executoronly.
+//
+// It runs in two modes:
+//
+//	dpu-lint ./...            whole-program mode: loads every package of
+//	                          the enclosing module, runs the suite, and
+//	                          prints findings to stdout (exit 1 if any).
+//
+//	go vet -vettool=$(which dpu-lint) ./...
+//	                          vet-tool mode: cmd/go invokes the binary
+//	                          once per package with a vet.cfg JSON file,
+//	                          types come from gc export data, and
+//	                          cross-package facts travel in .vetx files.
+//
+// The tool is self-contained: it implements the x/tools analysis
+// contract on the standard library alone because the repository carries
+// no third-party dependencies.
+package main
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers"
+)
+
+// zeroID is the placeholder content hash reported to cmd/go; vet
+// results are cached against the tool binary, not this ID.
+const zeroID = "00000000000000000000"
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet probes the tool before using it: -V=full must print a
+	// version line and -flags the JSON list of tool flags (none here).
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		// The devel format cmd/go's buildid parser accepts from a
+		// vettool (see src/cmd/go/internal/work/buildid.go, toolID).
+		fmt.Printf("%s version devel comments-go-here buildID=%s/%s/%s/%s\n",
+			filepath.Base(os.Args[0]), zeroID, zeroID, zeroID, zeroID)
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0]))
+	}
+
+	os.Exit(standalone())
+}
+
+// standalone loads the whole module rooted above the working directory
+// and runs the analyzer suite over every package.
+func standalone() int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpu-lint:", err)
+		return 1
+	}
+	root, err := lint.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpu-lint:", err)
+		return 1
+	}
+	prog, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpu-lint:", err)
+		return 1
+	}
+	findings, err := lint.RunProgram(prog, analyzers.All(), false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpu-lint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Println(rel(root, f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dpu-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// rel renders a finding with the filename relative to the module root.
+func rel(root string, f lint.Finding) string {
+	name := f.Pos.Filename
+	if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+		name = r
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// vetConfig mirrors the JSON cmd/go writes for each vet unit (see
+// src/cmd/go/internal/work/exec.go, type vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package as directed by a vet.cfg file and
+// returns the process exit code (0 clean, 1 tool error, 2 findings).
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpu-lint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dpu-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return typecheckFailed(&cfg, err)
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through gc export data, exactly as the compiler
+	// did: source import path -> ImportMap -> PackageFile archive.
+	compImp := importer.ForCompiler(fset, gcCompiler(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compImp.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", "amd64")}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return typecheckFailed(&cfg, err)
+	}
+
+	// Facts of dependencies arrive as .vetx files (gob of the per-package
+	// analyzer->blob map written by earlier units).
+	facts := lint.NewFactStore()
+	for pkgPath, vetxFile := range cfg.PackageVetx {
+		m, err := readVetx(vetxFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpu-lint: reading facts of %s: %v\n", pkgPath, err)
+			return 1
+		}
+		facts.SetPackage(pkgPath, m)
+	}
+
+	findings, err := lint.RunPackage(fset, cfg.ImportPath, files, tpkg, info, analyzers.All(), facts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpu-lint:", err)
+		return 1
+	}
+
+	if cfg.VetxOutput != "" {
+		if err := writeVetx(cfg.VetxOutput, facts.Package(cfg.ImportPath)); err != nil {
+			fmt.Fprintln(os.Stderr, "dpu-lint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	return 2
+}
+
+// typecheckFailed honors SucceedOnTypecheckFailure (cmd/go sets it when
+// vet runs opportunistically) and still produces the facts file cmd/go
+// expects to exist.
+func typecheckFailed(cfg *vetConfig, err error) int {
+	if cfg.VetxOutput != "" {
+		_ = writeVetx(cfg.VetxOutput, nil)
+	}
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "dpu-lint: %s: %v\n", cfg.ImportPath, err)
+	return 1
+}
+
+// gcCompiler normalizes the compiler name for go/importer.
+func gcCompiler(name string) string {
+	if name == "" {
+		return "gc"
+	}
+	return name
+}
+
+func readVetx(file string) (map[string][]byte, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m map[string][]byte
+	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+func writeVetx(file string, m map[string][]byte) error {
+	if m == nil {
+		m = map[string][]byte{}
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -228,6 +228,7 @@ func (c *Cluster) ServeJoin(l net.Listener) error {
 
 func (c *Cluster) serveJoinConn(conn net.Conn) {
 	defer conn.Close()
+	//dpulint:ignore clocktime TCP I/O deadline on a real socket; kernel OS timers are wall-clock by definition
 	conn.SetDeadline(time.Now().Add(60 * time.Second))
 	var req joinRequest
 	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
@@ -282,6 +283,7 @@ func Join(ctx context.Context, sponsorAddr, selfEndpoint string, opts ...Option)
 	if dl, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(dl)
 	} else {
+		//dpulint:ignore clocktime TCP I/O deadline on a real socket; kernel OS timers are wall-clock by definition
 		conn.SetDeadline(time.Now().Add(60 * time.Second))
 	}
 	if err := json.NewEncoder(conn).Encode(joinRequest{Endpoint: selfEndpoint}); err != nil {

@@ -322,6 +322,8 @@ func (st *Stack) Others() []Addr {
 // is indicated on PeerService so every peer-keyed layer reconfigures.
 // endpoints (may be nil) maps peers to transport endpoint strings; it is
 // retained as a shared snapshot. Executor-only.
+//
+//dpulint:executor
 func (st *Stack) SetPeers(peers []Addr, endpoints map[Addr]string) (added, removed []Addr) {
 	next := append([]Addr(nil), peers...)
 	sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
@@ -357,6 +359,8 @@ func (st *Stack) SetPeers(peers []Addr, endpoints map[Addr]string) (added, remov
 func (st *Stack) Registry() *Registry { return st.cfg.Registry }
 
 // Rand returns the stack-local deterministic RNG. Executor-only.
+//
+//dpulint:executor
 func (st *Stack) Rand() *rand.Rand { return st.rng }
 
 // Logf logs a diagnostic message when a logger is configured.
@@ -394,6 +398,8 @@ type flusher struct {
 // drained event batch (and before the executor sleeps), so a module can
 // coalesce the batch's outgoing traffic into fewer datagrams. The
 // returned handle unregisters it. Executor-only.
+//
+//dpulint:executor
 func (st *Stack) RegisterFlusher(fn func()) (unregister func()) {
 	st.flusherSeq++
 	id := st.flusherSeq
@@ -592,6 +598,8 @@ func (st *Stack) Call(id ServiceID, req Request) {
 // required lower service, where the queue round-trip (and the extended
 // buffer lifetime it implies) is pure overhead. Callers must tolerate
 // the handler running re-entrantly beneath them.
+//
+//dpulint:executor
 func (st *Stack) CallSync(id ServiceID, req Request) {
 	st.dispatch(id, req)
 }
@@ -634,6 +642,8 @@ func (st *Stack) indicate(id ServiceID, ind Indication) {
 // Bind binds m to the service and flushes any parked calls to it, in
 // arrival order. At most one module may be bound at a time (paper §2).
 // Executor-only.
+//
+//dpulint:executor
 func (st *Stack) Bind(id ServiceID, m Module) error {
 	s := st.svc(id)
 	if s.provider != nil {
@@ -783,6 +793,8 @@ func (st *Stack) NextModuleID(protocol string) ModuleID {
 // (Algorithm 1, lines 22-28): construct the protocol's module, add it,
 // bind it to its provided services, recursively ensure every required
 // service has a bound provider, then start the module. Executor-only.
+//
+//dpulint:executor
 func (st *Stack) CreateProtocol(protocol string) (Module, error) {
 	f, ok := st.cfg.Registry.Lookup(protocol)
 	if !ok {
@@ -815,6 +827,8 @@ func (st *Stack) instantiate(f Factory) (Module, error) {
 // EnsureService guarantees that a provider is bound to svc, creating one
 // through the registry when necessary (lines 26-28 of Algorithm 1).
 // Executor-only.
+//
+//dpulint:executor
 func (st *Stack) EnsureService(svc ServiceID) error {
 	if st.svc(svc).provider != nil {
 		return nil

@@ -1,0 +1,17 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer is exercised against its fixture package under
+// testdata/: true positives carry // want expectations, negatives and
+// suppressed findings must stay silent. The harness loads the module
+// (with fixtures) once for the whole test binary.
+
+func TestClocktime(t *testing.T)    { linttest.Check(t, "clocktime") }
+func TestMapOrder(t *testing.T)     { linttest.Check(t, "maporder") }
+func TestPoolFree(t *testing.T)     { linttest.Check(t, "poolfree") }
+func TestExecutorOnly(t *testing.T) { linttest.Check(t, "executoronly") }

@@ -1,0 +1,76 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+
+	"repro/internal/lint"
+)
+
+// bannedTime lists the package time functions that read or schedule
+// against the runtime clock. Anything else in package time (Duration
+// arithmetic, time.Unix, formatting) is clock-agnostic and allowed.
+var bannedTime = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"Tick":      true,
+	"Since":     true,
+}
+
+// Clocktime enforces the stack's clock discipline: packages threaded
+// with an injected vclock.Clock must not read or schedule against the
+// runtime clock directly. A direct time.Now or time.AfterFunc in such a
+// package silently runs on wall time even when the whole cluster is
+// simulated under a vclock.Virtual, which both breaks determinism (the
+// callback races the event loop) and stalls virtual runs (the virtual
+// clock never advances wall timers). internal/vclock is exempt — it is
+// the single adapter to the runtime clock.
+var Clocktime = &lint.Analyzer{
+	Name: "clocktime",
+	Doc:  "forbid direct time.Now/Sleep/After/AfterFunc/NewTimer/Tick/Since in clock-injected packages; use the injected vclock.Clock",
+	Run:  runClocktime,
+}
+
+func runClocktime(pass *lint.Pass) error {
+	if !inClockScope(pass.Pkg.Path()) {
+		return nil
+	}
+	if isVclockPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg := usedPkgName(pass.Info, id)
+			if pkg == nil || pkg.Imported().Path() != "time" {
+				return true
+			}
+			if !bannedTime[sel.Sel.Name] {
+				return true
+			}
+			pass.Report(lint.Diagnostic{
+				Pos: sel.Pos(),
+				Message: fmt.Sprintf(
+					"direct time.%s in a clock-injected package: route it through the stack's vclock.Clock so virtual-time runs stay deterministic",
+					sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+func isVclockPackage(path string) bool {
+	return path == "internal/vclock" || len(path) > len("internal/vclock") &&
+		path[len(path)-len("/internal/vclock"):] == "/internal/vclock"
+}

@@ -1,0 +1,121 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// MapOrder flags `for range` over a map whose body emits: sends or
+// relays frames, raises kernel events, or appends to wire buffers. Go
+// randomizes map iteration order, so such a loop emits in a different
+// order every run — exactly the class behind the PR 6 consensus
+// tie-break and fd fan-out determinism bugs. The fix is the sorted-keys
+// idiom (collect keys, sort, iterate) or an insertion-ordered side
+// slice; pure bookkeeping loops over maps (counting, lookups, deletes
+// with no emission) are fine and not flagged.
+var MapOrder = &lint.Analyzer{
+	Name: "maporder",
+	Doc:  "forbid map-ordered iteration in loops that send/relay frames, raise kernel events or touch wire buffers",
+	Run:  runMapOrder,
+}
+
+// emissionNames matches callee names that transmit or enqueue by
+// convention, catching project emission helpers (send, sendFrame,
+// transmit, enqueueRecord, relay, broadcast, emit...) regardless of
+// receiver type.
+func isEmissionName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range []string{"send", "transmit", "relay", "emit", "enqueue", "broadcast"} {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runMapOrder(pass *lint.Pass) error {
+	if !inClockScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if why := emissionIn(pass.Info, rng.Body); why != "" {
+				pass.Report(lint.Diagnostic{
+					Pos: rng.Pos(),
+					Message: fmt.Sprintf(
+						"map iteration order is randomized and this loop %s: iterate sorted keys or an insertion-ordered slice instead",
+						why),
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// emissionIn reports why the loop body is order-sensitive: the first
+// emission-class operation found, or "" when the body is pure
+// bookkeeping. Nested function literals count — a callback scheduled
+// per iteration still captures the map's order.
+func emissionIn(info *types.Info, body *ast.BlockStmt) string {
+	why := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			why = "sends on a channel"
+			return false
+		case *ast.CallExpr:
+			f := calleeFunc(info, n)
+			if f == nil {
+				// Indirect call through a function value: judge by the
+				// selector/identifier name when there is one.
+				if name := callExprName(n); name != "" && isEmissionName(name) {
+					why = fmt.Sprintf("calls %s (emission by name)", name)
+					return false
+				}
+				return true
+			}
+			switch {
+			case isKernelStackMethod(f, "Call", "CallSync", "Indicate", "Do", "After", "Every", "SetPeers"):
+				why = fmt.Sprintf("raises kernel events via Stack.%s", f.Name())
+			case isWireWriterMethod(f):
+				why = fmt.Sprintf("mutates a pooled wire.Writer (%s)", f.Name())
+			case isEmissionName(f.Name()):
+				why = fmt.Sprintf("calls %s", f.Name())
+			}
+			if why != "" {
+				return false
+			}
+		}
+		return true
+	})
+	return why
+}
+
+func callExprName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,34 @@
+// Package clocktime is the dpu-lint fixture for the clocktime
+// analyzer: direct runtime-clock reads in clock-injected packages.
+package clocktime
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond) // want `clocktime: direct time\.Sleep`
+	return time.Now()            // want `clocktime: direct time\.Now`
+}
+
+func badTimer(fn func()) {
+	time.AfterFunc(time.Second, fn) // want `clocktime: direct time\.AfterFunc`
+}
+
+// okDuration uses only clock-agnostic parts of package time.
+func okDuration(d time.Duration) time.Duration {
+	return 2*d + 5*time.Second
+}
+
+// okUnix builds a timestamp from a number, reading no clock.
+func okUnix(ns int64) time.Time {
+	return time.Unix(0, ns)
+}
+
+func suppressed() time.Time {
+	//dpulint:ignore clocktime fixture demonstrates a justified wall-clock read
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	//dpulint:ignore clocktime // want `dpulint: //dpulint:ignore clocktime without a reason`
+	return time.Now()
+}

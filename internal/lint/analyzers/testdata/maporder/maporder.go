@@ -1,0 +1,66 @@
+// Package maporder is the dpu-lint fixture for the maporder analyzer:
+// randomized map iteration in loops that emit.
+package maporder
+
+import (
+	"sort"
+
+	"repro/internal/wire"
+)
+
+func badChannel(m map[int]int, ch chan int) {
+	for k := range m { // want `maporder: .*sends on a channel`
+		ch <- k
+	}
+}
+
+func sendAll(int) {}
+
+func badEmissionName(m map[int]int) {
+	for k := range m { // want `maporder: .*calls sendAll`
+		sendAll(k)
+	}
+}
+
+func badWire(m map[int]int) {
+	w := wire.GetWriter(8)
+	for k := range m { // want `maporder: .*mutates a pooled wire\.Writer`
+		w.Uvarint(uint64(k))
+	}
+	w.Free()
+}
+
+// badNested still emits per iteration, one callback deep.
+func badNested(m map[int]int, ch chan int) {
+	for k := range m { // want `maporder: .*sends on a channel`
+		func() { ch <- k }()
+	}
+}
+
+// goodBookkeeping aggregates without emitting.
+func goodBookkeeping(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodSorted is the prescribed idiom: collect, sort, then emit.
+func goodSorted(m map[int]int, ch chan int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		ch <- m[k]
+	}
+}
+
+func suppressed(m map[int]int, ch chan int) {
+	//dpulint:ignore maporder fixture demonstrates a justified unordered emission
+	for k := range m {
+		ch <- k
+	}
+}

@@ -1,0 +1,70 @@
+// Package poolfree is the dpu-lint fixture for the poolfree analyzer:
+// pooled wire.Writer ownership.
+package poolfree
+
+import "repro/internal/wire"
+
+func leakOnEarlyReturn(cond bool) {
+	w := wire.GetWriter(8)
+	w.Byte(1)
+	if cond {
+		return // want `poolfree: .*may not reach Free`
+	}
+	w.Free()
+}
+
+func leakAtEnd() {
+	w := wire.GetWriter(8)
+	w.Byte(1)
+} // want `poolfree: .*may not reach Free`
+
+func okStraightLine() {
+	w := wire.GetWriter(8)
+	w.Byte(1)
+	w.Free()
+}
+
+func okDeferred(cond bool) {
+	w := wire.GetWriter(8)
+	defer w.Free()
+	if cond {
+		return
+	}
+	w.Byte(2)
+}
+
+func okBranches(cond bool) {
+	w := wire.GetWriter(8)
+	if cond {
+		w.Byte(1)
+	} else {
+		w.Byte(2)
+	}
+	w.Free()
+}
+
+func okLoop(n int) {
+	w := wire.GetWriter(8)
+	for i := 0; i < n; i++ {
+		w.Byte(byte(i))
+	}
+	w.Free()
+}
+
+type holder struct{ w *wire.Writer }
+
+func escapeToField(h *holder) {
+	w := wire.GetWriter(8)
+	h.w = w // want `poolfree: .*leaves the function`
+}
+
+func escapeToClosure() func() {
+	w := wire.GetWriter(8)
+	return func() { w.Free() } // want `poolfree: .*captured by a function literal`
+}
+
+func suppressedTransfer(h *holder) {
+	w := wire.GetWriter(8)
+	//dpulint:ignore poolfree fixture demonstrates a documented ownership transfer
+	h.w = w
+}

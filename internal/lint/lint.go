@@ -1,0 +1,285 @@
+// Package lint is the project-specific static-analysis framework behind
+// cmd/dpu-lint. It mirrors the shape of golang.org/x/tools/go/analysis —
+// Analyzer, Pass, Diagnostic, per-package facts — on top of the standard
+// library's go/ast and go/types only, because the repository carries no
+// third-party dependencies (see go.mod). The framework is a build tool:
+// nothing under internal/lint is imported by runtime code.
+//
+// The analyzers themselves live in internal/lint/analyzers and enforce
+// the stack's cross-cutting contracts (clock discipline, deterministic
+// map iteration on emission paths, pooled-buffer ownership, executor
+// confinement). See docs/LINTING.md for the catalogue and the rationale
+// behind each invariant.
+//
+// # Suppressions
+//
+// A finding is suppressed with a directive comment on the flagged line
+// or on the line directly above it:
+//
+//	//dpulint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a directive without one suppresses the
+// finding but raises a missing-reason diagnostic in its place, so the
+// tree is only clean when every exception is justified in-line.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single package through
+// the Pass and reports findings via Pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //dpulint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, plus the fact channel for cross-package analyses.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax trees, test files excluded.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info is the type-checker's use/def/type records for Files.
+	Info *types.Info
+	// ImportFact returns the fact blob this analyzer exported for a
+	// directly or indirectly imported package, or nil.
+	ImportFact func(pkgPath string) []byte
+	// ExportFact publishes a fact blob for packages that import this one.
+	ExportFact func(data []byte)
+	// Report records one finding.
+	Report func(Diagnostic)
+}
+
+// Finding is a diagnostic resolved to a position, tagged with the
+// analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// directive is one parsed //dpulint:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+}
+
+// DirectivePrefix introduces every dpu-lint control comment.
+const DirectivePrefix = "//dpulint:"
+
+// parseDirectives extracts //dpulint:ignore directives from a file's
+// comments. Other dpulint: directives (e.g. //dpulint:executor) are
+// consumed by individual analyzers and ignored here.
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+			if !ok {
+				continue
+			}
+			// A "//" inside the directive starts a trailing comment (the
+			// fixtures put // want expectations there); it is not reason
+			// text.
+			if i := strings.Index(text, "//"); i >= 0 {
+				text = text[:i]
+			}
+			fields := strings.Fields(text)
+			if len(fields) == 0 || fields[0] != "ignore" {
+				continue
+			}
+			d := directive{pos: fset.Position(c.Pos())}
+			if len(fields) > 1 {
+				d.analyzer = fields[1]
+			}
+			if len(fields) > 2 {
+				d.reason = strings.Join(fields[2:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunPackage executes the analyzers over one loaded package and returns
+// the findings that survive suppression, including any directive-hygiene
+// diagnostics (ignore without analyzer name or without reason). Facts
+// exported by each analyzer are stored into factStore under the
+// package's path; importers' facts are looked up there.
+//
+// Findings in _test.go files are discarded: test code legitimately uses
+// the wall clock, raw map iteration and unpooled buffers, and the
+// determinism contracts bind production code only.
+func RunPackage(fset *token.FileSet, pkgPath string, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *FactStore) ([]Finding, error) {
+	var raw []Finding
+	for _, a := range analyzers {
+		a := a
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			ImportFact: func(path string) []byte {
+				return facts.Get(path, a.Name)
+			},
+			ExportFact: func(data []byte) {
+				facts.Put(pkgPath, a.Name, data)
+			},
+			Report: func(d Diagnostic) {
+				raw = append(raw, Finding{
+					Analyzer: a.Name,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkgPath, err)
+		}
+	}
+
+	var directives []directive
+	for _, f := range files {
+		directives = append(directives, parseDirectives(fset, f)...)
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Finding
+	used := make([]bool, len(directives))
+	for _, fd := range raw {
+		if strings.HasSuffix(fd.Pos.Filename, "_test.go") {
+			continue
+		}
+		suppressed := false
+		for i, d := range directives {
+			if d.analyzer != fd.Analyzer {
+				continue
+			}
+			if d.pos.Filename != fd.Pos.Filename {
+				continue
+			}
+			// A directive guards its own line (trailing comment) or the
+			// line directly beneath it (standalone comment above the
+			// flagged statement).
+			if d.pos.Line == fd.Pos.Line || d.pos.Line == fd.Pos.Line-1 {
+				suppressed = true
+				used[i] = true
+			}
+		}
+		if !suppressed {
+			out = append(out, fd)
+		}
+	}
+
+	// Directive hygiene: every ignore needs a known analyzer and a reason,
+	// whether or not it matched a finding this run.
+	for _, d := range directives {
+		if strings.HasSuffix(d.pos.Filename, "_test.go") {
+			continue
+		}
+		switch {
+		case d.analyzer == "":
+			out = append(out, Finding{
+				Analyzer: "dpulint",
+				Pos:      d.pos,
+				Message:  "malformed directive: //dpulint:ignore needs an analyzer name and a reason",
+			})
+		case !known[d.analyzer]:
+			out = append(out, Finding{
+				Analyzer: "dpulint",
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("unknown analyzer %q in //dpulint:ignore directive", d.analyzer),
+			})
+		case d.reason == "":
+			out = append(out, Finding{
+				Analyzer: "dpulint",
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("//dpulint:ignore %s without a reason: justify the exception in-line", d.analyzer),
+			})
+		}
+	}
+
+	sortFindings(out)
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// FactStore holds per-(package, analyzer) fact blobs, in memory for the
+// whole-program driver and serialized to vetx files by the go vet mode.
+type FactStore struct {
+	m map[string]map[string][]byte // pkg path -> analyzer -> blob
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: make(map[string]map[string][]byte)} }
+
+// Get returns the blob for (pkgPath, analyzer), or nil.
+func (s *FactStore) Get(pkgPath, analyzer string) []byte {
+	return s.m[pkgPath][analyzer]
+}
+
+// Put stores the blob for (pkgPath, analyzer).
+func (s *FactStore) Put(pkgPath, analyzer string, data []byte) {
+	byA := s.m[pkgPath]
+	if byA == nil {
+		byA = make(map[string][]byte)
+		s.m[pkgPath] = byA
+	}
+	byA[analyzer] = data
+}
+
+// Package returns the analyzer->blob map for one package (nil if none),
+// for serialization into a vetx file.
+func (s *FactStore) Package(pkgPath string) map[string][]byte { return s.m[pkgPath] }
+
+// SetPackage installs a deserialized analyzer->blob map for a package.
+func (s *FactStore) SetPackage(pkgPath string, facts map[string][]byte) {
+	if len(facts) > 0 {
+		s.m[pkgPath] = facts
+	}
+}

@@ -1,0 +1,136 @@
+// Package linttest is the fixture harness for the dpu-lint analyzers,
+// playing the role golang.org/x/tools/go/analysis/analysistest plays
+// for upstream analyzers. Each analyzer has a fixture package under
+// internal/lint/analyzers/testdata/<name>; expectations are written as
+// trailing comments on the offending lines:
+//
+//	time.Sleep(d) // want `direct time\.Sleep`
+//
+// Check loads the whole module plus every fixture directory exactly
+// once per test binary (the load type-checks the standard library from
+// GOROOT source, which costs a couple of seconds), runs the full suite,
+// and then diffs the findings inside one fixture directory against that
+// directory's want comments: every finding must be wanted and every
+// want must fire.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers"
+)
+
+// FixtureNames lists the fixture directories under testdata, one per
+// analyzer.
+var FixtureNames = []string{"clocktime", "maporder", "poolfree", "executoronly"}
+
+var (
+	loadOnce sync.Once
+	loadErr  error
+	findings []lint.Finding
+	rootDir  string
+)
+
+func load() {
+	wd, err := os.Getwd()
+	if err != nil {
+		loadErr = err
+		return
+	}
+	rootDir, err = lint.ModuleRoot(wd)
+	if err != nil {
+		loadErr = err
+		return
+	}
+	dirs := make([]string, len(FixtureNames))
+	for i, n := range FixtureNames {
+		dirs[i] = filepath.Join(rootDir, "internal", "lint", "analyzers", "testdata", n)
+	}
+	prog, err := lint.LoadModule(rootDir, dirs...)
+	if err != nil {
+		loadErr = err
+		return
+	}
+	findings, loadErr = lint.RunProgram(prog, analyzers.All(), true)
+}
+
+// wantRE matches one expectation comment; the regexp between backquotes
+// is applied to "analyzer: message".
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+type want struct {
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Check verifies the fixture directory for one analyzer: findings of
+// any analyzer inside it must match the want comments line for line.
+func Check(t *testing.T, fixture string) {
+	t.Helper()
+	loadOnce.Do(load)
+	if loadErr != nil {
+		t.Fatalf("loading module and fixtures: %v", loadErr)
+	}
+	dir := filepath.Join(rootDir, "internal", "lint", "analyzers", "testdata", fixture)
+
+	wants := make(map[string][]*want) // filename -> expectations
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+				}
+				wants[path] = append(wants[path], &want{line: i + 1, re: re})
+			}
+		}
+	}
+
+	var got []lint.Finding
+	for _, f := range findings {
+		if filepath.Dir(f.Pos.Filename) == dir {
+			got = append(got, f)
+		}
+	}
+
+	for _, f := range got {
+		matched := false
+		text := fmt.Sprintf("%s: %s", f.Analyzer, f.Message)
+		for _, w := range wants[f.Pos.Filename] {
+			if w.line == f.Pos.Line && w.re.MatchString(text) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for file, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				t.Errorf("%s:%d: expected a finding matching %q, got none", file, w.line, w.re)
+			}
+		}
+	}
+}

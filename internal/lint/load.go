@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("repro/internal/rp2p", or "fixture/<name>"
+	// for analyzer test fixtures loaded from a testdata directory).
+	Path string
+	// Dir is the source directory.
+	Dir string
+	// Files are the parsed non-test sources.
+	Files []*ast.File
+	// Types and Info are the type-checker's results.
+	Types *types.Package
+	Info  *types.Info
+	// Imports lists the module-internal packages this one imports.
+	Imports []string
+}
+
+// Program is a loaded module: every buildable package, type-checked in
+// dependency order against a shared FileSet.
+type Program struct {
+	Fset *token.FileSet
+	// Packages in deterministic topological order (dependencies first).
+	Packages []*Package
+	byPath   map[string]*Package
+	// ModulePath is the module's import-path prefix (from go.mod).
+	ModulePath string
+}
+
+// Lookup returns the package with the given import path, or nil.
+func (p *Program) Lookup(path string) *Package { return p.byPath[path] }
+
+// ModuleRoot walks upward from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// LoadModule parses and type-checks every buildable package under the
+// module root (skipping testdata, hidden and underscore directories and
+// _test.go files), plus any extra fixture directories, which are loaded
+// under the import path "fixture/<basename>". Standard-library imports
+// are resolved by compiling them from GOROOT source, so the loader works
+// with no module cache and no network; module-internal imports resolve
+// against the packages being loaded.
+func LoadModule(root string, fixtureDirs ...string) (*Program, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:       token.NewFileSet(),
+		byPath:     make(map[string]*Package),
+		ModulePath: modPath,
+	}
+
+	ctx := build.Default
+	// The repository is pure Go; with cgo off the source importer
+	// compiles even net/os dependencies from GOROOT source alone.
+	ctx.CgoEnabled = false
+
+	type rawPkg struct {
+		pkg     *Package
+		imports []string
+	}
+	raw := make(map[string]*rawPkg)
+
+	addDir := func(dir, importPath string) error {
+		files, imports, err := parseDir(&ctx, prog.Fset, dir)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		raw[importPath] = &rawPkg{
+			pkg:     &Package{Path: importPath, Dir: dir, Files: files},
+			imports: imports,
+		}
+		return nil
+	}
+
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		return addDir(path, importPath)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, dir := range fixtureDirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		if err := addDir(abs, "fixture/"+filepath.Base(abs)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Type-check on demand in dependency order. srcImp compiles stdlib
+	// packages from GOROOT source and caches them internally.
+	srcImp := importer.ForCompiler(prog.Fset, "source", nil)
+	checked := make(map[string]*Package)
+	var inFlight []string
+	var check func(path string) (*types.Package, error)
+	check = func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p.Types, nil
+		}
+		rp, ok := raw[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown package %q", path)
+		}
+		for _, f := range inFlight {
+			if f == path {
+				return nil, fmt.Errorf("lint: import cycle through %q", path)
+			}
+		}
+		inFlight = append(inFlight, path)
+		defer func() { inFlight = inFlight[:len(inFlight)-1] }()
+
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{
+			Importer: importerFunc(func(imp string) (*types.Package, error) {
+				if imp == "C" {
+					return nil, fmt.Errorf("lint: cgo not supported")
+				}
+				if imp == modPath || strings.HasPrefix(imp, modPath+"/") || strings.HasPrefix(imp, "fixture/") {
+					return check(imp)
+				}
+				return srcImp.Import(imp)
+			}),
+		}
+		tpkg, err := conf.Check(path, prog.Fset, rp.pkg.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+		}
+		rp.pkg.Types = tpkg
+		rp.pkg.Info = info
+		for _, imp := range rp.imports {
+			if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
+				rp.pkg.Imports = append(rp.pkg.Imports, imp)
+			}
+		}
+		checked[path] = rp.pkg
+		prog.Packages = append(prog.Packages, rp.pkg)
+		prog.byPath[path] = rp.pkg
+		return tpkg, nil
+	}
+
+	paths := make([]string, 0, len(raw))
+	for p := range raw {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := check(p); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// parseDir parses the buildable non-test Go files of one directory,
+// honoring build constraints (so e.g. a !race file is chosen over its
+// race twin). It returns nil files when the directory holds no
+// buildable non-test Go sources.
+func parseDir(ctx *build.Context, fset *token.FileSet, dir string) ([]*ast.File, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := ctx.MatchFile(dir, name)
+		if err != nil || !match {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	imports := make([]string, 0, len(importSet))
+	for imp := range importSet {
+		imports = append(imports, imp)
+	}
+	sort.Strings(imports)
+	return files, imports, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// RunProgram executes the analyzers over every package of the program in
+// dependency order (so facts flow from imported packages to importers)
+// and returns all surviving findings, sorted. Fixture packages are
+// skipped unless includeFixtures is set — the module's own health check
+// must not depend on intentionally-buggy fixture code.
+func RunProgram(prog *Program, analyzers []*Analyzer, includeFixtures bool) ([]Finding, error) {
+	facts := NewFactStore()
+	var all []Finding
+	for _, pkg := range prog.Packages {
+		if !includeFixtures && strings.HasPrefix(pkg.Path, "fixture/") {
+			continue
+		}
+		fs, err := RunPackage(prog.Fset, pkg.Path, pkg.Files, pkg.Types, pkg.Info, analyzers, facts)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all, nil
+}

@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers"
+)
+
+// TestRepositoryIsClean is the meta-check behind the CI lint job: the
+// repository itself must produce zero unsuppressed findings, so every
+// invariant the analyzers encode (clock discipline, deterministic
+// emission order, pooled-buffer ownership, executor confinement) holds
+// tree-wide, and every suppression carries its reason.
+func TestRepositoryIsClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := lint.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := lint.RunProgram(prog, analyzers.All(), false)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("dpu-lint: %d finding(s); fix them or add //dpulint:ignore <analyzer> <reason>", len(findings))
+	}
+}

@@ -199,9 +199,14 @@ func (m *Module) Stop() {
 	if m.unregister != nil {
 		m.unregister()
 	}
-	for p, f := range m.outq {
-		f.Free()
-		delete(m.outq, p)
+	// Free in enqueue order, not map order: the pool's free list is
+	// LIFO, so the release order decides which buffer the next GetWriter
+	// returns and must be run-to-run deterministic (dpu-lint maporder).
+	for _, p := range m.outOrder {
+		if f := m.outq[p]; f != nil {
+			f.Free()
+			delete(m.outq, p)
+		}
 	}
 	m.outOrder = m.outOrder[:0]
 	m.Stk.Call(rp2p.Service, rp2p.Unlisten{Channel: rp2pChannel})
@@ -250,6 +255,7 @@ func (m *Module) enqueueRecord(p kernel.Addr, rec []byte) {
 	f := m.outq[p]
 	if f == nil {
 		f = wire.GetWriter(len(rec) + 256)
+		//dpulint:ignore poolfree frame parked in m.outq between executor passes; flushFrames and Stop guarantee the Free
 		m.outq[p] = f
 		m.outOrder = append(m.outOrder, p)
 	}

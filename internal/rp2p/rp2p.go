@@ -256,14 +256,20 @@ func (m *Module) Start() {
 // Stop cancels retransmission timers and releases in-flight packet
 // buffers back to the pool.
 func (m *Module) Stop() {
-	for _, p := range m.peers {
+	// Tear peers down in address order: releasing pooled buffers in map
+	// order would leave the pool's LIFO free list in a random order and
+	// leak nondeterminism into every later GetWriter (dpu-lint maporder).
+	addrs := make([]int, 0, len(m.peers))
+	for a := range m.peers {
+		addrs = append(addrs, int(a))
+	}
+	sort.Ints(addrs)
+	for _, a := range addrs {
+		p := m.peers[kernel.Addr(a)]
 		if p.rtimer != nil {
 			p.rtimer.Stop()
 		}
-		for _, pkt := range p.unacked {
-			pkt.w.Free()
-		}
-		p.unacked = nil
+		freeUnacked(p)
 		for _, pkt := range p.sendQ {
 			pkt.w.Free()
 		}
@@ -292,16 +298,28 @@ func (m *Module) dropPeer(a kernel.Addr) {
 		p.rtimer = nil
 	}
 	p.rtGen++ // invalidate any queued retransmit event
-	for _, pkt := range p.unacked {
-		pkt.w.Free()
-	}
-	p.unacked = nil
+	freeUnacked(p)
 	for _, pkt := range p.sendQ {
 		pkt.w.Free()
 	}
 	p.sendQ = nil
 	p.oob = nil
 	delete(m.peers, a)
+}
+
+// freeUnacked releases a peer's in-flight packet buffers in sequence
+// order, so the pool's LIFO free list ends up in the same order every
+// run regardless of map iteration order.
+func freeUnacked(p *peer) {
+	seqs := make([]uint64, 0, len(p.unacked))
+	for s := range p.unacked {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		p.unacked[s].w.Free()
+	}
+	p.unacked = nil
 }
 
 func (m *Module) peerFor(a kernel.Addr) *peer {
@@ -351,6 +369,7 @@ func (m *Module) send(s Send) {
 	tsOff := w.Len()
 	w.Uint64(0) // transmit timestamp, stamped per transmission
 	w.String(s.Channel).Raw(s.Data)
+	//dpulint:ignore poolfree buffer parked in the retransmission window; onAck, dropPeer and Stop guarantee the Free
 	pkt := &outPkt{seq: p.nextSeq, w: w, tsOff: tsOff}
 	p.nextSeq++
 	if len(p.unacked) < m.cfg.Window {
@@ -514,12 +533,19 @@ func (m *Module) onAck(from kernel.Addr, want uint64, echoTS uint64) {
 		}
 	}
 	progressed := false
-	for s, pkt := range p.unacked {
-		if s < want {
-			delete(p.unacked, s)
-			pkt.w.Free() // retransmission impossible; recycle the buffer
-			progressed = true
+	// Unacked sequence numbers form a contiguous range (they are
+	// assigned consecutively and only removed as a prefix by cumulative
+	// acks), so walking downward from want-1 until the first miss visits
+	// exactly the acked packets — in deterministic order and without the
+	// allocation a sorted-keys pass would need on this hot path.
+	for s := want - 1; ; s-- {
+		pkt, ok := p.unacked[s]
+		if !ok {
+			break
 		}
+		delete(p.unacked, s)
+		pkt.w.Free() // retransmission impossible; recycle the buffer
+		progressed = true
 	}
 	if progressed {
 		// Forward progress resets exponential backoff (as TCP does):

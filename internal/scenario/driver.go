@@ -64,7 +64,7 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	wallStart := time.Now()
+	wallStart := time.Now() //dpulint:ignore clocktime wall_ms result reporting measures real elapsed time, deliberately outside the virtual clock
 
 	vc := vclock.NewVirtual()
 	dopts := []dpu.Option{
@@ -172,7 +172,8 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 		FinalProtocol: finalProto,
 		FinalMembers:  finalMembers,
 		VirtualTime:   virtual,
-		WallTime:      time.Since(wallStart),
+		//dpulint:ignore clocktime wall_ms result reporting measures real elapsed time, deliberately outside the virtual clock
+		WallTime: time.Since(wallStart),
 	}
 	d.mu.Lock()
 	logs := d.logs

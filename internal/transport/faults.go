@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 // FaultConfig parameterises the Faulty decorator with simnet's loss and
@@ -27,6 +29,11 @@ type FaultConfig struct {
 	Delay time.Duration
 	// Jitter adds a uniform random delay in [0, Jitter).
 	Jitter time.Duration
+	// Clock schedules the delay/jitter timers. Nil means vclock.Wall;
+	// under a vclock.Virtual the held-back datagrams release on virtual
+	// time, so seeded fault runs replay identically (and never stall
+	// waiting for wall timers the virtual clock cannot advance).
+	Clock vclock.Clock
 }
 
 // FaultStats counts the decorator's interventions.
@@ -53,11 +60,16 @@ type Shaper interface {
 // also run over real sockets. Closing the decorator closes the inner
 // transport and discards datagrams still held back by delay.
 func Faulty(inner Transport, cfg FaultConfig) *FaultyTransport {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = vclock.Wall
+	}
 	return &FaultyTransport{
 		inner:  inner,
 		cfg:    cfg,
+		clock:  clock,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		timers: make(map[*time.Timer]struct{}),
+		timers: make(map[vclock.Timer]struct{}),
 	}
 }
 
@@ -71,9 +83,10 @@ type FaultyTransport struct {
 
 	mu     sync.Mutex
 	cfg    FaultConfig
+	clock  vclock.Clock
 	rng    *rand.Rand
 	stats  FaultStats
-	timers map[*time.Timer]struct{}
+	timers map[vclock.Timer]struct{}
 	closed bool
 }
 
@@ -94,7 +107,7 @@ func (t *FaultyTransport) Close() {
 	for tm := range t.timers {
 		tm.Stop()
 	}
-	t.timers = make(map[*time.Timer]struct{})
+	t.timers = make(map[vclock.Timer]struct{})
 	t.mu.Unlock()
 	t.inner.Close()
 }
@@ -187,8 +200,8 @@ func (t *FaultyTransport) after(delay time.Duration, send func()) {
 	if t.closed {
 		return
 	}
-	var tm *time.Timer
-	tm = time.AfterFunc(delay, func() {
+	var tm vclock.Timer
+	tm = t.clock.AfterFunc(delay, func() {
 		t.mu.Lock()
 		delete(t.timers, tm)
 		closed := t.closed

@@ -100,6 +100,7 @@ func (g *Generator) Start() {
 
 func (g *Generator) emit(stack int) {
 	id := metrics.MsgID(g.nextID.Add(1))
+	//dpulint:ignore clocktime latency stamps compare send and delivery on the same host's wall clock; virtual runs do not use the latency recorder
 	now := time.Now()
 	g.rec.Sent(id, now)
 	g.send(stack, Encode(id, now, g.cfg.PayloadSize))

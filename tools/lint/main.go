@@ -1,0 +1,50 @@
+// Command tools/lint is the one-line entry point for the dpu-lint
+// analyzer suite (see docs/LINTING.md):
+//
+//	go run ./tools/lint
+//
+// It is a thin alias of cmd/dpu-lint's standalone mode, kept under
+// tools/ so contributors and CI have a single place to look for
+// repository tooling. For the go vet integration build the real binary:
+//
+//	go build -o dpu-lint ./cmd/dpu-lint
+//	go vet -vettool=./dpu-lint ./...
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers"
+)
+
+func main() {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(1)
+	}
+	root, err := lint.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(1)
+	}
+	prog, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(1)
+	}
+	findings, err := lint.RunProgram(prog, analyzers.All(), false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
