@@ -62,6 +62,7 @@ type stackSlot struct {
 type Cluster struct {
 	net        *simnet.Network // nil when running over an external transport
 	tr         transport.Transport
+	faulty     *transport.FaultyTransport // non-nil with WithFaults; wraps tr's inner fabric
 	impls      *abcast.Registry
 	membership bool
 	opts       *options
@@ -92,6 +93,8 @@ func defaultOptions() *options {
 		grace:          500 * time.Millisecond,
 		buffer:         8192,
 		maxOutstanding: 1024,
+		joinTimeout:    60 * time.Second,
+		joinRetry:      joinRetryConfig{attempts: 1, base: 100 * time.Millisecond, max: 5 * time.Second},
 	}
 }
 
@@ -157,10 +160,18 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		net = simnet.New(o.net)
 		tr = transport.Sim(net)
 	}
+	var faulty *transport.FaultyTransport
+	if o.faults {
+		// A distinct seed stream from simnet's, so the decorator's fate
+		// rolls never correlate with the fabric's own loss/jitter rolls.
+		faulty = transport.Faulty(tr, transport.FaultConfig{Seed: o.net.Seed ^ 0x5eedfa17, Clock: o.clock})
+		tr = faulty
+	}
 
 	c := &Cluster{
 		net:        net,
 		tr:         tr,
+		faulty:     faulty,
 		impls:      impls,
 		membership: o.membership,
 		opts:       o,

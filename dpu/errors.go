@@ -28,6 +28,9 @@ var (
 	// Subscribe with Advice) on a cluster built without the adaptation
 	// engine. Enable it with WithAdaptive.
 	ErrNoAdaptive = errors.New("dpu: adaptive engine not enabled")
+	// ErrStillRunning reports a Restart of a stack that has not crashed
+	// or been evicted — only a retired slot can be revived.
+	ErrStillRunning = errors.New("dpu: stack is still running")
 	// ErrClosed reports an operation on a closed cluster.
 	ErrClosed = errors.New("dpu: cluster closed")
 )

@@ -1,0 +1,209 @@
+package dpu_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/dpu"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/transport/transporttest"
+)
+
+func joinRetries() uint64 { return metrics.Counters()["membership.join_retries"] }
+
+// reserveTCP returns a TCP address that is currently not listening but
+// can be bound later.
+func reserveTCP(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestJoinRetrySponsorComesUp is the restart-rides-out-a-dead-sponsor
+// path: Join starts while nothing listens at the sponsor address
+// (connection refused), retries under WithJoinRetry, and succeeds once
+// the sponsor's ServeJoin comes up.
+func TestJoinRetrySponsorComesUp(t *testing.T) {
+	sponsorAddr := reserveTCP(t)
+	book := udpBook(t, 3)
+	endpoints := make(map[int]string, 3)
+	for a, ep := range book {
+		endpoints[int(a)] = ep
+	}
+	tr, err := transport.NewUDP(transport.UDPConfig{Book: book})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dpu.New(3, dpu.WithTransport(tr), dpu.WithMembership(), dpu.WithEndpoints(endpoints))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	before := joinRetries()
+	joinEP := transporttest.ReserveAddrs(t, 1)[0]
+	type result struct {
+		c   *dpu.Cluster
+		n   *dpu.Node
+		err error
+	}
+	done := make(chan result, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	go func() {
+		jc, jn, err := dpu.Join(ctx, sponsorAddr, joinEP,
+			dpu.WithJoinRetry(200, 10*time.Millisecond, 40*time.Millisecond),
+			dpu.WithJoinTimeout(5*time.Second))
+		done <- result{jc, jn, err}
+	}()
+
+	// Hold the sponsor down until Join has demonstrably failed at least
+	// once, then bring ServeJoin up at the reserved address.
+	deadline := time.Now().Add(timeout)
+	for joinRetries() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("Join never retried against the dead sponsor")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ln, err := net.Listen("tcp", sponsorAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ServeJoin(ln); err != nil {
+		t.Fatal(err)
+	}
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("Join failed despite retries: %v", r.err)
+	}
+	defer r.c.Close()
+	if r.n.Index() != 3 {
+		t.Fatalf("joiner id %d, want 3", r.n.Index())
+	}
+	if got := joinRetries(); got <= before {
+		t.Fatalf("join_retries = %d, want > %d", got, before)
+	}
+	// The admitted member is live: it sees the 4-member view.
+	st, err := r.n.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) != 4 {
+		t.Fatalf("joiner view %v, want 4 members", st.Members)
+	}
+}
+
+// TestJoinRetrySponsorDiesMidHandshake exhausts the retry budget
+// against a sponsor that accepts the TCP connection and drops it
+// before answering: every attempt is transport-level and retried, and
+// the final error surfaces the handshake failure.
+func TestJoinRetrySponsorDiesMidHandshake(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close() // dies mid-handshake, every time
+		}
+	}()
+
+	before := joinRetries()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	_, _, err = dpu.Join(ctx, ln.Addr().String(), "127.0.0.1:0",
+		dpu.WithJoinRetry(3, 5*time.Millisecond, 10*time.Millisecond))
+	if err == nil {
+		t.Fatal("Join succeeded against a sponsor that always hangs up")
+	}
+	if !strings.Contains(err.Error(), "join handshake") {
+		t.Fatalf("error %v, want a handshake failure", err)
+	}
+	if got := joinRetries(); got != before+2 {
+		t.Fatalf("join_retries grew by %d, want 2 (3 attempts)", got-before)
+	}
+}
+
+// TestJoinRefusalNotRetried: a sponsor that answers with a logical
+// refusal is final — no retry, however large the budget.
+func TestJoinRefusalNotRetried(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				var req map[string]any
+				json.NewDecoder(conn).Decode(&req)
+				json.NewEncoder(conn).Encode(map[string]string{"error": "membership module not enabled"})
+			}(conn)
+		}
+	}()
+
+	before := joinRetries()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	_, _, err = dpu.Join(ctx, ln.Addr().String(), "127.0.0.1:0",
+		dpu.WithJoinRetry(100, time.Millisecond, time.Millisecond))
+	if err == nil || !strings.Contains(err.Error(), "join refused") {
+		t.Fatalf("error %v, want a join refusal", err)
+	}
+	if got := joinRetries(); got != before {
+		t.Fatalf("a refusal was retried %d times", got-before)
+	}
+}
+
+// TestJoinCtxCancelDuringBackoff aborts a Join parked in its backoff
+// wait: cancellation must cut the wait short instead of letting the
+// full capped-exponential delay elapse.
+func TestJoinCtxCancelDuringBackoff(t *testing.T) {
+	sponsorAddr := reserveTCP(t) // nothing ever listens here
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		// The first backoff is at least base/2 = 30s: without the cancel
+		// the Join would sit in the wait far beyond this test's patience.
+		_, _, err := dpu.Join(ctx, sponsorAddr, "127.0.0.1:0",
+			dpu.WithJoinRetry(10, time.Minute, time.Minute))
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first attempt fail and the backoff start
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("Join took %v to honor the cancellation", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Join ignored the ctx cancellation during backoff")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -19,6 +20,10 @@ import (
 // (AddNode commits and ServeJoin handshakes).
 var joinSyncsCounter = metrics.NewCounter("membership.join_syncs_served")
 
+// joinRetriesCounter counts join handshake attempts that failed at the
+// transport level and were retried under WithJoinRetry.
+var joinRetriesCounter = metrics.NewCounter("membership.join_retries")
+
 // AddNode admits a brand-new member to a running cluster and hosts its
 // stack in this process: a fresh id is assigned at the commit point of
 // the ordered join, every member installs the view admitting it, and
@@ -32,6 +37,13 @@ var joinSyncsCounter = metrics.NewCounter("membership.join_syncs_served")
 // real-socket transport; "" over the built-in simulated LAN). Requires
 // WithMembership (ErrNoMembership otherwise).
 func (c *Cluster) AddNode(ctx context.Context, endpoint string) (*Node, error) {
+	return c.admit(ctx, endpoint)
+}
+
+// admit is the shared body of AddNode and Restart: order an Assign-join
+// through a local sponsor, then boot the admitted member's stack on the
+// committed cut.
+func (c *Cluster) admit(ctx context.Context, endpoint string) (*Node, error) {
 	res, err := c.sponsorJoin(ctx, endpoint)
 	if err != nil {
 		return nil, err
@@ -228,14 +240,17 @@ func (c *Cluster) ServeJoin(l net.Listener) error {
 
 func (c *Cluster) serveJoinConn(conn net.Conn) {
 	defer conn.Close()
+	timeout := c.opts.joinTimeout
 	//dpulint:ignore clocktime TCP I/O deadline on a real socket; kernel OS timers are wall-clock by definition
-	conn.SetDeadline(time.Now().Add(60 * time.Second))
+	conn.SetDeadline(time.Now().Add(timeout))
 	var req joinRequest
 	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
 		return
 	}
 	enc := json.NewEncoder(conn)
-	ctx, cancel := context.WithTimeout(context.Background(), 45*time.Second)
+	// The ordered join gets 3/4 of the connection budget, leaving room
+	// to write the response (or the error) before the deadline hits.
+	ctx, cancel := context.WithTimeout(context.Background(), timeout*3/4)
 	defer cancel()
 	res, err := c.sponsorJoin(ctx, req.Endpoint)
 	if err != nil {
@@ -270,31 +285,41 @@ func (c *Cluster) serveJoinConn(conn net.Conn) {
 //
 // Functional options are honored where they make sense for a joiner
 // (WithGrace, WithBatching, WithMaxOutstanding, WithDeliveryBuffer,
-// WithSeed, consensus variants and extra protocol implementations —
-// which must match the founders' registries); the initial protocol,
-// epoch and membership come from the handshake.
+// WithSeed, WithJoinTimeout, WithJoinRetry, consensus variants and
+// extra protocol implementations — which must match the founders'
+// registries); the initial protocol, epoch and membership come from the
+// handshake.
+//
+// Each handshake attempt is bounded by WithJoinTimeout (default 60s) or
+// a shorter ctx deadline; with WithJoinRetry, transport-level failures
+// (sponsor not listening yet, sponsor dying mid-handshake) are retried
+// with capped exponential backoff, so a restarting process rides out a
+// briefly-dead sponsor.
 func Join(ctx context.Context, sponsorAddr, selfEndpoint string, opts ...Option) (*Cluster, *Node, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", sponsorAddr)
-	if err != nil {
-		return nil, nil, fmt.Errorf("dpu: join handshake: %w", err)
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(o)
 	}
-	defer conn.Close()
-	if dl, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(dl)
-	} else {
-		//dpulint:ignore clocktime TCP I/O deadline on a real socket; kernel OS timers are wall-clock by definition
-		conn.SetDeadline(time.Now().Add(60 * time.Second))
+	backoffClock := o.clock
+	if backoffClock == nil {
+		backoffClock = vclock.Wall
 	}
-	if err := json.NewEncoder(conn).Encode(joinRequest{Endpoint: selfEndpoint}); err != nil {
-		return nil, nil, fmt.Errorf("dpu: join handshake: %w", err)
-	}
+	rng := rand.New(rand.NewSource(o.net.Seed ^ 0x6a014e5e)) // backoff jitter
 	var resp joinResponse
-	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
-		return nil, nil, fmt.Errorf("dpu: join handshake: %w", err)
-	}
-	if resp.Error != "" {
-		return nil, nil, fmt.Errorf("dpu: join refused: %s", resp.Error)
+	for attempt := 1; ; attempt++ {
+		var retryable bool
+		var err error
+		resp, retryable, err = joinHandshake(ctx, sponsorAddr, selfEndpoint, o.joinTimeout)
+		if err == nil {
+			break
+		}
+		if !retryable || attempt >= o.joinRetry.attempts {
+			return nil, nil, err
+		}
+		joinRetriesCounter.Add(1)
+		if werr := waitBackoff(ctx, backoffClock, backoffDelay(o.joinRetry, attempt, rng)); werr != nil {
+			return nil, nil, fmt.Errorf("dpu: join aborted during backoff: %w", werr)
+		}
 	}
 
 	book := make(map[transport.Addr]string, len(resp.Endpoints)+1)
@@ -305,15 +330,17 @@ func Join(ctx context.Context, sponsorAddr, selfEndpoint string, opts ...Option)
 	}
 	book[transport.Addr(resp.Member)] = selfEndpoint
 	endpoints[kernel.Addr(resp.Member)] = selfEndpoint
-	tr, err := transport.NewUDP(transport.UDPConfig{Book: book})
+	udpTr, err := transport.NewUDP(transport.UDPConfig{Book: book})
 	if err != nil {
 		return nil, nil, err
 	}
-
-	o := defaultOptions()
-	for _, opt := range opts {
-		opt(o)
+	var tr transport.Transport = udpTr
+	var faulty *transport.FaultyTransport
+	if o.faults {
+		faulty = transport.Faulty(tr, transport.FaultConfig{Seed: o.net.Seed ^ 0x5eedfa17})
+		tr = faulty
 	}
+
 	o.membership = true
 	o.transport = tr
 	impls, err := buildImpls(o)
@@ -327,6 +354,7 @@ func Join(ctx context.Context, sponsorAddr, selfEndpoint string, opts ...Option)
 	}
 	c := &Cluster{
 		tr:         tr,
+		faulty:     faulty,
 		impls:      impls,
 		membership: true,
 		opts:       o,
@@ -355,4 +383,66 @@ func Join(ctx context.Context, sponsorAddr, selfEndpoint string, opts ...Option)
 		return nil, nil, err
 	}
 	return c, node, nil
+}
+
+// joinHandshake performs one dial+exchange against a ServeJoin
+// listener, bounded by timeout (or a shorter ctx deadline). The second
+// return reports whether the failure is transport-level and worth
+// retrying; a sponsor that answered with a refusal is final.
+func joinHandshake(ctx context.Context, sponsorAddr, selfEndpoint string, timeout time.Duration) (joinResponse, bool, error) {
+	dctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var d net.Dialer
+	conn, err := d.DialContext(dctx, "tcp", sponsorAddr)
+	if err != nil {
+		return joinResponse{}, true, fmt.Errorf("dpu: join handshake: %w", err)
+	}
+	defer conn.Close()
+	//dpulint:ignore clocktime TCP I/O deadline on a real socket; kernel OS timers are wall-clock by definition
+	dl := time.Now().Add(timeout)
+	if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
+		dl = cdl
+	}
+	conn.SetDeadline(dl)
+	if err := json.NewEncoder(conn).Encode(joinRequest{Endpoint: selfEndpoint}); err != nil {
+		return joinResponse{}, true, fmt.Errorf("dpu: join handshake: %w", err)
+	}
+	var resp joinResponse
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return joinResponse{}, true, fmt.Errorf("dpu: join handshake: %w", err)
+	}
+	if resp.Error != "" {
+		return joinResponse{}, false, fmt.Errorf("dpu: join refused: %s", resp.Error)
+	}
+	return resp, false, nil
+}
+
+// backoffDelay returns the wait before retrying after failed attempt
+// number attempt (1-based): base·2^(attempt-1) capped at max, jittered
+// uniformly into [d/2, d] so simultaneously restarting processes do not
+// hammer the sponsor in lockstep.
+func backoffDelay(r joinRetryConfig, attempt int, rng *rand.Rand) time.Duration {
+	d := r.base
+	for i := 1; i < attempt && d < r.max; i++ {
+		d *= 2
+	}
+	if d > r.max {
+		d = r.max
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// waitBackoff sleeps d on the injected clock, aborting early when ctx
+// is cancelled.
+func waitBackoff(ctx context.Context, clock vclock.Clock, d time.Duration) error {
+	done := make(chan struct{})
+	tm := clock.AfterFunc(d, func() { close(done) })
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		tm.Stop()
+		return ctx.Err()
+	}
 }

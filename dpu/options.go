@@ -31,6 +31,18 @@ type options struct {
 	adaptive       *adaptiveOptions
 	clock          vclock.Clock
 	fd             fd.Config
+	faults         bool
+	joinTimeout    time.Duration
+	joinRetry      joinRetryConfig
+}
+
+// joinRetryConfig is the resolved WithJoinRetry configuration: up to
+// attempts handshake tries, with capped exponential backoff between
+// them. attempts 1 means a single try (no retry), the default.
+type joinRetryConfig struct {
+	attempts int
+	base     time.Duration
+	max      time.Duration
 }
 
 // Option configures New.
@@ -212,6 +224,54 @@ func WithTracer(t kernel.Tracer) Option {
 // simulated network (the clock cannot slow down real sockets).
 func WithClock(c vclock.Clock) Option {
 	return func(o *options) { o.clock = c }
+}
+
+// WithFaults wraps the cluster's transport — built-in simulated LAN or
+// WithTransport fabric alike — in the transport.Faulty decorator, with
+// every rate at zero. The wrap itself is neutral (no RNG draws, no
+// copies, synchronous delivery), but it unlocks the adversarial fault
+// surface at runtime: Cluster.SetCorrupt, SetReorder, SetBurst,
+// PartitionOneWay and HealOneWay. The decorator's fates are seeded from
+// WithSeed and its timers run on the injected clock, so scenarios stay
+// deterministic under vclock.
+func WithFaults() Option {
+	return func(o *options) { o.faults = true }
+}
+
+// WithJoinTimeout bounds each leg of the TCP join handshake (the
+// joiner's dial+exchange in Join, and the per-connection service in
+// ServeJoin). The default is 60s. A ctx deadline shorter than the
+// timeout wins. d <= 0 keeps the default.
+func WithJoinTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.joinTimeout = d
+		}
+	}
+}
+
+// WithJoinRetry makes Join retry a failed handshake up to attempts
+// times in total, so a restarting process rides out a briefly-dead
+// sponsor. Between tries it backs off exponentially from base, capped
+// at max, with seeded jitter (each wait is uniform in [d/2, d)); the
+// waits run on the injected clock and abort when ctx is cancelled.
+// Only transport-level failures (connection refused, reset, a sponsor
+// dying mid-handshake) are retried — a sponsor that answers with a
+// refusal fails immediately. attempts < 1 means 1; base <= 0 defaults
+// to 100ms; max < base is raised to base.
+func WithJoinRetry(attempts int, base, max time.Duration) Option {
+	return func(o *options) {
+		if attempts < 1 {
+			attempts = 1
+		}
+		if base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		if max < base {
+			max = base
+		}
+		o.joinRetry = joinRetryConfig{attempts: attempts, base: base, max: max}
+	}
 }
 
 // WithFailureDetector tunes the heartbeat failure detector: interval is

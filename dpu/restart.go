@@ -1,0 +1,89 @@
+package dpu
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// restartsCounter counts crashed or evicted members successfully
+// revived through Restart/RestartAsync.
+var restartsCounter = metrics.NewCounter("membership.restarts")
+
+// Restart revives a crashed (or evicted) member's process as a fresh
+// member of the group: the dead slot stays retired forever, and the
+// restarted node is admitted through the ordered view mechanism under a
+// new deterministic id — ids are never reused, so no survivor can
+// confuse the incarnations. The revival is an ordinary Assign-join: a
+// local sponsor orders it, every member installs the admitting view,
+// and the new stack boots on the committed cut, delivering the exact
+// totally-ordered suffix everyone else delivers.
+//
+// stack must name a retired local slot (ErrStillRunning if it is still
+// running, ErrRemoteStack if another process hosts it). The new member
+// joins with an empty endpoint, which is correct over the built-in
+// simulated LAN; over a real-socket transport use RestartAt with a
+// fresh endpoint (the crashed incarnation's socket may still hold the
+// old one). Requires WithMembership.
+func (c *Cluster) Restart(ctx context.Context, stack int) (*Node, error) {
+	return c.RestartAt(ctx, stack, "")
+}
+
+// RestartAt is Restart with an explicit transport endpoint for the
+// revived member ("host:port" over a real-socket transport).
+func (c *Cluster) RestartAt(ctx context.Context, stack int, endpoint string) (*Node, error) {
+	if err := c.restartable(stack); err != nil {
+		return nil, err
+	}
+	n, err := c.admit(ctx, endpoint)
+	if err != nil {
+		return nil, err
+	}
+	restartsCounter.Add(1)
+	return n, nil
+}
+
+// RestartAsync is the non-blocking variant of Restart for callers that
+// must not wait on cluster progress — the virtual-time scenario driver.
+// done is invoked on the sponsor's executor with the revived node (or
+// the error); it must not block. The error returned by RestartAsync
+// itself only covers validation and submission.
+func (c *Cluster) RestartAsync(stack int, done func(*Node, error)) error {
+	if err := c.restartable(stack); err != nil {
+		return err
+	}
+	return c.AddNodeAsync("", func(n *Node, err error) {
+		if err == nil {
+			restartsCounter.Add(1)
+		}
+		done(n, err)
+	})
+}
+
+// restartable validates that stack names a local slot that has crashed
+// or been evicted — the only state Restart may revive.
+func (c *Cluster) restartable(stack int) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if stack < 0 || stack >= len(c.slots) {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrOutOfRange, stack, len(c.slots))
+	}
+	s := c.slots[stack]
+	if s == nil {
+		return fmt.Errorf("%w: stack %d", ErrRemoteStack, stack)
+	}
+	if !s.retired.Load() && s.st.Running() {
+		return fmt.Errorf("%w: stack %d must crash or be evicted before Restart", ErrStillRunning, stack)
+	}
+	return nil
+}
+
+// Restart revives this node's crashed slot as a fresh member (see
+// Cluster.Restart). Unlike every other Node method, it is valid on a
+// dead handle — that is its whole point — and returns the NEW node
+// handle, carrying the new id; the receiver keeps naming the retired
+// incarnation.
+func (n *Node) Restart(ctx context.Context) (*Node, error) {
+	return n.c.Restart(ctx, n.id)
+}

@@ -1,0 +1,144 @@
+package dpu_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/dpu"
+	"repro/internal/metrics"
+)
+
+// TestRestartRevivesCrashedSlot is the crash–restart acceptance path:
+// a member crashes, is evicted, and Restart revives its process as a
+// fresh member under a new id — never the old one — that delivers the
+// same totally-ordered suffix as the survivors.
+func TestRestartRevivesCrashedSlot(t *testing.T) {
+	ctx := context.Background()
+	c, err := dpu.New(3, dpu.WithSeed(17), dpu.WithMembership())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	nodes := make(map[int]*dpu.Node)
+	cols := make(map[int]*collector)
+	for i := 0; i < 3; i++ {
+		n, err := c.Node(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		cols[i] = collectOn(t, n)
+	}
+
+	// A running slot cannot be restarted.
+	if _, err := c.Restart(ctx, 2); !errors.Is(err, dpu.ErrStillRunning) {
+		t.Fatalf("Restart of a running stack: %v, want ErrStillRunning", err)
+	}
+	if _, err := c.Restart(ctx, 99); !errors.Is(err, dpu.ErrOutOfRange) {
+		t.Fatalf("Restart out of range: %v, want ErrOutOfRange", err)
+	}
+
+	crashed := nodes[2]
+	if err := crashed.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].Evict(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	before := metrics.Counters()["membership.restarts"]
+	// Restart through the dead handle: the one Node call valid on it.
+	revived, err := crashed.Restart(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revived.Index() == 2 {
+		t.Fatal("restarted member reused the crashed id")
+	}
+	if revived.Index() != 3 {
+		t.Fatalf("restarted member id %d, want 3 (next deterministic id)", revived.Index())
+	}
+	if got := metrics.Counters()["membership.restarts"]; got != before+1 {
+		t.Fatalf("membership.restarts = %d, want %d", got, before+1)
+	}
+	// The revived slot is running again; the old one stays retired.
+	if _, err := c.Node(2); !errors.Is(err, dpu.ErrNotRunning) {
+		t.Fatalf("old slot: %v, want ErrNotRunning", err)
+	}
+
+	rcol := collectOn(t, revived)
+	live := map[int]*collector{0: cols[0], 1: cols[1], 3: rcol}
+	if err := nodes[0].Broadcast(ctx, []byte("anchor")); err != nil {
+		t.Fatal(err)
+	}
+	waitForMarker(t, live, "0:anchor")
+	const post = 12
+	for k := 0; k < post; k++ {
+		sender := nodes[k%2]
+		if k%3 == 2 {
+			sender = revived
+		}
+		if err := sender.Broadcast(ctx, []byte(fmt.Sprintf("post-%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitSuffixAgreement(t, live, "0:anchor", post+1)
+
+	st, err := revived.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) != 3 {
+		t.Fatalf("view after restart %v, want 3 members", st.Members)
+	}
+	for _, m := range st.Members {
+		if m == 2 {
+			t.Fatalf("view %v still lists the crashed incarnation", st.Members)
+		}
+	}
+}
+
+// TestRestartWithoutEvict revives a crashed member while its dead
+// incarnation still sits in the view: the join orders through the live
+// majority and the group keeps agreeing.
+func TestRestartWithoutEvict(t *testing.T) {
+	ctx := context.Background()
+	c, err := dpu.New(3, dpu.WithSeed(23), dpu.WithMembership())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	n0, err := c.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := c.Node(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	revived, err := c.Restart(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cols := map[int]*collector{0: collectOn(t, n0), 1: collectOn(t, n1), 3: collectOn(t, revived)}
+	if err := n1.Broadcast(ctx, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	waitSuffixAgreement(t, cols, "1:alive", 1)
+
+	st, err := revived.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) != 4 {
+		t.Fatalf("view %v, want 4 members (dead id 2 still listed)", st.Members)
+	}
+}

@@ -157,10 +157,10 @@ const (
 // back by a head-of-line loss, the case where sampling "time until the
 // ack covered it" would wildly inflate the estimate.
 //
-// The encoding lives in a pooled wire.Writer (with one byte of leading
-// headroom for the UDP channel tag, so transmissions cross the framing
-// layer without a copy) that is released back to the pool once the
-// packet is acknowledged.
+// The encoding lives in a pooled wire.Writer (with wire.FrameOverhead
+// bytes of leading headroom for the UDP frame header, so transmissions
+// cross the framing layer without a copy) that is released back to the
+// pool once the packet is acknowledged.
 type outPkt struct {
 	seq   uint64
 	w     *wire.Writer // encoded packet; timestamp field starts at tsOff
@@ -363,8 +363,8 @@ func (m *Module) send(s Send) {
 		return
 	}
 	p := m.peerFor(s.To)
-	w := wire.GetWriter(len(s.Data) + len(s.Channel) + 25)
-	w.Byte(0) // headroom for the UDP channel tag (udp.Send{Headroom: true})
+	w := wire.GetWriter(len(s.Data) + len(s.Channel) + 24 + wire.FrameOverhead)
+	w.Pad(wire.FrameOverhead) // headroom for the UDP frame header (udp.Send{Headroom: true})
 	w.Byte(pktData).Uvarint(p.nextSeq)
 	tsOff := w.Len()
 	w.Uint64(0) // transmit timestamp, stamped per transmission
@@ -512,8 +512,8 @@ func (m *Module) flushAcks() {
 	for i, p := range m.ackQ {
 		m.ackQ[i] = nil
 		p.ackDue = false
-		w := wire.GetWriter(21)
-		w.Byte(0) // headroom for the UDP channel tag
+		w := wire.GetWriter(20 + wire.FrameOverhead)
+		w.Pad(wire.FrameOverhead) // headroom for the UDP frame header
 		w.Byte(pktAck).Uvarint(p.expected).Uint64(p.echoTS)
 		m.Stk.CallSync(udp.Service, udp.Send{To: p.addr, Chan: udp.ChanRP2P, Data: w.Bytes(), Headroom: true})
 		w.Free()

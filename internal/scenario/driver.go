@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/dpu"
+	"repro/internal/metrics"
 	"repro/internal/vclock"
 )
 
@@ -47,8 +48,11 @@ type Result struct {
 	Digest        uint64
 	FinalProtocol string
 	FinalMembers  []int
-	VirtualTime   time.Duration // simulated time covered
-	WallTime      time.Duration // real time spent
+	// RejectedFrames counts the datagrams the wire checksum refused
+	// during this run (the receive-side witness of corrupt actions).
+	RejectedFrames uint64
+	VirtualTime    time.Duration // simulated time covered
+	WallTime       time.Duration // real time spent
 }
 
 // Run executes one scenario under virtual time and audits it. The
@@ -67,10 +71,14 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	wallStart := time.Now() //dpulint:ignore clocktime wall_ms result reporting measures real elapsed time, deliberately outside the virtual clock
 
 	vc := vclock.NewVirtual()
+	// WithFaults is always on: with every rate at zero the decorator
+	// consumes no randomness and is schedule-neutral, and it gives the
+	// corrupt/reorder/partition-oneway actions a surface to mutate.
 	dopts := []dpu.Option{
 		dpu.WithClock(vc),
 		dpu.WithSeed(seed),
 		dpu.WithInitialProtocol(sc.Initial),
+		dpu.WithFaults(),
 	}
 	// The simulated LAN's defaults (100µs ± 50µs) apply unless the
 	// scenario shapes the founding environment explicitly.
@@ -125,6 +133,10 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	defer c.Close()
+	// The reject counter is process-wide; the delta across this run is
+	// deterministic because runs execute sequentially under the virtual
+	// clock.
+	rejectedBefore := metrics.Counters()["wire.frames_rejected"]
 
 	d := &driver{sc: sc, c: c, vc: vc, logf: logf,
 		logs:    map[int][]dpu.Event{},
@@ -166,12 +178,13 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	d.wg.Wait()
 
 	res := &Result{
-		Name:          sc.Name,
-		Seed:          seed,
-		Phases:        phases,
-		FinalProtocol: finalProto,
-		FinalMembers:  finalMembers,
-		VirtualTime:   virtual,
+		Name:           sc.Name,
+		Seed:           seed,
+		Phases:         phases,
+		FinalProtocol:  finalProto,
+		FinalMembers:   finalMembers,
+		RejectedFrames: metrics.Counters()["wire.frames_rejected"] - rejectedBefore,
+		VirtualTime:    virtual,
 		//dpulint:ignore clocktime wall_ms result reporting measures real elapsed time, deliberately outside the virtual clock
 		WallTime: time.Since(wallStart),
 	}
@@ -429,6 +442,22 @@ func (d *driver) runAction(phase string, a Action, fail func(string, ...any)) {
 		if err := d.c.Crash(a.Node); err != nil {
 			fail("crash %d: %v", a.Node, err)
 		}
+	case "restart":
+		// Revive the crashed/evicted slot as a fresh member: the commit
+		// callback runs on the sponsor's executor, so subscribing there
+		// catches the revived stack's stream from its first event.
+		err := d.c.RestartAsync(a.Node, func(n *dpu.Node, err error) {
+			if err != nil {
+				fail("restart %d: %v", a.Node, err)
+				return
+			}
+			if err := d.subscribe(n.Index()); err != nil {
+				fail("restart %d: subscribe revived %d: %v", a.Node, n.Index(), err)
+			}
+		})
+		if err != nil {
+			fail("restart %d: %v", a.Node, err)
+		}
 	case "switch":
 		initiator := a.Node
 		if initiator < 0 {
@@ -449,6 +478,22 @@ func (d *driver) runAction(phase string, a Action, fail func(string, ...any)) {
 	case "heal":
 		if err := d.c.HealLink(a.A, a.B); err != nil {
 			fail("heal %d-%d: %v", a.A, a.B, err)
+		}
+	case "partition-oneway":
+		if err := d.c.PartitionOneWay(a.A, a.B); err != nil {
+			fail("partition-oneway %d->%d: %v", a.A, a.B, err)
+		}
+	case "heal-oneway":
+		if err := d.c.HealOneWay(a.A, a.B); err != nil {
+			fail("heal-oneway %d->%d: %v", a.A, a.B, err)
+		}
+	case "corrupt":
+		if err := d.c.SetCorrupt(a.Rate); err != nil {
+			fail("corrupt: %v", err)
+		}
+	case "reorder":
+		if err := d.c.SetReorder(a.Rate); err != nil {
+			fail("reorder: %v", err)
 		}
 	case "set-loss":
 		if err := d.c.SetLoss(a.Loss); err != nil {
@@ -623,6 +668,10 @@ func (d *driver) checkFinalExpectations(res *Result) error {
 		if maxViews < ex.MinViews {
 			return fmt.Errorf("scenario %s: %d committed views observed, want at least %d", d.sc.Name, maxViews, ex.MinViews)
 		}
+	}
+	if ex.MinRejectedFrames >= 0 && res.RejectedFrames < uint64(ex.MinRejectedFrames) {
+		return fmt.Errorf("scenario %s: %d frames rejected by the wire checksum, want at least %d",
+			d.sc.Name, res.RejectedFrames, ex.MinRejectedFrames)
 	}
 	return nil
 }

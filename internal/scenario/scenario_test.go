@@ -138,25 +138,36 @@ func TestParity(t *testing.T) {
 
 // TestDeterminism is the reproducibility witness: the same scenario at
 // the same seed must produce bit-identical checker event counts and
-// the identical event-stream digest across two runs.
+// the identical event-stream digest across two runs. crash-restart and
+// corrupt-under-switch extend the witness over the fault-injection
+// surface: restart joins, seeded corruption and checksum rejects are
+// all part of the deterministic schedule.
 func TestDeterminism(t *testing.T) {
-	sc, err := ByName("churn-during-switch")
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, err := Run(sc, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Run(sc, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Counts != b.Counts {
-		t.Fatalf("checker counts diverge: %+v vs %+v", a.Counts, b.Counts)
-	}
-	if a.Digest != b.Digest {
-		t.Fatalf("event digests diverge: %016x vs %016x (counts %+v)", a.Digest, b.Digest, a.Counts)
+	for _, name := range []string{"churn-during-switch", "crash-restart", "corrupt-under-switch"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := Run(sc, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(sc, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Counts != b.Counts {
+				t.Fatalf("checker counts diverge: %+v vs %+v", a.Counts, b.Counts)
+			}
+			if a.Digest != b.Digest {
+				t.Fatalf("event digests diverge: %016x vs %016x (counts %+v)", a.Digest, b.Digest, a.Counts)
+			}
+			if a.RejectedFrames != b.RejectedFrames {
+				t.Fatalf("rejected-frame counts diverge: %d vs %d", a.RejectedFrames, b.RejectedFrames)
+			}
+		})
 	}
 }
 
@@ -176,7 +187,7 @@ func TestSeedSweep(t *testing.T) {
 		}
 		seeds = n
 	}
-	names := []string{"minimal", "churn-during-switch"}
+	names := []string{"minimal", "churn-during-switch", "crash-restart", "corrupt-under-switch"}
 	if s := os.Getenv("DPU_SCENARIO_SWEEP"); s != "" {
 		names = []string{s}
 	}

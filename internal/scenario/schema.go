@@ -85,10 +85,11 @@ type Flap struct {
 type Action struct {
 	At     time.Duration // offset from the phase start
 	Action string        // see actionNames
-	Node   int           // add-node/evict/crash/switch initiator (-1 = unset)
+	Node   int           // add-node/evict/crash/restart/switch initiator (-1 = unset)
 	To     string        // switch target protocol
-	A, B   int           // partition/heal link
+	A, B   int           // partition/heal link (two-way or one-way)
 	Loss   float64       // set-loss
+	Rate   float64       // corrupt/reorder probability
 	Delay  time.Duration // set-delay
 	Jitter time.Duration // set-jitter
 }
@@ -100,16 +101,20 @@ type PhaseExpect struct {
 
 // Expect is checked after the drain.
 type Expect struct {
-	FinalProtocol  string
-	SwitchSequence []string // exact order of completed switch targets
-	MinSwitches    int      // -1 = unset
-	MaxSwitches    int      // -1 = unset
-	MinViews       int      // -1 = unset; committed view changes
+	FinalProtocol     string
+	SwitchSequence    []string // exact order of completed switch targets
+	MinSwitches       int      // -1 = unset
+	MaxSwitches       int      // -1 = unset
+	MinViews          int      // -1 = unset; committed view changes
+	MinRejectedFrames int      // -1 = unset; checksum-rejected datagrams
 }
 
 var actionNames = map[string]bool{
-	"add-node": true, "evict": true, "crash": true, "switch": true,
+	"add-node": true, "evict": true, "crash": true, "restart": true,
+	"switch":    true,
 	"partition": true, "heal": true,
+	"partition-oneway": true, "heal-oneway": true,
+	"corrupt": true, "reorder": true,
 	"set-loss": true, "set-delay": true, "set-jitter": true,
 }
 
@@ -203,6 +208,7 @@ func Parse(data []byte) (*Scenario, error) {
 				A:      ad.int("a", 0),
 				B:      ad.int("b", 1),
 				Loss:   ad.float("loss", 0),
+				Rate:   ad.float("rate", 0),
 				Delay:  ad.dur("delay", 0),
 				Jitter: ad.dur("jitter", 0),
 			}
@@ -211,6 +217,12 @@ func Parse(data []byte) (*Scenario, error) {
 			}
 			if act.Action == "switch" && act.To == "" {
 				ad.errf("switch action needs `to:`")
+			}
+			if act.Action == "restart" && act.Node < 0 {
+				ad.errf("restart action needs `node:`")
+			}
+			if (act.Action == "corrupt" || act.Action == "reorder") && (act.Rate < 0 || act.Rate > 1) {
+				ad.errf("%s rate %v not in [0,1]", act.Action, act.Rate)
 			}
 			if act.At > ph.Duration {
 				ad.errf("at %s exceeds the phase duration %s", act.At, ph.Duration)
@@ -228,7 +240,7 @@ func Parse(data []byte) (*Scenario, error) {
 		pd.finish()
 		sc.Phases = append(sc.Phases, ph)
 	}
-	sc.Expect = Expect{MinSwitches: -1, MaxSwitches: -1, MinViews: -1}
+	sc.Expect = Expect{MinSwitches: -1, MaxSwitches: -1, MinViews: -1, MinRejectedFrames: -1}
 	if ex := d.sub("expect"); ex != nil {
 		sc.Expect.FinalProtocol = canonicalProtocol(ex.str("final_protocol", ""))
 		for _, p := range ex.strList("switch_sequence") {
@@ -237,6 +249,7 @@ func Parse(data []byte) (*Scenario, error) {
 		sc.Expect.MinSwitches = ex.int("min_switches", -1)
 		sc.Expect.MaxSwitches = ex.int("max_switches", -1)
 		sc.Expect.MinViews = ex.int("min_views", -1)
+		sc.Expect.MinRejectedFrames = ex.int("min_rejected_frames", -1)
 		ex.finish()
 	}
 	d.finish()
@@ -280,7 +293,7 @@ func (sc *Scenario) validate() error {
 	for _, ph := range sc.Phases {
 		for _, a := range ph.Actions {
 			switch a.Action {
-			case "add-node", "evict":
+			case "add-node", "evict", "restart":
 				needsMembership = true
 			case "switch":
 				if !validProtocol(a.To) {
@@ -293,7 +306,7 @@ func (sc *Scenario) validate() error {
 		}
 	}
 	if needsMembership && !sc.Membership {
-		return fmt.Errorf("scenario %s: add-node/evict actions need `membership: true`", sc.Name)
+		return fmt.Errorf("scenario %s: add-node/evict/restart actions need `membership: true`", sc.Name)
 	}
 	if sc.Expect.FinalProtocol != "" && !validProtocol(sc.Expect.FinalProtocol) {
 		return fmt.Errorf("scenario %s: unknown final protocol %q", sc.Name, sc.Expect.FinalProtocol)

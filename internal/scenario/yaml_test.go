@@ -82,7 +82,7 @@ func TestSchemaDefaults(t *testing.T) {
 	if sc.Workload.Rate != 200 || sc.Workload.Payload != 32 || sc.Workload.Senders != 0 {
 		t.Fatalf("workload defaults = %+v", sc.Workload)
 	}
-	if sc.Expect.MinViews != -1 || sc.Expect.MinSwitches != -1 || sc.Expect.MaxSwitches != -1 {
+	if sc.Expect.MinViews != -1 || sc.Expect.MinSwitches != -1 || sc.Expect.MaxSwitches != -1 || sc.Expect.MinRejectedFrames != -1 {
 		t.Fatalf("expect defaults = %+v", sc.Expect)
 	}
 }
@@ -104,6 +104,10 @@ func TestSchemaRejections(t *testing.T) {
 		{"evict-without-membership", "name: x\nphases:\n  - name: p\n    duration: 1s\n    actions:\n      - {at: 0ms, action: evict, node: 1}\n", "membership"},
 		{"unknown-invariant", "name: x\ninvariants: [total-order, telepathy]\nphases:\n  - name: p\n    duration: 1s\n", "invariant"},
 		{"switch-without-target", "name: x\nphases:\n  - name: p\n    duration: 1s\n    actions:\n      - {at: 0ms, action: switch}\n", "to"},
+		{"restart-without-membership", "name: x\nphases:\n  - name: p\n    duration: 1s\n    actions:\n      - {at: 0ms, action: restart, node: 1}\n", "membership"},
+		{"restart-without-node", "name: x\nmembership: true\nphases:\n  - name: p\n    duration: 1s\n    actions:\n      - {at: 0ms, action: restart}\n", "node"},
+		{"corrupt-rate-out-of-range", "name: x\nphases:\n  - name: p\n    duration: 1s\n    actions:\n      - {at: 0ms, action: corrupt, rate: 1.5}\n", "rate"},
+		{"reorder-rate-out-of-range", "name: x\nphases:\n  - name: p\n    duration: 1s\n    actions:\n      - {at: 0ms, action: reorder, rate: -0.1}\n", "rate"},
 	}
 	for _, tc := range cases {
 		tc := tc

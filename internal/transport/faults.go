@@ -5,7 +5,15 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/vclock"
+)
+
+// Process-wide counters for the adversarial fault features, mirrored
+// from FaultStats so operators see them next to wire.frames_rejected.
+var (
+	corruptedCounter = metrics.NewCounter("transport.corrupted")
+	reorderedCounter = metrics.NewCounter("transport.reordered")
 )
 
 // FaultConfig parameterises the Faulty decorator with simnet's loss and
@@ -15,9 +23,15 @@ import (
 // jitter in [0, Jitter). Loopback (self-addressed) sends are never
 // dropped or delayed, matching simnet.
 //
-// All rates are runtime-mutable (SetLoss, SetDup, SetDelay, SetJitter),
-// so a scenario can reshape a live link — the environment timelines of
-// cmd/dpu-bench -scenario run on exactly this.
+// Beyond simnet's model the decorator injects adversarial faults:
+// seeded byte-level corruption (CorruptRate), reordering via per-
+// datagram hold-back (ReorderRate/ReorderDelay), correlated loss
+// bursts (BurstRate/BurstLen) and one-way partitions (CutOneWay).
+//
+// All rates are runtime-mutable (SetLoss, SetDup, SetDelay, SetJitter,
+// SetCorrupt, SetReorder, SetBurst), so a scenario can reshape a live
+// link — the environment timelines of cmd/dpu-bench -scenario run on
+// exactly this.
 type FaultConfig struct {
 	// Seed makes packet fates reproducible.
 	Seed int64
@@ -29,6 +43,25 @@ type FaultConfig struct {
 	Delay time.Duration
 	// Jitter adds a uniform random delay in [0, Jitter).
 	Jitter time.Duration
+	// CorruptRate is the probability a surviving datagram has 1–3 of
+	// its bytes flipped in flight, in [0, 1]. The frame checksum
+	// (internal/wire) turns corruption into a counted drop at the
+	// receiver instead of a misparse.
+	CorruptRate float64
+	// ReorderRate is the probability a surviving datagram is held back
+	// by ReorderDelay so later sends overtake it, in [0, 1].
+	ReorderRate float64
+	// ReorderDelay is how long a reordered datagram is held back.
+	// Zero means a default of 2ms.
+	ReorderDelay time.Duration
+	// BurstRate is the probability a datagram opens a loss burst that
+	// also swallows the next BurstLen-1 non-loopback datagrams, in
+	// [0, 1]. Bursts model correlated outages the independent LossRate
+	// cannot.
+	BurstRate float64
+	// BurstLen is the total burst length in datagrams. Zero means a
+	// default of 4.
+	BurstLen int
 	// Clock schedules the delay/jitter timers. Nil means vclock.Wall;
 	// under a vclock.Virtual the held-back datagrams release on virtual
 	// time, so seeded fault runs replay identically (and never stall
@@ -36,12 +69,23 @@ type FaultConfig struct {
 	Clock vclock.Clock
 }
 
+// defaultReorderDelay and defaultBurstLen back the zero values of
+// FaultConfig.ReorderDelay and FaultConfig.BurstLen.
+const (
+	defaultReorderDelay = 2 * time.Millisecond
+	defaultBurstLen     = 4
+)
+
 // FaultStats counts the decorator's interventions.
 type FaultStats struct {
 	Passed     uint64
 	Dropped    uint64
 	Duplicated uint64
 	Delayed    uint64
+	Corrupted  uint64
+	Reordered  uint64
+	BurstDrops uint64 // datagrams swallowed by loss bursts (incl. openers)
+	Blocked    uint64 // datagrams dropped by one-way partitions
 }
 
 // Shaper is the runtime-mutable traffic-shaping surface shared by the
@@ -55,10 +99,25 @@ type Shaper interface {
 	SetJitter(j time.Duration)
 }
 
-// Faulty layers probabilistic loss, duplication and delay over any
-// transport, so fault-injection tests written against the simnet model
-// also run over real sockets. Closing the decorator closes the inner
-// transport and discards datagrams still held back by delay.
+// FaultInjector extends Shaper with the adversarial fault surface of
+// the Faulty decorator: byte-level corruption, reordering, correlated
+// loss bursts and one-way (asymmetric) partitions, all runtime-mutable.
+// Cluster.SetCorrupt and friends route through this interface so an
+// externally supplied transport can substitute its own injector.
+type FaultInjector interface {
+	Shaper
+	SetCorrupt(p float64)
+	SetReorder(p float64)
+	SetBurst(p float64, length int)
+	CutOneWay(from, to Addr)
+	HealOneWay(from, to Addr)
+}
+
+// Faulty layers probabilistic loss, duplication, delay, corruption,
+// reordering, burst loss and one-way partitions over any transport, so
+// fault-injection tests written against the simnet model also run over
+// real sockets. Closing the decorator closes the inner transport and
+// discards datagrams still held back by delay.
 func Faulty(inner Transport, cfg FaultConfig) *FaultyTransport {
 	clock := cfg.Clock
 	if clock == nil {
@@ -70,7 +129,17 @@ func Faulty(inner Transport, cfg FaultConfig) *FaultyTransport {
 		clock:  clock,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		timers: make(map[vclock.Timer]struct{}),
+		oneWay: make(map[edge]struct{}),
 	}
+}
+
+// edge is a directed sender→receiver pair, the unit of one-way cuts.
+type edge struct{ from, to Addr }
+
+// flip is one byte mutation a corrupted datagram suffers in flight.
+type flip struct {
+	pos int
+	xor byte
 }
 
 // FaultyTransport is the decorator returned by Faulty. All fate rolls
@@ -81,13 +150,15 @@ func Faulty(inner Transport, cfg FaultConfig) *FaultyTransport {
 type FaultyTransport struct {
 	inner Transport
 
-	mu     sync.Mutex
-	cfg    FaultConfig
-	clock  vclock.Clock
-	rng    *rand.Rand
-	stats  FaultStats
-	timers map[vclock.Timer]struct{}
-	closed bool
+	mu        sync.Mutex
+	cfg       FaultConfig
+	clock     vclock.Clock
+	rng       *rand.Rand
+	stats     FaultStats
+	timers    map[vclock.Timer]struct{}
+	oneWay    map[edge]struct{}
+	burstLeft int // datagrams the current loss burst still swallows
+	closed    bool
 }
 
 // Open opens the inner endpoint and wraps its sender.
@@ -157,6 +228,49 @@ func (t *FaultyTransport) SetJitter(j time.Duration) {
 	t.cfg.Jitter = j
 }
 
+// SetCorrupt changes the byte-corruption probability for subsequent
+// sends.
+func (t *FaultyTransport) SetCorrupt(p float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.CorruptRate = p
+}
+
+// SetReorder changes the reordering probability for subsequent sends.
+func (t *FaultyTransport) SetReorder(p float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.ReorderRate = p
+}
+
+// SetBurst changes the burst-loss probability and burst length for
+// subsequent sends. length <= 0 keeps the current (or default) length.
+func (t *FaultyTransport) SetBurst(p float64, length int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.BurstRate = p
+	if length > 0 {
+		t.cfg.BurstLen = length
+	}
+}
+
+// CutOneWay blocks datagrams sent from from to to; traffic in the
+// opposite direction still flows. Cutting is deterministic (no RNG
+// draw), so toggling partitions never perturbs the seeded fate
+// sequence of other traffic.
+func (t *FaultyTransport) CutOneWay(from, to Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.oneWay[edge{from, to}] = struct{}{}
+}
+
+// HealOneWay restores the directed link cut by CutOneWay.
+func (t *FaultyTransport) HealOneWay(from, to Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.oneWay, edge{from, to})
+}
+
 // Stats returns a snapshot of the decorator's counters.
 func (t *FaultyTransport) Stats() FaultStats {
 	t.mu.Lock()
@@ -165,31 +279,73 @@ func (t *FaultyTransport) Stats() FaultStats {
 }
 
 // fate rolls the dice for one send; n.b. a dropped datagram cannot also
-// be duplicated, as in simnet. Jitter is only rolled when configured,
-// so enabling and later disabling delay restores the exact fate
-// sequence loss/dup tests recorded without it.
-func (t *FaultyTransport) fate(loopback bool) (drop, dup bool, delay time.Duration) {
+// be duplicated, as in simnet. Each feature's RNG is only rolled when
+// that feature is configured, so enabling and later disabling one
+// restores the exact fate sequence tests recorded without it. n is the
+// datagram length, bounding corruption positions.
+func (t *FaultyTransport) fate(loopback bool, from, to Addr, n int) (drop, dup bool, delay time.Duration, flips []flip) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if !loopback {
+		if _, cut := t.oneWay[edge{from, to}]; cut {
+			t.stats.Blocked++
+			return true, false, 0, nil
+		}
+		// A burst in progress swallows datagrams without consulting the
+		// RNG: correlated loss, not another independent roll.
+		if t.burstLeft > 0 {
+			t.burstLeft--
+			t.stats.Dropped++
+			t.stats.BurstDrops++
+			return true, false, 0, nil
+		}
+	}
 	if !loopback && t.cfg.LossRate > 0 && t.rng.Float64() < t.cfg.LossRate {
 		t.stats.Dropped++
-		return true, false, 0
+		return true, false, 0, nil
+	}
+	if !loopback && t.cfg.BurstRate > 0 && t.rng.Float64() < t.cfg.BurstRate {
+		length := t.cfg.BurstLen
+		if length <= 0 {
+			length = defaultBurstLen
+		}
+		t.burstLeft = length - 1
+		t.stats.Dropped++
+		t.stats.BurstDrops++
+		return true, false, 0, nil
 	}
 	if !loopback && t.cfg.DupRate > 0 && t.rng.Float64() < t.cfg.DupRate {
 		t.stats.Duplicated++
 		dup = true
+	}
+	if !loopback && n > 0 && t.cfg.CorruptRate > 0 && t.rng.Float64() < t.cfg.CorruptRate {
+		flips = make([]flip, 1+t.rng.Intn(3))
+		for i := range flips {
+			flips[i] = flip{pos: t.rng.Intn(n), xor: byte(1 + t.rng.Intn(255))}
+		}
+		t.stats.Corrupted++
+		corruptedCounter.Add(1)
 	}
 	if !loopback {
 		delay = t.cfg.Delay
 		if t.cfg.Jitter > 0 {
 			delay += time.Duration(t.rng.Int63n(int64(t.cfg.Jitter)))
 		}
+		if t.cfg.ReorderRate > 0 && t.rng.Float64() < t.cfg.ReorderRate {
+			rd := t.cfg.ReorderDelay
+			if rd <= 0 {
+				rd = defaultReorderDelay
+			}
+			delay += rd
+			t.stats.Reordered++
+			reorderedCounter.Add(1)
+		}
 	}
 	t.stats.Passed++
 	if delay > 0 {
 		t.stats.Delayed++
 	}
-	return false, dup, delay
+	return false, dup, delay, flips
 }
 
 // after schedules a delayed transmission, tracked so Close can cancel
@@ -221,11 +377,12 @@ type faultyEndpoint struct {
 func (e faultyEndpoint) Addr() Addr { return e.ep.Addr() }
 
 func (e faultyEndpoint) Send(to Addr, data []byte) {
-	drop, dup, delay := e.t.fate(to == e.ep.Addr())
+	from := e.ep.Addr()
+	drop, dup, delay, flips := e.t.fate(to == from, from, to, len(data))
 	if drop {
 		return
 	}
-	if delay <= 0 {
+	if delay <= 0 && len(flips) == 0 {
 		e.ep.Send(to, data)
 		if dup {
 			e.ep.Send(to, data)
@@ -233,8 +390,18 @@ func (e faultyEndpoint) Send(to Addr, data []byte) {
 		return
 	}
 	// The transport contract lets the caller reuse data once Send
-	// returns; a held-back datagram must carry its own copy.
+	// returns; a held-back or mutated datagram must carry its own copy.
 	buf := append([]byte(nil), data...)
+	for _, f := range flips {
+		buf[f.pos] ^= f.xor
+	}
+	if delay <= 0 {
+		e.ep.Send(to, buf)
+		if dup {
+			e.ep.Send(to, buf)
+		}
+		return
+	}
 	e.t.after(delay, func() {
 		e.ep.Send(to, buf)
 		if dup {

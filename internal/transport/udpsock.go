@@ -243,12 +243,14 @@ func (e *udpEndpoint) readLoop() {
 		}
 		if n == len(buf) {
 			t.malformed.Add(1)
+			wire.RejectFrame()
 			t.logf("transport: endpoint %d: dropped over-limit datagram (>%d bytes)", e.addr, t.cfg.MaxPacket)
 			continue
 		}
 		from, payload, ok := decodeFrame(buf[:n])
 		if !ok {
 			t.malformed.Add(1)
+			wire.RejectFrame()
 			t.logf("transport: endpoint %d: dropped malformed %d-byte frame", e.addr, n)
 			continue
 		}

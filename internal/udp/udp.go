@@ -2,7 +2,10 @@
 // (Figure 4 of the paper): an interface to an unreliable datagram
 // transport. It binds a transport endpoint to the "net/udp" service and
 // demultiplexes traffic with a one-byte channel tag so that several
-// upper modules can share the socket.
+// upper modules can share the socket. Every outgoing datagram is sealed
+// with a per-frame checksum (see internal/wire's frame layer) and every
+// incoming one verified, so corrupted or truncated frames are counted
+// and dropped instead of misparsed by the modules above.
 //
 // The module is transport-agnostic: it speaks to internal/transport,
 // so the same stack runs over the deterministic in-process simnet
@@ -55,10 +58,12 @@ const (
 // returns. A sender that issues the request with Stack.CallSync may
 // therefore reuse or pool the buffer as soon as the call returns.
 //
-// When Headroom is true, Data[0] is reserved headroom owned by this
-// module: it writes Chan into it and hands Data to the transport as-is,
-// so the payload crosses the framing layer without a copy. The sender
-// must have reserved that leading byte (its payload starts at Data[1]).
+// When Headroom is true, the first wire.FrameOverhead bytes of Data are
+// reserved headroom owned by this module: it writes Chan and the frame
+// checksum into them and hands Data to the transport as-is, so the
+// payload crosses the framing layer without a copy. The sender must
+// have reserved that leading region (wire.Writer.Pad(wire.FrameOverhead);
+// its payload starts at Data[wire.FrameOverhead]).
 type Send struct {
 	To       kernel.Addr
 	Chan     byte
@@ -164,24 +169,31 @@ func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
 	if !ok || m.ep == nil {
 		return
 	}
-	if s.Headroom && len(s.Data) > 0 {
-		// The sender reserved the tag byte: no framing copy at all.
+	if s.Headroom && len(s.Data) >= wire.FrameOverhead {
+		// The sender reserved the frame header: no framing copy at all.
 		s.Data[0] = s.Chan
+		wire.SealFrame(s.Data, uint64(m.Stk.Addr()))
 		m.ep.Send(transport.Addr(s.To), s.Data)
 		return
 	}
-	w := wire.GetWriter(len(s.Data) + 1)
-	w.Byte(s.Chan).Raw(s.Data)
-	m.ep.Send(transport.Addr(s.To), w.Bytes())
+	w := wire.GetWriter(len(s.Data) + wire.FrameOverhead)
+	w.Byte(s.Chan).Pad(wire.FrameOverhead - 1).Raw(s.Data)
+	frame := w.Bytes()
+	wire.SealFrame(frame, uint64(m.Stk.Addr()))
+	m.ep.Send(transport.Addr(s.To), frame)
 	w.Free() // the transport has copied the frame
 }
 
 // receive runs on a transport goroutine (simnet timer or socket read
 // loop); it re-injects the packet into the stack as an indication
 // (Indicate enqueues onto the executor).
+// A frame whose checksum does not verify against the claimed sender is
+// counted (wire.frames_rejected) and dropped here, before anything
+// above the framing layer can misparse it.
 func (m *Module) receive(from transport.Addr, data []byte) {
-	if len(data) < 1 {
+	tag, payload, ok := wire.OpenFrame(data, uint64(from))
+	if !ok {
 		return
 	}
-	m.Stk.Indicate(Service, Recv{From: kernel.Addr(from), Chan: data[0], Data: data[1:]})
+	m.Stk.Indicate(Service, Recv{From: kernel.Addr(from), Chan: tag, Data: payload})
 }

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func seal(t *testing.T, tag byte, payload []byte, salt uint64) []byte {
+	t.Helper()
+	w := NewWriter(FrameOverhead + len(payload))
+	w.Byte(tag).Pad(FrameOverhead - 1).Raw(payload)
+	frame := w.Bytes()
+	SealFrame(frame, salt)
+	return frame
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {0}, []byte("hello"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, p := range payloads {
+		frame := seal(t, 7, p, 42)
+		tag, got, ok := OpenFrame(frame, 42)
+		if !ok {
+			t.Fatalf("OpenFrame rejected a sealed frame (payload %d bytes)", len(p))
+		}
+		if tag != 7 {
+			t.Fatalf("tag = %d, want 7", tag)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("payload mismatch: got %d bytes, want %d", len(got), len(p))
+		}
+	}
+}
+
+func TestFrameRejectsShort(t *testing.T) {
+	before := framesRejected.Value()
+	for n := 0; n < FrameOverhead; n++ {
+		if _, _, ok := OpenFrame(make([]byte, n), 0); ok {
+			t.Fatalf("OpenFrame accepted a %d-byte frame", n)
+		}
+	}
+	if got := framesRejected.Value() - before; got != FrameOverhead {
+		t.Fatalf("frames_rejected grew by %d, want %d", got, FrameOverhead)
+	}
+}
+
+func TestFrameRejectsEveryBitFlip(t *testing.T) {
+	frame := seal(t, 3, []byte("the quick brown fox"), 9)
+	for i := range frame {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), frame...)
+			mut[i] ^= 1 << bit
+			if _, _, ok := OpenFrame(mut, 9); ok {
+				t.Fatalf("accepted frame with byte %d bit %d flipped", i, bit)
+			}
+		}
+	}
+}
+
+func TestFrameRejectsWrongSalt(t *testing.T) {
+	frame := seal(t, 1, []byte("payload"), 5)
+	if _, _, ok := OpenFrame(frame, 6); ok {
+		t.Fatal("accepted frame under the wrong salt (mis-attributed source)")
+	}
+}
+
+func TestFrameRejectsTruncation(t *testing.T) {
+	frame := seal(t, 1, []byte("a longer payload body"), 5)
+	for n := FrameOverhead; n < len(frame); n++ {
+		if _, _, ok := OpenFrame(frame[:n], 5); ok {
+			t.Fatalf("accepted frame truncated to %d of %d bytes", n, len(frame))
+		}
+	}
+}
+
+func TestSealIdempotent(t *testing.T) {
+	frame := seal(t, 2, []byte("retransmit me"), 11)
+	SealFrame(frame, 11) // a parked buffer may be re-sealed on retransmit
+	if _, _, ok := OpenFrame(frame, 11); !ok {
+		t.Fatal("re-sealed frame no longer opens")
+	}
+}
+
+// FuzzFrame feeds OpenFrame random byte soup and mutated valid frames:
+// it must never panic, and must either round-trip an untouched sealed
+// frame or reject anything else.
+func FuzzFrame(f *testing.F) {
+	f.Add([]byte{}, uint64(0), -1, byte(0))
+	f.Add([]byte("hello world"), uint64(42), -1, byte(0))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64), uint64(1), 3, byte(0x80))
+	f.Fuzz(func(t *testing.T, payload []byte, salt uint64, mutAt int, mutXor byte) {
+		// Arbitrary bytes straight through OpenFrame: no panic allowed.
+		OpenFrame(payload, salt)
+
+		// A sealed frame, optionally mutated at one position.
+		w := NewWriter(FrameOverhead + len(payload))
+		w.Byte(1).Pad(FrameOverhead - 1).Raw(payload)
+		frame := w.Bytes()
+		SealFrame(frame, salt)
+		mutated := false
+		if mutAt >= 0 && mutAt < len(frame) && mutXor != 0 {
+			frame[mutAt] ^= mutXor
+			mutated = true
+		}
+		tag, got, ok := OpenFrame(frame, salt)
+		if mutated && ok {
+			t.Fatalf("accepted frame mutated at %d (xor %#x)", mutAt, mutXor)
+		}
+		if !mutated {
+			if !ok {
+				t.Fatal("rejected an untouched sealed frame")
+			}
+			if tag != 1 || !bytes.Equal(got, payload) {
+				t.Fatal("round-trip mismatch")
+			}
+		}
+	})
+}
+
+func BenchmarkSealOpen(b *testing.B) {
+	payload := make([]byte, 1024)
+	rand.New(rand.NewSource(1)).Read(payload)
+	w := NewWriter(FrameOverhead + len(payload))
+	w.Byte(1).Pad(FrameOverhead - 1).Raw(payload)
+	frame := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SealFrame(frame, 7)
+		if _, _, ok := OpenFrame(frame, 7); !ok {
+			b.Fatal("reject")
+		}
+	}
+}

@@ -104,6 +104,21 @@ func (w *Writer) Uint64(v uint64) *Writer {
 	return w
 }
 
+// Uint32 appends a fixed-width big-endian uint32.
+func (w *Writer) Uint32(v uint32) *Writer {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+	return w
+}
+
+// Pad appends n zero bytes. Framing layers use it to reserve headroom
+// that a lower layer will stamp in place (see FrameOverhead).
+func (w *Writer) Pad(n int) *Writer {
+	for i := 0; i < n; i++ {
+		w.buf = append(w.buf, 0)
+	}
+	return w
+}
+
 // Bytes appends a length-prefixed byte slice.
 func (w *Writer) BytesField(b []byte) *Writer {
 	w.Uvarint(uint64(len(b)))
@@ -206,6 +221,20 @@ func (r *Reader) Varint() int64 {
 		return 0
 	}
 	r.off += n
+	return v
+}
+
+// Uint32 reads a fixed-width big-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf)-r.off < 4 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
 	return v
 }
 
