@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"repro/internal/kernel"
+	"repro/internal/transport"
+	"repro/internal/transport/transporttest"
 	"repro/internal/wire"
 )
 
@@ -37,6 +39,85 @@ func TestKernelDispatchAllocBudget(t *testing.T) {
 	}
 	if handled.Load() == 0 {
 		t.Fatal("no requests dispatched")
+	}
+}
+
+// TestPoolDispatchAllocBudget is the pool-mode twin of the dispatch
+// budget: scheduling a stack on the shared executor pool must not
+// reintroduce per-event allocations. The only extra cost allowed over
+// dedicated mode is the amortized run-queue growth on the idle→scheduled
+// transition.
+func TestPoolDispatchAllocBudget(t *testing.T) {
+	pool := kernel.NewPool(2)
+	defer pool.Close()
+	st := kernel.NewStack(kernel.Config{Addr: 0, Peers: []kernel.Addr{0}, Pool: pool})
+	var handled atomic.Int64
+	if err := st.DoSync(func() {
+		m := &countingModule{Base: kernel.NewBase(st, "budget"), count: &handled}
+		st.AddModule(m)
+		st.Bind("svc", m)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var req kernel.Request = struct{}{}
+	avg := testing.AllocsPerRun(20000, func() {
+		st.Call("svc", req)
+	})
+	st.DoSync(func() {})
+	st.Close()
+	if avg > 1.0 {
+		t.Errorf("pooled Call fast-path allocates %.2f allocs/op, budget 1.0", avg)
+	}
+	if handled.Load() == 0 {
+		t.Fatal("no requests dispatched")
+	}
+}
+
+// TestBatchEnqueueFlushAllocBudget asserts the batched send path is
+// (amortized) allocation-light in steady state: Enqueue parks the frame
+// on a pooled writer and the per-destination queue reuses its backing
+// array; Flush builds sendmmsg headers into arrays wired up once at
+// open. The residue allowed covers the RawConn closure and sync.Pool
+// slack.
+func TestBatchEnqueueFlushAllocBudget(t *testing.T) {
+	if !transport.BatchSyscallsAvailable() {
+		t.Skip("no batched syscall backend on this platform")
+	}
+	book := make(map[transport.Addr]string, 2)
+	for i, a := range transporttest.ReserveAddrs(t, 2) {
+		book[transport.Addr(i)] = a
+	}
+	tr, err := transport.NewUDP(transport.UDPConfig{Book: book})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Open(1, func(transport.Addr, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := tr.Open(0, func(transport.Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, ok := ep.(transport.BatchSender)
+	if !ok {
+		t.Fatalf("%T is not a BatchSender", ep)
+	}
+	payload := make([]byte, 128)
+	// Warm up: let the send queue and writer pool reach steady state.
+	for i := 0; i < 64; i++ {
+		bs.Enqueue(1, payload)
+	}
+	bs.Flush()
+	avg := testing.AllocsPerRun(5000, func() {
+		for i := 0; i < 8; i++ {
+			bs.Enqueue(1, payload)
+		}
+		bs.Flush()
+	})
+	perDatagram := avg / 8
+	if perDatagram > 1.0 {
+		t.Errorf("batched send path allocates %.2f allocs/datagram, budget 1.0", perDatagram)
 	}
 }
 

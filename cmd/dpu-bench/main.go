@@ -13,6 +13,8 @@
 //	dpu-bench -fig ablation-reissue  # switch cost vs undelivered backlog
 //	dpu-bench -fig ablation-matrix   # cross-protocol switch matrix
 //	dpu-bench -fig throughput        # hot-path throughput probe (batched vs not)
+//	dpu-bench -fig syscall-batch     # syscalls/message over the batched UDP backend
+//	dpu-bench -fig parallel          # pooled-executor throughput at GOMAXPROCS>1
 //	dpu-bench -fig membership        # view-change churn probe (runtime join/evict)
 //	dpu-bench -fig all               # everything
 //	dpu-bench -quick -json           # fast smoke run + BENCH_results.json
@@ -33,27 +35,31 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/dpu"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/transport"
 )
 
 // report is the JSON document -json emits. Field names are the schema;
 // additions are allowed, renames and removals are not (downstream
 // tooling diffs these files across commits).
 type report struct {
-	Schema    string `json:"schema"` // "dpu-bench/v1"
-	Generated string `json:"generated,omitempty"`
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
-	Quick     bool   `json:"quick"`
-	Seed      int64  `json:"seed"`
+	Schema     string `json:"schema"` // "dpu-bench/v1"
+	Generated  string `json:"generated,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"`
+	Seed       int64  `json:"seed"`
 
 	Figure5          *figure5JSON      `json:"figure5,omitempty"`
 	Figure6          []figure6JSON     `json:"figure6,omitempty"`
@@ -61,6 +67,8 @@ type report struct {
 	AblationReissue  []reissueJSON     `json:"ablation_reissue,omitempty"`
 	AblationMatrix   []matrixJSON      `json:"ablation_matrix,omitempty"`
 	Throughput       *throughputJSON   `json:"throughput,omitempty"`
+	SyscallBatch     *syscallBatchJSON `json:"syscall_batch,omitempty"`
+	Parallel         *parallelJSON     `json:"parallel,omitempty"`
 	Membership       *membershipJSON   `json:"membership,omitempty"`
 	Scenarios        []scenarioJSON    `json:"scenarios,omitempty"`
 	Counters         map[string]uint64 `json:"counters,omitempty"`
@@ -117,6 +125,46 @@ type throughputJSON struct {
 	BatchMaxBytes       int     `json:"batch_max_bytes"`
 	UnbatchedMsgsPerSec float64 `json:"unbatched_msgs_per_sec"`
 	BatchedMsgsPerSec   float64 `json:"batched_msgs_per_sec"`
+}
+
+// syscallBatchJSON records the syscall-amortization probe: the same
+// real-UDP workload over the sendmmsg/recvmmsg backend and over the
+// portable one-datagram-per-syscall fallback, with the transport's
+// syscall and datagram counters for each. SyscallsPerMessage is
+// (send+recv syscalls) / (sent+delivered datagrams): 1.0 for the
+// fallback by construction, and 2/batch-size in the ideal batched case.
+type syscallBatchJSON struct {
+	N                 int                 `json:"n"`
+	PayloadBytes      int                 `json:"payload_bytes"`
+	Messages          int                 `json:"messages"`
+	BackendAvailable  bool                `json:"backend_available"`
+	Batched           syscallBatchRunJSON `json:"batched"`
+	Fallback          syscallBatchRunJSON `json:"fallback"`
+	SyscallsSavedPct  float64             `json:"syscalls_saved_pct"`
+	ThroughputGainPct float64             `json:"throughput_gain_pct"`
+}
+
+type syscallBatchRunJSON struct {
+	MsgsPerSec         float64 `json:"msgs_per_sec"`
+	Sent               uint64  `json:"sent"`
+	Delivered          uint64  `json:"delivered"`
+	SendCalls          uint64  `json:"send_calls"`
+	RecvCalls          uint64  `json:"recv_calls"`
+	SyscallsPerMessage float64 `json:"syscalls_per_message"`
+}
+
+// parallelJSON records the pooled-executor throughput figure: the same
+// batched real-UDP workload with one dedicated goroutine per stack vs
+// the shared executor pool, at whatever GOMAXPROCS the run was given.
+type parallelJSON struct {
+	N                   int     `json:"n"`
+	PayloadBytes        int     `json:"payload_bytes"`
+	Messages            int     `json:"messages"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	PoolWorkers         int     `json:"pool_workers"`
+	DedicatedMsgsPerSec float64 `json:"dedicated_msgs_per_sec"`
+	PooledMsgsPerSec    float64 `json:"pooled_msgs_per_sec"`
+	SpeedupPct          float64 `json:"speedup_pct"`
 }
 
 type membershipJSON struct {
@@ -220,6 +268,171 @@ func throughputProbe(msgs int, seed int64) (*throughputJSON, error) {
 	}, nil
 }
 
+// reserveLoopbackBook grabs n ephemeral loopback UDP ports and returns
+// them as a transport address book. The sockets are closed before the
+// book is used, so a concurrent process could in principle steal a
+// port; for a single-process bench run the window is harmless.
+func reserveLoopbackBook(n int) (map[transport.Addr]string, error) {
+	book := make(map[transport.Addr]string, n)
+	conns := make([]*net.UDPConn, 0, n)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return nil, err
+		}
+		conns = append(conns, c)
+		book[transport.Addr(i)] = c.LocalAddr().String()
+	}
+	return book, nil
+}
+
+// realUDPRun pushes msgs broadcasts per stack through a 3-stack cluster
+// over real loopback sockets and returns delivered messages/sec on
+// stack 0 plus the transport's syscall/datagram counters. The senders
+// go through Node.Broadcast so the WithMaxOutstanding window paces
+// them: real sockets have finite buffers, and an unpaced flood
+// (Cluster.Broadcast bypasses the window) drowns the run in kernel-side
+// drops and retransmissions instead of measuring the steady state.
+func realUDPRun(msgs, payloadBytes int, seed int64, disableBatching bool, extra ...dpu.Option) (float64, transport.UDPStats, error) {
+	book, err := reserveLoopbackBook(3)
+	if err != nil {
+		return 0, transport.UDPStats{}, err
+	}
+	tr, err := transport.NewUDP(transport.UDPConfig{
+		Book: book, DisableBatching: disableBatching,
+		SocketBuffer: 4 << 20, // ride out sendmmsg bursts without kernel drops
+	})
+	if err != nil {
+		return 0, transport.UDPStats{}, err
+	}
+	opts := append([]dpu.Option{
+		dpu.WithTransport(tr), dpu.WithSeed(seed),
+		dpu.WithDeliveryBuffer(3*msgs + 1024),
+		dpu.WithMaxOutstanding(64),
+	}, extra...)
+	c, err := dpu.New(3, opts...)
+	if err != nil {
+		return 0, transport.UDPStats{}, err
+	}
+	defer c.Close()
+	nodes := make([]*dpu.Node, 3)
+	for i := range nodes {
+		if nodes[i], err = c.Node(i); err != nil {
+			return 0, transport.UDPStats{}, err
+		}
+	}
+	payload := make([]byte, payloadBytes)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < msgs*3; i++ {
+			<-c.Deliveries(0)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	start := time.Now()
+	errc := make(chan error, 3)
+	for s := 0; s < 3; s++ {
+		go func(n *dpu.Node) {
+			for i := 0; i < msgs; i++ {
+				if err := n.Broadcast(ctx, payload); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(nodes[s])
+	}
+	for s := 0; s < 3; s++ {
+		if err := <-errc; err != nil {
+			return 0, transport.UDPStats{}, err
+		}
+	}
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return 0, transport.UDPStats{}, fmt.Errorf("real-UDP probe stalled")
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(msgs*3) / elapsed, tr.Stats(), nil
+}
+
+// syscallsPerMessage condenses one run's stats into the headline
+// amortization ratio.
+func syscallsPerMessage(st transport.UDPStats) float64 {
+	if st.Sent+st.Delivered == 0 {
+		return 0
+	}
+	return float64(st.SendCalls+st.RecvCalls) / float64(st.Sent+st.Delivered)
+}
+
+// syscallBatchProbe runs the identical real-UDP workload over the
+// batched backend and the portable fallback, recording throughput and
+// the syscall budget of each. App-level broadcast batching stays OFF so
+// every protocol datagram hits the socket layer individually — the
+// worst case the sendmmsg/recvmmsg backend exists to amortize.
+func syscallBatchProbe(msgs int, seed int64) (*syscallBatchJSON, error) {
+	const payloadBytes = 256
+	out := &syscallBatchJSON{
+		N: 3, PayloadBytes: payloadBytes, Messages: msgs * 3,
+		BackendAvailable: transport.BatchSyscallsAvailable(),
+	}
+	rate, st, err := realUDPRun(msgs, payloadBytes, seed, false)
+	if err != nil {
+		return nil, err
+	}
+	out.Batched = syscallBatchRunJSON{
+		MsgsPerSec: rate, Sent: st.Sent, Delivered: st.Delivered,
+		SendCalls: st.SendCalls, RecvCalls: st.RecvCalls,
+		SyscallsPerMessage: syscallsPerMessage(st),
+	}
+	rate, st, err = realUDPRun(msgs, payloadBytes, seed, true)
+	if err != nil {
+		return nil, err
+	}
+	out.Fallback = syscallBatchRunJSON{
+		MsgsPerSec: rate, Sent: st.Sent, Delivered: st.Delivered,
+		SendCalls: st.SendCalls, RecvCalls: st.RecvCalls,
+		SyscallsPerMessage: syscallsPerMessage(st),
+	}
+	if out.Fallback.SyscallsPerMessage > 0 {
+		out.SyscallsSavedPct = 100 * (1 - out.Batched.SyscallsPerMessage/out.Fallback.SyscallsPerMessage)
+	}
+	if out.Fallback.MsgsPerSec > 0 {
+		out.ThroughputGainPct = 100 * (out.Batched.MsgsPerSec/out.Fallback.MsgsPerSec - 1)
+	}
+	return out, nil
+}
+
+// parallelProbe measures what the shared executor pool buys on a
+// multi-core budget: the same batched-backend real-UDP workload with
+// dedicated per-stack goroutines vs WithExecutorPool. Meaningful at
+// GOMAXPROCS > 1 with real cores behind it; on a single core it
+// documents the no-win case the WithExecutorPool godoc promises.
+func parallelProbe(msgs int, seed int64) (*parallelJSON, error) {
+	const payloadBytes = 256
+	dedicated, _, err := realUDPRun(msgs, payloadBytes, seed, false)
+	if err != nil {
+		return nil, err
+	}
+	pooled, _, err := realUDPRun(msgs, payloadBytes, seed, false, dpu.WithExecutorPool(0))
+	if err != nil {
+		return nil, err
+	}
+	return &parallelJSON{
+		N: 3, PayloadBytes: payloadBytes, Messages: msgs * 3,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), PoolWorkers: runtime.GOMAXPROCS(0),
+		DedicatedMsgsPerSec: dedicated, PooledMsgsPerSec: pooled,
+		SpeedupPct: 100 * (pooled/dedicated - 1),
+	}, nil
+}
+
 // membershipProbe measures view-change churn: confirmed runtime joins
 // (AddNode) and evictions through a live cluster, which also populates
 // the membership.* counters the JSON report exports.
@@ -262,7 +475,7 @@ func membershipProbe(rounds int, seed int64) (*membershipJSON, error) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, ablation-managers, ablation-reissue, ablation-matrix, throughput, membership, all")
+	fig := flag.String("fig", "all", "which figure(s) to regenerate (comma-separated): 5, 6, ablation-managers, ablation-reissue, ablation-matrix, throughput, syscall-batch, parallel, membership, all")
 	scenario := flag.String("scenario", "", "scenario(s) to run instead of figures: a corpus name, file:<path>, or all (comma-separated; see docs/SCENARIOS.md)")
 	n := flag.Int("n", 7, "group size for Figure 5")
 	rate := flag.Float64("rate", 50, "per-stack message rate for Figure 5 [msg/s]")
@@ -276,13 +489,14 @@ func main() {
 	flag.Parse()
 
 	rep := &report{
-		Schema:    "dpu-bench/v1",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Quick:     *quick,
-		Seed:      *seed,
+		Schema:     "dpu-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Seed:       *seed,
 	}
 	if *stamp {
 		rep.Generated = time.Now().UTC().Format(time.RFC3339)
@@ -301,7 +515,11 @@ func main() {
 	// -scenario selects the adaptive timelines and skips the figures; the
 	// two probe different things and a CI job typically wants one or the
 	// other.
-	want := func(name string) bool { return *scenario == "" && (*fig == "all" || *fig == name) }
+	figs := make(map[string]bool)
+	for _, f := range strings.Split(*fig, ",") {
+		figs[strings.TrimSpace(f)] = true
+	}
+	want := func(name string) bool { return *scenario == "" && (figs["all"] || figs[name]) }
 
 	if want("5") {
 		run("Figure 5", func() error {
@@ -418,6 +636,48 @@ func main() {
 			fmt.Printf("%12s %14.0f msg/s  (WithBatching %dµs / %dB)\n",
 				"batched", tp.BatchedMsgsPerSec, tp.BatchMaxDelayUs, tp.BatchMaxBytes)
 			rep.Throughput = tp
+			return nil
+		})
+	}
+
+	if want("syscall-batch") {
+		run("Syscall batching probe (sendmmsg/recvmmsg vs fallback)", func() error {
+			msgs := 10000
+			if *quick {
+				msgs = 2000
+			}
+			sb, err := syscallBatchProbe(msgs, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("n=%d payload=%dB messages=%d backend=%v\n",
+				sb.N, sb.PayloadBytes, sb.Messages, sb.BackendAvailable)
+			p := func(name string, r syscallBatchRunJSON) {
+				fmt.Printf("%12s %14.0f msg/s  %7d sendcalls / %7d sent, %7d recvcalls / %7d delivered  (%.3f syscalls/msg)\n",
+					name, r.MsgsPerSec, r.SendCalls, r.Sent, r.RecvCalls, r.Delivered, r.SyscallsPerMessage)
+			}
+			p("batched", sb.Batched)
+			p("fallback", sb.Fallback)
+			fmt.Printf("%12s %13.1f%% syscalls saved, %+.1f%% throughput\n", "", sb.SyscallsSavedPct, sb.ThroughputGainPct)
+			rep.SyscallBatch = sb
+			return nil
+		})
+	}
+	if want("parallel") {
+		run("Parallel executor probe (pool vs dedicated)", func() error {
+			msgs := 10000
+			if *quick {
+				msgs = 2000
+			}
+			pp, err := parallelProbe(msgs, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("n=%d payload=%dB messages=%d GOMAXPROCS=%d\n",
+				pp.N, pp.PayloadBytes, pp.Messages, pp.GOMAXPROCS)
+			fmt.Printf("%12s %14.0f msg/s\n", "dedicated", pp.DedicatedMsgsPerSec)
+			fmt.Printf("%12s %14.0f msg/s  (%+.1f%%)\n", "pooled", pp.PooledMsgsPerSec, pp.SpeedupPct)
+			rep.Parallel = pp
 			return nil
 		})
 	}

@@ -67,6 +67,7 @@ type Cluster struct {
 	membership bool
 	opts       *options
 	clock      vclock.Clock
+	pool       *kernel.Pool // shared executor pool (WithExecutorPool); nil otherwise
 
 	// mu guards the slot table (the id space), which grows on AddNode.
 	mu    sync.RWMutex
@@ -179,6 +180,9 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		slots:      make([]*stackSlot, n),
 		closed:     make(chan struct{}),
 	}
+	if o.pooled {
+		c.pool = kernel.NewPool(o.poolSize)
+	}
 	endpoints := make(map[kernel.Addr]string, len(o.endpoints))
 	for id, ep := range o.endpoints {
 		endpoints[kernel.Addr(id)] = ep
@@ -258,6 +262,7 @@ func (c *Cluster) buildStack(id int, peers []kernel.Addr, reg *kernel.Registry) 
 	st := kernel.NewStack(kernel.Config{
 		Addr: kernel.Addr(id), Peers: peers, Registry: reg,
 		Seed: o.net.Seed + int64(id), Tracer: o.tracer, Clock: c.clock,
+		Pool: c.pool,
 	})
 	// A virtual clock must observe the stack's executor for quiescence;
 	// registering here covers founders and runtime joiners alike.
@@ -758,6 +763,11 @@ func (c *Cluster) Close() {
 		// channels below are closed.
 		for _, s := range slots {
 			s.st.Close()
+		}
+		if c.pool != nil {
+			// After the stacks: a pool closed under live executors would
+			// push every straggling slice onto transient goroutines.
+			c.pool.Close()
 		}
 		var subs []*Subscription
 		for _, s := range slots {

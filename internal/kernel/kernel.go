@@ -181,6 +181,11 @@ type Config struct {
 	// the wall clock; simulations inject a vclock.Virtual so whole
 	// clusters run under discrete-event virtual time.
 	Clock vclock.Clock
+	// Pool, when non-nil, schedules this stack's executor on a shared
+	// worker pool instead of a dedicated goroutine. Serialization is
+	// unchanged (one worker owns the stack at a time); see Pool. The
+	// pool must outlive the stack.
+	Pool *Pool
 }
 
 // PeerService is the kernel-provided membership service: SetPeers
@@ -272,7 +277,7 @@ func NewStack(cfg Config) *Stack {
 	initial := append([]Addr(nil), cfg.Peers...)
 	sort.Slice(initial, func(i, j int) bool { return initial[i] < initial[j] })
 	st.peers.Store(&peerSet{peers: initial})
-	st.exec = newExecutor(st.runTask, st.runFlushers)
+	st.exec = newExecutor(st.runTask, st.runFlushers, cfg.Pool)
 	return st
 }
 
@@ -385,6 +390,10 @@ func (st *Stack) runTask(t *task) {
 		st.dispatch(t.svc, t.arg)
 	case kindIndicate:
 		st.indicate(t.svc, t.arg)
+	case kindIndicateBatch:
+		for _, ind := range t.arg.([]Indication) {
+			st.indicate(t.svc, ind)
+		}
 	}
 }
 
@@ -620,6 +629,20 @@ func (st *Stack) dispatch(id ServiceID, req Request) {
 // receives it. Safe from any goroutine.
 func (st *Stack) Indicate(id ServiceID, ind Indication) {
 	st.exec.enqueue(task{kind: kindIndicate, svc: id, arg: ind})
+}
+
+// IndicateBatch emits a batch of indications on the service as ONE
+// queued executor event: listeners see each indication individually, in
+// order, exactly as len(inds) Indicate calls would deliver them, but
+// the whole batch costs one queue round-trip (and one wake-up) instead
+// of len(inds). The batched transport receive path exists for this
+// call. The slice is retained until the event runs; the caller hands
+// over ownership. Safe from any goroutine.
+func (st *Stack) IndicateBatch(id ServiceID, inds []Indication) {
+	if len(inds) == 0 {
+		return
+	}
+	st.exec.enqueue(task{kind: kindIndicateBatch, svc: id, arg: inds})
 }
 
 // indicate delivers an indication to the current listeners. Executor-only.

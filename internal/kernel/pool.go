@@ -1,0 +1,116 @@
+package kernel
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Process-wide counters for pool scheduling (docs/OPERATIONS.md):
+// pool_slices counts worker turns (one slice = up to poolSlicePasses
+// event batches on one stack), pool_yields counts the turns that ended
+// with the stack still loaded and re-queued — a high yield share means
+// stacks are saturating their slices and the pool is the bottleneck.
+var (
+	poolSlicesCounter = metrics.NewCounter("kernel.pool_slices")
+	poolYieldsCounter = metrics.NewCounter("kernel.pool_yields")
+)
+
+// Pool is a shared executor scheduler: a fixed set of workers that run
+// event slices for any number of stacks, so one process can host many
+// stacks on a few cores instead of a goroutine per stack. A stack is
+// owned by at most one worker at a time (see executor.slice), so the
+// kernel's serial-executor semantics are untouched — the pool changes
+// where stacks run, never how.
+//
+// Stacks opt in through Config.Pool (the dpu layer's WithExecutorPool).
+// Lifecycle contract: close every stack before closing the pool. A
+// straggler submitted after Close is still drained — on a transient
+// goroutine — so nothing hangs, but orderly shutdown should not rely
+// on that.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	runq   []*executor
+	closed bool
+	wg     sync.WaitGroup
+	n      int
+}
+
+// NewPool starts a pool of n workers; n <= 0 means GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{n: n}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.n }
+
+// worker pops executors FIFO and runs one slice each. After Close the
+// backlog is drained before the worker exits.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.runq) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.runq) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		e := p.runq[0]
+		p.runq[0] = nil
+		p.runq = p.runq[1:]
+		p.mu.Unlock()
+		poolSlicesCounter.Add(1)
+		e.slice()
+	}
+}
+
+// submit queues an executor for a worker slice. Called by the executor
+// on its idle->scheduled transition, never twice concurrently for the
+// same executor.
+func (p *Pool) submit(e *executor) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		// Shutdown-order violation (a stack still live after Pool.Close,
+		// or a final stop straggling in): drain it on its own goroutine
+		// so Stack.Close never hangs.
+		go e.slice()
+		return
+	}
+	p.runq = append(p.runq, e)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// yield re-queues an executor whose slice expired with work remaining.
+func (p *Pool) yield(e *executor) {
+	poolYieldsCounter.Add(1)
+	p.submit(e)
+}
+
+// Close stops the workers after the queued slices drain and waits for
+// them to exit. Close every stack using the pool first.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

@@ -1,0 +1,253 @@
+package kernel
+
+// Tests for the shared executor pool (pool.go) and the batched
+// indication path (IndicateBatch). The pool must change WHERE stacks
+// run, never their semantics: strict per-stack serialization, FIFO
+// event order, Close draining — everything the dedicated-goroutine
+// mode guarantees.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newPooledStack(t *testing.T, p *Pool) *Stack {
+	t.Helper()
+	st := NewStack(Config{Addr: 0, Peers: []Addr{0, 1, 2}, Pool: p})
+	return st
+}
+
+// TestPoolSerializationAndFIFO is the pool-mode executor quickcheck:
+// several stacks share a small pool while a dedicated sender per stack
+// streams sequenced events. Each stack asserts (a) mutual exclusion —
+// an atomic in-flight flag catches any two workers inside one stack at
+// once — and (b) strict FIFO from a single enqueuer.
+func TestPoolSerializationAndFIFO(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const stacks, events = 6, 400
+	var violations atomic.Int64
+	sts := make([]*Stack, stacks)
+	for s := range sts {
+		sts[s] = newPooledStack(t, p)
+	}
+	var wg sync.WaitGroup
+	for s, st := range sts {
+		wg.Add(1)
+		go func(s int, st *Stack) {
+			defer wg.Done()
+			var inFlight atomic.Int32
+			next := 0
+			for i := 0; i < events; i++ {
+				i := i
+				st.Do(func() {
+					if !inFlight.CompareAndSwap(0, 1) {
+						violations.Add(1) // two workers inside one stack
+					}
+					if i != next {
+						violations.Add(1) // reordered
+					}
+					next++
+					inFlight.Store(0)
+				})
+			}
+			if err := st.DoSync(func() {
+				if next != events {
+					t.Errorf("stack %d ran %d/%d events", s, next, events)
+				}
+			}); err != nil {
+				t.Errorf("stack %d: %v", s, err)
+			}
+		}(s, st)
+	}
+	wg.Wait()
+	for _, st := range sts {
+		st.Close()
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d serialization/FIFO violations", v)
+	}
+}
+
+// TestPoolStress hammers pooled stacks from many goroutines with the
+// full event mix — Do, Call, Indicate, DoSync, timers — then closes
+// everything. Run under -race this doubles as the data-race check for
+// the scheduled-flag handoff between pool workers.
+func TestPoolStress(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	const stacks, goroutines, perG = 4, 6, 200
+	for s := 0; s < stacks; s++ {
+		st := newPooledStack(t, p)
+		var m *testModule
+		var count atomic.Int64
+		st.DoSync(func() {
+			m = newTestModule(st, "p")
+			m.onRequest = func(ServiceID, Request) { count.Add(1) }
+			st.AddModule(m)
+			st.Bind("svc", m)
+			st.Subscribe("svc", m)
+		})
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					switch i % 4 {
+					case 0:
+						st.Call("svc", i)
+					case 1:
+						st.Indicate("svc", i)
+					case 2:
+						st.Do(func() {})
+					case 3:
+						st.DoSync(func() {})
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		st.DoSync(func() {
+			if got := count.Load(); got != goroutines*perG/4 {
+				t.Errorf("stack %d: %d requests, want %d", s, got, goroutines*perG/4)
+			}
+			if got := len(m.indications); got != goroutines*perG/4 {
+				t.Errorf("stack %d: %d indications, want %d", s, got, goroutines*perG/4)
+			}
+		})
+		st.Close()
+	}
+}
+
+// TestPoolCloseDrainsQueuedEvents mirrors the dedicated-mode guarantee:
+// events enqueued before Close run before Close returns, even when the
+// stack is scheduled on a shared pool.
+func TestPoolCloseDrainsQueuedEvents(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	st := newPooledStack(t, p)
+	var ran atomic.Int64
+	block := make(chan struct{})
+	st.Do(func() { <-block })
+	for i := 0; i < 50; i++ {
+		st.Do(func() { ran.Add(1) })
+	}
+	close(block)
+	st.Close()
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("Close drained %d/50 queued events", got)
+	}
+}
+
+// TestPoolClosedStraggler violates the documented close order (pool
+// before stacks) and checks the fallback: a stack whose pool is gone
+// must still run its events and Close without hanging.
+func TestPoolClosedStraggler(t *testing.T) {
+	p := NewPool(2)
+	st := newPooledStack(t, p)
+	st.DoSync(func() {}) // scheduled at least once while the pool lives
+	p.Close()
+	var ran bool
+	done := make(chan struct{})
+	st.Do(func() { ran = true })
+	go func() { st.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung after pool shutdown")
+	}
+	if !ran {
+		t.Fatal("event enqueued after pool Close never ran")
+	}
+}
+
+// TestPoolWorkersDefault checks the n<=0 → GOMAXPROCS default.
+func TestPoolWorkersDefault(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+}
+
+// TestIndicateBatchOrdering checks that one batched indication event is
+// observationally identical to its unbatched expansion: listeners see
+// every indication individually, in slice order, correctly interleaved
+// with surrounding plain Indicates. Runs in both executor modes.
+func TestIndicateBatchOrdering(t *testing.T) {
+	modes := []struct {
+		name string
+		mk   func(t *testing.T) *Stack
+	}{
+		{"dedicated", func(t *testing.T) *Stack { return newTestStack(t, nil) }},
+		{"pooled", func(t *testing.T) *Stack {
+			p := NewPool(2)
+			st := newPooledStack(t, p)
+			t.Cleanup(func() { st.Close(); p.Close() })
+			return st
+		}},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			st := mode.mk(t)
+			var a, b *testModule
+			st.DoSync(func() {
+				a = newTestModule(st, "a")
+				b = newTestModule(st, "b")
+				st.AddModule(a)
+				st.AddModule(b)
+				st.Subscribe("svc", a)
+				st.Subscribe("svc", b)
+			})
+			st.Indicate("svc", "pre")
+			st.IndicateBatch("svc", []Indication{"x0", "x1", "x2"})
+			st.IndicateBatch("svc", nil) // empty batch: no event at all
+			st.Indicate("svc", "post")
+			want := []Indication{"pre", "x0", "x1", "x2", "post"}
+			st.DoSync(func() {
+				for _, m := range []*testModule{a, b} {
+					if fmt.Sprint(m.indications) != fmt.Sprint(want) {
+						t.Errorf("indications = %v, want %v", m.indications, want)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestIndicateBatchSingleQueueEvent checks the point of batching: a
+// batch of N indications crosses the executor queue as ONE task (one
+// flusher pass), not N.
+func TestIndicateBatchSingleQueueEvent(t *testing.T) {
+	st := newTestStack(t, nil)
+	var flushes atomic.Int64
+	var seen int
+	var m *testModule
+	st.DoSync(func() {
+		m = newTestModule(st, "m")
+		st.AddModule(m)
+		st.Subscribe("svc", m)
+		st.RegisterFlusher(func() { flushes.Add(1) })
+	})
+	// Park the executor so everything below lands in one drained batch.
+	block := make(chan struct{})
+	release := make(chan struct{})
+	st.Do(func() { close(block); <-release })
+	<-block
+	st.IndicateBatch("svc", []Indication{1, 2, 3, 4, 5})
+	close(release)
+	st.DoSync(func() {})
+	st.DoSync(func() { seen = len(m.indications) })
+	if seen != 5 {
+		t.Fatalf("listener saw %d indications, want 5", seen)
+	}
+	// The batch plus the parked Do drained together: at most a handful
+	// of flusher passes, nowhere near one per indication.
+	if got := flushes.Load(); got > 4 {
+		t.Fatalf("%d flusher passes for one 5-indication batch", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -28,8 +29,14 @@ import (
 //     from the drain loop);
 //   - function literals and method values passed to the Stack
 //     scheduling methods (Do, DoSync, After, Every, RegisterFlusher,
-//     Call, CallSync, Indicate), including values reached through
-//     composite literals such as rp2p.Listen{Handler: m.onRecv};
+//     Call, CallSync, Indicate, IndicateBatch), including values
+//     reached through composite literals such as
+//     rp2p.Listen{Handler: m.onRecv};
+//   - function values passed to the kernel's newExecutor constructor:
+//     the executor invokes them only from its drain loop, whether that
+//     loop runs on a dedicated goroutine or on a shared Pool worker, so
+//     the task runner and post-batch flusher are executor context by
+//     axiom;
 //   - transitively: an unexported function whose every direct call site
 //     sits inside an executor-context function and whose address never
 //     escapes. Exported functions are never inferred — callers in other
@@ -46,9 +53,12 @@ var ExecutorOnly = &lint.Analyzer{
 const ExecutorDirective = "//dpulint:executor"
 
 // stackSchedulers are the *kernel.Stack methods whose function-valued
-// arguments run on the executor.
+// arguments run on the executor. IndicateBatch is the batched twin of
+// Indicate: handler values carried inside its indication slice are
+// dispatched from the same drain loop.
 var stackSchedulers = []string{
-	"Do", "DoSync", "After", "Every", "RegisterFlusher", "Call", "CallSync", "Indicate",
+	"Do", "DoSync", "After", "Every", "RegisterFlusher", "Call", "CallSync",
+	"Indicate", "IndicateBatch",
 }
 
 // execFacts is the gob-serialized cross-package fact: the FullNames of
@@ -212,7 +222,8 @@ func (st *execState) collectVarLiterals() {
 }
 
 // collectScheduledValues marks function values passed to the Stack
-// scheduling methods as executor context.
+// scheduling methods — and to the kernel's executor constructor — as
+// executor context.
 func (st *execState) collectScheduledValues() {
 	for _, f := range st.pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -221,7 +232,7 @@ func (st *execState) collectScheduledValues() {
 				return true
 			}
 			callee := calleeFunc(st.pass.Info, call)
-			if !isKernelStackMethod(callee, stackSchedulers...) {
+			if !isKernelStackMethod(callee, stackSchedulers...) && !isExecutorConstructor(callee) {
 				return true
 			}
 			for _, arg := range call.Args {
@@ -230,6 +241,21 @@ func (st *execState) collectScheduledValues() {
 			return true
 		})
 	}
+}
+
+// isExecutorConstructor reports whether callee is the kernel's internal
+// newExecutor constructor (or a fixture stand-in): the executor invokes
+// its function-valued arguments — the task runner and the post-batch
+// flusher — only from the drain loop, on the dedicated run() goroutine
+// or on a shared Pool worker's slice(), never concurrently. They are
+// therefore executor context by axiom.
+func isExecutorConstructor(f *types.Func) bool {
+	if f == nil || f.Pkg() == nil || f.Name() != "newExecutor" {
+		return false
+	}
+	p := f.Pkg().Path()
+	return p == "internal/kernel" || strings.HasSuffix(p, "/internal/kernel") ||
+		strings.HasPrefix(p, "fixture/")
 }
 
 // markScheduled recursively marks function values inside a scheduler

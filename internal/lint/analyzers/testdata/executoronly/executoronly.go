@@ -55,3 +55,42 @@ func suppressedStartup(st *kernel.Stack) {
 	//dpulint:ignore executoronly fixture demonstrates single-goroutine startup before the executor runs
 	st.SetPeers(nil, nil)
 }
+
+// batchEvent carries a handler function inside an indication value, the
+// way transport modules hand receive callbacks upward.
+type batchEvent struct {
+	handler func()
+}
+
+// okIndicateBatch: handler values reached through the indication slice
+// passed to IndicateBatch are dispatched from the drain loop, so
+// batchHandler below is executor context.
+func okIndicateBatch(st *kernel.Stack, m *mod) {
+	st.IndicateBatch(svc, []kernel.Indication{
+		batchEvent{handler: m.batchHandler},
+		batchEvent{handler: func() {
+			st.CallSync(svc, nil) // ok: literal inside an IndicateBatch slice
+		}},
+	})
+}
+
+func (m *mod) batchHandler() {
+	m.Stk.CallSync(svc, nil) // ok: scheduled via IndicateBatch
+}
+
+// newExecutor mirrors the shape of the kernel's executor constructor:
+// its function arguments run only on the drain loop — the dedicated
+// run() goroutine or a shared Pool worker's slice() — so they are
+// executor context by axiom.
+func newExecutor(run func(), flush func()) {
+	_ = run
+	_ = flush
+}
+
+func okExecutorConstructor(st *kernel.Stack) {
+	newExecutor(func() {
+		st.CallSync(svc, nil) // ok: task runner handed to newExecutor
+	}, func() {
+		st.SetPeers(nil, nil) // ok: flusher handed to newExecutor
+	})
+}

@@ -161,13 +161,49 @@ type FaultyTransport struct {
 	closed    bool
 }
 
-// Open opens the inner endpoint and wraps its sender.
+// Open opens the inner endpoint and wraps its sender. An inner endpoint
+// that batches sends (BatchSender) stays batched through the decorator:
+// the wrapper applies per-datagram fates at Enqueue time and forwards
+// Flush, so fault injection composes with syscall amortization.
 func (t *FaultyTransport) Open(addr Addr, recv RecvFunc) (Endpoint, error) {
 	ep, err := t.inner.Open(addr, recv)
 	if err != nil {
 		return nil, err
 	}
-	return faultyEndpoint{t: t, ep: ep}, nil
+	return wrapFaulty(t, ep), nil
+}
+
+// OpenBatch opens the inner endpoint in batch-receive mode, shimming
+// per-packet delivery into singleton batches over fabrics without a
+// batched receive path (simnet). The shim changes nothing observable:
+// each datagram still arrives as its own callback, in the same order,
+// so seeded scenario runs stay digest-identical. It implements the
+// optional BatchOpener extension — the decorator always offers it, as
+// it always offers Router.
+func (t *FaultyTransport) OpenBatch(addr Addr, recv BatchRecvFunc) (Endpoint, error) {
+	var ep Endpoint
+	var err error
+	if bo, ok := t.inner.(BatchOpener); ok {
+		ep, err = bo.OpenBatch(addr, recv)
+	} else {
+		ep, err = t.inner.Open(addr, func(from Addr, data []byte) {
+			recv([]Packet{{From: from, Data: data}})
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wrapFaulty(t, ep), nil
+}
+
+// wrapFaulty picks the decorator shape that preserves the inner
+// endpoint's batching capability.
+func wrapFaulty(t *FaultyTransport, ep Endpoint) Endpoint {
+	fe := faultyEndpoint{t: t, ep: ep}
+	if bs, ok := ep.(BatchSender); ok {
+		return faultyBatchEndpoint{faultyEndpoint: fe, bs: bs}
+	}
+	return fe
 }
 
 // Close closes the inner transport and cancels delayed datagrams still
@@ -411,3 +447,52 @@ func (e faultyEndpoint) Send(to Addr, data []byte) {
 }
 
 func (e faultyEndpoint) Close() { e.ep.Close() }
+
+// faultyBatchEndpoint decorates a batching endpoint: every Enqueue
+// rolls the same per-datagram fate as Send would (the fate sequence is
+// indifferent to which path carried the datagram), survivors stay on
+// the inner batch queue, and Flush passes through.
+type faultyBatchEndpoint struct {
+	faultyEndpoint
+	bs BatchSender
+}
+
+func (e faultyBatchEndpoint) Enqueue(to Addr, data []byte) {
+	from := e.ep.Addr()
+	drop, dup, delay, flips := e.t.fate(to == from, from, to, len(data))
+	if drop {
+		return
+	}
+	if delay <= 0 && len(flips) == 0 {
+		e.bs.Enqueue(to, data)
+		if dup {
+			e.bs.Enqueue(to, data)
+		}
+		return
+	}
+	// Held-back or mutated datagrams carry their own copy, as in Send.
+	buf := append([]byte(nil), data...)
+	for _, f := range flips {
+		buf[f.pos] ^= f.xor
+	}
+	if delay <= 0 {
+		e.bs.Enqueue(to, buf)
+		if dup {
+			e.bs.Enqueue(to, buf)
+		}
+		return
+	}
+	// A delayed datagram re-materializes on a timer goroutine, outside
+	// any executor pass — no Flush will follow, and BatchSender's
+	// single-caller contract forbids touching the queue from here. Send
+	// it directly: one unbatched syscall per delayed datagram is the
+	// cost of shaping it.
+	e.t.after(delay, func() {
+		e.ep.Send(to, buf)
+		if dup {
+			e.ep.Send(to, buf)
+		}
+	})
+}
+
+func (e faultyBatchEndpoint) Flush() { e.bs.Flush() }

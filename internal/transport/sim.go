@@ -7,6 +7,12 @@ import "repro/internal/simnet"
 // bandwidth, loss, duplication, partitions, crashes) and its
 // determinism; closing the returned transport closes the underlying
 // network.
+//
+// The adapter deliberately implements neither BatchOpener nor
+// BatchSender: simnet has no syscalls to amortize, and keeping the
+// per-datagram path means every scenario event fires exactly as it did
+// before batching existed, preserving the corpus's bit-identical
+// digests. Callers that batch (the udp module) fall back transparently.
 func Sim(n *simnet.Network) Transport { return simTransport{n} }
 
 type simTransport struct{ net *simnet.Network }

@@ -28,6 +28,53 @@ type Endpoint interface {
 	Close()
 }
 
+// Packet is one received datagram inside a batch delivery: the decoded
+// sender address and the payload. As with RecvFunc, the data slice is
+// owned by the receiver and remains valid after the batch callback
+// returns.
+type Packet struct {
+	From Addr
+	Data []byte
+}
+
+// BatchRecvFunc is invoked with a whole batch of received datagrams at
+// once (one recvmmsg worth on the batched linux backend). It runs on a
+// transport-owned goroutine; implementations must hand the batch to
+// their stack's executor — ideally as ONE enqueued task, which is the
+// point of batch delivery — and return quickly. The pkts slice and
+// every packet's data are owned by the receiver and remain valid after
+// the call returns.
+type BatchRecvFunc func(pkts []Packet)
+
+// BatchOpener is an optional Transport extension for backends that can
+// deliver received datagrams in batches. Backends without a batched
+// receive path simply do not implement it; callers fall back to Open.
+type BatchOpener interface {
+	// OpenBatch attaches an endpoint at addr like Open, but delivers
+	// incoming datagrams through recv in batches of one or more packets.
+	OpenBatch(addr Addr, recv BatchRecvFunc) (Endpoint, error)
+}
+
+// BatchSender is an optional Endpoint extension for backends that can
+// amortize the per-datagram send cost (one sendmmsg per flush on the
+// batched linux backend). The contract mirrors Send: Enqueue copies (or
+// encodes) data before returning, delivery is best-effort, and queued
+// datagrams to one destination leave in Enqueue order. Flush transmits
+// everything queued since the previous Flush; an endpoint with nothing
+// queued flushes as a no-op. Enqueue and Flush must be called from one
+// goroutine at a time (the stack executor); they may race with the
+// backend's receive path but not with each other.
+//
+// Every call sequence that ends in Flush is equivalent to the same
+// sequence of plain Sends — BatchSender changes syscall count, never
+// semantics — so callers may mix Send and Enqueue freely as long as
+// they do not rely on cross-path ordering within one batch.
+type BatchSender interface {
+	Endpoint
+	Enqueue(to Addr, data []byte)
+	Flush()
+}
+
 // Router is an optional Transport extension for fabrics with explicit
 // routing state (the real-socket address book): membership views admit
 // and retire endpoints at runtime through it. Fabrics with implicit

@@ -1,0 +1,314 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+// Batched-syscall backend for the real-socket transport: sendmmsg and
+// recvmmsg move up to sendBatch/recvBatch datagrams per kernel
+// crossing, which is where the per-message cost of the UDP path lives
+// once the stack itself is allocation-free (see docs/PERFORMANCE.md's
+// syscall-budget section).
+//
+// The backend is deliberately built on the stdlib only: raw
+// SYS_SENDMMSG/SYS_RECVMMSG syscalls through syscall.RawConn, with the
+// mmsghdr/iovec arrays laid out once per endpoint and reused for every
+// call. RawConn keeps the socket inside the Go netpoller — a would-
+// block return re-arms the poller instead of spinning — so batched
+// endpoints coexist with deadlines, Close and the runtime's scheduler
+// exactly like the portable path.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+	"unsafe"
+
+	"repro/internal/wire"
+)
+
+// batchSyscalls reports at build time that this platform compiles the
+// sendmmsg/recvmmsg backend in.
+const batchSyscalls = true
+
+const (
+	// sendBatch bounds one sendmmsg: a Flush of more datagrams issues
+	// ceil(n/sendBatch) syscalls.
+	sendBatch = 32
+	// recvBatch bounds one recvmmsg, and thereby the size of the packet
+	// batches handed to BatchRecvFunc (and the executor task that
+	// carries them).
+	recvBatch = 32
+)
+
+// mmsghdr mirrors the kernel's struct mmsghdr. Go rounds the struct
+// size up to the alignment of syscall.Msghdr, which matches the C
+// layout on every linux GOARCH (8-byte alignment and trailing pad on
+// 64-bit, none on 32-bit).
+type mmsghdr struct {
+	hdr    syscall.Msghdr
+	msglen uint32
+}
+
+// sockaddrBuf stores one destination as the kernel sees it. The buffer
+// is a RawSockaddrInet6 (the larger family) so casting to
+// RawSockaddrInet4 is always in-bounds and aligned.
+type sockaddrBuf struct {
+	sa  syscall.RawSockaddrInet6
+	len uint32
+}
+
+// queuedSend is one framed datagram parked between Enqueue and Flush.
+// The frame lives in a pooled wire.Writer freed after the syscall (or
+// by discard on Close).
+type queuedSend struct {
+	w    *wire.Writer
+	plen int // payload bytes (frame minus header), for UDPStats.Bytes
+	sa   sockaddrBuf
+}
+
+type enqueueResult byte
+
+const (
+	enqueueOK enqueueResult = iota
+	enqueueBadAddr
+	enqueueClosed
+)
+
+// batchIO is the per-endpoint syscall state. The send queue is guarded
+// by mu — uncontended in steady state (Enqueue and Flush both run on
+// the stack executor; only Close crosses goroutines) — while the recv
+// arrays are owned exclusively by the read loop.
+type batchIO struct {
+	rc syscall.RawConn
+	v6 bool // socket family: encode destinations as INET6
+
+	mu     sync.Mutex
+	sendq  []queuedSend
+	closed bool
+	// sendmmsg scatter arrays, rebuilt from sendq on every flush.
+	shdrs [sendBatch]mmsghdr
+	siovs [sendBatch]syscall.Iovec
+
+	// recvmmsg arrays, laid out once: riovs[i] points at its slot in
+	// rbufs. Source addresses are not collected (Name is nil) — the
+	// sender's group address travels in the frame, exactly as on the
+	// portable path.
+	rhdrs [recvBatch]mmsghdr
+	riovs [recvBatch]syscall.Iovec
+	rbufs [recvBatch][]byte
+}
+
+// newBatchIO prepares the syscall state for one bound socket.
+func newBatchIO(conn *net.UDPConn, maxPacket int) (*batchIO, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	la, ok := conn.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		return nil, fmt.Errorf("transport: unexpected local address %T", conn.LocalAddr())
+	}
+	b := &batchIO{rc: rc, v6: la.IP.To4() == nil}
+	// One byte beyond maxPacket, for the same reason as the portable
+	// read loop: a full buffer marks an over-limit datagram.
+	backing := make([]byte, recvBatch*(maxPacket+1))
+	for i := range b.rbufs {
+		b.rbufs[i] = backing[i*(maxPacket+1) : (i+1)*(maxPacket+1)]
+		b.riovs[i].Base = &b.rbufs[i][0]
+		b.riovs[i].Len = uint64(len(b.rbufs[i]))
+		b.rhdrs[i].hdr.Iov = &b.riovs[i]
+		b.rhdrs[i].hdr.Iovlen = 1
+	}
+	return b, nil
+}
+
+// encodeAddr writes dst as a raw sockaddr of the socket's own family
+// (a v4 destination on a v6 socket becomes v4-mapped). It reports false
+// for a family the socket cannot reach.
+func (b *batchIO) encodeAddr(dst *net.UDPAddr, out *sockaddrBuf) bool {
+	if !b.v6 {
+		ip4 := dst.IP.To4()
+		if ip4 == nil {
+			return false
+		}
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&out.sa))
+		*sa = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		p[0], p[1] = byte(dst.Port>>8), byte(dst.Port)
+		copy(sa.Addr[:], ip4)
+		out.len = syscall.SizeofSockaddrInet4
+		return true
+	}
+	ip6 := dst.IP.To16()
+	if ip6 == nil {
+		return false
+	}
+	out.sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+	p := (*[2]byte)(unsafe.Pointer(&out.sa.Port))
+	p[0], p[1] = byte(dst.Port>>8), byte(dst.Port)
+	copy(out.sa.Addr[:], ip6)
+	out.len = syscall.SizeofSockaddrInet6
+	return true
+}
+
+// enqueue parks one framed datagram for the next flush, taking
+// ownership of w on success.
+func (b *batchIO) enqueue(w *wire.Writer, plen int, dst *net.UDPAddr) enqueueResult {
+	var qs queuedSend
+	if !b.encodeAddr(dst, &qs.sa) {
+		return enqueueBadAddr
+	}
+	qs.w, qs.plen = w, plen
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return enqueueClosed
+	}
+	b.sendq = append(b.sendq, qs)
+	return enqueueOK
+}
+
+// flush drains the send queue in sendmmsg batches. A partial send
+// continues from where the kernel stopped; a hard error drops the
+// datagram at the front of the batch (counted as SendErrs, i.e. loss)
+// and continues, so flush always terminates.
+func (b *batchIO) flush(e *udpEndpoint) {
+	t := e.tr
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.sendq
+	for len(q) > 0 && !b.closed {
+		n := len(q)
+		if n > sendBatch {
+			n = sendBatch
+		}
+		for i := 0; i < n; i++ {
+			frame := q[i].w.Bytes()
+			b.siovs[i].Base = &frame[0]
+			b.siovs[i].Len = uint64(len(frame))
+			h := &b.shdrs[i].hdr
+			h.Name = (*byte)(unsafe.Pointer(&q[i].sa.sa))
+			h.Namelen = q[i].sa.len
+			h.Iov = &b.siovs[i]
+			h.Iovlen = 1
+		}
+		sent, errno, err := b.sendmmsg(n)
+		if err != nil {
+			// Socket closed under us: the queue is discarded as loss.
+			for i := range q {
+				q[i].w.Free()
+			}
+			t.sendErrs.Add(uint64(len(q)))
+			q = q[:0]
+			break
+		}
+		t.sendCalls.Add(1)
+		batchSendsCounter.Add(1)
+		for i := 0; i < sent; i++ {
+			t.sent.Add(1)
+			t.bytes.Add(uint64(q[i].plen))
+			q[i].w.Free()
+		}
+		q = q[sent:]
+		if errno != 0 || sent == 0 {
+			// A hard errno is attributable to the first undelivered
+			// datagram (sendmmsg sends in order and stops at the first
+			// failure): drop it and move on, exactly as the portable
+			// path drops a failed WriteToUDP. The sent==0-without-errno
+			// guard keeps the loop terminating no matter what the
+			// kernel reports.
+			if errno != 0 {
+				t.logf("transport: batch send from %d: %v", e.addr, errno)
+			}
+			t.sendErrs.Add(1)
+			q[0].w.Free()
+			q = q[1:]
+		}
+	}
+	// Reset for reuse, dropping queued references.
+	b.sendq = b.sendq[:0]
+	if len(q) > 0 {
+		// closed mid-flush: whatever survived the loop is discarded.
+		for i := range q {
+			q[i].w.Free()
+		}
+	}
+}
+
+// sendmmsg issues one SYS_SENDMMSG for the first n prepared headers,
+// waiting for writability through the netpoller. err is non-nil only
+// when the RawConn itself is dead (socket closed).
+func (b *batchIO) sendmmsg(n int) (sent int, errno syscall.Errno, err error) {
+	err = b.rc.Write(func(fd uintptr) bool {
+		r, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+			uintptr(unsafe.Pointer(&b.shdrs[0])), uintptr(n),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false
+		}
+		sent, errno = int(r), e
+		return true
+	})
+	if err == nil && errno != 0 {
+		sent = 0
+	}
+	return sent, errno, err
+}
+
+// recvBatch blocks (via the netpoller) until at least one datagram is
+// readable and returns how many the kernel delivered into the prepared
+// buffers. err is non-nil when the socket has been closed.
+func (b *batchIO) recvBatch() (int, error) {
+	var n int
+	var errno syscall.Errno
+	err := b.rc.Read(func(fd uintptr) bool {
+		r, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+			uintptr(unsafe.Pointer(&b.rhdrs[0])), recvBatch,
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false
+		}
+		n, errno = int(r), e
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if errno != 0 {
+		return 0, errno
+	}
+	return n, nil
+}
+
+// recvBytes sums the datagram lengths of the last recvBatch's first n
+// messages — the arena capacity for a zero-realloc payload copy.
+func (b *batchIO) recvBytes(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += int(b.rhdrs[i].msglen)
+	}
+	return total
+}
+
+// recvMsg returns the i-th datagram of the last recvBatch, and whether
+// it exceeded the configured packet limit (truncated by the kernel or
+// exactly filling the over-limit sentinel byte).
+func (b *batchIO) recvMsg(i int) (raw []byte, overLimit bool) {
+	ln := int(b.rhdrs[i].msglen)
+	if ln >= len(b.rbufs[i]) || b.rhdrs[i].hdr.Flags&syscall.MSG_TRUNC != 0 {
+		return nil, true
+	}
+	return b.rbufs[i][:ln], false
+}
+
+// discard marks the backend closed and frees everything still queued.
+// Called from Close; Enqueue and Flush observe closed under mu.
+func (b *batchIO) discard() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	for i := range b.sendq {
+		b.sendq[i].w.Free()
+	}
+	b.sendq = nil
+}

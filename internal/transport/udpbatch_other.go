@@ -1,0 +1,42 @@
+//go:build !linux || !(amd64 || arm64)
+
+package transport
+
+// Portable stub for platforms without sendmmsg/recvmmsg: endpoints
+// still satisfy BatchSender (Enqueue degrades to Send, Flush to a
+// no-op) and OpenBatch still works (singleton batches through the
+// portable read loop), so callers never branch on the platform.
+
+import (
+	"errors"
+	"net"
+
+	"repro/internal/wire"
+)
+
+// batchSyscalls reports at build time that this platform has no batched
+// syscall backend.
+const batchSyscalls = false
+
+type enqueueResult byte
+
+const (
+	enqueueOK enqueueResult = iota
+	enqueueBadAddr
+	enqueueClosed
+)
+
+// batchIO is never instantiated off linux; the methods exist so
+// udpsock.go compiles unchanged (every call site is nil-guarded).
+type batchIO struct{}
+
+func newBatchIO(*net.UDPConn, int) (*batchIO, error) {
+	return nil, errors.New("batched syscalls not supported on this platform")
+}
+
+func (b *batchIO) enqueue(*wire.Writer, int, *net.UDPAddr) enqueueResult { return enqueueClosed }
+func (b *batchIO) flush(*udpEndpoint)                                    {}
+func (b *batchIO) recvBatch() (int, error)                               { return 0, errors.New("unsupported") }
+func (b *batchIO) recvBytes(int) int                                     { return 0 }
+func (b *batchIO) recvMsg(int) ([]byte, bool)                            { return nil, true }
+func (b *batchIO) discard()                                              {}

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package transport
+
+// Syscall numbers for the batched datagram calls. The stdlib syscall
+// package predates sendmmsg (Linux 3.0), so both numbers live here;
+// see arch manuals (arch/x86/entry/syscalls/syscall_64.tbl).
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

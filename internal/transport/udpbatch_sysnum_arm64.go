@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package transport
+
+// Syscall numbers for the batched datagram calls, from the generic
+// syscall table (include/uapi/asm-generic/unistd.h).
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

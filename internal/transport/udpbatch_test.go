@@ -1,0 +1,330 @@
+package transport
+
+// Conformance suite for BatchSender/BatchOpener backends, run over
+// every shape the real-socket transport can take: the batched syscall
+// backend, the portable fallback (DisableBatching), and the Faulty
+// decorator over either. transporttest deliberately cannot import this
+// package, so the suite lives here, next to the implementations.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// batchVariant builds one transport shape to run the conformance suite
+// against. open returns the transport whose endpoints must implement
+// BatchSender, plus the raw *UDPTransport for stats.
+type batchVariant struct {
+	name string
+	mk   func(t *testing.T, cfg UDPConfig) (Transport, *UDPTransport)
+}
+
+func batchVariants() []batchVariant {
+	return []batchVariant{
+		{"batched", func(t *testing.T, cfg UDPConfig) (Transport, *UDPTransport) {
+			u, err := NewUDP(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return u, u
+		}},
+		{"fallback", func(t *testing.T, cfg UDPConfig) (Transport, *UDPTransport) {
+			cfg.DisableBatching = true
+			u, err := NewUDP(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return u, u
+		}},
+		{"faulty", func(t *testing.T, cfg UDPConfig) (Transport, *UDPTransport) {
+			u, err := NewUDP(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// All rates zero: the decorator must pass batching through
+			// untouched.
+			return Faulty(u, FaultConfig{Seed: 1}), u
+		}},
+	}
+}
+
+// TestBatchSenderConformance checks the BatchSender contract on every
+// transport shape: Enqueue+Flush is observationally a sequence of
+// Sends — per-destination FIFO order, datagram-counting stats, loss on
+// oversized or unroutable frames — regardless of how many syscalls
+// carry it.
+func TestBatchSenderConformance(t *testing.T) {
+	for _, v := range batchVariants() {
+		t.Run(v.name+"/flush-ordering", func(t *testing.T) {
+			tr, u := v.mk(t, UDPConfig{Book: reserveBook(t, 3)})
+			defer tr.Close()
+			recv1, ch1 := collector(256)
+			recv2, ch2 := collector(256)
+			if _, err := tr.Open(1, recv1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tr.Open(2, recv2); err != nil {
+				t.Fatal(err)
+			}
+			ep0, err := tr.Open(0, func(Addr, []byte) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs, ok := ep0.(BatchSender)
+			if !ok {
+				t.Fatalf("%T does not implement BatchSender", ep0)
+			}
+			// Interleave two destinations across several flush cycles —
+			// more than one sendmmsg worth in the last cycle.
+			const perCycle, cycles = 40, 3
+			for c := 0; c < cycles; c++ {
+				for i := 0; i < perCycle; i++ {
+					bs.Enqueue(1, []byte(fmt.Sprintf("to1-%d-%d", c, i)))
+					bs.Enqueue(2, []byte(fmt.Sprintf("to2-%d-%d", c, i)))
+				}
+				bs.Flush()
+			}
+			for c := 0; c < cycles; c++ {
+				for i := 0; i < perCycle; i++ {
+					expectPacket(t, ch1, packet{0, fmt.Sprintf("to1-%d-%d", c, i)})
+					expectPacket(t, ch2, packet{0, fmt.Sprintf("to2-%d-%d", c, i)})
+				}
+			}
+			st := u.Stats()
+			if want := uint64(2 * perCycle * cycles); st.Sent != want || st.Delivered != want {
+				t.Fatalf("stats count datagrams, not syscalls: sent=%d delivered=%d want %d", st.Sent, st.Delivered, want)
+			}
+			if BatchSyscallsAvailable() && v.name != "fallback" {
+				// 240 datagrams in 3 flushes of ceil(80/32)=3 syscalls.
+				if st.SendCalls > 12 {
+					t.Fatalf("batched backend used %d send syscalls for %d datagrams", st.SendCalls, st.Sent)
+				}
+			}
+		})
+
+		t.Run(v.name+"/oversized-and-unroutable-in-batch", func(t *testing.T) {
+			tr, u := v.mk(t, UDPConfig{Book: reserveBook(t, 2), MaxPacket: 2048})
+			defer tr.Close()
+			recv1, ch1 := collector(16)
+			if _, err := tr.Open(1, recv1); err != nil {
+				t.Fatal(err)
+			}
+			ep0, err := tr.Open(0, func(Addr, []byte) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs := ep0.(BatchSender)
+			bs.Enqueue(1, []byte("ok-1"))
+			bs.Enqueue(1, make([]byte, 4096)) // over MaxPacket: rejected, loss
+			bs.Enqueue(9, []byte("nowhere"))  // not in book: rejected, loss
+			bs.Enqueue(1, []byte("ok-2"))
+			bs.Flush()
+			expectPacket(t, ch1, packet{0, "ok-1"})
+			expectPacket(t, ch1, packet{0, "ok-2"})
+			expectQuiet(t, ch1, 50*time.Millisecond)
+			st := u.Stats()
+			if st.Sent != 2 || st.SendErrs != 2 {
+				t.Fatalf("want 2 sent + 2 errors, got %+v", st)
+			}
+		})
+
+		t.Run(v.name+"/empty-flush", func(t *testing.T) {
+			tr, u := v.mk(t, UDPConfig{Book: reserveBook(t, 1)})
+			defer tr.Close()
+			ep0, err := tr.Open(0, func(Addr, []byte) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs := ep0.(BatchSender)
+			for i := 0; i < 10; i++ {
+				bs.Flush()
+			}
+			if st := u.Stats(); st.Sent != 0 || st.SendErrs != 0 {
+				t.Fatalf("empty flushes must be no-ops, got %+v", st)
+			}
+		})
+	}
+}
+
+// TestBatchPartialSendError drives a real partial-batch sendmmsg
+// failure: with MaxPacket raised past the UDP payload ceiling, a
+// middle datagram passes the config check but draws EMSGSIZE from the
+// kernel. The failed datagram must be counted as loss (SendErrs) and
+// the rest of the batch must still go out, in order.
+func TestBatchPartialSendError(t *testing.T) {
+	if !BatchSyscallsAvailable() {
+		t.Skip("no batched syscall backend on this platform")
+	}
+	tr, err := NewUDP(UDPConfig{Book: reserveBook(t, 2), MaxPacket: 80000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	recv1, ch1 := collector(16)
+	if _, err := tr.Open(1, recv1); err != nil {
+		t.Fatal(err)
+	}
+	ep0, err := tr.Open(0, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := ep0.(BatchSender)
+	bs.Enqueue(1, []byte("before"))
+	bs.Enqueue(1, make([]byte, 70000)) // > 65507: kernel rejects with EMSGSIZE
+	bs.Enqueue(1, []byte("after"))
+	bs.Flush()
+	expectPacket(t, ch1, packet{0, "before"})
+	expectPacket(t, ch1, packet{0, "after"})
+	st := tr.Stats()
+	if st.Sent != 2 || st.SendErrs != 1 {
+		t.Fatalf("partial-batch error must count as loss: %+v", st)
+	}
+}
+
+// TestOpenBatchDelivery checks batched receive end to end: a burst of
+// Sends arrives through the BatchRecvFunc with correct senders,
+// payloads and order, and the batched backend uses far fewer read
+// syscalls than datagrams.
+func TestOpenBatchDelivery(t *testing.T) {
+	tr, err := NewUDP(UDPConfig{Book: reserveBook(t, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	type delivery struct {
+		batch int
+		pkt   packet
+	}
+	ch := make(chan delivery, 512)
+	batches := 0
+	if _, err := tr.OpenBatch(1, func(pkts []Packet) {
+		batches++
+		for _, p := range pkts {
+			ch <- delivery{batches, packet{p.From, string(p.Data)}}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ep0, err := tr.Open(0, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := ep0.(BatchSender)
+	const n = 200
+	for i := 0; i < n; i++ {
+		bs.Enqueue(1, []byte(fmt.Sprintf("m%03d", i)))
+	}
+	bs.Flush()
+	maxBatch := 0
+	for i := 0; i < n; i++ {
+		select {
+		case d := <-ch:
+			if want := fmt.Sprintf("m%03d", i); d.pkt.data != want || d.pkt.from != 0 {
+				t.Fatalf("delivery %d: got %+v want %q from 0", i, d.pkt, want)
+			}
+			if d.batch > maxBatch {
+				maxBatch = d.batch
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out at delivery %d", i)
+		}
+	}
+	st := tr.Stats()
+	if st.Delivered != n {
+		t.Fatalf("delivered %d want %d", st.Delivered, n)
+	}
+	if BatchSyscallsAvailable() {
+		if maxBatch >= n/2 {
+			t.Errorf("no batching observed: %d batches for %d datagrams", maxBatch, n)
+		}
+	}
+}
+
+// TestFaultySimSingletonBatches checks the decorator's OpenBatch shim
+// over a fabric with no batched receive path (simnet): every datagram
+// arrives as its own singleton batch — the per-datagram event granularity
+// that keeps scenario digests bit-identical. (Arrival order is simnet's
+// business: its default jitter may reorder.)
+func TestFaultySimSingletonBatches(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	ft := Faulty(Sim(net), FaultConfig{Seed: 7})
+	defer ft.Close()
+	ch := make(chan packet, 64)
+	if _, err := ft.OpenBatch(1, func(pkts []Packet) {
+		if len(pkts) != 1 {
+			t.Errorf("singleton shim delivered %d packets in one batch", len(pkts))
+		}
+		for _, p := range pkts {
+			ch <- packet{p.From, string(p.Data)}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ep0, err := ft.Open(0, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ep0.(BatchSender); ok {
+		t.Fatalf("sim endpoints must not batch sends (digest stability)")
+	}
+	for i := 0; i < 20; i++ {
+		ep0.Send(1, []byte(fmt.Sprintf("s%02d", i)))
+	}
+	got := make(map[string]bool, 20)
+	for i := 0; i < 20; i++ {
+		select {
+		case p := <-ch:
+			if p.from != 0 || got[p.data] {
+				t.Fatalf("unexpected or duplicate packet %+v", p)
+			}
+			got[p.data] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out after %d packets", i)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if !got[fmt.Sprintf("s%02d", i)] {
+			t.Fatalf("missing packet s%02d", i)
+		}
+	}
+}
+
+// TestFaultyBatchFates checks that fault fates apply per-Enqueue on the
+// batched path: with full loss nothing leaves; after healing, delayed
+// datagrams still arrive (via the decorator's timer path).
+func TestFaultyBatchFates(t *testing.T) {
+	u, err := NewUDP(UDPConfig{Book: reserveBook(t, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := Faulty(u, FaultConfig{Seed: 3, LossRate: 1})
+	defer ft.Close()
+	recv1, ch1 := collector(64)
+	if _, err := ft.Open(1, recv1); err != nil {
+		t.Fatal(err)
+	}
+	ep0, err := ft.Open(0, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, ok := ep0.(BatchSender)
+	if !ok {
+		t.Fatalf("faulty wrapper lost BatchSender: %T", ep0)
+	}
+	for i := 0; i < 10; i++ {
+		bs.Enqueue(1, []byte("lost"))
+	}
+	bs.Flush()
+	expectQuiet(t, ch1, 50*time.Millisecond)
+	if got := ft.Stats().Dropped; got != 10 {
+		t.Fatalf("dropped %d want 10", got)
+	}
+	ft.SetLoss(0)
+	ft.SetDelay(time.Millisecond)
+	bs.Enqueue(1, []byte("delayed"))
+	bs.Flush() // nothing on the queue: the delayed copy rides a timer
+	expectPacket(t, ch1, packet{0, "delayed"})
+}

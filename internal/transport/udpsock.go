@@ -6,7 +6,16 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/wire"
+)
+
+// Process-wide counters for the batched-syscall backend, next to the
+// fault counters so operators can see at a glance whether syscall
+// amortization is engaged (see docs/OPERATIONS.md).
+var (
+	batchSendsCounter = metrics.NewCounter("transport.batch_sends")
+	batchRecvsCounter = metrics.NewCounter("transport.batch_recvs")
 )
 
 // Real-socket frame layout (one frame per UDP datagram), encoded with
@@ -31,6 +40,13 @@ const (
 // UDP endpoint accepts (the practical UDP payload ceiling).
 const MaxDatagram = 65507
 
+// BatchSyscallsAvailable reports whether this build carries the batched
+// syscall backend (sendmmsg/recvmmsg on linux). When false, BatchSender
+// and OpenBatch still work but degrade to the single-datagram path;
+// benchmarks and alloc guards use this to skip batch-specific
+// assertions.
+func BatchSyscallsAvailable() bool { return batchSyscalls }
+
 // UDPConfig configures a real-socket transport.
 type UDPConfig struct {
 	// Book maps every group address to its UDP "host:port". All
@@ -41,15 +57,36 @@ type UDPConfig struct {
 	// Logf, when non-nil, receives diagnostics (send errors, malformed
 	// frames). The transport never logs through any other channel.
 	Logf func(format string, args ...any)
+	// DisableBatching forces the portable single-datagram syscall path
+	// even on platforms with a batched backend (sendmmsg/recvmmsg).
+	// Endpoints still implement BatchSender — Enqueue degrades to an
+	// immediate Send and Flush to a no-op — so callers need no
+	// platform-specific code. Benchmarks use this to measure the
+	// batching delta on one binary.
+	DisableBatching bool
+	// SocketBuffer, when positive, requests SO_RCVBUF and SO_SNDBUF of
+	// that many bytes on every endpoint socket (the kernel may clamp to
+	// net.core.rmem_max/wmem_max). Datagrams a full receive buffer
+	// cannot hold are dropped by the kernel as loss; at batch load a
+	// larger buffer rides out the bursts sendmmsg produces, which is
+	// cheaper than recovering the drops via retransmission.
+	SocketBuffer int
 }
 
 // UDPStats counts socket activity. Retrieve a snapshot with Stats.
+//
+// SendCalls/RecvCalls count syscalls, Sent/Delivered count datagrams:
+// on the batched backend one sendmmsg flush or recvmmsg read moves many
+// datagrams per call, so SendCalls/Sent is the measured syscall
+// amortization ratio (dpu-bench's syscalls_per_message probe).
 type UDPStats struct {
 	Sent      uint64 // datagrams handed to the socket
 	Delivered uint64 // well-formed frames delivered to receivers
 	Malformed uint64 // frames dropped by the decoder
 	SendErrs  uint64 // socket write failures (dropped, as loss)
 	Bytes     uint64 // payload bytes sent
+	SendCalls uint64 // write syscalls (WriteToUDP or sendmmsg)
+	RecvCalls uint64 // read syscalls (ReadFromUDP or recvmmsg)
 }
 
 // UDPTransport sends datagrams over real net.UDPConn sockets using a
@@ -71,6 +108,7 @@ type UDPTransport struct {
 	// Per-packet counters are atomics: every Send and every received
 	// datagram touches them, and endpoints must not contend on t.mu.
 	sent, delivered, malformed, sendErrs, bytes atomic.Uint64
+	sendCalls, recvCalls                        atomic.Uint64
 }
 
 // NewUDP resolves the address book and returns a real-socket transport.
@@ -100,8 +138,25 @@ func (t *UDPTransport) logf(format string, args ...any) {
 }
 
 // Open binds the socket listed for addr in the address book and starts
-// its read loop.
+// its read loop. The returned endpoint always implements BatchSender:
+// on platforms with the sendmmsg backend Enqueue/Flush amortize write
+// syscalls, elsewhere they degrade to immediate Sends.
 func (t *UDPTransport) Open(addr Addr, recv RecvFunc) (Endpoint, error) {
+	return t.open(addr, recv, nil)
+}
+
+// OpenBatch binds the socket like Open but delivers incoming datagrams
+// through recv in batches: one recvmmsg worth per callback on the
+// batched backend, singleton batches on the portable path. It
+// implements the optional BatchOpener extension.
+func (t *UDPTransport) OpenBatch(addr Addr, recv BatchRecvFunc) (Endpoint, error) {
+	if recv == nil {
+		return nil, fmt.Errorf("transport: OpenBatch with nil receiver")
+	}
+	return t.open(addr, nil, recv)
+}
+
+func (t *UDPTransport) open(addr Addr, recv RecvFunc, brecv BatchRecvFunc) (Endpoint, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -120,10 +175,33 @@ func (t *UDPTransport) Open(addr Addr, recv RecvFunc) (Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: bind %d at %v: %w", addr, ua, err)
 	}
-	ep := &udpEndpoint{tr: t, addr: addr, conn: conn, recv: recv}
+	if t.cfg.SocketBuffer > 0 {
+		// Best-effort: the kernel clamps to rmem_max/wmem_max, and a
+		// smaller buffer only costs retransmissions, not correctness.
+		if err := conn.SetReadBuffer(t.cfg.SocketBuffer); err != nil {
+			t.logf("transport: endpoint %d: SO_RCVBUF %d: %v", addr, t.cfg.SocketBuffer, err)
+		}
+		if err := conn.SetWriteBuffer(t.cfg.SocketBuffer); err != nil {
+			t.logf("transport: endpoint %d: SO_SNDBUF %d: %v", addr, t.cfg.SocketBuffer, err)
+		}
+	}
+	ep := &udpEndpoint{tr: t, addr: addr, conn: conn, recv: recv, brecv: brecv}
+	if !t.cfg.DisableBatching {
+		// Best-effort: a setup failure (unsupported platform, raw-conn
+		// error) leaves bio nil and the endpoint on the portable path.
+		if bio, err := newBatchIO(conn, t.cfg.MaxPacket); err == nil {
+			ep.bio = bio
+		} else {
+			t.logf("transport: endpoint %d: batched syscalls unavailable: %v", addr, err)
+		}
+	}
 	t.eps[addr] = ep
 	ep.wg.Add(1)
-	go ep.readLoop()
+	if brecv != nil && ep.bio != nil {
+		go ep.readBatchLoop()
+	} else {
+		go ep.readLoop()
+	}
 	return ep, nil
 }
 
@@ -157,6 +235,8 @@ func (t *UDPTransport) Stats() UDPStats {
 		Malformed: t.malformed.Load(),
 		SendErrs:  t.sendErrs.Load(),
 		Bytes:     t.bytes.Load(),
+		SendCalls: t.sendCalls.Load(),
+		RecvCalls: t.recvCalls.Load(),
 	}
 }
 
@@ -179,14 +259,18 @@ func (t *UDPTransport) Close() {
 }
 
 type udpEndpoint struct {
-	tr   *UDPTransport
-	addr Addr
-	conn *net.UDPConn
-	recv RecvFunc
-	wg   sync.WaitGroup
+	tr    *UDPTransport
+	addr  Addr
+	conn  *net.UDPConn
+	recv  RecvFunc      // set when opened with Open
+	brecv BatchRecvFunc // set when opened with OpenBatch
+	bio   *batchIO      // nil: batched syscalls unavailable or disabled
+	wg    sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
+	// closed is an atomic, not a mutex-guarded bool: the receive hot
+	// path checks it once per datagram (or batch) and must not take a
+	// lock per packet.
+	closed atomic.Bool
 }
 
 // Addr returns the endpoint's group address.
@@ -211,6 +295,7 @@ func (e *udpEndpoint) Send(to Addr, data []byte) {
 	}
 	w := wire.GetWriter(len(data) + maxFrameHeader)
 	w.Byte(frameMagic).Byte(frameVersion).Uvarint(uint64(e.addr)).Raw(data)
+	t.sendCalls.Add(1)
 	_, err := e.conn.WriteToUDP(w.Bytes(), dst)
 	w.Free() // the kernel has copied the datagram
 	if err != nil {
@@ -220,6 +305,54 @@ func (e *udpEndpoint) Send(to Addr, data []byte) {
 	}
 	t.sent.Add(1)
 	t.bytes.Add(uint64(len(data)))
+}
+
+// Enqueue frames data and parks it on the endpoint's send queue for the
+// next Flush; on platforms without the sendmmsg backend it degrades to
+// an immediate Send. Like Send, failures (unknown address, oversized
+// payload) drop the datagram as loss. Enqueue and Flush must be called
+// from one goroutine at a time (the stack executor).
+func (e *udpEndpoint) Enqueue(to Addr, data []byte) {
+	t := e.tr
+	if e.bio == nil {
+		e.Send(to, data)
+		return
+	}
+	t.bookMu.RLock()
+	dst, ok := t.book[to]
+	t.bookMu.RUnlock()
+	if !ok || len(data) > t.cfg.MaxPacket-maxFrameHeader {
+		reason := "address not in book"
+		if ok {
+			reason = "oversized payload"
+		}
+		t.sendErrs.Add(1)
+		t.logf("transport: drop enqueue %d->%d: %s", e.addr, to, reason)
+		return
+	}
+	w := wire.GetWriter(len(data) + maxFrameHeader)
+	w.Byte(frameMagic).Byte(frameVersion).Uvarint(uint64(e.addr)).Raw(data)
+	//dpulint:ignore poolfree frame parked on the batch send queue; flush and discard (via Close) guarantee the Free
+	switch e.bio.enqueue(w, len(data), dst) {
+	case enqueueOK:
+	case enqueueBadAddr:
+		// Address family the raw backend cannot encode (e.g. a v6
+		// destination on a v4 socket): let the stdlib path handle it.
+		w.Free()
+		e.Send(to, data)
+	case enqueueClosed:
+		w.Free()
+		t.sendErrs.Add(1)
+	}
+}
+
+// Flush transmits everything enqueued since the previous Flush, in as
+// few sendmmsg calls as the batch size allows. A no-op when nothing is
+// queued or the batched backend is unavailable.
+func (e *udpEndpoint) Flush() {
+	if e.bio != nil {
+		e.bio.flush(e)
+	}
 }
 
 // maxFrameHeader bounds the frame header: magic, version and a uvarint
@@ -236,6 +369,7 @@ func (e *udpEndpoint) readLoop() {
 	// dropped rather than delivered as a truncated-but-decodable frame.
 	buf := make([]byte, t.cfg.MaxPacket+1)
 	for {
+		t.recvCalls.Add(1)
 		n, _, err := e.conn.ReadFromUDP(buf)
 		if err != nil {
 			// Socket closed (endpoint shutdown) or unrecoverable.
@@ -260,25 +394,76 @@ func (e *udpEndpoint) readLoop() {
 	}
 }
 
-// recvPacket delivers one decoded frame unless the endpoint has closed.
-func (e *udpEndpoint) recvPacket(from Addr, data []byte) {
-	e.mu.Lock()
-	closed := e.closed
-	e.mu.Unlock()
-	if !closed {
-		e.recv(from, data)
+// readBatchLoop drains the socket with recvmmsg until the endpoint
+// closes, delivering each syscall's worth of frames as one batch. The
+// decoded payloads of a batch share a single arena allocation — the
+// per-packet copy of the portable path amortized recvBatch ways.
+func (e *udpEndpoint) readBatchLoop() {
+	defer e.wg.Done()
+	t := e.tr
+	for {
+		t.recvCalls.Add(1)
+		n, err := e.bio.recvBatch()
+		if err != nil {
+			// Socket closed (endpoint shutdown) or unrecoverable.
+			return
+		}
+		batchRecvsCounter.Add(1)
+		// The receiver owns pkts and the arena (it typically enqueues
+		// the whole batch as one executor task), so both are fresh per
+		// batch: two allocations per syscall, not two per packet.
+		pkts := make([]Packet, 0, n)
+		arena := make([]byte, 0, e.bio.recvBytes(n))
+		for i := 0; i < n; i++ {
+			raw, overLimit := e.bio.recvMsg(i)
+			if overLimit {
+				t.malformed.Add(1)
+				wire.RejectFrame()
+				t.logf("transport: endpoint %d: dropped over-limit datagram (>%d bytes)", e.addr, t.cfg.MaxPacket)
+				continue
+			}
+			from, payload, ok := decodeFrame(raw)
+			if !ok {
+				t.malformed.Add(1)
+				wire.RejectFrame()
+				t.logf("transport: endpoint %d: dropped malformed %d-byte frame", e.addr, len(raw))
+				continue
+			}
+			t.delivered.Add(1)
+			// The receiver owns its slice; carve it off the shared
+			// arena so the syscall buffers can be reused immediately.
+			arena = append(arena, payload...)
+			pkts = append(pkts, Packet{From: from, Data: arena[len(arena)-len(payload):]})
+		}
+		if len(pkts) > 0 && !e.closed.Load() {
+			e.brecv(pkts)
+		}
 	}
 }
 
-// Close shuts the socket down and waits for the read loop to exit.
-func (e *udpEndpoint) Close() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+// recvPacket delivers one decoded frame unless the endpoint has closed.
+// An endpoint opened with OpenBatch but running the portable read loop
+// receives it as a singleton batch.
+func (e *udpEndpoint) recvPacket(from Addr, data []byte) {
+	if e.closed.Load() {
 		return
 	}
-	e.closed = true
-	e.mu.Unlock()
+	if e.brecv != nil {
+		e.brecv([]Packet{{From: from, Data: data}})
+		return
+	}
+	e.recv(from, data)
+}
+
+// Close shuts the socket down and waits for the read loop to exit.
+// Datagrams still parked on the batch send queue are discarded, as loss.
+func (e *udpEndpoint) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if e.bio != nil {
+		e.bio.discard()
+	}
 	e.conn.Close()
 	e.wg.Wait()
 	t := e.tr

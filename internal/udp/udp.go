@@ -80,10 +80,21 @@ type Recv struct {
 }
 
 // Module implements the UDP module over a transport backend.
+//
+// When the backend supports batching, the module engages it end to end:
+// outgoing Send requests are enqueued on the endpoint's BatchSender and
+// flushed once per executor batch (through Stack.RegisterFlusher), so
+// every frame produced in one executor pass leaves in as few sendmmsg
+// calls as possible; incoming traffic is opened through BatchOpener and
+// each received batch is re-injected as ONE executor event
+// (Stack.IndicateBatch) instead of one per datagram. Backends without
+// batching (simnet) take the original per-datagram path, bit for bit.
 type Module struct {
 	kernel.Base
 	tr      transport.Transport
 	ep      transport.Endpoint
+	bs      transport.BatchSender // non-nil when the endpoint batches sends
+	unflush func()                // unregisters the per-batch Flush hook
 	openErr error
 }
 
@@ -105,13 +116,26 @@ func Factory(tr transport.Transport) kernel.Factory {
 // no endpoint, dropping all traffic.
 func (m *Module) Start() {
 	m.Stk.Subscribe(kernel.PeerService, m)
-	ep, err := m.tr.Open(transport.Addr(m.Stk.Addr()), m.receive)
+	var ep transport.Endpoint
+	var err error
+	if bo, ok := m.tr.(transport.BatchOpener); ok {
+		ep, err = bo.OpenBatch(transport.Addr(m.Stk.Addr()), m.receiveBatch)
+	} else {
+		ep, err = m.tr.Open(transport.Addr(m.Stk.Addr()), m.receive)
+	}
 	if err != nil {
 		m.openErr = err
 		m.Stk.Logf("udp: open: %v", err)
 		return
 	}
 	m.ep = ep
+	if bs, ok := ep.(transport.BatchSender); ok {
+		m.bs = bs
+		// Start runs on the executor, where RegisterFlusher is legal:
+		// from here on every drained event batch ends with one Flush,
+		// which is what turns N Send requests into one sendmmsg.
+		m.unflush = m.Stk.RegisterFlusher(bs.Flush)
+	}
 }
 
 // OpenErr reports whether Start failed to open the transport endpoint.
@@ -119,9 +143,15 @@ func (m *Module) Start() {
 // stack: with real sockets a bind failure is otherwise silent.
 func (m *Module) OpenErr() error { return m.openErr }
 
-// Stop releases the endpoint.
+// Stop releases the endpoint, flushing anything still queued so the
+// module's last frames (e.g. a leave announcement) actually leave.
 func (m *Module) Stop() {
 	m.Stk.Unsubscribe(kernel.PeerService, m)
+	if m.bs != nil {
+		m.bs.Flush()
+		m.unflush()
+		m.bs, m.unflush = nil, nil
+	}
 	if m.ep != nil {
 		m.ep.Close()
 		m.ep = nil
@@ -173,15 +203,29 @@ func (m *Module) HandleRequest(_ kernel.ServiceID, req kernel.Request) {
 		// The sender reserved the frame header: no framing copy at all.
 		s.Data[0] = s.Chan
 		wire.SealFrame(s.Data, uint64(m.Stk.Addr()))
-		m.ep.Send(transport.Addr(s.To), s.Data)
+		m.send(transport.Addr(s.To), s.Data)
 		return
 	}
 	w := wire.GetWriter(len(s.Data) + wire.FrameOverhead)
 	w.Byte(s.Chan).Pad(wire.FrameOverhead - 1).Raw(s.Data)
 	frame := w.Bytes()
 	wire.SealFrame(frame, uint64(m.Stk.Addr()))
-	m.ep.Send(transport.Addr(s.To), frame)
-	w.Free() // the transport has copied the frame
+	m.send(transport.Addr(s.To), frame)
+	w.Free() // the transport has copied (or enqueued a copy of) the frame
+}
+
+// send hands one sealed frame to the transport: onto the batch queue
+// when the endpoint batches (the registered flusher transmits it at the
+// end of this executor pass), immediately otherwise. Both paths copy
+// before returning. Executor-only.
+//
+//dpulint:executor
+func (m *Module) send(to transport.Addr, frame []byte) {
+	if m.bs != nil {
+		m.bs.Enqueue(to, frame)
+		return
+	}
+	m.ep.Send(to, frame)
 }
 
 // receive runs on a transport goroutine (simnet timer or socket read
@@ -196,4 +240,21 @@ func (m *Module) receive(from transport.Addr, data []byte) {
 		return
 	}
 	m.Stk.Indicate(Service, Recv{From: kernel.Addr(from), Chan: tag, Data: payload})
+}
+
+// receiveBatch is the batched twin of receive: one recvmmsg worth of
+// datagrams becomes one executor event carrying the batch's surviving
+// indications, delivered to listeners individually and in order —
+// identical to len(pkts) receive calls, minus len(pkts)-1 queue
+// round-trips. Runs on a transport goroutine.
+func (m *Module) receiveBatch(pkts []transport.Packet) {
+	inds := make([]kernel.Indication, 0, len(pkts))
+	for _, p := range pkts {
+		tag, payload, ok := wire.OpenFrame(p.Data, uint64(p.From))
+		if !ok {
+			continue
+		}
+		inds = append(inds, Recv{From: kernel.Addr(p.From), Chan: tag, Data: payload})
+	}
+	m.Stk.IndicateBatch(Service, inds)
 }
