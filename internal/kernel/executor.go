@@ -246,8 +246,14 @@ func (e *executor) slice() {
 			e.mu.Lock()
 			if e.stopped && (!e.drain || len(e.queue) == 0) {
 				e.mu.Unlock()
-				// drainBatch already closed done; scheduled stays set —
-				// a stopped executor is never resubmitted.
+				// drainBatch's finished branch usually closed done, but
+				// stop() may have landed between drainBatch releasing the
+				// lock in its empty-queue branch and the re-lock above —
+				// then no further slice is ever submitted, so done must be
+				// closed here or wait() hangs. doneOnce dedupes the two
+				// paths. scheduled stays set — a stopped executor is never
+				// resubmitted.
+				e.doneOnce.Do(func() { close(e.done) })
 				return
 			}
 			if len(e.queue) == 0 {

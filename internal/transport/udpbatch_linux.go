@@ -77,7 +77,9 @@ const (
 // batchIO is the per-endpoint syscall state. The send queue is guarded
 // by mu — uncontended in steady state (Enqueue and Flush both run on
 // the stack executor; only Close crosses goroutines) — while the recv
-// arrays are owned exclusively by the read loop.
+// arrays are owned exclusively by the read loop. mu is never held
+// across a syscall: flush swaps the queue out and sends from a local
+// slice, so Close (discard) is never parked behind the netpoller.
 type batchIO struct {
 	rc syscall.RawConn
 	v6 bool // socket family: encode destinations as INET6
@@ -85,7 +87,13 @@ type batchIO struct {
 	mu     sync.Mutex
 	sendq  []queuedSend
 	closed bool
-	// sendmmsg scatter arrays, rebuilt from sendq on every flush.
+	// flushMu serializes flushers. Enqueue/Flush are already called
+	// from one goroutine at a time (the stack executor), but the
+	// scatter arrays below must never be shared by two concurrent
+	// flushes, and flushMu enforces that without coupling it to mu.
+	flushMu sync.Mutex
+	// sendmmsg scatter arrays, rebuilt from the drained queue on every
+	// flush; owned by the flushMu holder.
 	shdrs [sendBatch]mmsghdr
 	siovs [sendBatch]syscall.Iovec
 
@@ -172,44 +180,57 @@ func (b *batchIO) enqueue(w *wire.Writer, plen int, dst *net.UDPAddr) enqueueRes
 // continues from where the kernel stopped; a hard error drops the
 // datagram at the front of the batch (counted as SendErrs, i.e. loss)
 // and continues, so flush always terminates.
+//
+// The queue is swapped out under mu and the syscall loop runs on the
+// local slice with mu released: sendmmsg can park in the netpoller
+// waiting for writability, and Close (discard) must never block behind
+// kernel send-buffer state. closed is re-checked before each syscall
+// batch so a mid-flush Close discards the remainder promptly.
 func (b *batchIO) flush(e *udpEndpoint) {
 	t := e.tr
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	q := b.sendq
-	for len(q) > 0 && !b.closed {
-		n := len(q)
+	b.sendq = nil
+	b.mu.Unlock()
+	rest := q
+	for len(rest) > 0 {
+		b.mu.Lock()
+		closed := b.closed
+		b.mu.Unlock()
+		if closed {
+			break
+		}
+		n := len(rest)
 		if n > sendBatch {
 			n = sendBatch
 		}
 		for i := 0; i < n; i++ {
-			frame := q[i].w.Bytes()
+			frame := rest[i].w.Bytes()
 			b.siovs[i].Base = &frame[0]
 			b.siovs[i].Len = uint64(len(frame))
 			h := &b.shdrs[i].hdr
-			h.Name = (*byte)(unsafe.Pointer(&q[i].sa.sa))
-			h.Namelen = q[i].sa.len
+			h.Name = (*byte)(unsafe.Pointer(&rest[i].sa.sa))
+			h.Namelen = rest[i].sa.len
 			h.Iov = &b.siovs[i]
 			h.Iovlen = 1
 		}
 		sent, errno, err := b.sendmmsg(n)
 		if err != nil {
-			// Socket closed under us: the queue is discarded as loss.
-			for i := range q {
-				q[i].w.Free()
-			}
-			t.sendErrs.Add(uint64(len(q)))
-			q = q[:0]
+			// Socket closed under us: the rest is discarded as loss
+			// (freed below, with the counter bumped here).
+			t.sendErrs.Add(uint64(len(rest)))
 			break
 		}
 		t.sendCalls.Add(1)
 		batchSendsCounter.Add(1)
 		for i := 0; i < sent; i++ {
 			t.sent.Add(1)
-			t.bytes.Add(uint64(q[i].plen))
-			q[i].w.Free()
+			t.bytes.Add(uint64(rest[i].plen))
+			rest[i].w.Free()
 		}
-		q = q[sent:]
+		rest = rest[sent:]
 		if errno != 0 || sent == 0 {
 			// A hard errno is attributable to the first undelivered
 			// datagram (sendmmsg sends in order and stops at the first
@@ -221,33 +242,46 @@ func (b *batchIO) flush(e *udpEndpoint) {
 				t.logf("transport: batch send from %d: %v", e.addr, errno)
 			}
 			t.sendErrs.Add(1)
-			q[0].w.Free()
-			q = q[1:]
+			rest[0].w.Free()
+			rest = rest[1:]
 		}
 	}
-	// Reset for reuse, dropping queued references.
-	b.sendq = b.sendq[:0]
-	if len(q) > 0 {
-		// closed mid-flush: whatever survived the loop is discarded.
-		for i := range q {
-			q[i].w.Free()
-		}
+	// Closed (or socket dead) mid-flush: whatever survived the loop is
+	// discarded.
+	for i := range rest {
+		rest[i].w.Free()
 	}
+	// Hand the batch storage back for reuse — unless Close got here
+	// first (keep it discarded) or a concurrent Enqueue started a fresh
+	// queue (keep its contents).
+	b.mu.Lock()
+	if !b.closed && b.sendq == nil {
+		b.sendq = q[:0]
+	}
+	b.mu.Unlock()
 }
 
 // sendmmsg issues one SYS_SENDMMSG for the first n prepared headers,
 // waiting for writability through the netpoller. err is non-nil only
-// when the RawConn itself is dead (socket closed).
+// when the RawConn itself is dead (socket closed). EINTR is retried in
+// place — raw syscalls do not get the internal/poll retry the stdlib
+// write path has, and sendmmsg returns EINTR only when nothing was
+// sent, so the retry never duplicates a datagram.
 func (b *batchIO) sendmmsg(n int) (sent int, errno syscall.Errno, err error) {
 	err = b.rc.Write(func(fd uintptr) bool {
-		r, _, e := syscall.Syscall6(sysSENDMMSG, fd,
-			uintptr(unsafe.Pointer(&b.shdrs[0])), uintptr(n),
-			syscall.MSG_DONTWAIT, 0, 0)
-		if e == syscall.EAGAIN {
-			return false
+		for {
+			r, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&b.shdrs[0])), uintptr(n),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EINTR {
+				continue
+			}
+			if e == syscall.EAGAIN {
+				return false
+			}
+			sent, errno = int(r), e
+			return true
 		}
-		sent, errno = int(r), e
-		return true
 	})
 	if err == nil && errno != 0 {
 		sent = 0
@@ -257,27 +291,34 @@ func (b *batchIO) sendmmsg(n int) (sent int, errno syscall.Errno, err error) {
 
 // recvBatch blocks (via the netpoller) until at least one datagram is
 // readable and returns how many the kernel delivered into the prepared
-// buffers. err is non-nil when the socket has been closed.
-func (b *batchIO) recvBatch() (int, error) {
-	var n int
-	var errno syscall.Errno
-	err := b.rc.Read(func(fd uintptr) bool {
-		r, _, e := syscall.Syscall6(sysRECVMMSG, fd,
-			uintptr(unsafe.Pointer(&b.rhdrs[0])), recvBatch,
-			syscall.MSG_DONTWAIT, 0, 0)
-		if e == syscall.EAGAIN {
-			return false
+// buffers. EINTR is retried in place (raw syscalls do not get the
+// internal/poll retry the stdlib read path has). A non-nil err means
+// the RawConn itself is dead (socket closed) and receiving is over; a
+// non-zero errno is a per-call kernel failure (e.g. ENOMEM) the caller
+// should treat as transient.
+func (b *batchIO) recvBatch() (n int, errno syscall.Errno, err error) {
+	err = b.rc.Read(func(fd uintptr) bool {
+		for {
+			r, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+				uintptr(unsafe.Pointer(&b.rhdrs[0])), recvBatch,
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EINTR {
+				continue
+			}
+			if e == syscall.EAGAIN {
+				return false
+			}
+			n, errno = int(r), e
+			return true
 		}
-		n, errno = int(r), e
-		return true
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if errno != 0 {
-		return 0, errno
+		return 0, errno, nil
 	}
-	return n, nil
+	return n, 0, nil
 }
 
 // recvBytes sums the datagram lengths of the last recvBatch's first n

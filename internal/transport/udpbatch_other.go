@@ -10,6 +10,7 @@ package transport
 import (
 	"errors"
 	"net"
+	"syscall"
 
 	"repro/internal/wire"
 )
@@ -36,7 +37,9 @@ func newBatchIO(*net.UDPConn, int) (*batchIO, error) {
 
 func (b *batchIO) enqueue(*wire.Writer, int, *net.UDPAddr) enqueueResult { return enqueueClosed }
 func (b *batchIO) flush(*udpEndpoint)                                    {}
-func (b *batchIO) recvBatch() (int, error)                               { return 0, errors.New("unsupported") }
+func (b *batchIO) recvBatch() (int, syscall.Errno, error) {
+	return 0, 0, errors.New("unsupported")
+}
 func (b *batchIO) recvBytes(int) int                                     { return 0 }
 func (b *batchIO) recvMsg(int) ([]byte, bool)                            { return nil, true }
 func (b *batchIO) discard()                                              {}

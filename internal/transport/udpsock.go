@@ -359,6 +359,11 @@ func (e *udpEndpoint) Flush() {
 // address of at most 10 bytes.
 const maxFrameHeader = 12
 
+// maxRecvFailures bounds how many consecutive transient recvmmsg errnos
+// readBatchLoop rides out before concluding the errno is persistent
+// (an fd-level fault, not pressure) and stopping rather than spinning.
+const maxRecvFailures = 100
+
 // readLoop decodes frames off the socket until the endpoint closes.
 func (e *udpEndpoint) readLoop() {
 	defer e.wg.Done()
@@ -401,13 +406,29 @@ func (e *udpEndpoint) readLoop() {
 func (e *udpEndpoint) readBatchLoop() {
 	defer e.wg.Done()
 	t := e.tr
+	failures := 0 // consecutive transient recvmmsg errnos
 	for {
 		t.recvCalls.Add(1)
-		n, err := e.bio.recvBatch()
+		n, errno, err := e.bio.recvBatch()
 		if err != nil {
-			// Socket closed (endpoint shutdown) or unrecoverable.
+			// RawConn dead: socket closed (endpoint shutdown).
 			return
 		}
+		if errno != 0 {
+			// Transient kernel failure (e.g. ENOMEM under memory
+			// pressure; EINTR is already retried inside recvBatch): keep
+			// receiving — returning here would permanently deafen this
+			// endpoint while the rest of the stack runs on. A persistent
+			// errno would spin, so give up after a bounded run of
+			// consecutive failures with no successful read in between.
+			t.logf("transport: endpoint %d: recvmmsg: %v", e.addr, errno)
+			if failures++; failures >= maxRecvFailures {
+				t.logf("transport: endpoint %d: %d consecutive receive failures, stopping read loop", e.addr, failures)
+				return
+			}
+			continue
+		}
+		failures = 0
 		batchRecvsCounter.Add(1)
 		// The receiver owns pkts and the arena (it typically enqueues
 		// the whole batch as one executor task), so both are fresh per
