@@ -68,6 +68,7 @@ type report struct {
 	AblationMatrix   []matrixJSON      `json:"ablation_matrix,omitempty"`
 	Throughput       *throughputJSON   `json:"throughput,omitempty"`
 	SyscallBatch     *syscallBatchJSON `json:"syscall_batch,omitempty"`
+	Stream           *streamJSON       `json:"stream,omitempty"`
 	Parallel         *parallelJSON     `json:"parallel,omitempty"`
 	Membership       *membershipJSON   `json:"membership,omitempty"`
 	Scenarios        []scenarioJSON    `json:"scenarios,omitempty"`
@@ -187,6 +188,7 @@ type scenarioJSON struct {
 	N            int                 `json:"n"`
 	Policy       string              `json:"policy"`
 	InitialProto string              `json:"initial_protocol"`
+	Transport    string              `json:"transport,omitempty"`
 	Phases       []scenarioPhaseJSON `json:"phases"`
 	Switches     []scenarioEventJSON `json:"switches"`
 	AdviceEvents int                 `json:"advice_events"`
@@ -475,8 +477,9 @@ func membershipProbe(rounds int, seed int64) (*membershipJSON, error) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure(s) to regenerate (comma-separated): 5, 6, ablation-managers, ablation-reissue, ablation-matrix, throughput, syscall-batch, parallel, membership, all")
+	fig := flag.String("fig", "all", "which figure(s) to regenerate (comma-separated): 5, 6, ablation-managers, ablation-reissue, ablation-matrix, throughput, syscall-batch, stream, parallel, membership, all")
 	scenario := flag.String("scenario", "", "scenario(s) to run instead of figures: a corpus name, file:<path>, or all (comma-separated; see docs/SCENARIOS.md)")
+	transportFlag := flag.String("transport", "", "override the scenarios' transport: sim, udp or tcp (scenario runs only)")
 	n := flag.Int("n", 7, "group size for Figure 5")
 	rate := flag.Float64("rate", 50, "per-stack message rate for Figure 5 [msg/s]")
 	payload := flag.Int("payload", 1024, "payload size for Figure 5 [bytes]")
@@ -663,6 +666,25 @@ func main() {
 			return nil
 		})
 	}
+	if want("stream") {
+		run("Stream transport probe (UDP vs TCP across the datagram ceiling)", func() error {
+			sj, err := streamProbe(*quick, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("n=%d datagram_max=%dB\n", sj.N, sj.DatagramMax)
+			for _, pt := range sj.Points {
+				udp := "   (exceeds datagram)"
+				if pt.UDPDeliverable {
+					udp = fmt.Sprintf("%8.0f msg/s %7.1f MB/s", pt.UDPMsgsPerSec, pt.UDPMBPerSec)
+				}
+				fmt.Printf("%9dB  udp %s   tcp %8.0f msg/s %7.1f MB/s  (%d fragments)\n",
+					pt.PayloadBytes, udp, pt.TCPMsgsPerSec, pt.TCPMBPerSec, pt.TCPFragments)
+			}
+			rep.Stream = sj
+			return nil
+		})
+	}
 	if want("parallel") {
 		run("Parallel executor probe (pool vs dedicated)", func() error {
 			msgs := 10000
@@ -720,8 +742,12 @@ func main() {
 			if sc.Adaptive != nil {
 				policy = sc.Adaptive.Policy + " policy"
 			}
-			run(fmt.Sprintf("Scenario %s (%s, initial %s, %d nodes)", sc.Name, policy, sc.Initial, sc.Nodes), func() error {
-				sj, err := runScenario(os.Stdout, sc, seedOverride)
+			label := fmt.Sprintf("Scenario %s (%s, initial %s, %d nodes)", sc.Name, policy, sc.Initial, sc.Nodes)
+			if *transportFlag != "" {
+				label += " over " + *transportFlag
+			}
+			run(label, func() error {
+				sj, err := runScenario(os.Stdout, sc, seedOverride, *transportFlag)
 				if err != nil {
 					return err
 				}

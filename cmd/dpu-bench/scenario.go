@@ -50,11 +50,14 @@ func resolveScenarios(arg string) ([]*scenario.Scenario, error) {
 	return out, nil
 }
 
-// runScenario executes one scenario under virtual time and renders the
-// schema-stable record. seed overrides the scenario's committed seed
-// when non-nil (the -seed flag, only when set explicitly).
-func runScenario(w io.Writer, sc *scenario.Scenario, seed *int64) (*scenarioJSON, error) {
-	res, err := scenario.Run(sc, scenario.Options{Seed: seed})
+// runScenario executes one scenario and renders the schema-stable
+// record. seed overrides the scenario's committed seed when non-nil
+// (the -seed flag, only when set explicitly); transportOverride does
+// the same for the fabric (the -transport flag): "sim" runs under
+// virtual time, "udp"/"tcp" replay the timeline on the wall clock over
+// real loopback sockets.
+func runScenario(w io.Writer, sc *scenario.Scenario, seed *int64, transportOverride string) (*scenarioJSON, error) {
+	res, err := scenario.Run(sc, scenario.Options{Seed: seed, Transport: transportOverride})
 	if err != nil {
 		return nil, err
 	}
@@ -65,6 +68,7 @@ func runScenario(w io.Writer, sc *scenario.Scenario, seed *int64) (*scenarioJSON
 	}
 	out := &scenarioJSON{
 		Name: res.Name, N: res.Nodes, Policy: policy, InitialProto: sc.Initial,
+		Transport:    res.Transport,
 		Seed:         res.Seed,
 		Deliveries:   res.Counts.Deliveries,
 		Views:        res.Counts.Views,

@@ -50,8 +50,9 @@ func main() {
 	loss := flag.Float64("loss", 0, "packet loss probability (simulated in single-process mode, injected over UDP in multi-process mode)")
 	crash := flag.Int("crash", -1, "stack to crash after the last switch (-1: none; single-process mode)")
 	seed := flag.Int64("seed", 1, "simulation / fault-injection seed")
-	listen := flag.String("listen", "", "this process's UDP address (enables multi-process mode)")
+	listen := flag.String("listen", "", "this process's socket address (enables multi-process mode)")
 	peers := flag.String("peers", "", "comma-separated address book of the whole group, in stack order (multi-process mode)")
+	transportKind := flag.String("transport", "udp", "multi-process socket backend: udp (datagrams) or tcp (streams; carries payloads past the datagram ceiling)")
 	joinsrv := flag.String("joinsrv", "", "TCP address to serve join handshakes on (multi-process mode; lets fresh processes -join)")
 	join := flag.String("join", "", "join a running cluster via this member's -joinsrv TCP address (requires -listen for this process's UDP socket)")
 	quiet := flag.Duration("quiet", 2*time.Second, "silence that ends delivery collection")
@@ -69,7 +70,7 @@ func main() {
 		return
 	}
 	if *listen != "" {
-		runMulti(*listen, *peers, *msgs, *initial, chain, *loss, *seed, *quiet, *joinsrv)
+		runMulti(*listen, *peers, *transportKind, *msgs, *initial, chain, *loss, *seed, *quiet, *joinsrv)
 		return
 	}
 	runSingle(*n, *msgs, *initial, chain, *loss, *crash, *seed, *quiet)
@@ -130,8 +131,9 @@ func digest(seq []string) string {
 	return fmt.Sprintf("%x", h.Sum(nil))[:16]
 }
 
-// runMulti hosts one stack of an n-process group over real UDP sockets.
-func runMulti(listen, peerList string, msgs int, initial string, chain []string, loss float64, seed int64, quiet time.Duration, joinsrv string) {
+// runMulti hosts one stack of an n-process group over real sockets —
+// UDP datagrams or TCP streams, per -transport.
+func runMulti(listen, peerList, transportKind string, msgs int, initial string, chain []string, loss float64, seed int64, quiet time.Duration, joinsrv string) {
 	book := make(map[transport.Addr]string)
 	self := -1
 	var addrs []string
@@ -154,14 +156,23 @@ func runMulti(listen, peerList string, msgs int, initial string, chain []string,
 	}
 	n := len(addrs)
 
-	var tr transport.Transport
-	udpTr, err := transport.NewUDP(transport.UDPConfig{Book: book})
+	var (
+		tr  transport.Transport
+		err error
+	)
+	switch transportKind {
+	case "udp":
+		tr, err = transport.NewUDP(transport.UDPConfig{Book: book})
+	case "tcp":
+		tr, err = transport.NewTCP(transport.TCPConfig{Book: book})
+	default:
+		fatalf("-transport %q: want udp or tcp", transportKind)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
-	tr = udpTr
 	if loss > 0 {
-		tr = transport.Faulty(udpTr, transport.FaultConfig{Seed: seed, LossRate: loss})
+		tr = transport.Faulty(tr, transport.FaultConfig{Seed: seed, LossRate: loss})
 	}
 	endpoints := make(map[int]string, len(book))
 	for a, ep := range book {

@@ -667,25 +667,46 @@ func (c *Cluster) Crash(stack int) error {
 	return nil
 }
 
-// PartitionLink cuts the network link between two stacks. It requires
-// the built-in simulated network: over WithTransport it returns
-// ErrUnsupported (real links cannot be cut from here).
+// PartitionLink cuts the network link between two stacks, in both
+// directions. On the built-in simulated network the cut happens in the
+// fabric; over an external transport it falls back to the WithFaults
+// decorator (or a transport that is itself a FaultInjector), cutting
+// both one-way directions — which is how the scenario corpus runs its
+// partition timelines over real UDP and TCP sockets. ErrUnsupported
+// only when neither surface exists.
 func (c *Cluster) PartitionLink(a, b int) error {
 	if err := c.checkLink(a, b); err != nil {
 		return err
 	}
-	c.net.Cut(simnet.Addr(a), simnet.Addr(b))
+	if c.net != nil {
+		c.net.Cut(simnet.Addr(a), simnet.Addr(b))
+		return nil
+	}
+	fi, err := c.injector()
+	if err != nil {
+		return err
+	}
+	fi.CutOneWay(transport.Addr(a), transport.Addr(b))
+	fi.CutOneWay(transport.Addr(b), transport.Addr(a))
 	return nil
 }
 
-// HealLink restores the link between two stacks. It requires the
-// built-in simulated network: over WithTransport it returns
-// ErrUnsupported.
+// HealLink restores the link between two stacks (both directions; see
+// PartitionLink for the transport fallback rules).
 func (c *Cluster) HealLink(a, b int) error {
 	if err := c.checkLink(a, b); err != nil {
 		return err
 	}
-	c.net.Heal(simnet.Addr(a), simnet.Addr(b))
+	if c.net != nil {
+		c.net.Heal(simnet.Addr(a), simnet.Addr(b))
+		return nil
+	}
+	fi, err := c.injector()
+	if err != nil {
+		return err
+	}
+	fi.HealOneWay(transport.Addr(a), transport.Addr(b))
+	fi.HealOneWay(transport.Addr(b), transport.Addr(a))
 	return nil
 }
 
@@ -693,9 +714,6 @@ func (c *Cluster) checkLink(a, b int) error {
 	size := c.N()
 	if a < 0 || a >= size || b < 0 || b >= size {
 		return fmt.Errorf("%w: link %d-%d not in [0,%d)", ErrOutOfRange, a, b, size)
-	}
-	if c.net == nil {
-		return fmt.Errorf("%w: link faults need the built-in simulated network", ErrUnsupported)
 	}
 	return nil
 }

@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"net"
 	"time"
 
@@ -304,7 +303,10 @@ func Join(ctx context.Context, sponsorAddr, selfEndpoint string, opts ...Option)
 	if backoffClock == nil {
 		backoffClock = vclock.Wall
 	}
-	rng := rand.New(rand.NewSource(o.net.Seed ^ 0x6a014e5e)) // backoff jitter
+	// The retry schedule is the stream backend's: the same Backoff type
+	// and WaitBackoff clock discipline that drive TCP reconnects drive
+	// the join handshake, so their semantics are tested in one place.
+	backoff := transport.NewBackoff(o.joinRetry.base, o.joinRetry.max, o.net.Seed^0x6a014e5e)
 	var resp joinResponse
 	for attempt := 1; ; attempt++ {
 		var retryable bool
@@ -317,7 +319,7 @@ func Join(ctx context.Context, sponsorAddr, selfEndpoint string, opts ...Option)
 			return nil, nil, err
 		}
 		joinRetriesCounter.Add(1)
-		if werr := waitBackoff(ctx, backoffClock, backoffDelay(o.joinRetry, attempt, rng)); werr != nil {
+		if werr := transport.WaitBackoff(ctx, backoffClock, backoff.Delay(attempt)); werr != nil {
 			return nil, nil, fmt.Errorf("dpu: join aborted during backoff: %w", werr)
 		}
 	}
@@ -390,10 +392,7 @@ func Join(ctx context.Context, sponsorAddr, selfEndpoint string, opts ...Option)
 // return reports whether the failure is transport-level and worth
 // retrying; a sponsor that answered with a refusal is final.
 func joinHandshake(ctx context.Context, sponsorAddr, selfEndpoint string, timeout time.Duration) (joinResponse, bool, error) {
-	dctx, cancel := context.WithTimeout(ctx, timeout)
-	defer cancel()
-	var d net.Dialer
-	conn, err := d.DialContext(dctx, "tcp", sponsorAddr)
+	conn, err := transport.DialStream(ctx, sponsorAddr, timeout)
 	if err != nil {
 		return joinResponse{}, true, fmt.Errorf("dpu: join handshake: %w", err)
 	}
@@ -415,34 +414,4 @@ func joinHandshake(ctx context.Context, sponsorAddr, selfEndpoint string, timeou
 		return joinResponse{}, false, fmt.Errorf("dpu: join refused: %s", resp.Error)
 	}
 	return resp, false, nil
-}
-
-// backoffDelay returns the wait before retrying after failed attempt
-// number attempt (1-based): base·2^(attempt-1) capped at max, jittered
-// uniformly into [d/2, d] so simultaneously restarting processes do not
-// hammer the sponsor in lockstep.
-func backoffDelay(r joinRetryConfig, attempt int, rng *rand.Rand) time.Duration {
-	d := r.base
-	for i := 1; i < attempt && d < r.max; i++ {
-		d *= 2
-	}
-	if d > r.max {
-		d = r.max
-	}
-	half := d / 2
-	return half + time.Duration(rng.Int63n(int64(half)+1))
-}
-
-// waitBackoff sleeps d on the injected clock, aborting early when ctx
-// is cancelled.
-func waitBackoff(ctx context.Context, clock vclock.Clock, d time.Duration) error {
-	done := make(chan struct{})
-	tm := clock.AfterFunc(d, func() { close(done) })
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		tm.Stop()
-		return ctx.Err()
-	}
 }

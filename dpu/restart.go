@@ -50,10 +50,17 @@ func (c *Cluster) RestartAt(ctx context.Context, stack int, endpoint string) (*N
 // the error); it must not block. The error returned by RestartAsync
 // itself only covers validation and submission.
 func (c *Cluster) RestartAsync(stack int, done func(*Node, error)) error {
+	return c.RestartAtAsync(stack, "", done)
+}
+
+// RestartAtAsync is RestartAsync with an explicit transport endpoint
+// for the revived member ("host:port" over a real-socket transport,
+// where the crashed incarnation's socket may still hold the old one).
+func (c *Cluster) RestartAtAsync(stack int, endpoint string, done func(*Node, error)) error {
 	if err := c.restartable(stack); err != nil {
 		return err
 	}
-	return c.AddNodeAsync("", func(n *Node, err error) {
+	return c.AddNodeAsync(endpoint, func(n *Node, err error) {
 		if err == nil {
 			restartsCounter.Add(1)
 		}

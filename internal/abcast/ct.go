@@ -159,9 +159,19 @@ func (m *ctModule) onMsg(d rbcast.Deliver) {
 // the backlog, and a multi-hundred-kilobyte estimate takes so long to
 // transmit that the instance starves the very backlog it is trying to
 // drain; the overflow simply waits for the next instance.
+//
+// maxBatchBytes must also keep a proposal (and therefore an estimate
+// and a decision, which carry the same bytes) inside one real UDP
+// datagram with the consensus/rp2p/frame headers on top — the same
+// 48 KiB rationale that caps core's sender-side batches. A proposal
+// over transport.MaxDatagram is silently unsendable on the datagram
+// backend and the instance stalls forever. A single over-limit payload
+// still goes through as a one-record batch: the byte cap is checked
+// after the first record, and one record within the stream transport's
+// message limit is the sender's problem, not ours.
 const (
 	maxBatch      = 256
-	maxBatchBytes = 128 << 10
+	maxBatchBytes = 48 << 10
 )
 
 // maybePropose starts consensus instances on the pending backlog, up to

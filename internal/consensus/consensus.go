@@ -423,7 +423,15 @@ func (m *Module) advance(inst *instance) {
 		if !inst.replySent[r] {
 			if val, ok := inst.proposals[r]; ok {
 				inst.est = val
-				inst.ts = r
+				// Timestamp r+1, NOT r: an estimate adopted in round 0 must
+				// outrank every initial estimate (ts 0), or a round-1
+				// coordinator that missed round 0 could prefer its own
+				// initial value over one already locked at a majority —
+				// two decisions for one instance. (Found by the scenario
+				// corpus running over real sockets: flapping links plus
+				// spurious suspicion drive exactly that round-0/round-1
+				// race.)
+				inst.ts = r + 1
 				inst.replySent[r] = true
 				m.sendReply(coord, inst, r, true)
 				inst.round++

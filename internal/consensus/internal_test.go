@@ -1,0 +1,114 @@
+package consensus
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/kernel"
+	"repro/internal/rp2p"
+	"repro/internal/wire"
+)
+
+// newBareModule builds a consensus module on a bare kernel stack with no
+// substrate services bound. Outgoing rp2p/rbcast calls park harmlessly,
+// which is exactly what a white-box test wants: it injects the messages
+// of the other participants by hand and inspects the state machine
+// directly, so a specific interleaving can be replayed deterministically
+// instead of hoping a network schedule reproduces it.
+func newBareModule(t *testing.T, self kernel.Addr) (*kernel.Stack, *Module) {
+	t.Helper()
+	st := kernel.NewStack(kernel.Config{Addr: self, Peers: []kernel.Addr{0, 1, 2}})
+	t.Cleanup(func() { st.Close() })
+	var m *Module
+	if err := st.DoSync(func() {
+		m = FactoryWith(Config{}).New(st).(*Module)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return st, m
+}
+
+func roundMsg(typ byte, id InstanceID, round uint64) *wire.Writer {
+	w := wire.NewWriter(64)
+	w.Byte(typ).Uvarint(id.Group).Uvarint(id.Seq).Uvarint(round)
+	return w
+}
+
+func proposalMsg(id InstanceID, round uint64, val []byte) []byte {
+	w := roundMsg(msgPropose, id, round)
+	w.Raw(val)
+	return w.Bytes()
+}
+
+func estMsg(id InstanceID, round, ts uint64, val []byte) []byte {
+	w := roundMsg(msgEst, id, round)
+	w.Uvarint(ts).Raw(val)
+	return w.Bytes()
+}
+
+// TestRoundZeroAdoptionOutranksInitialEstimates replays the interleaving
+// that once produced two decisions for a single instance (observed as
+// total-order divergence by the scenario corpus over real sockets):
+//
+//	stack 0 (round-0 coordinator) proposes v0;
+//	stack 2 adopts v0 and acks — v0 is locked at the majority {0, 2};
+//	stack 1, partitioned from 0, suspects it, nacks round 0 and becomes
+//	the round-1 coordinator with its own initial value v1 and the
+//	round-1 estimate of stack 2.
+//
+// CT's locking argument requires stack 1 to prefer stack 2's adopted
+// estimate: an estimate adopted in round r must carry a timestamp that
+// outranks every estimate of rounds < r, including the initial ones
+// (timestamp 0). When round-0 adoptions were stamped with the round
+// number itself, they tied with initial estimates, the tie broke by
+// lowest address, and stack 1 proposed v1 over the locked v0 — two
+// coordinators then decided different values.
+func TestRoundZeroAdoptionOutranksInitialEstimates(t *testing.T) {
+	id := InstanceID{Group: 1, Seq: 643}
+	v0 := []byte("locked-in-round-0")
+	v1 := []byte("round-1-coordinator-initial")
+
+	// Participant side: stack 2 adopts the round-0 proposal. Capture the
+	// timestamp and value its round-1 estimate would carry.
+	st2, m2 := newBareModule(t, 2)
+	var adoptedTS uint64
+	var adoptedVal []byte
+	if err := st2.DoSync(func() {
+		m2.propose(Propose{ID: id, Value: []byte("stack2-initial")})
+		m2.onRecv(rp2p.Recv{From: 0, Channel: rp2pChannel, Data: proposalMsg(id, 0, v0)})
+		inst := m2.inst(id)
+		adoptedTS, adoptedVal = inst.ts, inst.est
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(adoptedVal, v0) {
+		t.Fatalf("participant adopted %q, want the coordinator's proposal %q", adoptedVal, v0)
+	}
+	if adoptedTS == 0 {
+		t.Fatalf("round-0 adoption carries timestamp 0: indistinguishable from an initial estimate, so a later coordinator may override the locked value")
+	}
+
+	// Coordinator side: stack 1 missed round 0 entirely (suspicion, nack)
+	// and coordinates round 1 with its own initial estimate plus stack 2's
+	// — carrying exactly what the participant code above produced.
+	st1, m1 := newBareModule(t, 1)
+	var proposal []byte
+	var proposed bool
+	if err := st1.DoSync(func() {
+		m1.propose(Propose{ID: id, Value: v1})
+		m1.HandleIndication(fd.Service, fd.Suspect{P: 0})
+		// The stack's own round-1 estimate, as rp2p loopback would deliver it.
+		m1.onRecv(rp2p.Recv{From: 1, Channel: rp2pChannel, Data: estMsg(id, 1, 0, v1)})
+		m1.onRecv(rp2p.Recv{From: 2, Channel: rp2pChannel, Data: estMsg(id, 1, adoptedTS, adoptedVal)})
+		proposal, proposed = m1.inst(id).proposals[1]
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !proposed {
+		t.Fatal("round-1 coordinator did not propose despite a majority of estimates")
+	}
+	if !bytes.Equal(proposal, v0) {
+		t.Fatalf("round-1 coordinator proposed %q over the value locked in round 0 %q: agreement is violated if the round-0 decision went through", proposal, v0)
+	}
+}

@@ -3,10 +3,12 @@ package scenario
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/dpu"
 	"repro/internal/metrics"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 )
 
@@ -14,6 +16,9 @@ import (
 type Options struct {
 	// Seed overrides the scenario's seed when non-nil (seed sweeps).
 	Seed *int64
+	// Transport overrides the scenario's transport when non-empty
+	// ("sim", "udp" or "tcp") — the transport-matrix axis.
+	Transport string
 	// Log, when set, receives one line per phase (progress narration
 	// for CLI drivers; tests leave it nil).
 	Log func(format string, args ...any)
@@ -41,7 +46,8 @@ type SwitchRecord struct {
 type Result struct {
 	Name          string
 	Seed          int64
-	Nodes         int // stacks alive at the end
+	Transport     string // fabric the run executed over: sim, udp or tcp
+	Nodes         int    // stacks alive at the end
 	Phases        []PhaseResult
 	Switches      []SwitchRecord
 	Counts        Counts
@@ -55,14 +61,27 @@ type Result struct {
 	WallTime       time.Duration // real time spent
 }
 
-// Run executes one scenario under virtual time and audits it. The
-// returned error carries the first expectation failure or invariant
-// violation; the Result is returned even then (when the run got far
-// enough to produce one) so callers can report partial evidence.
+// Run executes one scenario and audits it. Under `transport: sim`
+// (the default) the run happens in virtual time on the simulated
+// fabric — deterministic to the bit. Over "udp" or "tcp" the same
+// timeline plays on the wall clock over real loopback sockets, with
+// the Faulty decorator as the environment-shaping surface; the
+// invariant checkers still audit every event stream, but digests are
+// schedule-dependent there. The returned error carries the first
+// expectation failure or invariant violation; the Result is returned
+// even then (when the run got far enough to produce one) so callers
+// can report partial evidence.
 func Run(sc *Scenario, opts Options) (*Result, error) {
 	seed := sc.Seed
 	if opts.Seed != nil {
 		seed = *opts.Seed
+	}
+	trKind := sc.Transport
+	if trKind == "" {
+		trKind = "sim"
+	}
+	if opts.Transport != "" {
+		trKind = opts.Transport
 	}
 	logf := opts.Log
 	if logf == nil {
@@ -70,30 +89,88 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	}
 	wallStart := time.Now() //dpulint:ignore clocktime wall_ms result reporting measures real elapsed time, deliberately outside the virtual clock
 
-	vc := vclock.NewVirtual()
 	// WithFaults is always on: with every rate at zero the decorator
 	// consumes no randomness and is schedule-neutral, and it gives the
-	// corrupt/reorder/partition-oneway actions a surface to mutate.
+	// corrupt/reorder/partition-oneway actions a surface to mutate —
+	// over real transports it is the ONLY such surface.
 	dopts := []dpu.Option{
-		dpu.WithClock(vc),
 		dpu.WithSeed(seed),
 		dpu.WithInitialProtocol(sc.Initial),
 		dpu.WithFaults(),
 	}
-	// The simulated LAN's defaults (100µs ± 50µs) apply unless the
-	// scenario shapes the founding environment explicitly.
-	if sc.Env.Latency != nil {
-		jitter := *sc.Env.Latency / 2
-		if sc.Env.Jitter != nil {
-			jitter = *sc.Env.Jitter
+	var (
+		clk  runClock
+		pool *endpointPool
+	)
+	switch trKind {
+	case "sim":
+		vc := vclock.NewVirtual()
+		clk = virtualRunClock{vc}
+		dopts = append(dopts, dpu.WithClock(vc))
+		// The simulated LAN's defaults (100µs ± 50µs) apply unless the
+		// scenario shapes the founding environment explicitly.
+		if sc.Env.Latency != nil {
+			jitter := *sc.Env.Latency / 2
+			if sc.Env.Jitter != nil {
+				jitter = *sc.Env.Jitter
+			}
+			dopts = append(dopts, dpu.WithLatency(*sc.Env.Latency, jitter))
 		}
-		dopts = append(dopts, dpu.WithLatency(*sc.Env.Latency, jitter))
-	}
-	if sc.Env.Loss != nil {
-		dopts = append(dopts, dpu.WithLoss(*sc.Env.Loss))
-	}
-	if sc.Env.Bandwidth != nil {
-		dopts = append(dopts, dpu.WithBandwidth(*sc.Env.Bandwidth))
+		if sc.Env.Loss != nil {
+			dopts = append(dopts, dpu.WithLoss(*sc.Env.Loss))
+		}
+		if sc.Env.Bandwidth != nil {
+			dopts = append(dopts, dpu.WithBandwidth(*sc.Env.Bandwidth))
+		}
+	case "udp", "tcp":
+		if sc.Env.Bandwidth != nil {
+			return nil, fmt.Errorf("scenario %s: bandwidth shaping needs the simulated network (transport: sim)", sc.Name)
+		}
+		// Founders plus one fresh endpoint per admitting action: ids
+		// are never reused, so neither are socket addresses. Reservation
+		// is bind-then-release, so a port can be stolen in the window —
+		// typically by an ephemeral outbound connection of a previous
+		// run — and the transport build fails with "address already in
+		// use". That race is an artifact of the reservation trick, not
+		// of the code under test: re-reserve and retry a few times.
+		var (
+			tr         transport.Transport
+			eps        []string
+			founderEps map[int]string
+		)
+		for attempt := 1; ; attempt++ {
+			var err error
+			eps, err = reserveEndpoints(trKind, sc.Nodes+sc.joinBudget())
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+			book := make(map[transport.Addr]string, sc.Nodes)
+			founderEps = make(map[int]string, sc.Nodes)
+			for i := 0; i < sc.Nodes; i++ {
+				book[transport.Addr(i)] = eps[i]
+				founderEps[i] = eps[i]
+			}
+			if trKind == "udp" {
+				tr, err = transport.NewUDP(transport.UDPConfig{Book: book})
+			} else {
+				tr, err = transport.NewTCP(transport.TCPConfig{Book: book})
+			}
+			if err == nil {
+				break
+			}
+			if attempt >= 3 {
+				return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+			logf("scenario %s: endpoint reservation lost a port race (%v); re-reserving", sc.Name, err)
+		}
+		dopts = append(dopts, dpu.WithTransport(tr))
+		if sc.Membership {
+			dopts = append(dopts, dpu.WithEndpoints(founderEps))
+		}
+		pool = &endpointPool{free: eps[sc.Nodes:]}
+		clk = newWallRunClock()
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown transport %q (known: sim, udp, tcp)", sc.Name, trKind)
 	}
 	if sc.Membership {
 		dopts = append(dopts, dpu.WithMembership())
@@ -133,12 +210,35 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	defer c.Close()
+	if trKind != "sim" {
+		// Real transports take the founding environment through the
+		// Faulty decorator's shaping surface (the simnet-only founding
+		// options cannot apply).
+		if sc.Env.Latency != nil {
+			jitter := *sc.Env.Latency / 2
+			if sc.Env.Jitter != nil {
+				jitter = *sc.Env.Jitter
+			}
+			if err := c.SetDelay(*sc.Env.Latency); err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+			if err := c.SetJitter(jitter); err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+		}
+		if sc.Env.Loss != nil {
+			if err := c.SetLoss(*sc.Env.Loss); err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+		}
+	}
 	// The reject counter is process-wide; the delta across this run is
-	// deterministic because runs execute sequentially under the virtual
-	// clock.
+	// meaningful because runs execute sequentially (the virtual clock
+	// guarantees it under sim; the test harness runs scenarios one at a
+	// time over real transports).
 	rejectedBefore := metrics.Counters()["wire.frames_rejected"]
 
-	d := &driver{sc: sc, c: c, vc: vc, logf: logf,
+	d := &driver{sc: sc, c: c, clk: clk, pool: pool, logf: logf,
 		logs:    map[int][]dpu.Event{},
 		founder: map[int]bool{},
 		exempt:  map[int]bool{},
@@ -166,10 +266,10 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	// Drain: workload off, the backlog settles, in-flight switches and
 	// view changes complete.
 	d.stopWorkload()
-	vc.RunFor(sc.Drain)
+	clk.RunFor(sc.Drain)
 
 	finalProto, finalMembers := d.finalStatus()
-	virtual := vc.Elapsed()
+	virtual := clk.Elapsed()
 
 	// Tear down before auditing: Close ends every subscription stream,
 	// which is what lets the drain goroutines finish and the logs
@@ -180,6 +280,7 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	res := &Result{
 		Name:           sc.Name,
 		Seed:           seed,
+		Transport:      trKind,
 		Phases:         phases,
 		FinalProtocol:  finalProto,
 		FinalMembers:   finalMembers,
@@ -222,14 +323,16 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// driver is the mutable state of one run. Fields written by clock
-// callbacks are only touched on the clock-owner goroutine (the one
-// inside Run); logs and retirement flags are also written from stack
-// executors and drain goroutines, hence the mutex.
+// driver is the mutable state of one run. Under the virtual clock,
+// timer callbacks run inline on the clock-owner goroutine; under the
+// wall clock (real transports) they fire concurrently on their own
+// goroutines — so everything a callback touches is an atomic or sits
+// behind the mutex.
 type driver struct {
 	sc   *Scenario
 	c    *dpu.Cluster
-	vc   *vclock.Virtual
+	clk  runClock
+	pool *endpointPool // nil under sim: every draw is ""
 	logf func(string, ...any)
 
 	mu      sync.Mutex
@@ -239,8 +342,8 @@ type driver struct {
 	retired map[int]bool // crashed or evicted stacks
 	wg      sync.WaitGroup
 
-	workloadStopped bool
-	flapGen         int
+	workloadStopped atomic.Bool
+	flapGen         atomic.Int64
 }
 
 // subscribe attaches an Events-stream subscription to the stack and
@@ -290,7 +393,7 @@ func (d *driver) startWorkload() {
 		seq := uint64(0)
 		var tick func()
 		tick = func() {
-			if d.workloadStopped || d.isRetired(s) {
+			if d.workloadStopped.Load() || d.isRetired(s) {
 				return
 			}
 			if err := d.c.Broadcast(s, workloadPayload(s, seq, w.Payload)); err != nil {
@@ -300,15 +403,15 @@ func (d *driver) startWorkload() {
 				return
 			}
 			seq++
-			d.vc.AfterFunc(period, tick)
+			d.clk.AfterFunc(period, tick)
 		}
 		// Stagger the chains so senders do not all fire on the same
-		// virtual instant.
-		d.vc.AfterFunc(time.Duration(s+1)*period/time.Duration(senders+1), tick)
+		// instant.
+		d.clk.AfterFunc(time.Duration(s+1)*period/time.Duration(senders+1), tick)
 	}
 }
 
-func (d *driver) stopWorkload() { d.workloadStopped = true }
+func (d *driver) stopWorkload() { d.workloadStopped.Store(true) }
 
 func (d *driver) isRetired(id int) bool {
 	d.mu.Lock()
@@ -345,10 +448,11 @@ func workloadPayload(origin int, seq uint64, size int) []byte {
 }
 
 // runPhase applies the phase's environment, schedules its actions and
-// flap as clock events, advances virtual time by the phase duration,
-// and checks the phase expectation at the (quiescent) boundary.
+// flap as clock events, advances the run clock by the phase duration,
+// and checks the phase expectation at the boundary (quiescent under
+// the virtual clock; a live snapshot over real transports).
 func (d *driver) runPhase(ph Phase) (PhaseResult, error) {
-	pr := PhaseResult{Name: ph.Name, Start: d.vc.Elapsed()}
+	pr := PhaseResult{Name: ph.Name, Start: d.clk.Elapsed()}
 	if env := ph.Env; env != nil {
 		if env.Loss != nil {
 			if err := d.c.SetLoss(*env.Loss); err != nil {
@@ -366,32 +470,55 @@ func (d *driver) runPhase(ph Phase) (PhaseResult, error) {
 			}
 		}
 	}
-	var actErr error
+	// Action failures are recorded under a lock: wall-clock callbacks
+	// run concurrently with each other and with this goroutine.
+	var (
+		actMu  sync.Mutex
+		actErr error
+	)
 	fail := func(format string, args ...any) {
+		actMu.Lock()
+		defer actMu.Unlock()
 		if actErr == nil {
 			actErr = fmt.Errorf("phase %s: %s", ph.Name, fmt.Sprintf(format, args...))
 		}
 	}
 	for _, a := range ph.Actions {
 		a := a
-		d.vc.AfterFunc(a.At, func() { d.runAction(ph.Name, a, fail) })
+		d.clk.AfterFunc(a.At, func() { d.runAction(ph.Name, a, fail) })
 	}
 	if f := ph.Flap; f != nil {
 		d.startFlap(*f, ph.Duration, fail)
 	}
-	d.vc.RunFor(ph.Duration)
-	d.flapGen++ // any flap chain of this phase stops rearming
-	if actErr != nil {
-		return pr, actErr
+	d.clk.RunFor(ph.Duration)
+	d.flapGen.Add(1) // any flap chain of this phase stops rearming
+	actMu.Lock()
+	err := actErr
+	actMu.Unlock()
+	if err != nil {
+		return pr, err
 	}
-	pr.End = d.vc.Elapsed()
+	pr.End = d.clk.Elapsed()
 	proto, _ := d.status()
 	pr.EndProtocol = proto
 	d.logf("phase %-18s %8s..%8s  protocol=%s",
 		ph.Name, pr.Start.Truncate(time.Millisecond), pr.End.Truncate(time.Millisecond), proto)
 	if want := ph.Expect.Protocol; want != "" && proto != want {
-		return pr, fmt.Errorf("phase %s: expected convergence to %s, still on %s after %s",
-			ph.Name, want, proto, ph.Duration)
+		// Keep polling for the clock's grace before failing: zero under
+		// the virtual clock (the boundary is already quiescent), bounded
+		// over real sockets (the switch may straddle the boundary by
+		// scheduling noise). The extra wall time shifts later phase
+		// boundaries, which real-transport runs tolerate by design.
+		deadline := d.clk.Elapsed() + d.clk.ExpectGrace()
+		for proto != want && d.clk.Elapsed() < deadline {
+			d.clk.RunFor(50 * time.Millisecond)
+			proto, _ = d.status()
+		}
+		if proto != want {
+			return pr, fmt.Errorf("phase %s: expected convergence to %s, still on %s after %s (+%s grace)",
+				ph.Name, want, proto, ph.Duration, d.clk.ExpectGrace())
+		}
+		pr.EndProtocol = proto
 	}
 	return pr, nil
 }
@@ -402,7 +529,7 @@ func (d *driver) runPhase(ph Phase) (PhaseResult, error) {
 func (d *driver) runAction(phase string, a Action, fail func(string, ...any)) {
 	switch a.Action {
 	case "add-node":
-		err := d.c.AddNodeAsync("", func(n *dpu.Node, err error) {
+		err := d.c.AddNodeAsync(d.pool.next(), func(n *dpu.Node, err error) {
 			if err != nil {
 				fail("add-node: %v", err)
 				return
@@ -446,7 +573,7 @@ func (d *driver) runAction(phase string, a Action, fail func(string, ...any)) {
 		// Revive the crashed/evicted slot as a fresh member: the commit
 		// callback runs on the sponsor's executor, so subscribing there
 		// catches the revived stack's stream from its first event.
-		err := d.c.RestartAsync(a.Node, func(n *dpu.Node, err error) {
+		err := d.c.RestartAtAsync(a.Node, d.pool.next(), func(n *dpu.Node, err error) {
 			if err != nil {
 				fail("restart %d: %v", a.Node, err)
 				return
@@ -514,7 +641,7 @@ func (d *driver) runAction(phase string, a Action, fail func(string, ...any)) {
 // phase ends (the generation counter invalidates the chain at the
 // boundary, so a flap never leaks into the next phase).
 func (d *driver) startFlap(f Flap, duration time.Duration, fail func(string, ...any)) {
-	gen := d.flapGen
+	gen := d.flapGen.Load()
 	half := f.Period / 2
 	if half <= 0 {
 		half = 50 * time.Millisecond
@@ -522,7 +649,7 @@ func (d *driver) startFlap(f Flap, duration time.Duration, fail func(string, ...
 	cut := true
 	var toggle func()
 	toggle = func() {
-		if d.flapGen != gen {
+		if d.flapGen.Load() != gen {
 			// The phase ended mid-flap: leave the link healed.
 			if err := d.c.HealLink(f.A, f.B); err != nil {
 				fail("flap heal %d-%d: %v", f.A, f.B, err)
@@ -540,9 +667,9 @@ func (d *driver) startFlap(f Flap, duration time.Duration, fail func(string, ...
 			return
 		}
 		cut = !cut
-		d.vc.AfterFunc(half, toggle)
+		d.clk.AfterFunc(half, toggle)
 	}
-	d.vc.AfterFunc(0, toggle)
+	d.clk.AfterFunc(0, toggle)
 }
 
 // lowestRunning returns the lowest-indexed running stack, skipping
@@ -585,7 +712,7 @@ func (d *driver) finalStatus() (string, []int) { return d.status() }
 func (d *driver) referenceSwitches(logs map[int][]dpu.Event) []SwitchRecord {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	base := d.vc.Base()
+	base := d.clk.Base()
 	var best []SwitchRecord
 	for id := 0; id < d.sc.Nodes; id++ {
 		cur := d.sc.Initial

@@ -17,6 +17,7 @@ type Scenario struct {
 	Seed       int64
 	Nodes      int
 	Initial    string // initial protocol (canonical name)
+	Transport  string // "sim" (default), "udp" or "tcp"
 	Membership bool
 	AutoEvict  bool
 	Grace      time.Duration
@@ -143,6 +144,7 @@ func Parse(data []byte) (*Scenario, error) {
 		Name:  d.str("name", ""),
 	}
 	sc.Initial = canonicalProtocol(d.str("initial", "ct"))
+	sc.Transport = d.str("transport", "sim")
 	sc.Membership = d.boolean("membership", false)
 	sc.AutoEvict = d.boolean("auto_evict", false)
 	sc.Grace = d.dur("grace", 0)
@@ -271,6 +273,14 @@ func (sc *Scenario) validate() error {
 	}
 	if !validProtocol(sc.Initial) {
 		return fmt.Errorf("scenario %s: unknown initial protocol %q", sc.Name, sc.Initial)
+	}
+	switch sc.Transport {
+	case "sim", "udp", "tcp":
+	default:
+		return fmt.Errorf("scenario %s: unknown transport %q (known: sim, udp, tcp)", sc.Name, sc.Transport)
+	}
+	if sc.Transport != "sim" && sc.Env.Bandwidth != nil {
+		return fmt.Errorf("scenario %s: bandwidth shaping needs the simulated network (transport: sim)", sc.Name)
 	}
 	if sc.Adaptive != nil {
 		switch sc.Adaptive.Policy {

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// realTransports is the matrix axis beyond the default simulated
+// fabric: the same timelines, replayed over real loopback sockets.
+var realTransports = []string{"udp", "tcp"}
+
+// matrixQuick names the corpus entries every matrix run covers; the
+// rest of the corpus joins when DPU_TRANSPORT_MATRIX=full (the CI
+// transport-matrix job). The quick set deliberately spans membership
+// churn, crash-restart recovery and checksum-rejecting corruption —
+// the three hardest things to get right over a real socket.
+var matrixQuick = map[string]bool{
+	"churn-during-switch":  true,
+	"crash-restart":        true,
+	"corrupt-under-switch": true,
+}
+
+// TestMinimalOverTransports replays the inline minimal scenario over
+// each real transport. This is the cheapest end-to-end witness that
+// the wall-clock driver, the endpoint book and the Faulty surface hold
+// together outside the simulator, so it runs unconditionally.
+func TestMinimalOverTransports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-transport runs take wall-clock time")
+	}
+	for _, tr := range realTransports {
+		tr := tr
+		t.Run(tr, func(t *testing.T) {
+			sc := mustParse(t, minimal)
+			res, err := Run(sc, Options{Log: t.Logf, Transport: tr})
+			if err != nil {
+				t.Fatalf("over %s: %v", tr, err)
+			}
+			if res.Transport != tr {
+				t.Fatalf("result records transport %q, want %q", res.Transport, tr)
+			}
+			if res.Counts.Deliveries == 0 {
+				t.Fatal("no deliveries recorded")
+			}
+			t.Logf("%s: %d deliveries, digest %016x, %s wall", tr,
+				res.Counts.Deliveries, res.Digest, res.WallTime.Round(time.Millisecond))
+		})
+	}
+}
+
+// TestTransportMatrix replays the scenario corpus over real loopback
+// sockets. Every run is audited by the full invariant-checker set —
+// that audit, repeated per seed and per transport, is the determinism
+// witness for real transports (digests are logged, but bit-equality is
+// only asserted under the virtual clock; see TestDeterminism).
+func TestTransportMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-transport runs take wall-clock time")
+	}
+	full := os.Getenv("DPU_TRANSPORT_MATRIX") == "full"
+	corpus, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range realTransports {
+		tr := tr
+		t.Run(tr, func(t *testing.T) {
+			for _, sc := range corpus {
+				sc := sc
+				t.Run(sc.Name, func(t *testing.T) {
+					if sc.Transport != "" && sc.Transport != "sim" && sc.Transport != tr {
+						t.Skipf("%s pins transport %s", sc.Name, sc.Transport)
+					}
+					if !full && !matrixQuick[sc.Name] {
+						t.Skipf("set DPU_TRANSPORT_MATRIX=full to run the whole corpus over %s", tr)
+					}
+					if sc.HasTag("large") && raceEnabled {
+						t.Skipf("%s is large-tagged: skipped under -race", sc.Name)
+					}
+					// Large-tagged entries run ~50 in-process stacks over
+					// thousands of real kernel sockets. Below a few cores
+					// the process is CPU-saturated, consensus turns stretch
+					// past the failure detector's timeout and the run fails
+					// its liveness expectations (never its safety checkers)
+					// purely from scheduling starvation. The same scenario
+					// is covered at full scale under the virtual clock by
+					// TestCorpus, so skip rather than flake.
+					if sc.HasTag("large") && runtime.NumCPU() < 4 {
+						t.Skipf("%s runs %d stacks over real sockets: needs >=4 CPUs, have %d (full-scale coverage lives in TestCorpus under virtual time)",
+							sc.Name, sc.Nodes, runtime.NumCPU())
+					}
+					res, err := Run(sc, Options{Log: t.Logf, Transport: tr})
+					if err != nil {
+						t.Fatalf("seed %d over %s: %v\nreproduce: go test ./internal/scenario -run 'TestTransportMatrix/%s/%s'",
+							sc.Seed, tr, err, tr, sc.Name)
+					}
+					t.Logf("%s over %s: %d deliveries, %d switches, %d views, digest %016x, %s wall",
+						sc.Name, tr, res.Counts.Deliveries, res.Counts.Switches, res.Counts.Views,
+						res.Digest, res.WallTime.Round(time.Millisecond))
+				})
+			}
+		})
+	}
+}
+
+// TestTransportSweep re-seeds the minimal scenario per transport: each
+// seeded run must come out of the checkers green. CI widens the sweep
+// with DPU_SCENARIO_SWEEP_SEEDS, exactly like the virtual-time sweep.
+func TestTransportSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-transport runs take wall-clock time")
+	}
+	seeds := int64(2)
+	if s := os.Getenv("DPU_SCENARIO_SWEEP_SEEDS"); s != "" {
+		var n int
+		for _, c := range s {
+			if c < '0' || c > '9' {
+				t.Fatalf("DPU_SCENARIO_SWEEP_SEEDS=%q: want a positive integer", s)
+			}
+			n = n*10 + int(c-'0')
+		}
+		if n < 1 {
+			t.Fatalf("DPU_SCENARIO_SWEEP_SEEDS=%q: want a positive integer", s)
+		}
+		seeds = int64(n)
+	}
+	for _, tr := range realTransports {
+		tr := tr
+		t.Run(tr, func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				seed := seed
+				sc := mustParse(t, minimal)
+				res, err := Run(sc, Options{Seed: &seed, Transport: tr})
+				if err != nil {
+					t.Fatalf("FAILING SEED %d over %s: %v", seed, tr, err)
+				}
+				t.Logf("seed %d over %s: digest %016x, %d deliveries", seed, tr, res.Digest, res.Counts.Deliveries)
+			}
+		})
+	}
+}

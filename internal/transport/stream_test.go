@@ -1,0 +1,302 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// encodeMessages is a test helper: frames each payload and returns the
+// concatenated byte stream plus total fragment count.
+func encodeMessages(maxFrag int, payloads ...[]byte) ([]byte, int) {
+	var buf []byte
+	frags := 0
+	for _, p := range payloads {
+		var n int
+		buf, n = appendStreamMessage(buf, p, maxFrag)
+		frags += n
+	}
+	return buf, frags
+}
+
+// feedAll drives a decoder over stream in chunk-sized reads, modeling a
+// TCP receiver that sees arbitrary segment boundaries.
+func feedAll(t *testing.T, d *streamDecoder, stream []byte, chunk int) [][]byte {
+	t.Helper()
+	var out [][]byte
+	buf := make([]byte, 0, len(stream))
+	for off := 0; off < len(stream); {
+		end := off + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		buf = append(buf, stream[off:end]...)
+		off = end
+		n, err := d.feed(buf, func(m []byte) { out = append(out, m) })
+		if err != nil {
+			t.Fatalf("feed: %v", err)
+		}
+		buf = buf[:copy(buf, buf[n:])]
+	}
+	return out
+}
+
+func TestStreamHelloRoundTrip(t *testing.T) {
+	for _, addr := range []Addr{0, 1, 127, 128, 300, 1 << 20, 1<<31 - 1} {
+		hello := appendStreamHello(nil, addr)
+		from, n, err := decodeStreamHello(hello)
+		if err != nil || from != addr || n != len(hello) {
+			t.Fatalf("hello(%d): from=%d n=%d err=%v", addr, from, n, err)
+		}
+		// Trailing stream bytes after the hello are not consumed.
+		from, n, err = decodeStreamHello(append(hello, 0xAB, 0xCD))
+		if err != nil || from != addr || n != len(hello) {
+			t.Fatalf("hello(%d)+suffix: from=%d n=%d err=%v", addr, from, n, err)
+		}
+		// Every strict prefix reports short, never success or malformed.
+		for i := 0; i < len(hello); i++ {
+			if _, _, err := decodeStreamHello(hello[:i]); err != errStreamShort {
+				t.Fatalf("hello(%d) prefix %d: err=%v, want errStreamShort", addr, i, err)
+			}
+		}
+	}
+}
+
+func TestStreamHelloMalformed(t *testing.T) {
+	good := appendStreamHello(nil, 7)
+	bad := [][]byte{
+		{0x00},                             // wrong magic
+		{streamMagic, 0x00},                // wrong kind (e.g. a datagram frame byte)
+		{streamMagic, streamKind, 0x02},    // wrong version
+		{frameMagic, frameVersion, 3, 'x'}, // a datagram frame dialed at a stream port
+		append([]byte{streamMagic, streamKind, streamVersion}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF), // addr uvarint overflow
+	}
+	for i, b := range bad {
+		if _, _, err := decodeStreamHello(b); !errors.Is(err, errStreamMalformed) {
+			t.Fatalf("bad hello %d: err=%v, want malformed", i, err)
+		}
+	}
+	if _, _, err := decodeStreamHello(good); err != nil {
+		t.Fatalf("good hello rejected: %v", err)
+	}
+}
+
+func TestStreamFragmentation(t *testing.T) {
+	cases := []struct {
+		size, maxFrag, wantFrags int
+	}{
+		{0, 100, 1},
+		{1, 100, 1},
+		{100, 100, 1},
+		{101, 100, 2},
+		{250, 100, 3},
+		{1 << 20, DefaultMaxFragment, 16},
+	}
+	for _, tc := range cases {
+		payload := make([]byte, tc.size)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		stream, frags := encodeMessages(tc.maxFrag, payload)
+		if frags != tc.wantFrags {
+			t.Fatalf("size %d maxFrag %d: %d fragments, want %d", tc.size, tc.maxFrag, frags, tc.wantFrags)
+		}
+		d := &streamDecoder{maxMessage: tc.size + 1, maxFrag: tc.maxFrag}
+		got := feedAll(t, d, stream, 1024)
+		if len(got) != 1 || !bytes.Equal(got[0], payload) {
+			t.Fatalf("size %d maxFrag %d: reassembly mismatch (%d messages)", tc.size, tc.maxFrag, len(got))
+		}
+	}
+}
+
+// TestStreamReassemblyQuickcheck is the reassembly property test:
+// random payloads, random fragment limits and random read-chunk sizes
+// must always reproduce the original message sequence exactly.
+func TestStreamReassemblyQuickcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xf4a6))
+	for round := 0; round < 200; round++ {
+		maxFrag := 1 + rng.Intn(512)
+		nmsgs := 1 + rng.Intn(5)
+		payloads := make([][]byte, nmsgs)
+		for i := range payloads {
+			p := make([]byte, rng.Intn(4*maxFrag))
+			rng.Read(p)
+			payloads[i] = p
+		}
+		stream, _ := encodeMessages(maxFrag, payloads...)
+		chunk := 1 + rng.Intn(200)
+		d := &streamDecoder{maxMessage: 8 * maxFrag, maxFrag: maxFrag}
+		got := feedAll(t, d, stream, chunk)
+		if len(got) != nmsgs {
+			t.Fatalf("round %d: %d messages, want %d (maxFrag %d chunk %d)", round, len(got), nmsgs, maxFrag, chunk)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], payloads[i]) {
+				t.Fatalf("round %d: message %d mismatch (maxFrag %d chunk %d)", round, i, maxFrag, chunk)
+			}
+		}
+	}
+}
+
+func TestStreamDecoderViolations(t *testing.T) {
+	d := func() *streamDecoder { return &streamDecoder{maxMessage: 1 << 16, maxFrag: 1 << 10} }
+	noEmit := func([]byte) {}
+
+	// Reserved flag bits tear the connection down.
+	if _, err := d().feed([]byte{0x80, 0x01, 'x'}, noEmit); !errors.Is(err, errStreamMalformed) {
+		t.Fatalf("reserved flags: %v", err)
+	}
+	// A fragment over the limit is rejected before buffering it.
+	over := wire.NewWriter(16).Byte(0).Uvarint(1 << 11).Bytes()
+	if _, err := d().feed(over, noEmit); !errors.Is(err, errStreamMalformed) {
+		t.Fatalf("oversize fragment: %v", err)
+	}
+	// A pathological length (uvarint overflow / absurd size) is rejected
+	// without allocating.
+	huge := wire.NewWriter(16).Byte(0).Uvarint(1 << 62).Bytes()
+	if _, err := d().feed(huge, noEmit); !errors.Is(err, errStreamMalformed) {
+		t.Fatalf("pathological length: %v", err)
+	}
+	// An empty non-final fragment makes no progress and is rejected.
+	if _, err := d().feed([]byte{0x00, 0x00}, noEmit); !errors.Is(err, errStreamMalformed) {
+		t.Fatalf("empty non-final fragment: %v", err)
+	}
+	// Reassembly beyond maxMessage is rejected even when every fragment
+	// is individually legal.
+	dec := &streamDecoder{maxMessage: 1 << 11, maxFrag: 1 << 10}
+	stream, _ := encodeMessages(1<<10, make([]byte, 1<<12))
+	if _, err := dec.feed(stream, noEmit); !errors.Is(err, errStreamMalformed) {
+		t.Fatalf("over-limit reassembly: %v", err)
+	}
+}
+
+// TestStreamEveryBitFlip carries a SEALED wire frame as the stream
+// payload and flips every bit of the encoded stream bytes, one at a
+// time. Each flip must end in rejection: either the stream framing
+// detects desync (connection teardown = the message is lost), or the
+// corrupted payload reaches reassembly and the sealed-frame CRC32-C
+// refuses to open it. No flip may yield a frame that opens cleanly.
+func TestStreamEveryBitFlip(t *testing.T) {
+	const salt = 0x5eed
+	sealed := make([]byte, wire.FrameOverhead+32)
+	sealed[0] = 0x07 // tag
+	for i := wire.FrameOverhead; i < len(sealed); i++ {
+		sealed[i] = byte(i * 13)
+	}
+	wire.SealFrame(sealed, salt)
+	if _, _, ok := wire.OpenFrame(sealed, salt); !ok {
+		t.Fatal("pristine frame does not open")
+	}
+	stream, _ := encodeMessages(16, sealed) // several fragments
+	for bit := 0; bit < len(stream)*8; bit++ {
+		mut := append([]byte(nil), stream...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		d := &streamDecoder{maxMessage: 1 << 16, maxFrag: 16}
+		var msgs [][]byte
+		_, err := d.feed(mut, func(m []byte) { msgs = append(msgs, m) })
+		if err != nil {
+			continue // framing violation: connection torn down, frame lost
+		}
+		for _, m := range msgs {
+			if _, _, ok := wire.OpenFrame(m, salt); ok {
+				t.Fatalf("bit flip %d slipped through stream framing AND the sealed-frame CRC", bit)
+			}
+		}
+	}
+}
+
+// FuzzStreamFrame fuzzes the fragment-frame decoder: arbitrary bytes
+// must never panic, never consume more than they were given, and — for
+// well-formed prefixes — consume whole frames only. The same input also
+// drives an encode→decode round-trip with fuzzer-chosen fragmentation
+// and read chunking, which must reproduce the payload bit-exactly.
+func FuzzStreamFrame(f *testing.F) {
+	seed1, _ := encodeMessages(8, []byte("hello stream"))
+	seed2, _ := encodeMessages(3, []byte(""), []byte("ab"), make([]byte, 64))
+	f.Add(seed1, uint16(8), uint8(3))
+	f.Add(seed2, uint16(3), uint8(1))
+	f.Add([]byte{0x01, 0x00}, uint16(100), uint8(7)) // empty FIN frame
+	f.Add([]byte{0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, uint16(16), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, frag uint16, chunk uint8) {
+		// 1. Adversarial decode: no panic, sane consumption.
+		d := &streamDecoder{maxMessage: 1 << 16, maxFrag: 1 << 10}
+		total := 0
+		for off := 0; off < len(data); {
+			n, err := d.feed(data[off:], func([]byte) {})
+			if n < 0 || off+n > len(data) {
+				t.Fatalf("feed consumed %d of %d remaining", n, len(data)-off)
+			}
+			total += n
+			if err != nil {
+				break
+			}
+			if n == 0 {
+				break // incomplete frame: a real reader would read more
+			}
+			off += n
+		}
+		if total > len(data) {
+			t.Fatalf("decoder consumed %d > input %d", total, len(data))
+		}
+
+		// 2. Round-trip: the input as a payload, fragmented and chunked
+		// by fuzzer-chosen sizes, must reassemble bit-exactly.
+		maxFrag := int(frag)%1024 + 1
+		readChunk := int(chunk)%128 + 1
+		stream, frags := appendStreamMessage(nil, data, maxFrag)
+		wantFrags := (len(data) + maxFrag - 1) / maxFrag
+		if wantFrags == 0 {
+			wantFrags = 1
+		}
+		if frags != wantFrags {
+			t.Fatalf("%d-byte payload at maxFrag %d: %d fragments, want %d", len(data), maxFrag, frags, wantFrags)
+		}
+		rt := &streamDecoder{maxMessage: len(data) + 1, maxFrag: maxFrag}
+		var got [][]byte
+		buf := make([]byte, 0, len(stream))
+		for off := 0; off < len(stream); {
+			end := off + readChunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			buf = append(buf, stream[off:end]...)
+			off = end
+			n, err := rt.feed(buf, func(m []byte) { got = append(got, m) })
+			if err != nil {
+				t.Fatalf("round-trip feed: %v", err)
+			}
+			buf = buf[:copy(buf, buf[n:])]
+		}
+		if len(got) != 1 || !bytes.Equal(got[0], data) {
+			t.Fatalf("round-trip mismatch: %d messages", len(got))
+		}
+	})
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 1)
+	for attempt := 1; attempt <= 8; attempt++ {
+		full := 10 * time.Millisecond
+		for i := 1; i < attempt && full < 80*time.Millisecond; i++ {
+			full *= 2
+		}
+		if full > 80*time.Millisecond {
+			full = 80 * time.Millisecond
+		}
+		d := b.Delay(attempt)
+		if d < full/2 || d > full {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, full/2, full)
+		}
+	}
+	// Deterministic for a given seed.
+	x, y := NewBackoff(time.Millisecond, time.Second, 99), NewBackoff(time.Millisecond, time.Second, 99)
+	for i := 1; i < 10; i++ {
+		if x.Delay(i) != y.Delay(i) {
+			t.Fatalf("same-seed backoffs diverge at attempt %d", i)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// reserveStreamBook builds a TCP address book over freshly reserved
+// loopback ports (local copy of transporttest.ReserveStreamAddrs; see
+// reserveLoopbackAddrs for why the import is off limits).
+func reserveStreamBook(t testing.TB, n int) map[Addr]string {
+	t.Helper()
+	book := make(map[Addr]string, n)
+	ls := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		ls = append(ls, l)
+		book[Addr(i)] = l.Addr().String()
+	}
+	for _, l := range ls {
+		l.Close()
+	}
+	return book
+}
+
+func newTestTCP(t testing.TB, book map[Addr]string) *TCPTransport {
+	t.Helper()
+	tr, err := NewTCP(TCPConfig{Book: book, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tr := newTestTCP(t, reserveStreamBook(t, 2))
+	defer tr.Close()
+	recv0, ch0 := collector(8)
+	recv1, ch1 := collector(8)
+	ep0, err := tr.Open(0, recv0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := tr.Open(1, recv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ep0.Send(1, []byte("ping"))
+	expectPacket(t, ch1, packet{0, "ping"})
+	ep1.Send(0, []byte("pong"))
+	expectPacket(t, ch0, packet{1, "pong"})
+
+	// Loopback: a self-addressed message comes back through a real
+	// connection to our own listener.
+	ep0.Send(0, []byte("self"))
+	expectPacket(t, ch0, packet{0, "self"})
+
+	// Empty payloads survive framing (a single empty FIN frame).
+	ep1.Send(0, nil)
+	expectPacket(t, ch0, packet{1, ""})
+
+	st := tr.Stats()
+	if st.Delivered != 4 || st.Malformed != 0 || st.SendErrs != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Dials == 0 {
+		t.Fatalf("no dials counted: %+v", st)
+	}
+}
+
+// TestTCPLargePayload round-trips a payload ~16× the UDP datagram
+// ceiling: it must be fragmented on the wire and reassembled exactly.
+func TestTCPLargePayload(t *testing.T) {
+	tr := newTestTCP(t, reserveStreamBook(t, 2))
+	defer tr.Close()
+	got := make(chan []byte, 1)
+	if _, err := tr.Open(0, func(from Addr, data []byte) { got <- data }); err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := tr.Open(1, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i*7 + i>>9)
+	}
+	ep1.Send(0, big)
+	select {
+	case data := <-got:
+		if !bytes.Equal(data, big) {
+			t.Fatalf("large payload corrupted in flight (%d bytes)", len(data))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("large payload never delivered")
+	}
+	if st := tr.Stats(); st.Fragments < uint64(len(big)/DefaultMaxFragment) {
+		t.Fatalf("expected ≥%d fragments, stats %+v", len(big)/DefaultMaxFragment, st)
+	}
+}
+
+// TestTCPReconnect kills the receiving endpoint and reopens it: the
+// sender must redial (counted as a reconnect) and traffic resume.
+func TestTCPReconnect(t *testing.T) {
+	book := reserveStreamBook(t, 2)
+	tr := newTestTCP(t, book)
+	defer tr.Close()
+	recv1, ch1 := collector(8)
+	ep0, err := tr.Open(0, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := tr.Open(1, recv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0.Send(1, []byte("before"))
+	expectPacket(t, ch1, packet{0, "before"})
+
+	ep1.Close()
+	recv1b, ch1b := collector(8)
+	if _, err := tr.Open(1, recv1b); err != nil {
+		t.Fatalf("reopen 1: %v", err)
+	}
+	// The sender's old connection is dead; keep sending until the
+	// redial lands (frames sent into the dying connection are loss).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ep0.Send(1, []byte("after"))
+		select {
+		case got := <-ch1b:
+			if got.data != "after" || got.from != 0 {
+				t.Fatalf("unexpected packet %+v", got)
+			}
+			if st := tr.Stats(); st.Reconnects == 0 {
+				t.Fatalf("no reconnect counted: %+v", st)
+			}
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("traffic never resumed after reconnect")
+		}
+	}
+}
+
+// TestTCPSimultaneousDial has both peers dial each other at once, many
+// times: the lower-address initiator must win the tie-break on both
+// sides, and traffic must keep flowing both ways afterwards.
+func TestTCPSimultaneousDial(t *testing.T) {
+	tr := newTestTCP(t, reserveStreamBook(t, 2))
+	defer tr.Close()
+	recv0, ch0 := collector(64)
+	recv1, ch1 := collector(64)
+	ep0, err := tr.Open(0, recv0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := tr.Open(1, recv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First sends from both sides race their dials.
+	ep0.Send(1, []byte("race-0"))
+	ep1.Send(0, []byte("race-1"))
+	// Whatever connections died in the tie-break, these must arrive
+	// (possibly after a redial).
+	deliver := func(ep Endpoint, to Addr, ch chan packet, payload string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			ep.Send(to, []byte(payload))
+			select {
+			case got := <-ch:
+				if got.data == payload {
+					return
+				}
+			case <-time.After(20 * time.Millisecond):
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never delivered", payload)
+			}
+		}
+	}
+	deliver(ep0, 1, ch1, "steady-0")
+	deliver(ep1, 0, ch0, "steady-1")
+}
+
+func TestTCPSendErrors(t *testing.T) {
+	tr, err := NewTCP(TCPConfig{Book: reserveStreamBook(t, 1), MaxMessage: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	recv, ch := collector(1)
+	ep, err := tr.Open(0, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Send(9, []byte("no such peer"))
+	ep.Send(0, make([]byte, 4096)) // beyond MaxMessage
+	expectQuiet(t, ch, 50*time.Millisecond)
+	if st := tr.Stats(); st.SendErrs != 2 || st.Delivered != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestTCPRemoveRouteDropsLink evicts a peer mid-stream: its connection
+// closes, queued frames are discarded, and later sends drop as loss.
+func TestTCPRemoveRouteDropsLink(t *testing.T) {
+	tr := newTestTCP(t, reserveStreamBook(t, 2))
+	defer tr.Close()
+	recv1, ch1 := collector(8)
+	ep0, err := tr.Open(0, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Open(1, recv1); err != nil {
+		t.Fatal(err)
+	}
+	ep0.Send(1, []byte("pre"))
+	expectPacket(t, ch1, packet{0, "pre"})
+
+	tr.RemoveRoute(1)
+	ep0.Send(1, []byte("post"))
+	expectQuiet(t, ch1, 100*time.Millisecond)
+	if st := tr.Stats(); st.SendErrs == 0 {
+		t.Fatalf("post-eviction send not counted as loss: %+v", st)
+	}
+}
+
+// TestTCPRejectsStrays drives raw connections at an endpoint: a
+// mis-spoken hello and a desynchronized stream must both be dropped
+// (and counted) without disturbing well-behaved peers.
+func TestTCPRejectsStrays(t *testing.T) {
+	book := reserveStreamBook(t, 2)
+	tr := newTestTCP(t, book)
+	defer tr.Close()
+	recv0, ch0 := collector(8)
+	if _, err := tr.Open(0, recv0); err != nil {
+		t.Fatal(err)
+	}
+
+	// A datagram-framed hello (wrong kind byte) is refused.
+	c1, err := net.Dial("tcp", book[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Write([]byte{frameMagic, frameVersion, 0x01, 'x'})
+	// A hello from an address not in the book is refused.
+	c2, err := net.Dial("tcp", book[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Write(appendStreamHello(nil, 99))
+	// A valid hello followed by garbage desynchronizes and is torn down.
+	c3, err := net.Dial("tcp", book[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3.Write(append(appendStreamHello(nil, 1), 0xFF, 0xFF, 0xFF))
+
+	// All three connections end up closed by the endpoint.
+	for i, c := range []net.Conn{c1, c2, c3} {
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 1)
+		if _, err := c.Read(buf); err == nil {
+			t.Fatalf("stray connection %d not closed", i)
+		}
+		c.Close()
+	}
+	expectQuiet(t, ch0, 50*time.Millisecond)
+
+	// A well-formed peer still gets through.
+	ep1, err := tr.Open(1, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1.Send(0, []byte("legit"))
+	expectPacket(t, ch0, packet{1, "legit"})
+	if st := tr.Stats(); st.Malformed < 2 {
+		t.Fatalf("stray connections not counted: %+v", st)
+	}
+}
+
+// TestTCPBatchCoalesces checks the BatchSender path: one Flush delivers
+// everything enqueued, in order, to each peer.
+func TestTCPBatchCoalesces(t *testing.T) {
+	tr := newTestTCP(t, reserveStreamBook(t, 2))
+	defer tr.Close()
+	recv1, ch1 := collector(64)
+	ep0, err := tr.Open(0, func(Addr, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Open(1, recv1); err != nil {
+		t.Fatal(err)
+	}
+	bs, ok := ep0.(BatchSender)
+	if !ok {
+		t.Fatal("TCP endpoint does not implement BatchSender")
+	}
+	for i := 0; i < 16; i++ {
+		bs.Enqueue(1, []byte{byte('a' + i)})
+	}
+	bs.Flush()
+	for i := 0; i < 16; i++ {
+		expectPacket(t, ch1, packet{0, string(rune('a' + i))})
+	}
+	bs.Flush() // empty flush is a no-op
+	expectQuiet(t, ch1, 20*time.Millisecond)
+}

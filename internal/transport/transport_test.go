@@ -9,16 +9,36 @@ import (
 	"time"
 
 	"repro/internal/simnet"
-	"repro/internal/transport/transporttest"
 	"repro/internal/wire"
 )
+
+// reserveLoopbackAddrs is a local copy of transporttest.ReserveAddrs:
+// the in-package tests cannot import transporttest (it imports this
+// package for the conformance suite, which would be a cycle).
+func reserveLoopbackAddrs(t testing.TB, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	conns := make([]*net.UDPConn, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		conns = append(conns, c)
+		addrs = append(addrs, c.LocalAddr().String())
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return addrs
+}
 
 // reserveBook builds an address book over freshly reserved loopback
 // ports.
 func reserveBook(t *testing.T, n int) map[Addr]string {
 	t.Helper()
 	book := make(map[Addr]string, n)
-	for i, a := range transporttest.ReserveAddrs(t, n) {
+	for i, a := range reserveLoopbackAddrs(t, n) {
 		book[Addr(i)] = a
 	}
 	return book
@@ -391,7 +411,7 @@ func TestFaultySeededLoss(t *testing.T) {
 func TestUDPRuntimeRoutes(t *testing.T) {
 	// The address book is mutable at runtime: AddRoute admits a joiner's
 	// endpoint, RemoveRoute retires an evicted member's.
-	addrs := transporttest.ReserveAddrs(t, 3)
+	addrs := reserveLoopbackAddrs(t, 3)
 	tr, err := NewUDP(UDPConfig{Book: map[Addr]string{0: addrs[0], 1: addrs[1]}})
 	if err != nil {
 		t.Fatal(err)
@@ -452,7 +472,7 @@ routed:
 }
 
 func TestFaultyForwardsRoutes(t *testing.T) {
-	addrs := transporttest.ReserveAddrs(t, 2)
+	addrs := reserveLoopbackAddrs(t, 2)
 	inner, err := NewUDP(UDPConfig{Book: map[Addr]string{0: addrs[0]}})
 	if err != nil {
 		t.Fatal(err)

@@ -40,6 +40,6 @@ func (b *batchIO) flush(*udpEndpoint)                                    {}
 func (b *batchIO) recvBatch() (int, syscall.Errno, error) {
 	return 0, 0, errors.New("unsupported")
 }
-func (b *batchIO) recvBytes(int) int                                     { return 0 }
-func (b *batchIO) recvMsg(int) ([]byte, bool)                            { return nil, true }
-func (b *batchIO) discard()                                              {}
+func (b *batchIO) recvBytes(int) int          { return 0 }
+func (b *batchIO) recvMsg(int) ([]byte, bool) { return nil, true }
+func (b *batchIO) discard()                   {}
